@@ -1,0 +1,102 @@
+// Ablations for the design choices called out in DESIGN.md:
+//   (A) hardness in practice — exhaustive verification vs. the PRI verifier
+//       as k grows (the exponential wall of Theorem 1);
+//   (B) the (k, b) local budget — effect of b on witness size and time;
+//   (C) localized inference — single-node query via the L-hop ball vs. a
+//       full-graph forward pass.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/explain/verify.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp::bench {
+namespace {
+
+void ExhaustiveVsPri() {
+  // Tiny fixture so the exhaustive verifier stays feasible at all.
+  const auto& f = robogexp::testing::TwoCommunityAppnp();
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = {1};
+  cfg.local_budget = 2;
+  cfg.hop_radius = 2;
+
+  Table table({"k", "PRI verify (ms)", "exhaustive verify (ms)",
+               "exhaustive inference calls"});
+  for (int k : {1, 2, 3, 4}) {
+    cfg.k = k;
+    const GenerateResult gen = GenerateRcw(cfg);
+    Timer t1;
+    (void)VerifyRcw(cfg, gen.witness);
+    const double pri_ms = t1.Millis();
+    Timer t2;
+    const VerifyResult ex = VerifyRcwExhaustive(cfg, gen.witness, 50'000'000);
+    const double ex_ms = t2.Millis();
+    table.AddRow({std::to_string(k), Table::Num(pri_ms, 1),
+                  Table::Num(ex_ms, 1),
+                  std::to_string(ex.inference_calls)});
+  }
+  table.Print("Ablation A: PRI vs exhaustive verification (NP-hard wall)");
+  table.MaybeWriteCsv(BenchCsvDir(), "ablation_exhaustive");
+}
+
+void LocalBudgetSweep() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  Workload w = PrepareWorkload("CiteSeer", env.scale * 0.5, false);
+  const auto test_nodes = TestNodes(w, 10);
+  Table table({"b", "witness size", "generate (s)", "secured nodes"});
+  for (int b : {1, 2, 3, 5}) {
+    WitnessConfig cfg;
+    cfg.graph = w.graph.get();
+    cfg.model = w.model.get();
+    cfg.test_nodes = test_nodes;
+    cfg.k = 12;
+    cfg.local_budget = b;
+    cfg.max_contrast_classes = 3;
+    const GenerateResult r = GenerateRcw(cfg);
+    table.AddRow({std::to_string(b), std::to_string(r.witness.Size()),
+                  Table::Num(r.stats.seconds, 2),
+                  std::to_string(test_nodes.size() - r.unsecured.size()) +
+                      "/" + std::to_string(test_nodes.size())});
+  }
+  table.Print("Ablation B: local budget b of the (k,b)-disturbance");
+  table.MaybeWriteCsv(BenchCsvDir(), "ablation_local_budget");
+}
+
+void LocalizedInference() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  Workload w = PrepareWorkload("CiteSeer", env.scale, false);
+  const FullView full(w.graph.get());
+  const auto nodes = TestNodes(w, 20);
+
+  Timer t_local;
+  for (NodeId v : nodes) {
+    (void)w.model->InferNode(full, w.graph->features(), v);
+  }
+  const double local_ms = t_local.Millis();
+
+  Timer t_full;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    (void)w.model->Infer(full, w.graph->features());
+  }
+  const double full_ms = t_full.Millis();
+
+  Table table({"strategy", "total ms for 20 single-node queries", "speedup"});
+  table.AddRow({"full-graph forward pass", Table::Num(full_ms, 1), "1.0x"});
+  table.AddRow({"localized (L-hop ball)", Table::Num(local_ms, 1),
+                Table::Num(full_ms / local_ms, 1) + "x"});
+  table.Print("Ablation C: localized single-node inference");
+  table.MaybeWriteCsv(BenchCsvDir(), "ablation_localized_inference");
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  robogexp::bench::ExhaustiveVsPri();
+  robogexp::bench::LocalBudgetSweep();
+  robogexp::bench::LocalizedInference();
+  return 0;
+}

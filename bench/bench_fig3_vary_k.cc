@@ -1,0 +1,48 @@
+// Fig. 3 (a), (c), (e) — effectiveness vs. disturbance budget k:
+// NormGED, Fidelity+, Fidelity- for RoboGExp, CF2, CF-GNNExp with
+// |VT| = 20 and k in {4, 8, 12, 16, 20} on CiteSeer-sim.
+//
+// Paper trends to check: GED grows with k for every method, RoboGExp always
+// lowest; Fidelity+ grows with k, RoboGExp highest and most stable;
+// Fidelity- shrinks with k, RoboGExp best, CF2 erratic.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace robogexp::bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  const int vt = 20, b = 1;
+  std::printf("Fig 3(a,c,e): effectiveness vs k (CiteSeer-sim, scale=%.2f, "
+              "|VT|=%d, trials=%d)\n",
+              env.scale, vt, env.trials);
+  Workload w = PrepareWorkload("CiteSeer", env.scale, env.faithful);
+  const auto test_nodes = TestNodes(w, vt);
+
+  Table table({"k", "method", "NormGED (a)", "Fidelity+ (c)", "Fidelity- (e)"});
+  for (int k : {4, 8, 12, 16, 20}) {
+    RoboGExpExplainer robo(k, b);
+    Cf2Explainer cf2;
+    CfGnnExplainer cfgnn;
+    for (Explainer* e :
+         std::initializer_list<Explainer*>{&robo, &cf2, &cfgnn}) {
+      const QualityResult q =
+          EvaluateQuality(w, e, test_nodes, k, b, env.trials, 100 + k);
+      table.AddRow({std::to_string(k), e->name(), Table::Num(q.norm_ged, 3),
+                    Table::Num(q.fidelity_plus, 2),
+                    Table::Num(q.fidelity_minus, 2)});
+    }
+  }
+  table.Print("Fig 3 (a,c,e): varying k");
+  table.MaybeWriteCsv(BenchCsvDir(), "fig3_vary_k");
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  robogexp::bench::Run();
+  return 0;
+}

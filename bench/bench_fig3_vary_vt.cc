@@ -1,0 +1,54 @@
+// Fig. 3 (b), (d), (f) — effectiveness vs. test-set size |VT|:
+// NormGED, Fidelity+, Fidelity- for RoboGExp, CF2, CF-GNNExp with
+// k = 20 and |VT| in {20, 40, 60, 80, 100} on CiteSeer-sim.
+//
+// Paper trends to check: RoboGExp lowest GED and least sensitive to |VT|;
+// Fidelity+ decreases with |VT| for all methods (more diverse structures),
+// RoboGExp highest; Fidelity- degrades with |VT|, RoboGExp best.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace robogexp::bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  const int k = 20, b = 1;
+  std::printf("Fig 3(b,d,f): effectiveness vs |VT| (CiteSeer-sim, "
+              "scale=%.2f, k=%d, trials=%d)\n",
+              env.scale, k, env.trials);
+  Workload w = PrepareWorkload("CiteSeer", env.scale, env.faithful,
+                               /*test_pool_size=*/120);
+
+  Table table(
+      {"|VT|", "method", "NormGED (b)", "Fidelity+ (d)", "Fidelity- (f)"});
+  for (int vt : {20, 40, 60, 80, 100}) {
+    const auto test_nodes = TestNodes(w, vt);
+    if (static_cast<int>(test_nodes.size()) < vt) {
+      std::printf("note: pool has only %zu explainable nodes for |VT|=%d\n",
+                  test_nodes.size(), vt);
+    }
+    RoboGExpExplainer robo(k, b);
+    Cf2Explainer cf2;
+    CfGnnExplainer cfgnn;
+    for (Explainer* e :
+         std::initializer_list<Explainer*>{&robo, &cf2, &cfgnn}) {
+      const QualityResult q =
+          EvaluateQuality(w, e, test_nodes, k, b, env.trials, 200 + vt);
+      table.AddRow({std::to_string(vt), e->name(),
+                    Table::Num(q.norm_ged, 3), Table::Num(q.fidelity_plus, 2),
+                    Table::Num(q.fidelity_minus, 2)});
+    }
+  }
+  table.Print("Fig 3 (b,d,f): varying |VT|");
+  table.MaybeWriteCsv(BenchCsvDir(), "fig3_vary_vt");
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  robogexp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 4 (a), (b), (c) — efficiency:
+//   (a) generation time per dataset (BAHouse, CiteSeer-sim, PPI-sim);
+//   (b) time vs k — baselines pay re-generation per disturbed variant,
+//       RoboGExp generates a once-for-all robust witness;
+//   (c) time vs |VT|.
+//
+// Paper trends to check: RoboGExp fastest everywhere (it reports taking
+// 58.6% of CF-GNNExp's and 12% of CF2's time); every method slows with k;
+// RoboGExp least sensitive to |VT|.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace robogexp::bench {
+namespace {
+
+void RunPerDataset(const BenchEnv& env) {
+  Table table({"dataset", "method", "generate (s)", "regenerate/trial (s)"});
+  for (const std::string& ds : {"BAHouse", "CiteSeer", "PPI"}) {
+    Workload w = PrepareWorkload(ds, env.scale, env.faithful);
+    const auto test_nodes = TestNodes(w, 20);
+    RoboGExpExplainer robo(20, 1);
+    Cf2Explainer cf2;
+    CfGnnExplainer cfgnn;
+    for (Explainer* e :
+         std::initializer_list<Explainer*>{&robo, &cf2, &cfgnn}) {
+      const QualityResult q =
+          EvaluateQuality(w, e, test_nodes, 20, 1, env.trials, 300);
+      table.AddRow({ds, e->name(), Table::Num(q.generation_seconds, 2),
+                    Table::Num(q.regenerate_seconds /
+                                   std::max(1, env.trials), 2)});
+    }
+  }
+  table.Print("Fig 4(a): overall efficiency");
+  table.MaybeWriteCsv(BenchCsvDir(), "fig4a_efficiency");
+}
+
+void RunVaryK(const BenchEnv& env) {
+  Workload w = PrepareWorkload("CiteSeer", env.scale, env.faithful);
+  const auto test_nodes = TestNodes(w, 20);
+  Table table({"k", "method", "generate (s)", "regenerate/trial (s)"});
+  for (int k : {4, 8, 12, 16, 20}) {
+    RoboGExpExplainer robo(k, 1);
+    Cf2Explainer cf2;
+    CfGnnExplainer cfgnn;
+    for (Explainer* e :
+         std::initializer_list<Explainer*>{&robo, &cf2, &cfgnn}) {
+      const QualityResult q =
+          EvaluateQuality(w, e, test_nodes, k, 1, env.trials, 310 + k);
+      table.AddRow({std::to_string(k), e->name(),
+                    Table::Num(q.generation_seconds, 2),
+                    Table::Num(q.regenerate_seconds /
+                                   std::max(1, env.trials), 2)});
+    }
+  }
+  table.Print("Fig 4(b): response time vs k");
+  table.MaybeWriteCsv(BenchCsvDir(), "fig4b_time_vs_k");
+}
+
+void RunVaryVt(const BenchEnv& env) {
+  Workload w = PrepareWorkload("CiteSeer", env.scale, env.faithful, 120);
+  Table table({"|VT|", "method", "generate (s)"});
+  for (int vt : {20, 40, 60, 80, 100}) {
+    const auto test_nodes = TestNodes(w, vt);
+    RoboGExpExplainer robo(20, 1);
+    Cf2Explainer cf2;
+    CfGnnExplainer cfgnn;
+    for (Explainer* e :
+         std::initializer_list<Explainer*>{&robo, &cf2, &cfgnn}) {
+      const QualityResult q =
+          EvaluateQuality(w, e, test_nodes, 20, 1, /*trials=*/0, 320 + vt);
+      table.AddRow({std::to_string(vt), e->name(),
+                    Table::Num(q.generation_seconds, 2)});
+    }
+  }
+  table.Print("Fig 4(c): response time vs |VT|");
+  table.MaybeWriteCsv(BenchCsvDir(), "fig4c_time_vs_vt");
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  std::printf("Fig 4(a-c): efficiency (scale=%.2f, trials=%d)\n", env.scale,
+              env.trials);
+  robogexp::bench::RunPerDataset(env);
+  robogexp::bench::RunVaryK(env);
+  robogexp::bench::RunVaryVt(env);
+  return 0;
+}

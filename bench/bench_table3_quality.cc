@@ -1,0 +1,56 @@
+// Table III — quality of explanations on CiteSeer(-sim):
+// NormGED / Fidelity+ / Fidelity- / Size for RoboGExp, CF2, CF-GNNExp
+// at k = 20, |VT| = 20.
+//
+// Paper-reported values for orientation (shape, not absolutes):
+//   RoboGExp   0.32  0.79  0.05   66
+//   CF2        0.68  0.47  0.06  132
+//   CF-GNNExp  0.72  0.65  0.13   78
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace robogexp::bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = BenchEnv::FromEnvironment();
+  const int k = 20, vt = 20, b = 1;
+  std::printf("Table III: quality of explanations (CiteSeer-sim, scale=%.2f, "
+              "k=%d, |VT|=%d, trials=%d)\n",
+              env.scale, k, vt, env.trials);
+
+  Workload w = PrepareWorkload("CiteSeer", env.scale, env.faithful);
+  std::printf("dataset: %d nodes, %lld edges, trained GCN in %.1fs, "
+              "explainable pool %zu\n",
+              w.graph->num_nodes(),
+              static_cast<long long>(w.graph->num_edges()), w.train_seconds,
+              w.test_pool.size());
+  const auto test_nodes = TestNodes(w, vt);
+
+  RoboGExpExplainer robo(k, b);
+  Cf2Explainer cf2;
+  CfGnnExplainer cfgnn;
+
+  Table table({"method", "NormGED", "Fidelity+", "Fidelity-", "Size"});
+  for (Explainer* e :
+       std::initializer_list<Explainer*>{&robo, &cf2, &cfgnn}) {
+    const QualityResult q =
+        EvaluateQuality(w, e, test_nodes, k, b, env.trials, 77);
+    table.AddRow({e->name(), Table::Num(q.norm_ged, 2),
+                  Table::Num(q.fidelity_plus, 2),
+                  Table::Num(q.fidelity_minus, 2), Table::Num(q.size, 0)});
+  }
+  table.Print("Table III (reproduced)");
+  table.MaybeWriteCsv(BenchCsvDir(), "table3_quality");
+  std::printf("paper shape to check: RoboGExp best (lowest) NormGED, highest "
+              "Fidelity+, lowest Fidelity-, smallest size.\n");
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  robogexp::bench::Run();
+  return 0;
+}

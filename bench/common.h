@@ -1,0 +1,74 @@
+// Shared setup for the benchmark harness: dataset + model preparation and
+// the disturbance-quality evaluation loop used by Table III and Fig. 3.
+//
+// Environment knobs (all optional):
+//   ROBOGEXP_BENCH_SCALE     dataset scale factor (default 0.4)
+//   ROBOGEXP_BENCH_TRIALS    disturbance trials per measurement (default 2)
+//   ROBOGEXP_BENCH_FAITHFUL  "1": paper-faithful model size (3x128 GCN)
+//   ROBOGEXP_BENCH_CSV_DIR   write each table as CSV into this directory
+#ifndef ROBOGEXP_BENCH_COMMON_H_
+#define ROBOGEXP_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/cf2.h"
+#include "src/baselines/cf_gnnexp.h"
+#include "src/datasets/disturbance.h"
+#include "src/datasets/synthetic.h"
+#include "src/explain/explainer.h"
+#include "src/gnn/trainer.h"
+#include "src/metrics/metrics.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+namespace robogexp::bench {
+
+struct BenchEnv {
+  double scale = 0.4;
+  int trials = 2;
+  bool faithful = false;
+
+  static BenchEnv FromEnvironment();
+};
+
+struct Workload {
+  std::string name;
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<GnnModel> model;
+  std::vector<NodeId> test_pool;  // explainable nodes to draw VT from
+  double train_seconds = 0.0;
+};
+
+/// Builds a dataset, trains the paper's GCN classifier on it, and collects a
+/// pool of explainable test nodes.
+Workload PrepareWorkload(const std::string& dataset_name, double scale,
+                         bool faithful, int test_pool_size = 120,
+                         uint64_t seed = 42);
+
+struct QualityResult {
+  double norm_ged = 0.0;
+  double fidelity_plus = 0.0;
+  double fidelity_minus = 0.0;
+  double size = 0.0;
+  double generation_seconds = 0.0;
+  /// Total time to re-generate explanations across the disturbance trials
+  /// (the paper's "re-generate" cost; RoboGExp pays verification instead).
+  double regenerate_seconds = 0.0;
+};
+
+/// The Exp-1/Exp-2 evaluation loop: generate on G, measure fidelity and
+/// size; then for `trials` sampled (k, b)-disturbances re-generate on the
+/// disturbed graph and accumulate the normalized GED against the original
+/// explanation.
+QualityResult EvaluateQuality(const Workload& w, Explainer* explainer,
+                              const std::vector<NodeId>& test_nodes, int k,
+                              int local_budget, int trials, uint64_t seed);
+
+/// First `n` nodes of the workload's explainable pool.
+std::vector<NodeId> TestNodes(const Workload& w, int n);
+
+}  // namespace robogexp::bench
+
+#endif  // ROBOGEXP_BENCH_COMMON_H_

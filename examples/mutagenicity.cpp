@@ -1,0 +1,98 @@
+// Example 1 of the paper — interpreting "mutagenics" with molecular
+// structures (Figs. 1, 2 and 5): generate a 1-RCW for a mutagenic test atom
+// and show that it pins the aldehyde toxicophore and stays invariant across
+// a family of molecule variants that differ by single bonds.
+//
+//   $ ./example_mutagenicity
+#include <cstdio>
+
+#include "src/datasets/disturbance.h"
+#include "src/datasets/molecules.h"
+#include "src/explain/robogexp.h"
+#include "src/explain/verify.h"
+#include "src/gnn/trainer.h"
+#include "src/metrics/metrics.h"
+
+using namespace robogexp;
+
+namespace {
+
+const char* AtomName(const Graph& g, NodeId u) {
+  static thread_local std::string buf;
+  if (!g.NodeName(u).empty()) return g.NodeName(u).c_str();
+  // Recover the atom type from the one-hot feature block.
+  static const char* kNames[] = {"C", "H", "O", "N"};
+  for (int t = 0; t < kNumAtomTypes; ++t) {
+    if (g.features().at(u, t) > 0.5) {
+      buf = std::string(kNames[t]) + std::to_string(u);
+      return buf.c_str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const MoleculeFamily fam = MakeCaseStudyFamily();
+  std::printf("molecule corpus: %d atoms, %lld bonds\n",
+              fam.graph.num_nodes(),
+              static_cast<long long>(fam.graph.num_edges()));
+
+  // The paper's classifier: a 3-layer GCN labeling atoms mutagenic /
+  // nonmutagenic.
+  TrainOptions topts;
+  topts.hidden_dims = {16, 16};
+  topts.epochs = 200;
+  TrainStats stats;
+  const auto model =
+      TrainGcn(fam.graph, SampleTrainNodes(fam.graph, 0.6, 1), topts, &stats);
+  std::printf("GCN train accuracy: %.2f\n", stats.train_accuracy);
+
+  const FullView full(&fam.graph);
+  const Label l = model->Predict(full, fam.graph.features(), fam.test_node);
+  std::printf("test atom %s is classified %s\n",
+              AtomName(fam.graph, fam.test_node),
+              l == kMutagenic ? "MUTAGENIC" : "nonmutagenic");
+
+  // Generate a 1-RCW: robust to any single-bond difference outside the
+  // witness — i.e. one explanation for the whole molecule family.
+  WitnessConfig cfg;
+  cfg.graph = &fam.graph;
+  cfg.model = model.get();
+  cfg.test_nodes = {fam.test_node};
+  cfg.k = 1;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  const GenerateResult rcw = GenerateRcw(cfg);
+  std::printf("\n1-RCW for %s (%zu bonds):\n",
+              AtomName(fam.graph, fam.test_node), rcw.witness.num_edges());
+  for (const Edge& e : rcw.witness.Edges()) {
+    std::printf("  %s - %s\n", AtomName(fam.graph, e.u),
+                AtomName(fam.graph, e.v));
+  }
+
+  const VerifyResult check = VerifyRcw(cfg, rcw.witness);
+  std::printf("verified as 1-RCW: %s\n", check.ok ? "yes" : check.reason.c_str());
+
+  // The family: remove e7 (ring-methyl bond) and e8 (methyl-hydrogen bond).
+  std::printf("\ninvariance across the molecule family:\n");
+  for (const auto& [name, edge] :
+       std::initializer_list<std::pair<const char*, Edge>>{
+           {"G3^1 = G3 minus e7", fam.e7}, {"G3^2 = G3 minus e8", fam.e8}}) {
+    const Graph variant = ApplyDisturbance(fam.graph, {edge});
+    WitnessConfig vcfg = cfg;
+    vcfg.graph = &variant;
+    // The same witness must still verify on the variant (it is a 1-RCW, and
+    // the variant differs by exactly one bond outside the witness).
+    const VerifyResult vr = VerifyCounterfactual(vcfg, rcw.witness);
+    std::printf("  %s: witness still factual+counterfactual: %s\n", name,
+                vr.ok ? "yes" : vr.reason.c_str());
+  }
+
+  std::printf("\nthe witness pins the O=C-H aldehyde anchored at %s — the\n"
+              "toxicophore a chemist would recognize (Kazius et al.), with\n"
+              "no carbon-ring or hydrogen noise.\n",
+              AtomName(fam.graph, fam.test_node));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// paraRoboGExp on a large graph: partitioned generation with worker-local
+// verification and bitmap synchronization (Sec. VI), compared against the
+// sequential generator.
+//
+//   $ ./example_parallel_scale [num_threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/datasets/synthetic.h"
+#include "src/explain/para.h"
+#include "src/explain/verify.h"
+#include "src/gnn/trainer.h"
+
+using namespace robogexp;
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  // A Reddit-like community graph, scaled for an example run.
+  Graph graph = MakeRedditSim(/*scale=*/0.05, /*seed=*/17);
+  std::printf("Reddit-sim: %d nodes, %lld edges, %d classes\n",
+              graph.num_nodes(), static_cast<long long>(graph.num_edges()),
+              graph.num_classes());
+
+  TrainOptions topts;
+  topts.hidden_dims = {32, 32};
+  topts.epochs = 60;
+  const auto model = TrainGcn(graph, SampleTrainNodes(graph, 0.3, 1), topts);
+  const auto test_nodes =
+      SelectExplainableTestNodes(*model, graph, /*count=*/8, {}, 3);
+  std::printf("explaining %zu test nodes with %d worker threads\n",
+              test_nodes.size(), threads);
+
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = model.get();
+  cfg.test_nodes = test_nodes;
+  cfg.k = 8;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  cfg.max_ball_nodes = 4000;
+  cfg.max_contrast_classes = 2;
+
+  const GenerateResult seq = GenerateRcw(cfg);
+  std::printf("sequential RoboGExp:   %.2fs, witness size %zu, %zu/%zu nodes "
+              "secured\n",
+              seq.stats.seconds, seq.witness.Size(),
+              test_nodes.size() - seq.unsecured.size(), test_nodes.size());
+
+  ParallelOptions popts;
+  popts.num_threads = threads;
+  ParallelStats stats;
+  const GenerateResult par = ParaGenerateRcw(cfg, popts, &stats);
+  std::printf("paraRoboGExp (%d thr): %.2fs, witness size %zu, %zu/%zu nodes "
+              "secured\n",
+              threads, stats.gen.seconds, par.witness.Size(),
+              test_nodes.size() - par.unsecured.size(), test_nodes.size());
+  std::printf("  partition: %.2fs, cut %lld edges; worker critical path "
+              "%.2fs; coordinator %.2fs (%d nodes re-verified)\n",
+              stats.partition_seconds,
+              static_cast<long long>(stats.cut_edges), stats.worker_seconds,
+              stats.coordinator_seconds, stats.coordinator_reverified);
+  std::printf("  bitmap state shipped: %.1f KiB\n",
+              static_cast<double>(stats.bitmap_bytes) / 1024.0);
+
+  // Both outputs carry the same contract: verify the parallel witness.
+  WitnessConfig verify_cfg = cfg;
+  verify_cfg.test_nodes.clear();
+  for (NodeId v : test_nodes) {
+    bool skip = false;
+    for (NodeId u : par.unsecured) skip |= (u == v);
+    if (!skip) verify_cfg.test_nodes.push_back(v);
+  }
+  const VerifyResult vr = VerifyRcw(verify_cfg, par.witness);
+  std::printf("parallel witness verifies as %d-RCW: %s\n", cfg.k,
+              vr.ok ? "yes" : vr.reason.c_str());
+  return vr.ok ? 0 : 1;
+}

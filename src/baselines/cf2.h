@@ -1,0 +1,54 @@
+// CF2 baseline (Tan et al., WWW 2022): explanations that are simultaneously
+// factual ("sufficient") and counterfactual ("necessary"), found by
+// optimizing a λ-weighted combination of both strengths.
+//
+// The original relaxes an edge mask and trains it per test node; this
+// reimplementation performs deterministic greedy forward selection over a
+// saliency-ranked pool, maximizing
+//     λ · margin_l(v | S)  -  (1-λ) · margin_l(v | G \ S)
+// per added edge, and stops when both properties hold. Per-node subgraphs
+// are unioned, which (as the paper observes) yields larger explanations with
+// redundant structure. No robustness guarantee; re-generated from scratch on
+// every graph variant.
+#ifndef ROBOGEXP_BASELINES_CF2_H_
+#define ROBOGEXP_BASELINES_CF2_H_
+
+#include "src/baselines/cf_gnnexp.h"
+
+namespace robogexp {
+
+class Cf2Explainer final : public Explainer {
+ public:
+  explicit Cf2Explainer(BaselineOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override { return "CF2"; }
+
+  Witness Explain(const Graph& graph, const GnnModel& model,
+                  const std::vector<NodeId>& test_nodes) override;
+
+ private:
+  BaselineOptions opts_;
+  uint64_t run_counter_ = 0;  // one "training run" per Explain call
+};
+
+/// Random-edge control baseline (selects `edges_per_node` uniform edges from
+/// each test node's ball); the ablation floor for the quality metrics.
+class RandomExplainer final : public Explainer {
+ public:
+  RandomExplainer(int edges_per_node, uint64_t seed, int hop_radius = 3)
+      : edges_per_node_(edges_per_node), seed_(seed), hop_radius_(hop_radius) {}
+
+  std::string name() const override { return "Random"; }
+
+  Witness Explain(const Graph& graph, const GnnModel& model,
+                  const std::vector<NodeId>& test_nodes) override;
+
+ private:
+  int edges_per_node_;
+  uint64_t seed_;
+  int hop_radius_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_BASELINES_CF2_H_

@@ -1,0 +1,60 @@
+#include "src/baselines/cf_gnnexp.h"
+
+#include <algorithm>
+
+#include "src/baselines/saliency.h"
+#include "src/util/rng.h"
+
+namespace robogexp {
+
+Witness CfGnnExplainer::Explain(const Graph& graph, const GnnModel& model,
+                                const std::vector<NodeId>& test_nodes) {
+  Witness witness;
+  const FullView full(&graph);
+  // Fresh "training run": emulates the original's per-graph mask re-training.
+  Rng run_rng(0x5f3759df ^ (++run_counter_ * 0x9e3779b97f4a7c15ull));
+  for (NodeId v : test_nodes) {
+    witness.AddNode(v);
+    const Label l = model.Predict(full, graph.features(), v);
+    std::vector<Edge> pool =
+        SalientEdges(full, graph.features(), model, v, l, opts_.hop_radius,
+                     opts_.max_ball_nodes, opts_.alpha, opts_.candidate_pool);
+
+    // Greedy minimal deletion: at each step remove the pooled edge whose
+    // deletion most decreases the margin of l at v; stop once the label
+    // flips (counterfactual achieved) or no deletion makes progress.
+    std::vector<Edge> deleted;
+    double current_margin =
+        LabelMargin(model, full, graph.features(), v, l);
+    for (int step = 0; step < opts_.max_edges_per_node && !pool.empty();
+         ++step) {
+      double best_margin = 1e300;
+      size_t best_idx = pool.size();
+      for (size_t i = 0; i < pool.size(); ++i) {
+        std::vector<Edge> attempt = deleted;
+        attempt.push_back(pool[i]);
+        const OverlayView trial(&full, attempt);
+        double m = LabelMargin(model, trial, graph.features(), v, l);
+        if (opts_.objective_noise > 0.0) {
+          m += opts_.objective_noise * std::abs(m) * run_rng.Normal();
+        }
+        if (m < best_margin) {
+          best_margin = m;
+          best_idx = i;
+        }
+      }
+      if (best_idx == pool.size()) break;
+      if (best_margin > current_margin - opts_.plateau_epsilon) {
+        break;  // plateau: this node cannot be flipped from the pool
+      }
+      deleted.push_back(pool[best_idx]);
+      pool.erase(pool.begin() + static_cast<int64_t>(best_idx));
+      current_margin = best_margin;
+      if (best_margin < 0.0) break;  // label flipped — minimal set reached
+    }
+    for (const Edge& e : deleted) witness.AddEdge(e.u, e.v);
+  }
+  return witness;
+}
+
+}  // namespace robogexp

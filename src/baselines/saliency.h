@@ -1,0 +1,28 @@
+// Shared edge-saliency ranking for the search-based baseline explainers:
+// edges are ranked by how much class-l PPR evidence they route toward the
+// test node, then the top pool is refined with exact inference.
+#ifndef ROBOGEXP_BASELINES_SALIENCY_H_
+#define ROBOGEXP_BASELINES_SALIENCY_H_
+
+#include <vector>
+
+#include "src/gnn/model.h"
+#include "src/graph/view.h"
+
+namespace robogexp {
+
+/// Top-`pool` candidate edges around `v` ranked by evidence saliency for
+/// label `l` (descending).
+std::vector<Edge> SalientEdges(const GraphView& view, const Matrix& features,
+                               const GnnModel& model, NodeId v, Label l,
+                               int hop_radius, int max_ball_nodes, double alpha,
+                               int pool);
+
+/// Margin of label `l` at `v` on `view`: logit(l) - max logit of other
+/// classes.
+double LabelMargin(const GnnModel& model, const GraphView& view,
+                   const Matrix& features, NodeId v, Label l);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_BASELINES_SALIENCY_H_

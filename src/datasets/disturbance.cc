@@ -1,0 +1,83 @@
+#include "src/datasets/disturbance.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/graph/view.h"
+
+namespace robogexp {
+
+std::vector<Edge> SampleDisturbance(
+    const Graph& graph, const std::unordered_set<uint64_t>& protected_keys,
+    const DisturbanceOptions& opts, Rng* rng) {
+  const FullView full(&graph);
+  // Candidate removals.
+  std::vector<Edge> removal_pool;
+  if (opts.focus_nodes.empty()) {
+    removal_pool = graph.Edges();
+  } else {
+    const std::vector<NodeId> ball =
+        KHopBall(full, opts.focus_nodes, opts.hop_radius);
+    removal_pool = InducedEdges(full, ball);
+  }
+  std::erase_if(removal_pool, [&](const Edge& e) {
+    return protected_keys.count(e.Key()) > 0;
+  });
+  rng->Shuffle(&removal_pool);
+
+  std::vector<Edge> flips;
+  std::unordered_map<NodeId, int> load;
+  auto try_add = [&](const Edge& e) {
+    if (static_cast<int>(flips.size()) >= opts.k) return false;
+    if (load[e.u] >= opts.local_budget || load[e.v] >= opts.local_budget) {
+      return true;  // skip, keep trying others
+    }
+    flips.push_back(e);
+    ++load[e.u];
+    ++load[e.v];
+    return true;
+  };
+
+  const int removals =
+      static_cast<int>(opts.k * opts.removal_fraction + 0.5);
+  for (const Edge& e : removal_pool) {
+    if (static_cast<int>(flips.size()) >= removals) break;
+    try_add(e);
+  }
+  // Insertions for the remainder (flip mode).
+  int guard = 0;
+  while (static_cast<int>(flips.size()) < opts.k && guard++ < opts.k * 200) {
+    const NodeId u = static_cast<NodeId>(
+        rng->UniformInt(static_cast<uint64_t>(graph.num_nodes())));
+    const NodeId v = static_cast<NodeId>(
+        rng->UniformInt(static_cast<uint64_t>(graph.num_nodes())));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    const Edge e(u, v);
+    if (protected_keys.count(e.Key()) > 0) continue;
+    try_add(e);
+  }
+  std::sort(flips.begin(), flips.end());
+  return flips;
+}
+
+Graph ApplyDisturbance(const Graph& graph, const std::vector<Edge>& flips) {
+  Graph out(graph.num_nodes());
+  for (const Edge& e : graph.Edges()) RCW_CHECK(out.AddEdge(e.u, e.v).ok());
+  for (const Edge& e : flips) {
+    if (out.HasEdge(e.u, e.v)) {
+      RCW_CHECK(out.RemoveEdge(e.u, e.v).ok());
+    } else {
+      RCW_CHECK(out.AddEdge(e.u, e.v).ok());
+    }
+  }
+  Matrix features = graph.features();
+  out.SetFeatures(std::move(features));
+  std::vector<Label> labels = graph.labels();
+  out.SetLabels(std::move(labels), graph.num_classes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (!graph.NodeName(u).empty()) out.SetNodeName(u, graph.NodeName(u));
+  }
+  return out;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,39 @@
+// k-disturbance sampling and materialization (Sec. VII: "we adopt a strategy
+// that mainly removes existing edges").
+#ifndef ROBOGEXP_DATASETS_DISTURBANCE_H_
+#define ROBOGEXP_DATASETS_DISTURBANCE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace robogexp {
+
+struct DisturbanceOptions {
+  int k = 5;
+  /// Local per-node budget b.
+  int local_budget = 2;
+  /// Fraction of flips that are removals (1.0 = removal-only).
+  double removal_fraction = 1.0;
+  /// When non-empty, sampled flips stay within `hop_radius` hops of these
+  /// nodes (disturbances far from every test node are inert).
+  std::vector<NodeId> focus_nodes;
+  int hop_radius = 3;
+};
+
+/// Samples a (k, b)-disturbance on `graph` avoiding `protected_keys`
+/// (witness edges must not be flipped).
+std::vector<Edge> SampleDisturbance(
+    const Graph& graph, const std::unordered_set<uint64_t>& protected_keys,
+    const DisturbanceOptions& opts, Rng* rng);
+
+/// Materializes the disturbed graph ~G (features/labels copied). Used by the
+/// benchmark harness where baselines must re-generate explanations on a real
+/// graph object.
+Graph ApplyDisturbance(const Graph& graph, const std::vector<Edge>& flips);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_DATASETS_DISTURBANCE_H_

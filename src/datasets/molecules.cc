@@ -1,0 +1,145 @@
+#include "src/datasets/molecules.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace robogexp {
+
+namespace {
+
+/// Incrementally builds molecules into one shared graph.
+class MoleculeBuilder {
+ public:
+  NodeId AddAtom(Atom type, Label label, std::string name = "") {
+    const NodeId u = graph_.AddNode();
+    atoms_.push_back(type);
+    labels_.push_back(label);
+    if (!name.empty()) graph_.SetNodeName(u, std::move(name));
+    return u;
+  }
+
+  void Bond(NodeId u, NodeId v) { RCW_CHECK(graph_.AddEdge(u, v).ok()); }
+
+  /// Carbon ring with hydrogens on every other carbon; returns ring atoms.
+  std::vector<NodeId> AddRing(int size, Label label) {
+    std::vector<NodeId> ring;
+    for (int i = 0; i < size; ++i) ring.push_back(AddAtom(kCarbon, label));
+    for (int i = 0; i < size; ++i) Bond(ring[static_cast<size_t>(i)],
+                                        ring[static_cast<size_t>((i + 1) % size)]);
+    for (int i = 0; i < size; i += 2) {
+      const NodeId h = AddAtom(kHydrogen, label);
+      Bond(ring[static_cast<size_t>(i)], h);
+    }
+    return ring;
+  }
+
+  /// Nitro group N(=O)(O) attached to `anchor`; all atoms mutagenic.
+  std::vector<NodeId> AddNitro(NodeId anchor) {
+    const NodeId n = AddAtom(kNitrogen, kMutagenic, "N");
+    const NodeId o1 = AddAtom(kOxygen, kMutagenic, "O1");
+    const NodeId o2 = AddAtom(kOxygen, kMutagenic, "O2");
+    Bond(anchor, n);
+    Bond(n, o1);
+    Bond(n, o2);
+    labels_[static_cast<size_t>(anchor)] = kMutagenic;
+    return {n, o1, o2};
+  }
+
+  /// Aldehyde O=C-H attached to `anchor`; all atoms mutagenic.
+  std::vector<NodeId> AddAldehyde(NodeId anchor) {
+    const NodeId c = AddAtom(kCarbon, kMutagenic, "C_ald");
+    const NodeId o = AddAtom(kOxygen, kMutagenic, "O_ald");
+    const NodeId h = AddAtom(kHydrogen, kMutagenic, "H_ald");
+    Bond(anchor, c);
+    Bond(c, o);
+    Bond(c, h);
+    labels_[static_cast<size_t>(anchor)] = kMutagenic;
+    return {c, o, h};
+  }
+
+  /// Finalizes features (one-hot atom type only — structural information
+  /// such as degree is deliberately left out of the features so that a
+  /// carbon's mutagenicity is decided by its bonds, not leaked through the
+  /// feature vector) and labels.
+  Graph Finish() {
+    Matrix x(graph_.num_nodes(), kNumAtomTypes + 2);
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      x.at(u, atoms_[static_cast<size_t>(u)]) = 1.0;
+      // Two mild position-independent nuisance bits.
+      x.at(u, kNumAtomTypes + (u % 2)) = 0.1;
+    }
+    graph_.SetFeatures(std::move(x));
+    graph_.SetLabels(labels_, 2);
+    return std::move(graph_);
+  }
+
+  Graph& graph() { return graph_; }
+
+ private:
+  Graph graph_;
+  std::vector<Atom> atoms_;
+  std::vector<Label> labels_;
+};
+
+void AddMolecule(MoleculeBuilder* b, bool toxic, int ring_size, Rng* rng) {
+  std::vector<NodeId> ring = b->AddRing(ring_size, kNonMutagenic);
+  // Side chain noise: a methyl-like carbon with hydrogens.
+  const NodeId side = b->AddAtom(kCarbon, kNonMutagenic);
+  b->Bond(ring[1], side);
+  const NodeId h = b->AddAtom(kHydrogen, kNonMutagenic);
+  b->Bond(side, h);
+  if (toxic) {
+    const NodeId anchor = ring[static_cast<size_t>(
+        rng->UniformInt(static_cast<uint64_t>(ring.size())))];
+    if (rng->Bernoulli(0.5)) {
+      b->AddNitro(anchor);
+    } else {
+      b->AddAldehyde(anchor);
+    }
+  }
+}
+
+}  // namespace
+
+Graph MakeMutagenicityDataset(const MoleculeDatasetOptions& opts) {
+  Rng rng(opts.seed);
+  MoleculeBuilder b;
+  for (int m = 0; m < opts.num_molecules; ++m) {
+    AddMolecule(&b, rng.Bernoulli(opts.toxic_fraction), opts.ring_size, &rng);
+  }
+  return b.Finish();
+}
+
+MoleculeFamily MakeCaseStudyFamily(uint64_t seed) {
+  Rng rng(seed);
+  MoleculeBuilder b;
+  // Background corpus to train against.
+  for (int m = 0; m < 40; ++m) {
+    AddMolecule(&b, rng.Bernoulli(0.5), 6, &rng);
+  }
+
+  // The case-study molecule G3: carbon ring, aldehyde toxicophore, and two
+  // peripheral bonds e7 (ring-methyl) / e8 (methyl-hydrogen) whose removal
+  // yields the variants G3^1 and G3^2 of Fig. 5.
+  MoleculeFamily fam;
+  std::vector<NodeId> ring = b.AddRing(6, kNonMutagenic);
+  const std::vector<NodeId> ald = b.AddAldehyde(ring[0]);
+  const NodeId methyl = b.AddAtom(kCarbon, kNonMutagenic, "C_methyl");
+  b.Bond(ring[3], methyl);
+  const NodeId mh = b.AddAtom(kHydrogen, kNonMutagenic, "H_methyl");
+  b.Bond(methyl, mh);
+
+  // The test node is the anchor ring carbon: its "mutagenic" label is
+  // decided by the attached aldehyde (carbon's own features are class-
+  // ambiguous), so the toxicophore is exactly its counterfactual witness.
+  fam.test_node = ring[0];
+  fam.e7 = Edge(ring[3], methyl);
+  fam.e8 = Edge(methyl, mh);
+  fam.toxicophore = {ring[0], ald[0], ald[1], ald[2]};
+  b.graph().SetNodeName(fam.test_node, "v3");
+  fam.graph = b.Finish();
+  return fam;
+}
+
+}  // namespace robogexp

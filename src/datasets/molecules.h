@@ -1,0 +1,54 @@
+// Mutagenicity molecule graphs for the drug-design examples (Fig. 1, Fig. 2,
+// Fig. 5 and Exp-5's first case study).
+//
+// Atoms are nodes (one-hot element features), valence bonds are edges.
+// Nodes that belong to — or directly touch — a toxicophore (nitro group
+// N(=O)O or aldehyde O=C-H) are labeled "mutagenic"; the rest (carbon rings,
+// hydrogens) are "nonmutagenic" noise structure, mirroring Kazius et al.'s
+// toxicophore derivation used by the paper.
+#ifndef ROBOGEXP_DATASETS_MOLECULES_H_
+#define ROBOGEXP_DATASETS_MOLECULES_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace robogexp {
+
+/// Element ids used in features / case-study printouts.
+enum Atom : int { kCarbon = 0, kHydrogen = 1, kOxygen = 2, kNitrogen = 3 };
+
+constexpr int kNumAtomTypes = 4;
+constexpr Label kNonMutagenic = 0;
+constexpr Label kMutagenic = 1;
+
+struct MoleculeDatasetOptions {
+  int num_molecules = 60;
+  /// Fraction of molecules that carry a toxicophore.
+  double toxic_fraction = 0.5;
+  /// Ring size of the carbon backbone.
+  int ring_size = 6;
+  uint64_t seed = 5;
+};
+
+/// A batch of molecules as one (disconnected) graph; per-node mutagenicity
+/// labels; features = one-hot atom type + degree.
+Graph MakeMutagenicityDataset(const MoleculeDatasetOptions& opts);
+
+/// The Fig. 5 case-study family: a base molecule G3 with an aldehyde
+/// toxicophore and a test node, plus the ids of the two peripheral bonds
+/// (e7, e8) whose removal produces the variants G3^1 and G3^2.
+struct MoleculeFamily {
+  Graph graph;
+  NodeId test_node = kInvalidNode;
+  Edge e7;
+  Edge e8;
+  /// Nodes of the aldehyde toxicophore (the invariant the RCW must keep).
+  std::vector<NodeId> toxicophore;
+};
+
+MoleculeFamily MakeCaseStudyFamily(uint64_t seed = 5);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_DATASETS_MOLECULES_H_

@@ -1,0 +1,86 @@
+#include "src/datasets/provenance.h"
+
+#include "src/util/rng.h"
+
+namespace robogexp {
+
+namespace {
+enum NodeType : int { kFile = 0, kProcess = 1 };
+}  // namespace
+
+ProvenanceGraph MakeProvenanceGraph(const ProvenanceOptions& opts) {
+  Rng rng(opts.seed);
+  ProvenanceGraph pg;
+  Graph& g = pg.graph;
+  std::vector<int> types;
+  std::vector<Label> labels;
+
+  auto add = [&](NodeType t, Label l, std::string name = "") {
+    const NodeId u = g.AddNode();
+    types.push_back(t);
+    labels.push_back(l);
+    if (!name.empty()) g.SetNodeName(u, std::move(name));
+    return u;
+  };
+
+  // Attack infrastructure (Example 3).
+  const NodeId email = add(kFile, kSafe, "invoice_email");
+  const NodeId malware = add(kProcess, kVulnerable, "malware.exe");
+  pg.cmd = add(kProcess, kVulnerable, "cmd.exe");
+  pg.ssh_key = add(kFile, kVulnerable, "/.ssh/id_rsa");
+  pg.sudoers = add(kFile, kVulnerable, "/etc/sudoers");
+  pg.breach = add(kFile, kVulnerable, "breach.sh");
+
+  auto bond = [&](NodeId u, NodeId v) {
+    RCW_CHECK(g.AddEdge(u, v).ok());
+    return Edge(u, v);
+  };
+
+  bond(email, malware);
+  // True attack paths: cmd.exe -> privileged file -> breach.sh (solid red).
+  pg.attack_edges.push_back(bond(malware, pg.cmd));
+  pg.attack_edges.push_back(bond(pg.cmd, pg.ssh_key));
+  pg.attack_edges.push_back(bond(pg.ssh_key, pg.breach));
+  pg.attack_edges.push_back(bond(pg.cmd, pg.sudoers));
+  pg.attack_edges.push_back(bond(pg.sudoers, pg.breach));
+
+  // Deceptive DDoS stage (dashed red): malware fans out to fake targets.
+  for (int i = 0; i < opts.ddos_targets; ++i) {
+    const NodeId t = add(kFile, kSafe, "ddos_target_" + std::to_string(i));
+    pg.deceptive_edges.push_back(bond(malware, t));
+  }
+
+  // Benign background: random process/file accesses.
+  std::vector<NodeId> background;
+  for (int i = 0; i < opts.background_nodes; ++i) {
+    background.push_back(add(rng.Bernoulli(0.5) ? kProcess : kFile, kSafe));
+  }
+  for (size_t i = 1; i < background.size(); ++i) {
+    // Tree backbone keeps the background connected; extra random edges add
+    // realistic density.
+    (void)g.AddEdge(background[i], background[rng.UniformInt(i)]);
+    if (rng.Bernoulli(0.4)) {
+      const NodeId w = background[rng.UniformInt(background.size())];
+      if (w != background[i]) (void)g.AddEdge(background[i], w);
+    }
+  }
+  // Couple the attack subgraph to the background (the breach target is a
+  // normal-looking file accessed by benign processes too).
+  (void)g.AddEdge(pg.breach, background[0]);
+  (void)g.AddEdge(pg.cmd, background[1]);
+  (void)g.AddEdge(email, background[2]);
+
+  // Features: [type one-hot (2) | privileged flag | fanout bucket (4)].
+  Matrix x(g.num_nodes(), 7);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    x.at(u, types[static_cast<size_t>(u)]) = 1.0;
+    if (u == pg.ssh_key || u == pg.sudoers) x.at(u, 2) = 1.0;
+    const int bucket = std::min(3, g.Degree(u) / 3);
+    x.at(u, 3 + bucket) = 1.0;
+  }
+  g.SetFeatures(std::move(x));
+  g.SetLabels(std::move(labels), 2);
+  return pg;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,44 @@
+// Provenance-graph fixture for the cyber-security example (Fig. 1's G2,
+// Examples 2-3): files and processes connected by access actions, a
+// multi-stage attack whose true path must reach a privileged file
+// ('/.ssh/id_rsa' or '/etc/sudoers') and 'cmd.exe' before 'breach.sh', and a
+// deceptive DDoS stage fanning out to fake targets. Nodes on true attack
+// paths are labeled "vulnerable".
+#ifndef ROBOGEXP_DATASETS_PROVENANCE_H_
+#define ROBOGEXP_DATASETS_PROVENANCE_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace robogexp {
+
+constexpr Label kSafe = 0;
+constexpr Label kVulnerable = 1;
+
+struct ProvenanceGraph {
+  Graph graph;
+  /// 'breach.sh' — the paper's test node.
+  NodeId breach = kInvalidNode;
+  NodeId cmd = kInvalidNode;
+  NodeId ssh_key = kInvalidNode;
+  NodeId sudoers = kInvalidNode;
+  /// Deceptive DDoS edges (the k-disturbance surface).
+  std::vector<Edge> deceptive_edges;
+  /// The two true attack paths' edges (ground-truth witness).
+  std::vector<Edge> attack_edges;
+};
+
+struct ProvenanceOptions {
+  /// Benign background processes/files.
+  int background_nodes = 160;
+  /// Fake DDoS targets reachable from the malware.
+  int ddos_targets = 12;
+  uint64_t seed = 23;
+};
+
+ProvenanceGraph MakeProvenanceGraph(const ProvenanceOptions& opts = {});
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_DATASETS_PROVENANCE_H_

@@ -1,0 +1,195 @@
+#include "src/datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace robogexp {
+
+namespace {
+
+/// Degree-bucket one-hot + Bernoulli noise features for structural datasets.
+Matrix StructuralFeatures(const Graph& graph, int dim, Rng* rng) {
+  Matrix x(graph.num_nodes(), dim);
+  const int buckets = std::max(1, dim / 2);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int d = graph.Degree(u);
+    const int bucket = std::min(buckets - 1, d / 2);
+    x.at(u, bucket) = 1.0;
+    for (int f = buckets; f < dim; ++f) {
+      if (rng->Bernoulli(0.05)) x.at(u, f) = 1.0;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Graph MakeBaHouse(const BaHouseOptions& opts) {
+  RCW_CHECK(opts.base_nodes >= opts.attach + 1);
+  Rng rng(opts.seed);
+  const int total = opts.base_nodes + 5 * opts.num_houses;
+  Graph g(total);
+  std::vector<Label> labels(static_cast<size_t>(total), 0);
+
+  // Barabási-Albert base: preferential attachment via the repeated-endpoint
+  // trick (sampling from the edge-endpoint multiset).
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 1; u <= opts.attach; ++u) {
+    RCW_CHECK(g.AddEdge(0, u).ok());
+    endpoints.push_back(0);
+    endpoints.push_back(u);
+  }
+  for (NodeId u = opts.attach + 1; u < opts.base_nodes; ++u) {
+    std::unordered_set<NodeId> targets;
+    while (static_cast<int>(targets.size()) < opts.attach) {
+      const NodeId t = endpoints[rng.UniformInt(endpoints.size())];
+      if (t != u) targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      if (g.AddEdge(u, t).ok()) {
+        endpoints.push_back(u);
+        endpoints.push_back(t);
+      }
+    }
+  }
+
+  // House motifs: roof r, middles m1-m2, grounds g1-g2; attach the roof to a
+  // random base node.
+  for (int h = 0; h < opts.num_houses; ++h) {
+    const NodeId base = opts.base_nodes + 5 * h;
+    const NodeId roof = base, m1 = base + 1, m2 = base + 2, g1 = base + 3,
+                 g2 = base + 4;
+    labels[static_cast<size_t>(roof)] = 1;
+    labels[static_cast<size_t>(m1)] = 2;
+    labels[static_cast<size_t>(m2)] = 2;
+    labels[static_cast<size_t>(g1)] = 3;
+    labels[static_cast<size_t>(g2)] = 3;
+    RCW_CHECK(g.AddEdge(roof, m1).ok());
+    RCW_CHECK(g.AddEdge(roof, m2).ok());
+    RCW_CHECK(g.AddEdge(m1, m2).ok());
+    RCW_CHECK(g.AddEdge(m1, g1).ok());
+    RCW_CHECK(g.AddEdge(m2, g2).ok());
+    RCW_CHECK(g.AddEdge(g1, g2).ok());
+    const NodeId anchor =
+        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(opts.base_nodes)));
+    (void)g.AddEdge(roof, anchor);
+  }
+
+  g.SetFeatures(StructuralFeatures(g, opts.feature_dim, &rng));
+  g.SetLabels(std::move(labels), 4);
+  return g;
+}
+
+Graph MakeSbmGraph(const SbmOptions& opts) {
+  RCW_CHECK(opts.num_nodes > 0 && opts.num_classes > 0);
+  RCW_CHECK(opts.feature_dim >= opts.num_classes * 2);
+  Rng rng(opts.seed);
+  Graph g(opts.num_nodes);
+
+  std::vector<Label> labels(static_cast<size_t>(opts.num_nodes));
+  for (NodeId u = 0; u < opts.num_nodes; ++u) {
+    labels[static_cast<size_t>(u)] =
+        static_cast<Label>(rng.UniformInt(static_cast<uint64_t>(opts.num_classes)));
+  }
+  std::vector<std::vector<NodeId>> by_class(
+      static_cast<size_t>(opts.num_classes));
+  for (NodeId u = 0; u < opts.num_nodes; ++u) {
+    by_class[static_cast<size_t>(labels[static_cast<size_t>(u)])].push_back(u);
+  }
+
+  // Expected edge counts: E = n·avg_degree/2, split homophily/rest.
+  const int64_t num_edges =
+      static_cast<int64_t>(opts.num_nodes * opts.avg_degree / 2.0);
+  const int64_t intra = static_cast<int64_t>(num_edges * opts.homophily);
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = num_edges * 50;
+  while (added < intra && attempts++ < max_attempts) {
+    const auto& bucket = by_class[rng.UniformInt(static_cast<uint64_t>(opts.num_classes))];
+    if (bucket.size() < 2) continue;
+    const NodeId u = bucket[rng.UniformInt(bucket.size())];
+    const NodeId v = bucket[rng.UniformInt(bucket.size())];
+    if (u != v && g.AddEdge(u, v).ok()) ++added;
+  }
+  while (added < num_edges && attempts++ < max_attempts) {
+    const NodeId u =
+        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(opts.num_nodes)));
+    const NodeId v =
+        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(opts.num_nodes)));
+    if (u != v && g.AddEdge(u, v).ok()) ++added;
+  }
+
+  // Class-signature sparse binary features: each class owns a contiguous
+  // block of `signature_bits` positions; background bits flip with `noise`.
+  const int block = opts.feature_dim / opts.num_classes;
+  Matrix x(opts.num_nodes, opts.feature_dim);
+  for (NodeId u = 0; u < opts.num_nodes; ++u) {
+    const Label l = labels[static_cast<size_t>(u)];
+    if (rng.Bernoulli(opts.informative_fraction)) {
+      const int base = l * block;
+      for (int b = 0; b < std::min(block, opts.signature_bits); ++b) {
+        if (rng.Bernoulli(0.75)) x.at(u, base + b) = 1.0;
+      }
+    } else if (opts.num_classes > 1) {
+      // Weak contrarian signal: a different class's signature at low weight.
+      const Label other = static_cast<Label>(
+          (l + 1 + static_cast<Label>(rng.UniformInt(
+                       static_cast<uint64_t>(opts.num_classes - 1)))) %
+          opts.num_classes);
+      const int base = other * block;
+      for (int b = 0; b < std::min(block, opts.signature_bits); ++b) {
+        if (rng.Bernoulli(0.5)) x.at(u, base + b) = opts.contrarian_weight;
+      }
+    }
+    for (int f = 0; f < opts.feature_dim; ++f) {
+      if (rng.Bernoulli(opts.noise)) x.at(u, f) = 1.0;
+    }
+  }
+  g.SetFeatures(std::move(x));
+  g.SetLabels(std::move(labels), opts.num_classes);
+  return g;
+}
+
+Graph MakeCiteSeerSim(double scale, uint64_t seed) {
+  SbmOptions opts;
+  opts.num_nodes = std::max(60, static_cast<int>(3327 * scale));
+  opts.num_classes = 6;
+  opts.avg_degree = 2.0 * 9104.0 / 3327.0;  // ~5.5
+  opts.homophily = 0.88;
+  opts.feature_dim = 96;
+  opts.signature_bits = 10;
+  opts.noise = 0.02;
+  opts.contrarian_weight = 0.2;
+  opts.seed = seed;
+  return MakeSbmGraph(opts);
+}
+
+Graph MakePpiSim(double scale, uint64_t seed) {
+  SbmOptions opts;
+  opts.num_nodes = std::max(120, static_cast<int>(2245 * scale));
+  opts.num_classes = 12;
+  opts.avg_degree = 2.0 * 61318.0 / 2245.0 / 4.0;  // density-reduced (see doc)
+  opts.homophily = 0.7;
+  opts.feature_dim = 50 * 2;  // paper: 50 features; doubled for signatures
+  opts.signature_bits = 6;
+  opts.noise = 0.03;
+  opts.seed = seed;
+  return MakeSbmGraph(opts);
+}
+
+Graph MakeRedditSim(double scale, uint64_t seed) {
+  SbmOptions opts;
+  opts.num_nodes = std::max(1000, static_cast<int>(60000 * scale));
+  opts.num_classes = 41;
+  opts.avg_degree = 50.0;
+  opts.homophily = 0.85;
+  opts.feature_dim = 41 * 4;
+  opts.signature_bits = 3;
+  opts.noise = 0.01;
+  opts.seed = seed;
+  return MakeSbmGraph(opts);
+}
+
+}  // namespace robogexp

@@ -1,0 +1,69 @@
+#include "src/explain/dot.h"
+
+#include <set>
+#include <sstream>
+
+namespace robogexp {
+
+namespace {
+
+const char* kPalette[] = {"lightblue", "salmon",     "palegreen",
+                          "khaki",     "plum",       "lightgray",
+                          "orange",    "lightcyan"};
+
+std::string NodeLabel(const Graph& graph, NodeId u) {
+  if (!graph.NodeName(u).empty()) return graph.NodeName(u);
+  return std::to_string(u);
+}
+
+}  // namespace
+
+std::string WitnessToDot(const Graph& graph, const Witness& witness,
+                         const std::vector<NodeId>& test_nodes,
+                         const DotOptions& opts) {
+  const FullView full(&graph);
+  const std::vector<NodeId> witness_nodes = witness.Nodes();
+  std::set<NodeId> shown(witness_nodes.begin(), witness_nodes.end());
+  shown.insert(test_nodes.begin(), test_nodes.end());
+  if (opts.context_hops > 0) {
+    const auto ball =
+        KHopBall(full, std::vector<NodeId>(shown.begin(), shown.end()),
+                 opts.context_hops);
+    shown.insert(ball.begin(), ball.end());
+  }
+  const std::set<NodeId> tests(test_nodes.begin(), test_nodes.end());
+
+  std::ostringstream os;
+  os << "graph witness {\n  layout=neato;\n  overlap=false;\n"
+     << "  node [style=filled, fontsize=10];\n";
+  for (NodeId u : shown) {
+    os << "  n" << u << " [label=\"" << NodeLabel(graph, u) << "\"";
+    if (opts.model != nullptr && opts.features != nullptr) {
+      const Label l = opts.model->Predict(full, *opts.features, u);
+      os << ", fillcolor=" << kPalette[static_cast<size_t>(l) % 8];
+    } else {
+      os << ", fillcolor=white";
+    }
+    if (tests.count(u) > 0) os << ", shape=doublecircle, penwidth=2";
+    if (!witness.HasNode(u)) os << ", fontcolor=gray40";
+    os << "];\n";
+  }
+  // Witness edges (bold) and context edges (dotted).
+  std::set<uint64_t> drawn;
+  for (const Edge& e : witness.Edges()) {
+    os << "  n" << e.u << " -- n" << e.v << " [penwidth=2.2];\n";
+    drawn.insert(e.Key());
+  }
+  for (NodeId u : shown) {
+    for (NodeId w : full.Neighbors(u)) {
+      if (w <= u || shown.count(w) == 0) continue;
+      if (drawn.count(PairKey(u, w)) > 0) continue;
+      os << "  n" << u << " -- n" << w << " [style=dotted, color=gray60];\n";
+      drawn.insert(PairKey(u, w));
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace robogexp

@@ -1,0 +1,30 @@
+// Graphviz (DOT) export for witnesses — render an explanation over its
+// neighborhood context for papers, dashboards, and debugging:
+//   witness edges solid, context edges dotted, test nodes double circles,
+//   nodes colored by predicted class, names shown when present.
+#ifndef ROBOGEXP_EXPLAIN_DOT_H_
+#define ROBOGEXP_EXPLAIN_DOT_H_
+
+#include <string>
+
+#include "src/explain/witness.h"
+#include "src/gnn/model.h"
+
+namespace robogexp {
+
+struct DotOptions {
+  /// Context ring included around the witness (hops from witness nodes).
+  int context_hops = 1;
+  /// When set, nodes are colored by this model's predictions.
+  const GnnModel* model = nullptr;
+  const Matrix* features = nullptr;
+};
+
+/// Renders the witness (plus a context ring of `graph`) as a DOT digraph.
+std::string WitnessToDot(const Graph& graph, const Witness& witness,
+                         const std::vector<NodeId>& test_nodes,
+                         const DotOptions& opts = {});
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_DOT_H_

@@ -1,0 +1,71 @@
+// Common interface over explanation generators, used by the benchmark
+// harness to compare RoboGExp with the CF2 / CF-GNNExp baselines.
+#ifndef ROBOGEXP_EXPLAIN_EXPLAINER_H_
+#define ROBOGEXP_EXPLAIN_EXPLAINER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/explain/robogexp.h"
+
+namespace robogexp {
+
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produces an explanation subgraph for `test_nodes` under `model`.
+  /// Baselines regenerate from scratch on every (possibly disturbed) graph;
+  /// RoboGExp's witness is robust "once-for-all" within its k budget.
+  virtual Witness Explain(const Graph& graph, const GnnModel& model,
+                          const std::vector<NodeId>& test_nodes) = 0;
+
+  /// True when the explanation comes with the k-RCW robustness contract,
+  /// whose disturbance model only flips pairs of G \ Gw. The evaluation
+  /// harness protects explanation edges from sampled disturbances only for
+  /// such explainers (baselines make no such claim, so their edges are fair
+  /// game — exactly the asymmetry the paper measures).
+  virtual bool robust() const { return false; }
+};
+
+/// RoboGExp behind the Explainer interface.
+class RoboGExpExplainer final : public Explainer {
+ public:
+  RoboGExpExplainer(int k, int local_budget, int hop_radius = 3,
+                    int max_contrast_classes = 3)
+      : k_(k), local_budget_(local_budget), hop_radius_(hop_radius),
+        max_contrast_classes_(max_contrast_classes) {}
+
+  std::string name() const override { return "RoboGExp"; }
+
+  bool robust() const override { return true; }
+
+  Witness Explain(const Graph& graph, const GnnModel& model,
+                  const std::vector<NodeId>& test_nodes) override {
+    WitnessConfig cfg;
+    cfg.graph = &graph;
+    cfg.model = &model;
+    cfg.test_nodes = test_nodes;
+    cfg.k = k_;
+    cfg.local_budget = local_budget_;
+    cfg.hop_radius = hop_radius_;
+    cfg.max_contrast_classes = max_contrast_classes_;
+    last_result_ = GenerateRcw(cfg);
+    return last_result_.witness;
+  }
+
+  const GenerateResult& last_result() const { return last_result_; }
+
+ private:
+  int k_;
+  int local_budget_;
+  int hop_radius_;
+  int max_contrast_classes_;
+  GenerateResult last_result_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_EXPLAINER_H_

@@ -1,0 +1,66 @@
+#include "src/explain/minimize.h"
+
+#include <algorithm>
+
+namespace robogexp {
+
+namespace {
+
+VerifyResult VerifyAt(const WitnessConfig& cfg, const Witness& w,
+                      VerificationLevel level) {
+  switch (level) {
+    case VerificationLevel::kFactual: return VerifyFactual(cfg, w);
+    case VerificationLevel::kCounterfactual:
+      return VerifyCounterfactual(cfg, w);
+    case VerificationLevel::kRcw: return VerifyRcw(cfg, w);
+  }
+  RCW_CHECK(false);
+  return {};
+}
+
+Witness WithoutEdge(const Witness& w, const Edge& drop) {
+  Witness out;
+  for (NodeId u : w.Nodes()) out.AddNode(u);
+  for (const Edge& e : w.Edges()) {
+    if (!(e == drop)) out.AddEdge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult MinimizeWitness(const WitnessConfig& cfg,
+                               const Witness& witness,
+                               VerificationLevel level) {
+  MinimizeResult result;
+  result.witness = witness;
+  ++result.verification_calls;
+  if (!VerifyAt(cfg, witness, level).ok) return result;
+
+  // Edges touching a test node are structurally load-bearing most often;
+  // try dropping peripheral edges first (descending distance proxy: edges
+  // not incident to any test node first, in reverse sorted order).
+  std::unordered_set<NodeId> test_set(cfg.test_nodes.begin(),
+                                      cfg.test_nodes.end());
+  std::vector<Edge> order = result.witness.Edges();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const Edge& a, const Edge& b) {
+                     const bool at = test_set.count(a.u) || test_set.count(a.v);
+                     const bool bt = test_set.count(b.u) || test_set.count(b.v);
+                     return at < bt;  // peripheral edges first
+                   });
+
+  for (const Edge& e : order) {
+    if (!result.witness.HasEdge(e.u, e.v)) continue;
+    Witness candidate = WithoutEdge(result.witness, e);
+    if (candidate.num_edges() == 0) break;  // keep non-trivial
+    ++result.verification_calls;
+    if (VerifyAt(cfg, candidate, level).ok) {
+      result.witness = std::move(candidate);
+      ++result.edges_removed;
+    }
+  }
+  return result;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,39 @@
+// Witness minimization — the paper's stated future work ("a future topic is
+// to enhance our solution to generate minimum explanations").
+//
+// Finding a minimum k-RCW inherits the problem's co-NP-hardness, so this is
+// the greedy 1-exchange approximation: edges are dropped one at a time
+// (weakest-looking first) as long as the reduced witness still passes the
+// requested level of verification. With VerificationLevel::kRcw every
+// removal re-runs the PRI adversary; kCounterfactual keeps the (much
+// cheaper) CW contract only, which matches the per-node trim inside the
+// generator but works across the whole test set.
+#ifndef ROBOGEXP_EXPLAIN_MINIMIZE_H_
+#define ROBOGEXP_EXPLAIN_MINIMIZE_H_
+
+#include "src/explain/verify.h"
+
+namespace robogexp {
+
+enum class VerificationLevel {
+  kFactual,
+  kCounterfactual,
+  kRcw,
+};
+
+struct MinimizeResult {
+  Witness witness;
+  int edges_removed = 0;
+  int verification_calls = 0;
+};
+
+/// Greedily shrinks `witness` while it keeps verifying at `level` for
+/// cfg.test_nodes. The input witness must already verify at that level
+/// (checked; returned unchanged otherwise).
+MinimizeResult MinimizeWitness(const WitnessConfig& cfg,
+                               const Witness& witness,
+                               VerificationLevel level);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_MINIMIZE_H_

@@ -1,0 +1,205 @@
+#include "src/explain/para.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace robogexp {
+
+namespace {
+
+struct WorkerOutput {
+  Witness witness;
+  std::vector<NodeId> secured;       // nodes fully secured locally
+  std::vector<NodeId> needs_global;  // nodes whose ball escaped the fragment
+  Bitmap touched_edges;              // edges examined by local verification
+  GenerateStats stats;
+  bool failed = false;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
+                               const ParallelOptions& opts,
+                               ParallelStats* stats) {
+  RCW_CHECK(cfg.Valid());
+  Timer total;
+  ParallelStats local_stats;
+  ParallelStats* ps = stats != nullptr ? stats : &local_stats;
+  *ps = ParallelStats();
+
+  const int n_workers = std::max(1, opts.num_threads);
+  Timer part_timer;
+  const std::vector<Fragment> fragments =
+      EdgeCutPartition(*cfg.graph, n_workers, cfg.hop_radius);
+  ps->cut_edges = CutSize(*cfg.graph, fragments);
+  ps->partition_seconds = part_timer.Seconds();
+
+  // Edge index for bitmap bookkeeping.
+  const std::vector<Edge> all_edges = cfg.graph->Edges();
+  std::unordered_map<uint64_t, size_t> edge_index;
+  edge_index.reserve(all_edges.size() * 2);
+  for (size_t i = 0; i < all_edges.size(); ++i) edge_index[all_edges[i].Key()] = i;
+
+  // Assign test nodes to their owning fragment.
+  std::vector<std::vector<NodeId>> nodes_per_fragment(fragments.size());
+  for (NodeId v : cfg.test_nodes) {
+    for (const auto& fr : fragments) {
+      if (fr.owned.Test(static_cast<size_t>(v))) {
+        nodes_per_fragment[static_cast<size_t>(fr.id)].push_back(v);
+        break;
+      }
+    }
+  }
+
+  const FullView full(cfg.graph);
+  const Matrix base_logits =
+      cfg.model->BaseLogits(full, cfg.graph->features());
+
+  // -- Parallel phase: each worker secures its own test nodes. -------------
+  std::vector<WorkerOutput> outputs(fragments.size());
+  ThreadPool pool(n_workers);
+  for (size_t f = 0; f < fragments.size(); ++f) {
+    pool.Submit([&, f] {
+      Timer wt;
+      WorkerOutput& out = outputs[f];
+      out.touched_edges = Bitmap(all_edges.size());
+      const Fragment& frag = fragments[f];
+
+      std::unordered_set<NodeId> halo(frag.nodes_with_halo.begin(),
+                                      frag.nodes_with_halo.end());
+
+      // Workers may expand over any edge inside the replicated halo — that
+      // is exactly what the "inference preserving partition" ships the halo
+      // for: boundary nodes become fully securable without data exchange.
+      detail::NodeWorkScope scope;
+      scope.allowed_nodes = &halo;
+
+      for (NodeId v : nodes_per_fragment[f]) {
+        out.witness.AddNode(v);
+        // A node whose search ball stays inside the halo can be fully
+        // decided locally (the halo replicates its receptive field).
+        const std::vector<NodeId> ball =
+            CappedBall(full, v, cfg.hop_radius, cfg.max_ball_nodes);
+        bool contained = true;
+        for (NodeId u : ball) {
+          if (halo.count(u) == 0) {
+            contained = false;
+            break;
+          }
+        }
+        const bool ok = detail::SecureNode(cfg, v, base_logits, opts.gen,
+                                           scope, &out.witness, &out.stats);
+        if (!ok) {
+          // Local scope may simply be too tight; escalate to coordinator.
+          out.needs_global.push_back(v);
+          continue;
+        }
+        for (const Edge& e : out.witness.Edges()) {
+          auto it = edge_index.find(e.Key());
+          if (it != edge_index.end()) out.touched_edges.Set(it->second);
+        }
+        if (contained) {
+          out.secured.push_back(v);
+        } else {
+          out.needs_global.push_back(v);
+        }
+      }
+      out.seconds = wt.Seconds();
+    });
+  }
+  pool.Wait();
+
+  // -- Coordinator phase: merge, synchronize bitmaps, re-secure borders. ---
+  Timer coord_timer;
+  GenerateResult result;
+  Bitmap global_bitmap(all_edges.size());
+  std::vector<NodeId> reverify;
+  for (auto& out : outputs) {
+    for (NodeId u : out.witness.Nodes()) result.witness.AddNode(u);
+    for (const Edge& e : out.witness.Edges()) result.witness.AddEdge(e.u, e.v);
+    global_bitmap.UnionWith(out.touched_edges);
+    ps->bitmap_bytes += static_cast<int64_t>(out.touched_edges.ByteSize());
+    reverify.insert(reverify.end(), out.needs_global.begin(),
+                    out.needs_global.end());
+    ps->gen.inference_calls += out.stats.inference_calls;
+    ps->gen.pri_calls += out.stats.pri_calls;
+    ps->gen.expand_rounds += out.stats.expand_rounds;
+    ps->gen.secure_rounds += out.stats.secure_rounds;
+    ps->worker_seconds = std::max(ps->worker_seconds, out.seconds);
+  }
+  std::sort(reverify.begin(), reverify.end());
+  ps->coordinator_reverified = static_cast<int>(reverify.size());
+
+  detail::NodeWorkScope global_scope;  // unrestricted
+  std::unordered_set<NodeId> unsecured;
+  for (NodeId v : reverify) {
+    if (!detail::SecureNode(cfg, v, base_logits, opts.gen, global_scope,
+                            &result.witness, &ps->gen)) {
+      if (opts.gen.skip_unsecurable) {
+        unsecured.insert(v);
+        continue;
+      }
+      result.witness = TrivialWitness(*cfg.graph, cfg.test_nodes);
+      result.trivial = true;
+      ps->coordinator_seconds = coord_timer.Seconds();
+      ps->gen.seconds = total.Seconds();
+      result.stats = ps->gen;
+      return result;
+    }
+  }
+
+  // Coordinator-side verification (Algorithm 3 lines 11-12): nodes whose
+  // search ball stayed inside their fragment's halo were verified with the
+  // full receptive field and need no re-verification (Lemma 6 transfers any
+  // locally-found violation; none was found) — the global bitmap records
+  // their disturbances as covered. Only boundary-escalated nodes are swept.
+  std::unordered_set<NodeId> locally_verified;
+  for (const auto& out : outputs) {
+    locally_verified.insert(out.secured.begin(), out.secured.end());
+  }
+  // Merging witnesses is monotone, but a union edge landing inside another
+  // node's receptive field can in principle perturb its factual check; a
+  // two-inference CW probe per node catches that cheaply and demotes the
+  // node into the sweep.
+  {
+    const EdgeSubsetView sub = result.witness.SubgraphView(cfg.graph->num_nodes());
+    const OverlayView removed = result.witness.RemovedView(&full);
+    for (auto it = locally_verified.begin(); it != locally_verified.end();) {
+      const NodeId v = *it;
+      ps->gen.inference_calls += 3;
+      const Label l = cfg.model->Predict(full, cfg.graph->features(), v);
+      const bool cw_ok =
+          cfg.model->Predict(sub, cfg.graph->features(), v) == l &&
+          cfg.model->Predict(removed, cfg.graph->features(), v) != l;
+      it = cw_ok ? std::next(it) : locally_verified.erase(it);
+    }
+  }
+  for (NodeId v : cfg.test_nodes) {
+    if (unsecured.count(v) > 0) continue;
+    if (locally_verified.count(v) > 0) continue;
+    if (!detail::SecureNode(cfg, v, base_logits, opts.gen, global_scope,
+                            &result.witness, &ps->gen)) {
+      if (opts.gen.skip_unsecurable) {
+        unsecured.insert(v);
+        continue;
+      }
+      result.witness = TrivialWitness(*cfg.graph, cfg.test_nodes);
+      result.trivial = true;
+      break;
+    }
+  }
+  result.unsecured.assign(unsecured.begin(), unsecured.end());
+  std::sort(result.unsecured.begin(), result.unsecured.end());
+
+  ps->coordinator_seconds = coord_timer.Seconds();
+  ps->gen.seconds = total.Seconds();
+  result.stats = ps->gen;
+  return result;
+}
+
+}  // namespace robogexp

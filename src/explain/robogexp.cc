@@ -1,0 +1,370 @@
+#include "src/explain/robogexp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/timer.h"
+
+namespace robogexp {
+
+Witness TrivialWitness(const Graph& graph,
+                       const std::vector<NodeId>& test_nodes) {
+  Witness w;
+  for (NodeId v : test_nodes) w.AddNode(v);
+  for (const Edge& e : graph.Edges()) w.AddEdge(e.u, e.v);
+  return w;
+}
+
+namespace detail {
+
+namespace {
+
+struct ScoredEdge {
+  Edge edge;
+  double score;
+  int distance;  // hops from v to the closer endpoint
+};
+
+/// Evidence-carrying candidate edges around v, nearest-and-strongest first.
+///
+/// Both CW conditions are local to v: the factual side needs evidence paths
+/// reaching v, and the counterfactual side needs G \ Gs to lose an edge-cut
+/// around v. Candidates are therefore ordered by hop distance from v first
+/// (v's incident edges form the natural cut) and by routed class-l evidence
+/// second.
+std::vector<ScoredEdge> RankExpansionCandidates(
+    const WitnessConfig& cfg, NodeId v, Label l, const Matrix& base_logits,
+    const Witness& gs, const NodeWorkScope& scope) {
+  const FullView full(cfg.graph);
+  const std::vector<NodeId> ball =
+      CappedBall(full, v, cfg.hop_radius, cfg.max_ball_nodes);
+
+  // PPR value vector of the class-l evidence: x = (I - αP)^{-1} Z_{:,l}.
+  PprOptions ppr = cfg.ppr;
+  ppr.alpha = ResolveAlpha(cfg);
+  std::vector<double> r(ball.size());
+  for (size_t i = 0; i < ball.size(); ++i) {
+    r[i] = base_logits.at(ball[i], l);
+  }
+  const std::vector<double> x = SolveIMinusAlphaP(full, ball, r, ppr);
+
+  std::unordered_map<NodeId, size_t> local;
+  for (size_t i = 0; i < ball.size(); ++i) local[ball[i]] = i;
+  auto mu = [&](size_t i) { return (x[i] - r[i]) / ppr.alpha; };
+
+  // Hop distances from v (the ball is in BFS order, but distances need the
+  // explicit BFS layering).
+  std::unordered_map<NodeId, int> dist;
+  dist[v] = 0;
+  {
+    std::vector<NodeId> frontier{v};
+    int d = 0;
+    std::vector<NodeId> nbrs;
+    while (!frontier.empty()) {
+      std::vector<NodeId> next;
+      for (NodeId u : frontier) {
+        nbrs.clear();
+        full.AppendNeighbors(u, &nbrs);
+        for (NodeId w : nbrs) {
+          if (local.count(w) > 0 && dist.emplace(w, d + 1).second) {
+            next.push_back(w);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++d;
+    }
+  }
+
+  std::vector<ScoredEdge> out;
+  for (const Edge& e : InducedEdges(full, ball)) {
+    if (gs.HasEdge(e.u, e.v)) continue;
+    if (scope.allowed_edges != nullptr &&
+        scope.allowed_edges->count(e.Key()) == 0) {
+      continue;
+    }
+    if (scope.allowed_nodes != nullptr &&
+        (scope.allowed_nodes->count(e.u) == 0 ||
+         scope.allowed_nodes->count(e.v) == 0)) {
+      continue;
+    }
+    const size_t iu = local[e.u], iv = local[e.v];
+    // How much class-l evidence does this edge route? An edge is supportive
+    // when one endpoint's value exceeds the other's neighborhood mean.
+    const double score = std::max(x[iv] - mu(iu), x[iu] - mu(iv));
+    const int d = std::min(dist.count(e.u) ? dist[e.u] : 1 << 20,
+                           dist.count(e.v) ? dist[e.v] : 1 << 20);
+    out.push_back({e, score, d});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredEdge& a, const ScoredEdge& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.score != b.score) return a.score > b.score;
+              return a.edge < b.edge;
+            });
+  return out;
+}
+
+/// Single-node CW condition under the current witness.
+bool IsCwForNode(const WitnessConfig& cfg, NodeId v, Label l,
+                 const Witness& gs, GenerateStats* stats) {
+  const FullView full(cfg.graph);
+  const EdgeSubsetView sub = gs.SubgraphView(cfg.graph->num_nodes());
+  stats->inference_calls += 2;
+  if (cfg.model->Predict(sub, cfg.graph->features(), v) != l) return false;
+  const OverlayView removed = gs.RemovedView(&full);
+  return cfg.model->Predict(removed, cfg.graph->features(), v) != l;
+}
+
+std::vector<Label> ContrastOrder(const WitnessConfig& cfg,
+                                 const std::vector<double>& logits, Label l) {
+  std::vector<Label> classes;
+  for (int c = 0; c < cfg.model->num_classes(); ++c) {
+    if (c != l) classes.push_back(c);
+  }
+  std::sort(classes.begin(), classes.end(), [&](Label a, Label b) {
+    const double la = logits[static_cast<size_t>(a)];
+    const double lb = logits[static_cast<size_t>(b)];
+    return la != lb ? la > lb : a < b;
+  });
+  if (cfg.max_contrast_classes > 0 &&
+      static_cast<int>(classes.size()) > cfg.max_contrast_classes) {
+    classes.resize(static_cast<size_t>(cfg.max_contrast_classes));
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg) {
+  const FullView full(cfg.graph);
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (NodeId v : cfg.test_nodes) {
+    const std::vector<double> logits =
+        cfg.model->InferNode(full, cfg.graph->features(), v);
+    std::vector<double> sorted = logits;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    const double margin = sorted.size() > 1 ? sorted[0] - sorted[1] : 1.0;
+    ranked.emplace_back(margin, v);
+  }
+  // Smallest margin first: fragile nodes shape Gs early, stable nodes are
+  // usually already covered by it.
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<NodeId> order;
+  order.reserve(ranked.size());
+  for (const auto& [m, v] : ranked) order.push_back(v);
+  return order;
+}
+
+bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
+                const GenerateOptions& opts, const NodeWorkScope& scope,
+                Witness* out_gs, GenerateStats* stats) {
+  // Work on a copy and commit only on success: a failed node must not leave
+  // partial expansion in the shared witness.
+  Witness work = *out_gs;
+  Witness* gs = &work;
+  const FullView full(cfg.graph);
+  gs->AddNode(v);
+  out_gs->AddNode(v);
+  ++stats->inference_calls;
+  const Label l = cfg.model->Predict(full, cfg.graph->features(), v);
+
+  PriOptions pri_opts = cfg.MakePriOptions();
+  pri_opts.ppr.alpha = ResolveAlpha(cfg);
+
+  for (int secure_round = 0; secure_round <= cfg.k + opts.max_secure_rounds;
+       ++secure_round) {
+    ++stats->secure_rounds;
+
+    // -- Phase 1: expand until Gs is a CW for v. ---------------------------
+    int expand_round = 0;
+    std::vector<Edge> added_this_phase;
+    while (!IsCwForNode(cfg, v, l, *gs, stats)) {
+      if (++expand_round > opts.max_expand_rounds) return false;
+      ++stats->expand_rounds;
+      const auto candidates =
+          RankExpansionCandidates(cfg, v, l, base_logits, *gs, scope);
+      if (candidates.empty()) return false;
+      const int take =
+          std::min<int>(opts.expand_batch, static_cast<int>(candidates.size()));
+      for (int i = 0; i < take; ++i) {
+        const Edge& e = candidates[static_cast<size_t>(i)].edge;
+        gs->AddEdge(e.u, e.v);
+        added_this_phase.push_back(e);
+      }
+      if (opts.verbose) {
+        std::printf("[RoboGExp] v=%d expand round %d, |Gs|=%zu\n", v,
+                    expand_round, gs->Size());
+      }
+    }
+    // Greedy trim: drop expansion edges that are not needed for the CW
+    // conditions of v (checked in reverse addition order — later edges were
+    // weaker candidates). Secured edges from earlier rounds are never
+    // dropped.
+    if (opts.trim && !added_this_phase.empty()) {
+      for (auto it = added_this_phase.rbegin(); it != added_this_phase.rend();
+           ++it) {
+        // Rebuild without this edge (Witness has no erase; small copies are
+        // cheap at witness scale).
+        Witness reduced;
+        for (NodeId n : gs->Nodes()) reduced.AddNode(n);
+        bool skipped = false;
+        for (const Edge& e : gs->Edges()) {
+          if (!skipped && e == *it) {
+            skipped = true;
+            continue;
+          }
+          reduced.AddEdge(e.u, e.v);
+        }
+        if (IsCwForNode(cfg, v, l, reduced, stats)) {
+          *gs = std::move(reduced);
+        }
+      }
+    }
+    if (cfg.k == 0) {  // CW == 0-RCW
+      *out_gs = std::move(work);
+      return true;
+    }
+
+    // -- Phase 2: adversarial verification; secure offending pairs. -------
+    const std::vector<double> logits =
+        cfg.model->InferNode(full, cfg.graph->features(), v);
+    ++stats->inference_calls;
+    const auto protected_keys = gs->ProtectedKeys();
+    bool violated = false;
+
+    for (Label c : ContrastOrder(cfg, logits, l)) {
+      std::vector<double> r(static_cast<size_t>(cfg.graph->num_nodes()));
+      for (NodeId u = 0; u < cfg.graph->num_nodes(); ++u) {
+        r[static_cast<size_t>(u)] =
+            base_logits.at(u, c) - base_logits.at(u, l);
+      }
+      ++stats->pri_calls;
+      const PriResult pri = Pri(full, protected_keys, v, r, pri_opts);
+      if (pri.disturbance.empty()) continue;
+
+      const OverlayView disturbed(&full, pri.disturbance);
+      ++stats->inference_calls;
+      bool bad = cfg.model->Predict(disturbed, cfg.graph->features(), v) != l;
+      if (!bad) {
+        std::vector<Edge> combined = gs->Edges();
+        combined.insert(combined.end(), pri.disturbance.begin(),
+                        pri.disturbance.end());
+        const OverlayView disturbed_minus(&full, combined);
+        ++stats->inference_calls;
+        bad = cfg.model->Predict(disturbed_minus, cfg.graph->features(), v) == l;
+      }
+      if (bad) {
+        // Secure the most damaging offending pairs (PRI orders the
+        // disturbance by adversarial impact): removals become witness
+        // edges, insertions become protected pairs. Blocking the top few
+        // usually neutralizes the disturbance; the loop re-verifies.
+        const int take = std::min<int>(opts.secure_batch,
+                                       static_cast<int>(pri.disturbance.size()));
+        for (int i = 0; i < take; ++i) {
+          const Edge& e = pri.disturbance[static_cast<size_t>(i)];
+          if (cfg.graph->HasEdge(e.u, e.v)) {
+            gs->AddEdge(e.u, e.v);
+          } else {
+            gs->AddProtectedPair(e.u, e.v);
+          }
+        }
+        if (opts.verbose) {
+          std::printf("[RoboGExp] v=%d secured %zu pairs (contrast %d)\n", v,
+                      pri.disturbance.size(), c);
+        }
+        violated = true;
+        break;  // re-establish CW, then re-verify
+      }
+    }
+    if (violated) continue;
+
+    // Counterfactual side: strongest restoration disturbance of G \ Gs.
+    const OverlayView removed = gs->RemovedView(&full);
+    ++stats->inference_calls;
+    const Label l2 = cfg.model->Predict(removed, cfg.graph->features(), v);
+    std::vector<double> r(static_cast<size_t>(cfg.graph->num_nodes()));
+    for (NodeId u = 0; u < cfg.graph->num_nodes(); ++u) {
+      r[static_cast<size_t>(u)] = base_logits.at(u, l) - base_logits.at(u, l2);
+    }
+    ++stats->pri_calls;
+    const PriResult back = Pri(removed, protected_keys, v, r, pri_opts);
+    if (!back.disturbance.empty()) {
+      std::vector<Edge> combined = gs->Edges();
+      combined.insert(combined.end(), back.disturbance.begin(),
+                      back.disturbance.end());
+      const OverlayView restored(&full, combined);
+      ++stats->inference_calls;
+      if (cfg.model->Predict(restored, cfg.graph->features(), v) == l) {
+        const int take = std::min<int>(opts.secure_batch,
+                                       static_cast<int>(back.disturbance.size()));
+        for (int i = 0; i < take; ++i) {
+          const Edge& e = back.disturbance[static_cast<size_t>(i)];
+          if (cfg.graph->HasEdge(e.u, e.v)) {
+            gs->AddEdge(e.u, e.v);
+          } else {
+            gs->AddProtectedPair(e.u, e.v);
+          }
+        }
+        continue;
+      }
+    }
+    // No adversary found — node secured; commit.
+    *out_gs = std::move(work);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+GenerateResult GenerateRcw(const WitnessConfig& cfg,
+                           const GenerateOptions& opts) {
+  RCW_CHECK(cfg.Valid());
+  Timer timer;
+  GenerateResult result;
+
+  const FullView full(cfg.graph);
+  const Matrix base_logits =
+      cfg.model->BaseLogits(full, cfg.graph->features());
+
+  for (NodeId v : cfg.test_nodes) result.witness.AddNode(v);
+
+  const std::vector<NodeId> order = detail::PrioritizeTestNodes(cfg);
+  detail::NodeWorkScope scope;
+  // Securing a later node grows Gs, which can perturb an earlier node's
+  // factual check; iterate to a fixpoint (witness growth is monotone and
+  // bounded by |G|, so this terminates — Algorithm 2's outer while loop).
+  size_t prev_size = 0;
+  std::unordered_set<NodeId> unsecured;
+  for (int pass = 0; pass < 4 && result.witness.Size() != prev_size; ++pass) {
+    prev_size = result.witness.Size();
+    // Trimming is a first-pass-only optimization: dropping an edge can break
+    // an *earlier* node's factual check, so later passes run without it and
+    // converge monotonically (witness growth is bounded by |G|).
+    GenerateOptions pass_opts = opts;
+    if (pass > 0) pass_opts.trim = false;
+    for (NodeId v : order) {
+      if (unsecured.count(v) > 0) continue;
+      if (!detail::SecureNode(cfg, v, base_logits, pass_opts, scope,
+                              &result.witness, &result.stats)) {
+        if (opts.skip_unsecurable) {
+          unsecured.insert(v);
+          continue;
+        }
+        result.witness = TrivialWitness(*cfg.graph, cfg.test_nodes);
+        result.trivial = true;
+        result.stats.seconds = timer.Seconds();
+        return result;
+      }
+    }
+  }
+  result.unsecured.assign(unsecured.begin(), unsecured.end());
+  std::sort(result.unsecured.begin(), result.unsecured.end());
+
+  result.stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,103 @@
+// RoboGExp (Algorithm 2) — expand-verify generation of k-robust
+// counterfactual witnesses.
+//
+// For each test node (processed "one node at a time", prioritized by
+// prediction margin) the generator:
+//   1. Expansion: grows Gs with the edges that carry the most class-l
+//      evidence toward v (policy-iteration scores on the PPR value vector of
+//      r = Z_{:,l}) until Gs is a counterfactual witness for v — the edges
+//      whose removal drains v's evidence are exactly the edges that make
+//      G \ Gs lose the label.
+//   2. Securing: runs the PRI adversary (Algorithm 1) to find the worst-case
+//      (k, b)-disturbance; whenever a disturbance disproves robustness, the
+//      offending node pairs are absorbed into Gs ("secured" — a disturbance
+//      may not flip pairs of Gw), and the loop repeats.
+// If a node cannot be secured the algorithm degrades to the trivial witness
+// G, exactly as Algorithm 2 returns G on verification failure.
+#ifndef ROBOGEXP_EXPLAIN_ROBOGEXP_H_
+#define ROBOGEXP_EXPLAIN_ROBOGEXP_H_
+
+#include "src/explain/verify.h"
+#include "src/explain/witness.h"
+
+namespace robogexp {
+
+struct GenerateOptions {
+  /// Edges added to Gs per expansion step.
+  int expand_batch = 2;
+  /// Cap on expansion steps per test node.
+  int max_expand_rounds = 60;
+  /// Cap on secure-verify rounds per test node.
+  int max_secure_rounds = 15;
+  /// Edges of a violating disturbance absorbed into Gs per secure round
+  /// (PRI orders them by adversarial impact; blocking the top few usually
+  /// neutralizes the disturbance and keeps the witness concise).
+  int secure_batch = 2;
+  /// After a node becomes a CW, greedily drop expansion edges that are not
+  /// needed to keep the CW conditions (the per-node minimality pass; the
+  /// paper lists minimum explanations as future work, this is the greedy
+  /// approximation).
+  bool trim = true;
+  /// Some test nodes admit no non-trivial k-RCW (e.g. the prediction is
+  /// carried by the node's own features, so no edge removal is
+  /// counterfactual — the paper observes exactly this as the reason its
+  /// Fidelity scores are not the theoretical optimum). When true, such nodes
+  /// are reported in GenerateResult::unsecured and skipped; when false, the
+  /// generator falls back to the trivial witness G (Algorithm 2 verbatim).
+  bool skip_unsecurable = true;
+  bool verbose = false;
+};
+
+struct GenerateStats {
+  int inference_calls = 0;
+  int pri_calls = 0;
+  int expand_rounds = 0;
+  int secure_rounds = 0;
+  double seconds = 0.0;
+};
+
+struct GenerateResult {
+  Witness witness;
+  /// True when generation fell back to the trivial witness G.
+  bool trivial = false;
+  /// Test nodes for which no non-trivial k-RCW was found (only populated
+  /// when GenerateOptions::skip_unsecurable is set).
+  std::vector<NodeId> unsecured;
+  GenerateStats stats;
+};
+
+/// Generates a k-RCW for cfg.test_nodes (sequential RoboGExp).
+GenerateResult GenerateRcw(const WitnessConfig& cfg,
+                           const GenerateOptions& opts = {});
+
+namespace detail {
+
+/// Optional restriction of the expansion search (used by paraRoboGExp to
+/// confine workers to their fragment).
+struct NodeWorkScope {
+  /// When non-null, expansion candidates must have their key in this set.
+  const std::unordered_set<uint64_t>* allowed_edges = nullptr;
+  /// When non-null, expansion candidates must have both endpoints in this
+  /// set (paraRoboGExp passes the fragment's halo: the replicated L-hop
+  /// neighborhood makes boundary nodes fully securable worker-side).
+  const std::unordered_set<NodeId>* allowed_nodes = nullptr;
+};
+
+/// Expand-and-secure for a single test node; grows *gs in place. Returns
+/// false when the node cannot be made CW / robust within the scope and caps.
+bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
+                const GenerateOptions& opts, const NodeWorkScope& scope,
+                Witness* gs, GenerateStats* stats);
+
+/// Test nodes ordered by ascending prediction margin (the paper's
+/// prioritization processes nodes "unlikely to have labels changed" last).
+std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg);
+
+}  // namespace detail
+
+/// The trivial witness: all of G (fallback of Algorithm 2).
+Witness TrivialWitness(const Graph& graph, const std::vector<NodeId>& test_nodes);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_ROBOGEXP_H_

@@ -1,0 +1,303 @@
+#include "src/explain/verify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/gnn/appnp.h"
+
+namespace robogexp {
+
+namespace {
+
+Label PredictOn(const WitnessConfig& cfg, const GraphView& view, NodeId v,
+                int* calls) {
+  ++*calls;
+  return cfg.model->Predict(view, cfg.graph->features(), v);
+}
+
+/// Contrast classes for node v, strongest runner-up first.
+std::vector<Label> ContrastClasses(const WitnessConfig& cfg,
+                                   const std::vector<double>& logits,
+                                   Label l) {
+  std::vector<Label> classes;
+  for (int c = 0; c < cfg.model->num_classes(); ++c) {
+    if (c != l) classes.push_back(c);
+  }
+  std::sort(classes.begin(), classes.end(), [&](Label a, Label b) {
+    const double la = logits[static_cast<size_t>(a)];
+    const double lb = logits[static_cast<size_t>(b)];
+    return la != lb ? la > lb : a < b;
+  });
+  if (cfg.max_contrast_classes > 0 &&
+      static_cast<int>(classes.size()) > cfg.max_contrast_classes) {
+    classes.resize(static_cast<size_t>(cfg.max_contrast_classes));
+  }
+  return classes;
+}
+
+std::vector<double> ContrastVector(const Matrix& base_logits, Label pos,
+                                   Label neg) {
+  std::vector<double> r(static_cast<size_t>(base_logits.rows()));
+  for (int64_t u = 0; u < base_logits.rows(); ++u) {
+    r[static_cast<size_t>(u)] = base_logits.at(u, pos) - base_logits.at(u, neg);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Label> BaseLabels(const WitnessConfig& cfg) {
+  RCW_CHECK(cfg.Valid());
+  const FullView view(cfg.graph);
+  std::vector<Label> labels;
+  labels.reserve(cfg.test_nodes.size());
+  for (NodeId v : cfg.test_nodes) {
+    labels.push_back(cfg.model->Predict(view, cfg.graph->features(), v));
+  }
+  return labels;
+}
+
+double ResolveAlpha(const WitnessConfig& cfg) {
+  if (const auto* appnp = dynamic_cast<const AppnpModel*>(cfg.model)) {
+    return appnp->alpha();
+  }
+  return cfg.ppr.alpha;
+}
+
+VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness) {
+  RCW_CHECK(cfg.Valid());
+  int calls = 0;
+  const FullView full(cfg.graph);
+  const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
+  for (NodeId v : cfg.test_nodes) {
+    if (!witness.HasNode(v)) {
+      VerifyResult r;
+      r.reason = "witness does not contain test node";
+      r.failed_node = v;
+      r.inference_calls = calls;
+      return r;
+    }
+    const Label l = PredictOn(cfg, full, v, &calls);
+    if (PredictOn(cfg, sub, v, &calls) != l) {
+      VerifyResult r;
+      r.reason = "factual check failed: M(v, Gs) != l";
+      r.failed_node = v;
+      r.inference_calls = calls;
+      return r;
+    }
+  }
+  return VerifyResult::Ok(calls);
+}
+
+VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
+                                  const Witness& witness) {
+  VerifyResult factual = VerifyFactual(cfg, witness);
+  if (!factual.ok) return factual;
+  int calls = factual.inference_calls;
+  const FullView full(cfg.graph);
+  const OverlayView removed = witness.RemovedView(&full);
+  for (NodeId v : cfg.test_nodes) {
+    const Label l = PredictOn(cfg, full, v, &calls);
+    if (PredictOn(cfg, removed, v, &calls) == l) {
+      VerifyResult r;
+      r.reason = "counterfactual check failed: M(v, G \\ Gs) == l";
+      r.failed_node = v;
+      r.inference_calls = calls;
+      return r;
+    }
+  }
+  return VerifyResult::Ok(calls);
+}
+
+VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness) {
+  VerifyResult cw = VerifyCounterfactual(cfg, witness);
+  if (!cw.ok) return cw;
+  int calls = cw.inference_calls;
+  if (cfg.k == 0) return VerifyResult::Ok(calls);  // CW == 0-RCW
+
+  const FullView full(cfg.graph);
+  const Matrix base_logits = cfg.model->BaseLogits(full, cfg.graph->features());
+  PriOptions pri_opts = cfg.MakePriOptions();
+  pri_opts.ppr.alpha = ResolveAlpha(cfg);
+  const auto protected_keys = witness.ProtectedKeys();
+
+  for (NodeId v : cfg.test_nodes) {
+    const std::vector<double> logits =
+        cfg.model->InferNode(full, cfg.graph->features(), v);
+    ++calls;
+    Label l = 0;
+    for (int c = 1; c < cfg.model->num_classes(); ++c) {
+      if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(l)]) l = c;
+    }
+
+    // (i) Label robustness: no (k, b)-disturbance flips M(v, ~G) away from l,
+    // and the witness stays counterfactual under each worst-case candidate.
+    for (Label c : ContrastClasses(cfg, logits, l)) {
+      const std::vector<double> r = ContrastVector(base_logits, c, l);
+      const PriResult pri = Pri(full, protected_keys, v, r, pri_opts);
+      if (pri.disturbance.empty()) continue;
+      const OverlayView disturbed(&full, pri.disturbance);
+      if (PredictOn(cfg, disturbed, v, &calls) != l) {
+        VerifyResult res;
+        res.reason = "robustness failed: disturbance flips M(v, ~G)";
+        res.failed_node = v;
+        res.counterexample = pri.disturbance;
+        res.inference_calls = calls;
+        return res;
+      }
+      std::vector<Edge> combined = witness.Edges();
+      combined.insert(combined.end(), pri.disturbance.begin(),
+                      pri.disturbance.end());
+      const OverlayView disturbed_minus(&full, combined);
+      if (PredictOn(cfg, disturbed_minus, v, &calls) == l) {
+        VerifyResult res;
+        res.reason =
+            "robustness failed: disturbance restores M(v, ~G \\ Gs) == l";
+        res.failed_node = v;
+        res.counterexample = pri.disturbance;
+        res.inference_calls = calls;
+        return res;
+      }
+    }
+
+    // (ii) Counterfactual robustness from the other side: the strongest
+    // disturbance of G \ Gs pushing v back toward l must not succeed.
+    const OverlayView removed = witness.RemovedView(&full);
+    const Label l2 = PredictOn(cfg, removed, v, &calls);
+    const std::vector<double> r_back = ContrastVector(base_logits, l, l2);
+    const PriResult back = Pri(removed, protected_keys, v, r_back, pri_opts);
+    if (!back.disturbance.empty()) {
+      std::vector<Edge> combined = witness.Edges();
+      combined.insert(combined.end(), back.disturbance.begin(),
+                      back.disturbance.end());
+      const OverlayView restored(&full, combined);
+      if (PredictOn(cfg, restored, v, &calls) == l) {
+        VerifyResult res;
+        res.reason =
+            "robustness failed: disturbance of G \\ Gs restores label l";
+        res.failed_node = v;
+        res.counterexample = back.disturbance;
+        res.inference_calls = calls;
+        return res;
+      }
+    }
+  }
+  return VerifyResult::Ok(calls);
+}
+
+namespace {
+
+struct ExhaustiveState {
+  const WitnessConfig* cfg;
+  const Witness* witness;
+  const FullView* full;
+  const std::vector<Edge>* candidates;
+  std::vector<Label> labels;  // aligned with cfg->test_nodes
+  std::vector<Edge> chosen;
+  std::vector<int> node_load;  // per-node flip count (local budget b)
+  int calls = 0;
+
+  // Returns true when a counterexample was found (stored in `result`).
+  bool Check(VerifyResult* result) {
+    const OverlayView disturbed(full, chosen);
+    std::vector<Edge> combined = witness->Edges();
+    combined.insert(combined.end(), chosen.begin(), chosen.end());
+    const OverlayView disturbed_minus(full, combined);
+    for (size_t i = 0; i < cfg->test_nodes.size(); ++i) {
+      const NodeId v = cfg->test_nodes[i];
+      const Label l = labels[i];
+      ++calls;
+      const bool factual_ok =
+          cfg->model->Predict(disturbed, cfg->graph->features(), v) == l;
+      ++calls;
+      const bool counter_ok =
+          cfg->model->Predict(disturbed_minus, cfg->graph->features(), v) != l;
+      if (!factual_ok || !counter_ok) {
+        result->ok = false;
+        result->reason = factual_ok
+                             ? "exhaustive: counterfactual broken by disturbance"
+                             : "exhaustive: label flipped by disturbance";
+        result->failed_node = v;
+        result->counterexample = chosen;
+        result->inference_calls = calls;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Recurse(size_t start, int remaining, VerifyResult* result) {
+    if (!chosen.empty() && Check(result)) return true;
+    if (remaining == 0) return false;
+    for (size_t i = start; i < candidates->size(); ++i) {
+      const Edge& e = (*candidates)[i];
+      if (node_load[static_cast<size_t>(e.u)] >= cfg->local_budget ||
+          node_load[static_cast<size_t>(e.v)] >= cfg->local_budget) {
+        continue;
+      }
+      chosen.push_back(e);
+      ++node_load[static_cast<size_t>(e.u)];
+      ++node_load[static_cast<size_t>(e.v)];
+      if (Recurse(i + 1, remaining - 1, result)) return true;
+      --node_load[static_cast<size_t>(e.u)];
+      --node_load[static_cast<size_t>(e.v)];
+      chosen.pop_back();
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
+                                 const Witness& witness,
+                                 int64_t max_combinations) {
+  VerifyResult cw = VerifyCounterfactual(cfg, witness);
+  if (!cw.ok) return cw;
+  const FullView full(cfg.graph);
+
+  // Candidate pairs within the hop radius of any test node.
+  const std::vector<NodeId> ball =
+      KHopBall(full, cfg.test_nodes, cfg.hop_radius);
+  std::vector<Edge> candidates;
+  const auto protected_keys = witness.ProtectedKeys();
+  for (const Edge& e : InducedEdges(full, ball)) {
+    if (protected_keys.count(e.Key()) == 0) candidates.push_back(e);
+  }
+  if (cfg.disturbance == DisturbanceModel::kFlip) {
+    for (size_t i = 0; i < ball.size(); ++i) {
+      for (size_t j = i + 1; j < ball.size(); ++j) {
+        const Edge e(ball[i], ball[j]);
+        if (!full.HasEdge(e.u, e.v) && protected_keys.count(e.Key()) == 0) {
+          candidates.push_back(e);
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  // Guard against combinatorial blow-up (this is the NP-hard general case).
+  double combos = 0.0;
+  double binom = 1.0;
+  for (int j = 1; j <= cfg.k && j <= static_cast<int>(candidates.size()); ++j) {
+    binom *= static_cast<double>(candidates.size() - j + 1) / j;
+    combos += binom;
+    RCW_CHECK_MSG(combos <= static_cast<double>(max_combinations),
+                  "VerifyRcwExhaustive: enumeration too large");
+  }
+
+  ExhaustiveState state;
+  state.cfg = &cfg;
+  state.witness = &witness;
+  state.full = &full;
+  state.candidates = &candidates;
+  state.labels = BaseLabels(cfg);
+  state.node_load.assign(static_cast<size_t>(cfg.graph->num_nodes()), 0);
+  state.calls = cw.inference_calls;
+
+  VerifyResult result;
+  if (state.Recurse(0, cfg.k, &result)) return result;
+  return VerifyResult::Ok(state.calls);
+}
+
+}  // namespace robogexp

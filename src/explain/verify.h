@@ -1,0 +1,72 @@
+// Verification of witnesses (Sec. III).
+//
+//  * VerifyFactual / VerifyCounterfactual — the PTIME checks of Lemmas 2-3:
+//    direct inference tests M(v, Gs) = l and M(v, G \ Gs) != l.
+//  * VerifyRcw — Algorithm 1 (verifyRCW-APPNP generalized): after the CW
+//    checks, for each test node and contrast class it runs PRI to construct
+//    the worst-case (k, b)-disturbance E*, then confirms by actual inference
+//    that (i) the disturbed graph keeps the label (M(v, G ⊕ E*) = l) and
+//    (ii) the witness stays counterfactual under the disturbance
+//    (M(v, (G ⊕ E*) \ Gs) != l). Exact for APPNP (Lemma 4); for other models
+//    PRI serves as the adversarial proposal and inference is the judge.
+//  * VerifyRcwExhaustive — the general (NP-hard) verifier: enumerates every
+//    j-disturbance, j <= k, over the local candidate pairs. Exponential; the
+//    ground-truth oracle for tests and the hardness ablation.
+#ifndef ROBOGEXP_EXPLAIN_VERIFY_H_
+#define ROBOGEXP_EXPLAIN_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/explain/config.h"
+#include "src/explain/witness.h"
+
+namespace robogexp {
+
+struct VerifyResult {
+  bool ok = false;
+  /// Human-readable failure reason (empty when ok).
+  std::string reason;
+  /// A disturbance disproving robustness, when one was found.
+  std::vector<Edge> counterexample;
+  /// Test node whose check failed (kInvalidNode when ok).
+  NodeId failed_node = kInvalidNode;
+  /// GNN inference invocations performed.
+  int inference_calls = 0;
+
+  static VerifyResult Ok(int calls) {
+    VerifyResult r;
+    r.ok = true;
+    r.inference_calls = calls;
+    return r;
+  }
+};
+
+/// Labels assigned by M on the base graph for the configured test nodes.
+std::vector<Label> BaseLabels(const WitnessConfig& cfg);
+
+/// Resolves the PPR α for PRI: the model's own α for APPNP, cfg.ppr.alpha
+/// otherwise.
+double ResolveAlpha(const WitnessConfig& cfg);
+
+/// Lemma 2: is `witness` a factual witness for every test node?
+VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness);
+
+/// Lemma 3: is `witness` a counterfactual witness (factual + removal flips
+/// the label) for every test node?
+VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
+                                  const Witness& witness);
+
+/// Algorithm 1: is `witness` a k-RCW under (k, b)-disturbances?
+VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness);
+
+/// Ground-truth verifier: enumerates all disturbances of size <= k among the
+/// candidate pairs within cfg.hop_radius of the test nodes. Aborts (CHECK)
+/// when the enumeration would exceed `max_combinations`.
+VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
+                                 const Witness& witness,
+                                 int64_t max_combinations = 2'000'000);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_VERIFY_H_

@@ -1,0 +1,29 @@
+#include "src/explain/witness.h"
+
+#include <algorithm>
+
+namespace robogexp {
+
+std::vector<NodeId> Witness::Nodes() const {
+  std::vector<NodeId> out(nodes_.begin(), nodes_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Edge> Witness::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_keys_.size());
+  for (uint64_t key : edge_keys_) {
+    out.emplace_back(PairKeyFirst(key), PairKeySecond(key));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unordered_set<uint64_t> Witness::ProtectedKeys() const {
+  std::unordered_set<uint64_t> keys = edge_keys_;
+  keys.insert(protected_keys_.begin(), protected_keys_.end());
+  return keys;
+}
+
+}  // namespace robogexp

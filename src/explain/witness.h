@@ -1,0 +1,81 @@
+// Witness — the explanation structure Gw: a subgraph of G given by a node
+// set and an edge set (Sec. II-B). A witness may additionally carry
+// "protected pairs": node pairs that a disturbance is not allowed to flip
+// even though they are not edges of G (only used in full flip-mode, where
+// the generator must be able to secure an insertion threat; in the paper's
+// removal-only experimental setting this set stays empty).
+#ifndef ROBOGEXP_EXPLAIN_WITNESS_H_
+#define ROBOGEXP_EXPLAIN_WITNESS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/graph/view.h"
+
+namespace robogexp {
+
+class Witness {
+ public:
+  Witness() = default;
+
+  /// Adds a node (idempotent).
+  void AddNode(NodeId u) { nodes_.insert(u); }
+
+  /// Adds an edge; both endpoints are added as nodes.
+  void AddEdge(NodeId u, NodeId v) {
+    RCW_CHECK(u != v);
+    nodes_.insert(u);
+    nodes_.insert(v);
+    edge_keys_.insert(PairKey(u, v));
+  }
+
+  void AddProtectedPair(NodeId u, NodeId v) {
+    protected_keys_.insert(PairKey(u, v));
+  }
+
+  bool HasNode(NodeId u) const { return nodes_.count(u) > 0; }
+  bool HasEdge(NodeId u, NodeId v) const {
+    return edge_keys_.count(PairKey(u, v)) > 0;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edge_keys_.size(); }
+
+  /// The paper's explanation size: |nodes| + |edges|.
+  size_t Size() const { return nodes_.size() + edge_keys_.size(); }
+
+  /// Sorted node list (deterministic).
+  std::vector<NodeId> Nodes() const;
+
+  /// Sorted edge list (deterministic).
+  std::vector<Edge> Edges() const;
+
+  const std::unordered_set<uint64_t>& edge_keys() const { return edge_keys_; }
+
+  /// Keys a disturbance must not flip: witness edges plus protected pairs
+  /// ("it does not insert nor remove edges of Gw").
+  std::unordered_set<uint64_t> ProtectedKeys() const;
+
+  /// View of the witness subgraph itself (for the factual test M(v, Gs)).
+  EdgeSubsetView SubgraphView(NodeId graph_num_nodes) const {
+    return EdgeSubsetView(graph_num_nodes, Edges());
+  }
+
+  /// View of G \ Gs (for the counterfactual test).
+  OverlayView RemovedView(const GraphView* base) const {
+    return OverlayView(base, Edges());
+  }
+
+  bool operator==(const Witness& other) const {
+    return nodes_ == other.nodes_ && edge_keys_ == other.edge_keys_;
+  }
+
+ private:
+  std::unordered_set<NodeId> nodes_;
+  std::unordered_set<uint64_t> edge_keys_;
+  std::unordered_set<uint64_t> protected_keys_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_WITNESS_H_

@@ -1,0 +1,53 @@
+#include "src/explain/witness_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace robogexp {
+
+Status SaveWitness(const Witness& witness, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("SaveWitness: cannot open " + path);
+  f << "witness " << witness.num_nodes() << " " << witness.num_edges() << "\n";
+  for (NodeId u : witness.Nodes()) f << "node " << u << "\n";
+  for (const Edge& e : witness.Edges()) {
+    f << "edge " << e.u << " " << e.v << "\n";
+  }
+  if (!f) return Status::Internal("SaveWitness: write failed");
+  return Status::OK();
+}
+
+StatusOr<Witness> LoadWitness(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("LoadWitness: cannot open " + path);
+  std::string line;
+  Witness w;
+  bool header = false;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "witness") {
+      header = true;
+    } else if (!header) {
+      return Status::InvalidArgument("LoadWitness: data before header");
+    } else if (tag == "node") {
+      NodeId u;
+      if (!(ss >> u)) return Status::InvalidArgument("LoadWitness: bad node");
+      w.AddNode(u);
+    } else if (tag == "edge") {
+      NodeId u, v;
+      if (!(ss >> u >> v) || u == v) {
+        return Status::InvalidArgument("LoadWitness: bad edge");
+      }
+      w.AddEdge(u, v);
+    } else {
+      return Status::InvalidArgument("LoadWitness: unknown tag " + tag);
+    }
+  }
+  if (!header) return Status::InvalidArgument("LoadWitness: empty file");
+  return w;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,19 @@
+// Witness serialization (text): node and edge lists, reloadable for
+// re-verification in another process (CLI round trips, audit trails).
+#ifndef ROBOGEXP_EXPLAIN_WITNESS_IO_H_
+#define ROBOGEXP_EXPLAIN_WITNESS_IO_H_
+
+#include <string>
+
+#include "src/explain/witness.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+Status SaveWitness(const Witness& witness, const std::string& path);
+
+StatusOr<Witness> LoadWitness(const std::string& path);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_EXPLAIN_WITNESS_IO_H_

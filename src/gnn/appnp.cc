@@ -1,0 +1,74 @@
+#include "src/gnn/appnp.h"
+
+namespace robogexp {
+
+AppnpModel::AppnpModel(Matrix theta, Matrix bias, double alpha, PprOptions ppr)
+    : theta_(std::move(theta)), bias_(std::move(bias)), alpha_(alpha),
+      ppr_(ppr) {
+  RCW_CHECK(alpha_ > 0.0 && alpha_ < 1.0);
+  RCW_CHECK(bias_.rows() == 1 && bias_.cols() == theta_.cols());
+  ppr_.alpha = alpha_;
+}
+
+Matrix AppnpModel::InferSubset(const GraphView& view, const Matrix& features,
+                               const std::vector<NodeId>& nodes) const {
+  // H = XΘ + b restricted to the subset.
+  Matrix x(static_cast<int64_t>(nodes.size()), features.cols());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const double* src = features.Row(nodes[i]);
+    double* dst = x.Row(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < features.cols(); ++c) dst[c] = src[c];
+  }
+  Matrix h = Matrix::Multiply(x, theta_);
+  h.AddRowVectorInPlace(bias_);
+
+  // Column-wise propagation: z_{:,c} = (1-α)(I - αP)^{-1} h_{:,c}.
+  Matrix z(h.rows(), h.cols());
+  std::vector<double> r(nodes.size());
+  for (int64_t c = 0; c < h.cols(); ++c) {
+    for (size_t i = 0; i < nodes.size(); ++i) r[i] = h.at(static_cast<int64_t>(i), c);
+    const std::vector<double> col = SolveIMinusAlphaP(view, nodes, r, ppr_);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      z.at(static_cast<int64_t>(i), c) = (1.0 - alpha_) * col[i];
+    }
+  }
+  return z;
+}
+
+std::vector<double> AppnpModel::InferNode(const GraphView& view,
+                                          const Matrix& features,
+                                          NodeId v) const {
+  const SparseVector pi = PprPush(view, v, ppr_);
+  std::vector<double> z(static_cast<size_t>(num_classes()), 0.0);
+  for (const auto& [u, mass] : pi) {
+    const double* xu = features.Row(u);
+    for (int c = 0; c < num_classes(); ++c) {
+      double h = bias_.at(0, c);
+      for (int64_t f = 0; f < theta_.rows(); ++f) h += xu[f] * theta_.at(f, c);
+      z[static_cast<size_t>(c)] += mass * h;
+    }
+  }
+  return z;
+}
+
+Matrix AppnpModel::BaseLogits(const GraphView& view,
+                              const Matrix& features) const {
+  (void)view;  // H is structure-independent for APPNP.
+  Matrix h = Matrix::Multiply(features, theta_);
+  h.AddRowVectorInPlace(bias_);
+  return h;
+}
+
+std::vector<double> AppnpModel::BaseLogitsRow(const Matrix& features,
+                                              NodeId u) const {
+  std::vector<double> h(static_cast<size_t>(num_classes()));
+  const double* xu = features.Row(u);
+  for (int c = 0; c < num_classes(); ++c) {
+    double s = bias_.at(0, c);
+    for (int64_t f = 0; f < theta_.rows(); ++f) s += xu[f] * theta_.at(f, c);
+    h[static_cast<size_t>(c)] = s;
+  }
+  return h;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,63 @@
+// APPNP — "Predict Then Propagate" (Klicpera et al.), the class of
+// Personalized-PageRank GNNs for which the paper's tractability results hold:
+//     Z = (1-α) (I - α D̂^{-1} Â)^{-1} · (X Θ + b)
+// Prediction is a per-node linear transform followed by PPR propagation;
+// single-node inference is served by deterministic local PPR push.
+#ifndef ROBOGEXP_GNN_APPNP_H_
+#define ROBOGEXP_GNN_APPNP_H_
+
+#include "src/gnn/model.h"
+#include "src/ppr/ppr.h"
+
+namespace robogexp {
+
+class AppnpModel final : public GnnModel {
+ public:
+  /// theta: F x C, bias: 1 x C. `alpha` is the walk-continuation probability
+  /// (teleport probability is 1-α).
+  AppnpModel(Matrix theta, Matrix bias, double alpha, PprOptions ppr = {});
+
+  std::string name() const override { return "APPNP"; }
+  /// Propagation depth is unbounded; report the effective truncation depth.
+  int num_layers() const override { return ppr_.max_iterations; }
+  int num_classes() const override { return static_cast<int>(theta_.cols()); }
+  int64_t num_features() const override { return theta_.rows(); }
+
+  /// InferNode uses adaptive PPR push, so this radius only sizes candidate
+  /// balls in the explainer; 3 hops carry the bulk of PPR mass for the α
+  /// range used here.
+  int receptive_hops() const override { return 3; }
+
+  Matrix InferSubset(const GraphView& view, const Matrix& features,
+                     const std::vector<NodeId>& nodes) const override;
+
+  /// Localized exact-to-tolerance inference via PPR forward push:
+  /// Z_v = Σ_u π_v(u) · H_u.
+  std::vector<double> InferNode(const GraphView& view, const Matrix& features,
+                                NodeId v) const override;
+
+  /// Pre-propagation per-node logits H = XΘ + b (the paper's Z in Eq. 2).
+  Matrix BaseLogits(const GraphView& view,
+                    const Matrix& features) const override;
+
+  /// H row for a single node (avoids materializing |V| x C).
+  std::vector<double> BaseLogitsRow(const Matrix& features, NodeId u) const;
+
+  double alpha() const { return alpha_; }
+  const PprOptions& ppr_options() const { return ppr_; }
+
+  Matrix& mutable_theta() { return theta_; }
+  Matrix& mutable_bias() { return bias_; }
+  const Matrix& theta() const { return theta_; }
+  const Matrix& bias() const { return bias_; }
+
+ private:
+  Matrix theta_;
+  Matrix bias_;
+  double alpha_;
+  PprOptions ppr_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GNN_APPNP_H_

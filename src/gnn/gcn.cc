@@ -1,0 +1,69 @@
+#include "src/gnn/gcn.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace robogexp {
+
+GcnModel::GcnModel(std::vector<Matrix> weights, std::vector<Matrix> biases)
+    : weights_(std::move(weights)), biases_(std::move(biases)) {
+  RCW_CHECK(!weights_.empty());
+  RCW_CHECK(weights_.size() == biases_.size());
+  for (size_t i = 0; i + 1 < weights_.size(); ++i) {
+    RCW_CHECK(weights_[i].cols() == weights_[i + 1].rows());
+  }
+}
+
+Matrix GcnModel::InferSubset(const GraphView& view, const Matrix& features,
+                             const std::vector<NodeId>& nodes) const {
+  const size_t n = nodes.size();
+  std::unordered_map<NodeId, size_t> local;
+  local.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) local[nodes[i]] = i;
+
+  // Local adjacency (restricted to the subset) and true normalized degrees.
+  std::vector<std::vector<size_t>> nbrs_local(n);
+  std::vector<double> inv_sqrt_deg(n);
+  std::vector<NodeId> nbrs;
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId u = nodes[i];
+    inv_sqrt_deg[i] = 1.0 / std::sqrt(static_cast<double>(view.Degree(u) + 1));
+    nbrs.clear();
+    view.AppendNeighbors(u, &nbrs);
+    for (NodeId w : nbrs) {
+      auto it = local.find(w);
+      if (it != local.end()) nbrs_local[i].push_back(it->second);
+    }
+  }
+
+  // H = features rows of the subset.
+  Matrix h(static_cast<int64_t>(n), features.cols());
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = features.Row(nodes[i]);
+    double* dst = h.Row(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < features.cols(); ++c) dst[c] = src[c];
+  }
+
+  for (size_t layer = 0; layer < weights_.size(); ++layer) {
+    const Matrix t = Matrix::Multiply(h, weights_[layer]);
+    Matrix agg(static_cast<int64_t>(n), t.cols());
+    for (size_t i = 0; i < n; ++i) {
+      double* out = agg.Row(static_cast<int64_t>(i));
+      // Self-loop term: Â includes I, normalization 1/d̂_i.
+      const double self_w = inv_sqrt_deg[i] * inv_sqrt_deg[i];
+      const double* self_row = t.Row(static_cast<int64_t>(i));
+      for (int64_t c = 0; c < t.cols(); ++c) out[c] = self_w * self_row[c];
+      for (size_t j : nbrs_local[i]) {
+        const double w = inv_sqrt_deg[i] * inv_sqrt_deg[j];
+        const double* row = t.Row(static_cast<int64_t>(j));
+        for (int64_t c = 0; c < t.cols(); ++c) out[c] += w * row[c];
+      }
+    }
+    agg.AddRowVectorInPlace(biases_[layer]);
+    if (layer + 1 < weights_.size()) agg.ReluInPlace();
+    h = std::move(agg);
+  }
+  return h;
+}
+
+}  // namespace robogexp

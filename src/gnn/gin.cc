@@ -1,0 +1,61 @@
+#include "src/gnn/gin.h"
+
+#include <unordered_map>
+
+namespace robogexp {
+
+GinModel::GinModel(std::vector<Matrix> weights, std::vector<Matrix> biases,
+                   double epsilon)
+    : weights_(std::move(weights)), biases_(std::move(biases)),
+      epsilon_(epsilon) {
+  RCW_CHECK(!weights_.empty());
+  RCW_CHECK(weights_.size() == biases_.size());
+}
+
+Matrix GinModel::InferSubset(const GraphView& view, const Matrix& features,
+                             const std::vector<NodeId>& nodes) const {
+  const size_t n = nodes.size();
+  std::unordered_map<NodeId, size_t> local;
+  local.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) local[nodes[i]] = i;
+
+  std::vector<std::vector<size_t>> nbrs_local(n);
+  std::vector<NodeId> nbrs;
+  for (size_t i = 0; i < n; ++i) {
+    nbrs.clear();
+    view.AppendNeighbors(nodes[i], &nbrs);
+    for (NodeId w : nbrs) {
+      auto it = local.find(w);
+      if (it != local.end()) nbrs_local[i].push_back(it->second);
+    }
+  }
+
+  Matrix h(static_cast<int64_t>(n), features.cols());
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = features.Row(nodes[i]);
+    double* dst = h.Row(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < features.cols(); ++c) dst[c] = src[c];
+  }
+
+  for (size_t layer = 0; layer < weights_.size(); ++layer) {
+    Matrix agg(static_cast<int64_t>(n), h.cols());
+    for (size_t i = 0; i < n; ++i) {
+      double* out = agg.Row(static_cast<int64_t>(i));
+      const double* self_row = h.Row(static_cast<int64_t>(i));
+      for (int64_t c = 0; c < h.cols(); ++c) {
+        out[c] = (1.0 + epsilon_) * self_row[c];
+      }
+      for (size_t j : nbrs_local[i]) {
+        const double* row = h.Row(static_cast<int64_t>(j));
+        for (int64_t c = 0; c < h.cols(); ++c) out[c] += row[c];
+      }
+    }
+    Matrix z = Matrix::Multiply(agg, weights_[layer]);
+    z.AddRowVectorInPlace(biases_[layer]);
+    if (layer + 1 < weights_.size()) z.ReluInPlace();
+    h = std::move(z);
+  }
+  return h;
+}
+
+}  // namespace robogexp

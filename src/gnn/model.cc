@@ -1,0 +1,53 @@
+#include "src/gnn/model.h"
+
+namespace robogexp {
+
+Matrix GnnModel::Infer(const GraphView& view, const Matrix& features) const {
+  std::vector<NodeId> all(static_cast<size_t>(view.num_nodes()));
+  for (NodeId u = 0; u < view.num_nodes(); ++u) all[static_cast<size_t>(u)] = u;
+  return InferSubset(view, features, all);
+}
+
+std::vector<double> GnnModel::InferNode(const GraphView& view,
+                                        const Matrix& features,
+                                        NodeId v) const {
+  const std::vector<NodeId> ball = KHopBall(view, v, receptive_hops());
+  const Matrix logits = InferSubset(view, features, ball);
+  std::vector<double> out(static_cast<size_t>(num_classes()));
+  // ball[0] == v by construction of KHopBall.
+  for (int c = 0; c < num_classes(); ++c) out[static_cast<size_t>(c)] = logits.at(0, c);
+  return out;
+}
+
+Label GnnModel::Predict(const GraphView& view, const Matrix& features,
+                        NodeId v) const {
+  const std::vector<double> logits = InferNode(view, features, v);
+  Label best = 0;
+  for (int c = 1; c < num_classes(); ++c) {
+    if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(best)]) best = c;
+  }
+  return best;
+}
+
+Matrix GnnModel::BaseLogits(const GraphView& view,
+                            const Matrix& features) const {
+  return Infer(view, features);
+}
+
+double Accuracy(const GnnModel& model, const GraphView& view,
+                const Matrix& features, const std::vector<NodeId>& nodes,
+                const std::vector<Label>& labels) {
+  if (nodes.empty()) return 0.0;
+  int correct = 0;
+  const Matrix all = model.Infer(view, features);
+  for (NodeId u : nodes) {
+    Label best = 0;
+    for (int c = 1; c < model.num_classes(); ++c) {
+      if (all.at(u, c) > all.at(u, best)) best = c;
+    }
+    if (best == labels[static_cast<size_t>(u)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+}  // namespace robogexp

@@ -1,0 +1,67 @@
+// GnnModel — the paper's fixed, deterministic inference function M(v, G).
+//
+// Every model evaluates over a GraphView, so the same trained weights can be
+// queried on G, G \ Gs, a disturbed ~G, or the witness subgraph without
+// materializing new graphs. Inference can be restricted to a node subset
+// (local indexing); `InferNode` exploits the fact that an L-layer
+// message-passing GNN's output at v depends only on v's L-hop ball, making a
+// single-node query O(ball) instead of O(|G|).
+#ifndef ROBOGEXP_GNN_MODEL_H_
+#define ROBOGEXP_GNN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/view.h"
+#include "src/la/matrix.h"
+
+namespace robogexp {
+
+class GnnModel {
+ public:
+  virtual ~GnnModel() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_layers() const = 0;
+  virtual int num_classes() const = 0;
+  virtual int64_t num_features() const = 0;
+
+  /// Logits for the listed nodes (rows follow `nodes` order). Computation is
+  /// restricted to `nodes` with true degrees taken from `view`; results are
+  /// exact for every node whose receptive field lies inside `nodes`.
+  virtual Matrix InferSubset(const GraphView& view, const Matrix& features,
+                             const std::vector<NodeId>& nodes) const = 0;
+
+  /// Receptive-field radius used by the default InferNode (L for
+  /// message-passing models; APPNP overrides node inference with PPR push).
+  virtual int receptive_hops() const { return num_layers(); }
+
+  /// Full-graph logits (|V| x C).
+  Matrix Infer(const GraphView& view, const Matrix& features) const;
+
+  /// Exact localized logits for a single node.
+  virtual std::vector<double> InferNode(const GraphView& view,
+                                        const Matrix& features,
+                                        NodeId v) const;
+
+  /// Predicted label for a single node (argmax of InferNode; determinism of
+  /// the paper's M is inherited from fixed weights + ordered reductions).
+  Label Predict(const GraphView& view, const Matrix& features, NodeId v) const;
+
+  /// Per-node "evidence" logits used as the contrast vector source for
+  /// PRI-based robustness reasoning. For APPNP these are the pre-propagation
+  /// logits Z = XΘ + b of Eq. 2; other models fall back to their output
+  /// logits on the given view (heuristic, verified by inference afterwards).
+  virtual Matrix BaseLogits(const GraphView& view,
+                            const Matrix& features) const;
+};
+
+/// Fraction of `nodes` whose prediction matches `labels`.
+double Accuracy(const GnnModel& model, const GraphView& view,
+                const Matrix& features, const std::vector<NodeId>& nodes,
+                const std::vector<Label>& labels);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GNN_MODEL_H_

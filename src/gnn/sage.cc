@@ -1,0 +1,67 @@
+#include "src/gnn/sage.h"
+
+#include <unordered_map>
+
+namespace robogexp {
+
+SageModel::SageModel(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  RCW_CHECK(!layers_.empty());
+  for (const auto& l : layers_) {
+    RCW_CHECK(l.w_self.rows() == l.w_neigh.rows());
+    RCW_CHECK(l.w_self.cols() == l.w_neigh.cols());
+    RCW_CHECK(l.bias.rows() == 1 && l.bias.cols() == l.w_self.cols());
+  }
+}
+
+Matrix SageModel::InferSubset(const GraphView& view, const Matrix& features,
+                              const std::vector<NodeId>& nodes) const {
+  const size_t n = nodes.size();
+  std::unordered_map<NodeId, size_t> local;
+  local.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) local[nodes[i]] = i;
+
+  std::vector<std::vector<size_t>> nbrs_local(n);
+  std::vector<double> inv_true_deg(n);
+  std::vector<NodeId> nbrs;
+  for (size_t i = 0; i < n; ++i) {
+    const int d = view.Degree(nodes[i]);
+    // Mean over the *true* neighborhood; isolated nodes aggregate zero.
+    inv_true_deg[i] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+    nbrs.clear();
+    view.AppendNeighbors(nodes[i], &nbrs);
+    for (NodeId w : nbrs) {
+      auto it = local.find(w);
+      if (it != local.end()) nbrs_local[i].push_back(it->second);
+    }
+  }
+
+  Matrix h(static_cast<int64_t>(n), features.cols());
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = features.Row(nodes[i]);
+    double* dst = h.Row(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < features.cols(); ++c) dst[c] = src[c];
+  }
+
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    const Layer& L = layers_[layer];
+    // Neighborhood means.
+    Matrix mean(static_cast<int64_t>(n), h.cols());
+    for (size_t i = 0; i < n; ++i) {
+      double* out = mean.Row(static_cast<int64_t>(i));
+      for (size_t j : nbrs_local[i]) {
+        const double* row = h.Row(static_cast<int64_t>(j));
+        for (int64_t c = 0; c < h.cols(); ++c) out[c] += row[c];
+      }
+      for (int64_t c = 0; c < h.cols(); ++c) out[c] *= inv_true_deg[i];
+    }
+    Matrix z = Matrix::Multiply(h, L.w_self);
+    const Matrix zn = Matrix::Multiply(mean, L.w_neigh);
+    z.AddInPlace(zn);
+    z.AddRowVectorInPlace(L.bias);
+    if (layer + 1 < layers_.size()) z.ReluInPlace();
+    h = std::move(z);
+  }
+  return h;
+}
+
+}  // namespace robogexp

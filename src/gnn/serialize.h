@@ -1,0 +1,25 @@
+// Model serialization — save a trained classifier to disk and reload it as
+// the paper's "fixed, deterministic M" in another process (CLI, benchmark
+// re-runs, deployment).
+#ifndef ROBOGEXP_GNN_SERIALIZE_H_
+#define ROBOGEXP_GNN_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/gnn/model.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// Writes the model's weights to `path` (text format, full precision).
+/// Supports GCN, APPNP, GraphSAGE, GIN and GAT.
+Status SaveModel(const GnnModel& model, const std::string& path);
+
+/// Reloads a model written by SaveModel; the concrete type is recovered
+/// from the file header.
+StatusOr<std::unique_ptr<GnnModel>> LoadModel(const std::string& path);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GNN_SERIALIZE_H_

@@ -1,0 +1,496 @@
+#include "src/gnn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "src/la/sparse.h"
+#include "src/util/rng.h"
+
+namespace robogexp {
+
+namespace {
+
+/// Adam optimizer state for one parameter matrix.
+class Adam {
+ public:
+  Adam(int64_t rows, int64_t cols, double lr)
+      : lr_(lr), m_(rows, cols), v_(rows, cols) {}
+
+  void Step(Matrix* param, const Matrix& grad) {
+    ++t_;
+    const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+    const double bc1 = 1.0 - std::pow(b1, t_);
+    const double bc2 = 1.0 - std::pow(b2, t_);
+    for (int64_t i = 0; i < param->rows(); ++i) {
+      for (int64_t j = 0; j < param->cols(); ++j) {
+        const double g = grad.at(i, j);
+        m_.at(i, j) = b1 * m_.at(i, j) + (1 - b1) * g;
+        v_.at(i, j) = b2 * v_.at(i, j) + (1 - b2) * g * g;
+        param->at(i, j) -=
+            lr_ * (m_.at(i, j) / bc1) / (std::sqrt(v_.at(i, j) / bc2) + eps);
+      }
+    }
+  }
+
+ private:
+  double lr_;
+  int t_ = 0;
+  Matrix m_, v_;
+};
+
+SparseMatrix SymNormAdjacency(const Graph& graph) {
+  // D̂^{-1/2} Â D̂^{-1/2} with Â = A + I.
+  std::vector<SparseMatrix::Triplet> trips;
+  const NodeId n = graph.num_nodes();
+  std::vector<double> isd(static_cast<size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    isd[static_cast<size_t>(u)] =
+        1.0 / std::sqrt(static_cast<double>(graph.Degree(u) + 1));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    trips.push_back({u, u, isd[static_cast<size_t>(u)] * isd[static_cast<size_t>(u)]});
+    for (NodeId w : graph.Neighbors(u)) {
+      trips.push_back({u, w, isd[static_cast<size_t>(u)] * isd[static_cast<size_t>(w)]});
+    }
+  }
+  return SparseMatrix::Build(n, n, std::move(trips));
+}
+
+SparseMatrix RowStochasticAdjacency(const Graph& graph, bool self_loops) {
+  std::vector<SparseMatrix::Triplet> trips;
+  const NodeId n = graph.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    const int d = graph.Degree(u) + (self_loops ? 1 : 0);
+    if (d == 0) continue;
+    const double w = 1.0 / static_cast<double>(d);
+    if (self_loops) trips.push_back({u, u, w});
+    for (NodeId v : graph.Neighbors(u)) trips.push_back({u, v, w});
+  }
+  return SparseMatrix::Build(n, n, std::move(trips));
+}
+
+std::vector<std::pair<int64_t, int>> Targets(
+    const Graph& graph, const std::vector<NodeId>& train_nodes) {
+  std::vector<std::pair<int64_t, int>> t;
+  t.reserve(train_nodes.size());
+  for (NodeId u : train_nodes) {
+    t.emplace_back(u, graph.labels()[static_cast<size_t>(u)]);
+  }
+  return t;
+}
+
+double TrainAccuracyFromLogits(const Matrix& logits,
+                               const std::vector<std::pair<int64_t, int>>& t) {
+  if (t.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& [row, cls] : t) {
+    if (logits.ArgmaxRow(row) == cls) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(t.size());
+}
+
+Matrix ColSums(const Matrix& m) {
+  Matrix s(1, m.cols());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) s.at(0, c) += m.at(r, c);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::unique_ptr<GcnModel> TrainGcn(const Graph& graph,
+                                   const std::vector<NodeId>& train_nodes,
+                                   const TrainOptions& opts,
+                                   TrainStats* stats) {
+  RCW_CHECK(graph.num_classes() > 0 && graph.num_features() > 0);
+  Rng rng(opts.seed);
+  std::vector<int64_t> dims{graph.num_features()};
+  for (int h : opts.hidden_dims) dims.push_back(h);
+  dims.push_back(graph.num_classes());
+  const size_t L = dims.size() - 1;
+
+  std::vector<Matrix> weights, biases;
+  for (size_t i = 0; i < L; ++i) {
+    weights.push_back(Matrix::Xavier(dims[i], dims[i + 1], &rng));
+    biases.emplace_back(1, dims[i + 1]);
+  }
+
+  const SparseMatrix s = SymNormAdjacency(graph);
+  const auto targets = Targets(graph, train_nodes);
+
+  std::vector<Adam> opt_w, opt_b;
+  for (size_t i = 0; i < L; ++i) {
+    opt_w.emplace_back(dims[i], dims[i + 1], opts.learning_rate);
+    opt_b.emplace_back(1, dims[i + 1], opts.learning_rate);
+  }
+
+  double loss = 0.0;
+  Matrix logits;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    // Forward, caching aggregated inputs A_i = S·H_{i-1} and ReLU masks.
+    std::vector<Matrix> agg(L), mask(L);
+    Matrix h = graph.features();
+    for (size_t i = 0; i < L; ++i) {
+      agg[i] = s.Multiply(h);
+      Matrix z = Matrix::Multiply(agg[i], weights[i]);
+      z.AddRowVectorInPlace(biases[i]);
+      if (i + 1 < L) {
+        z.ReluInPlace(&mask[i]);
+      }
+      h = std::move(z);
+    }
+    logits = h;
+    Matrix probs = logits;
+    probs.SoftmaxRowsInPlace();
+    Matrix dz;
+    loss = SoftmaxCrossEntropy(probs, targets, &dz);
+
+    // Backward.
+    for (size_t ii = L; ii-- > 0;) {
+      Matrix dw = Matrix::TransposeMultiply(agg[ii], dz);
+      dw.AddInPlace(weights[ii], opts.weight_decay);
+      Matrix db = ColSums(dz);
+      if (ii > 0) {
+        Matrix da = Matrix::MultiplyTransposed(dz, weights[ii]);
+        Matrix dh = s.Multiply(da);  // S is symmetric
+        // Apply ReLU mask of the previous layer.
+        for (int64_t r = 0; r < dh.rows(); ++r) {
+          for (int64_t c = 0; c < dh.cols(); ++c) {
+            dh.at(r, c) *= mask[ii - 1].at(r, c);
+          }
+        }
+        dz = std::move(dh);
+      }
+      opt_w[ii].Step(&weights[ii], dw);
+      opt_b[ii].Step(&biases[ii], db);
+    }
+    if (opts.verbose && (epoch % 20 == 0 || epoch == opts.epochs - 1)) {
+      std::printf("[TrainGcn] epoch %3d loss %.4f acc %.3f\n", epoch, loss,
+                  TrainAccuracyFromLogits(logits, targets));
+    }
+  }
+  if (stats != nullptr) {
+    stats->final_loss = loss;
+    stats->train_accuracy = TrainAccuracyFromLogits(logits, targets);
+  }
+  return std::make_unique<GcnModel>(std::move(weights), std::move(biases));
+}
+
+std::unique_ptr<AppnpModel> TrainAppnp(const Graph& graph,
+                                       const std::vector<NodeId>& train_nodes,
+                                       const TrainOptions& opts,
+                                       TrainStats* stats) {
+  RCW_CHECK(graph.num_classes() > 0 && graph.num_features() > 0);
+  Rng rng(opts.seed);
+  Matrix theta =
+      Matrix::Xavier(graph.num_features(), graph.num_classes(), &rng);
+  Matrix bias(1, graph.num_classes());
+
+  const SparseMatrix p = RowStochasticAdjacency(graph, /*self_loops=*/true);
+  const auto targets = Targets(graph, train_nodes);
+  const double alpha = opts.alpha;
+
+  // Z = (1-α)(I - αP)^{-1} H  via  Z ← (1-α)H + αP·Z.
+  auto propagate = [&](const Matrix& h, bool transpose) {
+    Matrix z = h;
+    z.ScaleInPlace(1.0 - alpha);
+    for (int it = 0; it < 60; ++it) {
+      Matrix pz = transpose ? p.TransposeMultiply(z) : p.Multiply(z);
+      pz.ScaleInPlace(alpha);
+      Matrix next = h;
+      next.ScaleInPlace(1.0 - alpha);
+      next.AddInPlace(pz);
+      z = std::move(next);
+    }
+    return z;
+  };
+
+  Adam opt_t(theta.rows(), theta.cols(), opts.learning_rate);
+  Adam opt_b(1, bias.cols(), opts.learning_rate);
+  double loss = 0.0;
+  Matrix logits;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    Matrix h = Matrix::Multiply(graph.features(), theta);
+    h.AddRowVectorInPlace(bias);
+    logits = propagate(h, /*transpose=*/false);
+    Matrix probs = logits;
+    probs.SoftmaxRowsInPlace();
+    Matrix dz;
+    loss = SoftmaxCrossEntropy(probs, targets, &dz);
+    // dH = (1-α)(I - αP^T)^{-1} dZ — same fixed-point iteration with P^T.
+    Matrix dh = propagate(dz, /*transpose=*/true);
+    Matrix dtheta = Matrix::TransposeMultiply(graph.features(), dh);
+    dtheta.AddInPlace(theta, opts.weight_decay);
+    Matrix db = ColSums(dh);
+    opt_t.Step(&theta, dtheta);
+    opt_b.Step(&bias, db);
+    if (opts.verbose && (epoch % 20 == 0 || epoch == opts.epochs - 1)) {
+      std::printf("[TrainAppnp] epoch %3d loss %.4f acc %.3f\n", epoch, loss,
+                  TrainAccuracyFromLogits(logits, targets));
+    }
+  }
+  if (stats != nullptr) {
+    stats->final_loss = loss;
+    stats->train_accuracy = TrainAccuracyFromLogits(logits, targets);
+  }
+  PprOptions ppr;
+  ppr.alpha = alpha;
+  return std::make_unique<AppnpModel>(std::move(theta), std::move(bias), alpha,
+                                      ppr);
+}
+
+std::unique_ptr<SageModel> TrainSage(const Graph& graph,
+                                     const std::vector<NodeId>& train_nodes,
+                                     const TrainOptions& opts,
+                                     TrainStats* stats) {
+  RCW_CHECK(graph.num_classes() > 0 && graph.num_features() > 0);
+  Rng rng(opts.seed);
+  std::vector<int64_t> dims{graph.num_features()};
+  for (int h : opts.hidden_dims) dims.push_back(h);
+  dims.push_back(graph.num_classes());
+  const size_t L = dims.size() - 1;
+
+  std::vector<SageModel::Layer> layers;
+  for (size_t i = 0; i < L; ++i) {
+    SageModel::Layer l;
+    l.w_self = Matrix::Xavier(dims[i], dims[i + 1], &rng);
+    l.w_neigh = Matrix::Xavier(dims[i], dims[i + 1], &rng);
+    l.bias = Matrix(1, dims[i + 1]);
+    layers.push_back(std::move(l));
+  }
+
+  const SparseMatrix s = RowStochasticAdjacency(graph, /*self_loops=*/false);
+  const auto targets = Targets(graph, train_nodes);
+
+  std::vector<Adam> opt_ws, opt_wn, opt_b;
+  for (size_t i = 0; i < L; ++i) {
+    opt_ws.emplace_back(dims[i], dims[i + 1], opts.learning_rate);
+    opt_wn.emplace_back(dims[i], dims[i + 1], opts.learning_rate);
+    opt_b.emplace_back(1, dims[i + 1], opts.learning_rate);
+  }
+
+  double loss = 0.0;
+  Matrix logits;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    std::vector<Matrix> hs(L + 1), means(L), mask(L);
+    hs[0] = graph.features();
+    for (size_t i = 0; i < L; ++i) {
+      means[i] = s.Multiply(hs[i]);
+      Matrix z = Matrix::Multiply(hs[i], layers[i].w_self);
+      const Matrix zn = Matrix::Multiply(means[i], layers[i].w_neigh);
+      z.AddInPlace(zn);
+      z.AddRowVectorInPlace(layers[i].bias);
+      if (i + 1 < L) z.ReluInPlace(&mask[i]);
+      hs[i + 1] = std::move(z);
+    }
+    logits = hs[L];
+    Matrix probs = logits;
+    probs.SoftmaxRowsInPlace();
+    Matrix dz;
+    loss = SoftmaxCrossEntropy(probs, targets, &dz);
+
+    for (size_t ii = L; ii-- > 0;) {
+      Matrix dws = Matrix::TransposeMultiply(hs[ii], dz);
+      dws.AddInPlace(layers[ii].w_self, opts.weight_decay);
+      Matrix dwn = Matrix::TransposeMultiply(means[ii], dz);
+      dwn.AddInPlace(layers[ii].w_neigh, opts.weight_decay);
+      Matrix db = ColSums(dz);
+      if (ii > 0) {
+        Matrix dh = Matrix::MultiplyTransposed(dz, layers[ii].w_self);
+        const Matrix dmean = Matrix::MultiplyTransposed(dz, layers[ii].w_neigh);
+        dh.AddInPlace(s.TransposeMultiply(dmean));
+        for (int64_t r = 0; r < dh.rows(); ++r) {
+          for (int64_t c = 0; c < dh.cols(); ++c) {
+            dh.at(r, c) *= mask[ii - 1].at(r, c);
+          }
+        }
+        dz = std::move(dh);
+      }
+      opt_ws[ii].Step(&layers[ii].w_self, dws);
+      opt_wn[ii].Step(&layers[ii].w_neigh, dwn);
+      opt_b[ii].Step(&layers[ii].bias, db);
+    }
+    if (opts.verbose && (epoch % 20 == 0 || epoch == opts.epochs - 1)) {
+      std::printf("[TrainSage] epoch %3d loss %.4f acc %.3f\n", epoch, loss,
+                  TrainAccuracyFromLogits(logits, targets));
+    }
+  }
+  if (stats != nullptr) {
+    stats->final_loss = loss;
+    stats->train_accuracy = TrainAccuracyFromLogits(logits, targets);
+  }
+  return std::make_unique<SageModel>(std::move(layers));
+}
+
+std::unique_ptr<GinModel> TrainGin(const Graph& graph,
+                                   const std::vector<NodeId>& train_nodes,
+                                   const TrainOptions& opts,
+                                   TrainStats* stats) {
+  RCW_CHECK(graph.num_classes() > 0 && graph.num_features() > 0);
+  Rng rng(opts.seed);
+  std::vector<int64_t> dims{graph.num_features()};
+  for (int h : opts.hidden_dims) dims.push_back(h);
+  dims.push_back(graph.num_classes());
+  const size_t L = dims.size() - 1;
+  const double eps = 0.0;
+
+  std::vector<Matrix> weights, biases;
+  for (size_t i = 0; i < L; ++i) {
+    weights.push_back(Matrix::Xavier(dims[i], dims[i + 1], &rng));
+    biases.emplace_back(1, dims[i + 1]);
+  }
+
+  // Sum aggregation S = A + (1+ε)I — symmetric, so backprop reuses S.
+  std::vector<SparseMatrix::Triplet> trips;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    trips.push_back({u, u, 1.0 + eps});
+    for (NodeId w : graph.Neighbors(u)) trips.push_back({u, w, 1.0});
+  }
+  const SparseMatrix s =
+      SparseMatrix::Build(graph.num_nodes(), graph.num_nodes(), std::move(trips));
+  const auto targets = Targets(graph, train_nodes);
+
+  std::vector<Adam> opt_w, opt_b;
+  for (size_t i = 0; i < L; ++i) {
+    opt_w.emplace_back(dims[i], dims[i + 1], opts.learning_rate);
+    opt_b.emplace_back(1, dims[i + 1], opts.learning_rate);
+  }
+
+  double loss = 0.0;
+  Matrix logits;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    std::vector<Matrix> agg(L), mask(L);
+    Matrix h = graph.features();
+    for (size_t i = 0; i < L; ++i) {
+      agg[i] = s.Multiply(h);
+      Matrix z = Matrix::Multiply(agg[i], weights[i]);
+      z.AddRowVectorInPlace(biases[i]);
+      if (i + 1 < L) z.ReluInPlace(&mask[i]);
+      h = std::move(z);
+    }
+    logits = h;
+    Matrix probs = logits;
+    probs.SoftmaxRowsInPlace();
+    Matrix dz;
+    loss = SoftmaxCrossEntropy(probs, targets, &dz);
+
+    for (size_t ii = L; ii-- > 0;) {
+      Matrix dw = Matrix::TransposeMultiply(agg[ii], dz);
+      dw.AddInPlace(weights[ii], opts.weight_decay);
+      Matrix db = ColSums(dz);
+      if (ii > 0) {
+        Matrix da = Matrix::MultiplyTransposed(dz, weights[ii]);
+        Matrix dh = s.Multiply(da);  // S symmetric
+        for (int64_t r = 0; r < dh.rows(); ++r) {
+          for (int64_t c = 0; c < dh.cols(); ++c) {
+            dh.at(r, c) *= mask[ii - 1].at(r, c);
+          }
+        }
+        dz = std::move(dh);
+      }
+      opt_w[ii].Step(&weights[ii], dw);
+      opt_b[ii].Step(&biases[ii], db);
+    }
+    if (opts.verbose && (epoch % 20 == 0 || epoch == opts.epochs - 1)) {
+      std::printf("[TrainGin] epoch %3d loss %.4f acc %.3f\n", epoch, loss,
+                  TrainAccuracyFromLogits(logits, targets));
+    }
+  }
+  if (stats != nullptr) {
+    stats->final_loss = loss;
+    stats->train_accuracy = TrainAccuracyFromLogits(logits, targets);
+  }
+  return std::make_unique<GinModel>(std::move(weights), std::move(biases), eps);
+}
+
+std::unique_ptr<GatModel> MakeRandomGat(int64_t num_features, int hidden,
+                                        int num_classes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GatModel::Layer> layers;
+  const std::vector<int64_t> dims{num_features, hidden, num_classes};
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    GatModel::Layer l;
+    l.w = Matrix::Xavier(dims[i], dims[i + 1], &rng);
+    l.attn_src = Matrix::Xavier(1, dims[i + 1], &rng);
+    l.attn_dst = Matrix::Xavier(1, dims[i + 1], &rng);
+    l.bias = Matrix(1, dims[i + 1]);
+    layers.push_back(std::move(l));
+  }
+  return std::make_unique<GatModel>(std::move(layers));
+}
+
+std::vector<NodeId> SampleTrainNodes(const Graph& graph, double fraction,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<NodeId>> by_class(
+      static_cast<size_t>(graph.num_classes()));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    by_class[static_cast<size_t>(graph.labels()[static_cast<size_t>(u)])]
+        .push_back(u);
+  }
+  std::vector<NodeId> out;
+  for (auto& bucket : by_class) {
+    rng.Shuffle(&bucket);
+    const size_t take = std::max<size_t>(
+        1, static_cast<size_t>(fraction * static_cast<double>(bucket.size())));
+    for (size_t i = 0; i < std::min(take, bucket.size()); ++i) {
+      out.push_back(bucket[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> SelectCorrectTestNodes(const GnnModel& model,
+                                           const Graph& graph, int count,
+                                           const std::vector<NodeId>& exclude,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<NodeId> skip(exclude.begin(), exclude.end());
+  const FullView view(&graph);
+  const Matrix logits = model.Infer(view, graph.features());
+  std::vector<NodeId> candidates;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (skip.count(u) > 0) continue;
+    if (static_cast<Label>(logits.ArgmaxRow(u)) ==
+        graph.labels()[static_cast<size_t>(u)]) {
+      candidates.push_back(u);
+    }
+  }
+  rng.Shuffle(&candidates);
+  if (static_cast<int>(candidates.size()) > count) {
+    candidates.resize(static_cast<size_t>(count));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+std::vector<NodeId> SelectExplainableTestNodes(
+    const GnnModel& model, const Graph& graph, int count,
+    const std::vector<NodeId>& exclude, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<NodeId> skip(exclude.begin(), exclude.end());
+  const FullView view(&graph);
+  const Matrix logits = model.Infer(view, graph.features());
+  // The empty-edge view answers M(v, {v}) for every node at once.
+  const EdgeSubsetView isolated(graph.num_nodes(), {});
+  std::vector<NodeId> candidates;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (skip.count(u) > 0) continue;
+    const Label l = static_cast<Label>(logits.ArgmaxRow(u));
+    if (l != graph.labels()[static_cast<size_t>(u)]) continue;
+    if (model.Predict(isolated, graph.features(), u) == l) continue;
+    candidates.push_back(u);
+  }
+  rng.Shuffle(&candidates);
+  if (static_cast<int>(candidates.size()) > count) {
+    candidates.resize(static_cast<size_t>(count));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,89 @@
+// Full-batch training (hand-written backprop + Adam) for the trainable
+// models. The paper assumes a *pre-trained, fixed, deterministic* classifier;
+// this module produces one reproducibly from a seed.
+#ifndef ROBOGEXP_GNN_TRAINER_H_
+#define ROBOGEXP_GNN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/gnn/appnp.h"
+#include "src/gnn/gat.h"
+#include "src/gnn/gcn.h"
+#include "src/gnn/gin.h"
+#include "src/gnn/sage.h"
+#include "src/graph/graph.h"
+
+namespace robogexp {
+
+struct TrainOptions {
+  int epochs = 150;
+  double learning_rate = 0.02;
+  double weight_decay = 5e-4;
+  /// Hidden dims of the convolution stack; the output layer (num_classes) is
+  /// appended automatically. Two entries + output = the paper's 3-layer GCN.
+  std::vector<int> hidden_dims = {64, 64};
+  /// APPNP walk-continuation probability.
+  double alpha = 0.85;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  double final_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Trains a GCN on `graph` using labels of `train_nodes` (full-batch Adam).
+std::unique_ptr<GcnModel> TrainGcn(const Graph& graph,
+                                   const std::vector<NodeId>& train_nodes,
+                                   const TrainOptions& opts,
+                                   TrainStats* stats = nullptr);
+
+/// Trains APPNP's linear predictor Θ, b (propagation has no parameters).
+std::unique_ptr<AppnpModel> TrainAppnp(const Graph& graph,
+                                       const std::vector<NodeId>& train_nodes,
+                                       const TrainOptions& opts,
+                                       TrainStats* stats = nullptr);
+
+/// Trains GraphSAGE with the deterministic mean aggregator.
+std::unique_ptr<SageModel> TrainSage(const Graph& graph,
+                                     const std::vector<NodeId>& train_nodes,
+                                     const TrainOptions& opts,
+                                     TrainStats* stats = nullptr);
+
+/// Trains a GIN (sum aggregation, fixed ε = 0).
+std::unique_ptr<GinModel> TrainGin(const Graph& graph,
+                                   const std::vector<NodeId>& train_nodes,
+                                   const TrainOptions& opts,
+                                   TrainStats* stats = nullptr);
+
+/// Deterministically initialized (untrained) GAT; used to exercise
+/// model-agnostic code paths.
+std::unique_ptr<GatModel> MakeRandomGat(int64_t num_features, int hidden,
+                                        int num_classes, uint64_t seed);
+
+/// Deterministic stratified sample: `fraction` of each class.
+std::vector<NodeId> SampleTrainNodes(const Graph& graph, double fraction,
+                                     uint64_t seed);
+
+/// Picks up to `count` nodes outside `exclude` that the model classifies
+/// correctly (the paper explains results M(v, G) = l on test nodes).
+std::vector<NodeId> SelectCorrectTestNodes(const GnnModel& model,
+                                           const Graph& graph, int count,
+                                           const std::vector<NodeId>& exclude,
+                                           uint64_t seed);
+
+/// Like SelectCorrectTestNodes, but additionally requires the prediction to
+/// be neighborhood-dependent: M(v, {v}) != M(v, G). A node whose own
+/// features alone already produce l admits no counterfactual witness (no
+/// edge removal can flip it), which the paper cites as the reason its
+/// Fidelity scores fall short of the theoretical optimum; explanation
+/// quality is evaluated on the explainable population.
+std::vector<NodeId> SelectExplainableTestNodes(
+    const GnnModel& model, const Graph& graph, int count,
+    const std::vector<NodeId>& exclude, uint64_t seed);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GNN_TRAINER_H_

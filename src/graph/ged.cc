@@ -1,0 +1,132 @@
+#include "src/graph/ged.h"
+
+#include <algorithm>
+#include <set>
+
+namespace robogexp {
+
+bool LabeledGraph::HasEdge(NodeId u, NodeId v) const {
+  Edge e(u, v);
+  for (const Edge& x : edges) {
+    if (x == e) return true;
+  }
+  return false;
+}
+
+int64_t IdentifiedGed(const std::vector<NodeId>& nodes_a,
+                      const std::vector<Edge>& edges_a,
+                      const std::vector<NodeId>& nodes_b,
+                      const std::vector<Edge>& edges_b) {
+  std::set<NodeId> na(nodes_a.begin(), nodes_a.end());
+  std::set<NodeId> nb(nodes_b.begin(), nodes_b.end());
+  std::set<uint64_t> ea, eb;
+  for (const Edge& e : edges_a) ea.insert(e.Key());
+  for (const Edge& e : edges_b) eb.insert(e.Key());
+
+  int64_t dist = 0;
+  for (NodeId u : na) {
+    if (nb.count(u) == 0) ++dist;
+  }
+  for (NodeId u : nb) {
+    if (na.count(u) == 0) ++dist;
+  }
+  for (uint64_t k : ea) {
+    if (eb.count(k) == 0) ++dist;
+  }
+  for (uint64_t k : eb) {
+    if (ea.count(k) == 0) ++dist;
+  }
+  return dist;
+}
+
+namespace {
+
+// Branch-and-bound state for exact GED. Maps nodes of `a` to nodes of `b`
+// (or to "deleted"); unassigned b-nodes at the end are insertions.
+struct GedSearch {
+  const LabeledGraph* a;
+  const LabeledGraph* b;
+  std::vector<int> assign;   // a-node -> b-node or -1 (deleted)
+  std::vector<bool> used_b;
+  int best;
+
+  // Cost of edges already decided between assigned a-nodes i<j, plus node
+  // costs of assigned prefix.
+  int PrefixCost(int upto) const {
+    int cost = 0;
+    for (int i = 0; i < upto; ++i) {
+      if (assign[static_cast<size_t>(i)] == -1) {
+        ++cost;  // node deletion
+        continue;
+      }
+      if (a->labels[static_cast<size_t>(i)] !=
+          b->labels[static_cast<size_t>(assign[static_cast<size_t>(i)])]) {
+        ++cost;  // relabel
+      }
+    }
+    // Edge costs among the prefix.
+    for (int i = 0; i < upto; ++i) {
+      for (int j = i + 1; j < upto; ++j) {
+        const bool ea = a->HasEdge(i, j);
+        const int bi = assign[static_cast<size_t>(i)];
+        const int bj = assign[static_cast<size_t>(j)];
+        const bool eb = (bi != -1 && bj != -1) ? b->HasEdge(bi, bj) : false;
+        if (ea != eb) ++cost;
+      }
+    }
+    return cost;
+  }
+
+  void Recurse(int i) {
+    const int prefix = PrefixCost(i);
+    if (prefix >= best) return;  // prune
+    if (i == a->num_nodes) {
+      int cost = prefix;
+      // Unmatched b-nodes: insert node + its edges to other unmatched /
+      // matched b-nodes not yet accounted. Count all b-edges with at least
+      // one unmatched endpoint.
+      int unmatched = 0;
+      for (int j = 0; j < b->num_nodes; ++j) {
+        if (!used_b[static_cast<size_t>(j)]) ++unmatched;
+      }
+      cost += unmatched;
+      for (const Edge& e : b->edges) {
+        if (!used_b[static_cast<size_t>(e.u)] || !used_b[static_cast<size_t>(e.v)]) {
+          ++cost;
+        }
+      }
+      best = std::min(best, cost);
+      return;
+    }
+    // Try assigning a-node i to every free b-node.
+    for (int j = 0; j < b->num_nodes; ++j) {
+      if (used_b[static_cast<size_t>(j)]) continue;
+      assign[static_cast<size_t>(i)] = j;
+      used_b[static_cast<size_t>(j)] = true;
+      Recurse(i + 1);
+      used_b[static_cast<size_t>(j)] = false;
+    }
+    // Or delete it.
+    assign[static_cast<size_t>(i)] = -1;
+    Recurse(i + 1);
+  }
+};
+
+}  // namespace
+
+int ExactGed(const LabeledGraph& a, const LabeledGraph& b) {
+  RCW_CHECK_MSG(a.num_nodes <= 12 && b.num_nodes <= 12,
+                "ExactGed is exponential; use graphs with <= 12 nodes");
+  GedSearch search;
+  search.a = &a;
+  search.b = &b;
+  search.assign.assign(static_cast<size_t>(a.num_nodes), -1);
+  search.used_b.assign(static_cast<size_t>(b.num_nodes), false);
+  // Upper bound: delete everything in a, insert everything in b.
+  search.best = a.num_nodes + static_cast<int>(a.edges.size()) + b.num_nodes +
+                static_cast<int>(b.edges.size());
+  search.Recurse(0);
+  return search.best;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,44 @@
+// Graph edit distance.
+//
+// Two flavors are provided:
+//  * IdentifiedGed — witnesses extracted from (variants of) the *same* base
+//    graph share node identities, so GED degenerates to the symmetric
+//    difference of node and edge sets. This is the quantity inside the
+//    paper's normalized GED metric (Eq. 3).
+//  * ExactGed — exact label-aware edit distance between two small independent
+//    graphs via branch-and-bound over node assignments; used by the molecule
+//    case study and as a test oracle.
+#ifndef ROBOGEXP_GRAPH_GED_H_
+#define ROBOGEXP_GRAPH_GED_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace robogexp {
+
+/// A lightweight labeled graph for GED computations (nodes 0..n-1 with an
+/// integer label each).
+struct LabeledGraph {
+  int num_nodes = 0;
+  std::vector<int> labels;      // size num_nodes
+  std::vector<Edge> edges;      // normalized, unique
+
+  bool HasEdge(NodeId u, NodeId v) const;
+};
+
+/// Edit distance between two node/edge sets over a shared id space:
+/// |nodes(A) xor nodes(B)| + |edges(A) xor edges(B)|.
+int64_t IdentifiedGed(const std::vector<NodeId>& nodes_a,
+                      const std::vector<Edge>& edges_a,
+                      const std::vector<NodeId>& nodes_b,
+                      const std::vector<Edge>& edges_b);
+
+/// Exact GED between two small labeled graphs (unit costs: node insert /
+/// delete / relabel, edge insert / delete). Exponential; intended for graphs
+/// with <= ~10 nodes. Branch-and-bound over injective node assignments.
+int ExactGed(const LabeledGraph& a, const LabeledGraph& b);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GRAPH_GED_H_

@@ -1,0 +1,85 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace robogexp {
+
+Graph::Graph(NodeId num_nodes)
+    : adj_(static_cast<size_t>(num_nodes)) {
+  RCW_CHECK(num_nodes >= 0);
+}
+
+NodeId Graph::AddNode() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+Status Graph::AddEdge(NodeId u, NodeId v) {
+  if (!ValidNode(u) || !ValidNode(v)) {
+    return Status::InvalidArgument("AddEdge: node id out of range");
+  }
+  if (u == v) return Status::InvalidArgument("AddEdge: self-loop rejected");
+  if (!edge_set_.insert(PairKey(u, v)).second) {
+    return Status::InvalidArgument("AddEdge: duplicate edge");
+  }
+  adj_[static_cast<size_t>(u)].push_back(v);
+  adj_[static_cast<size_t>(v)].push_back(u);
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(NodeId u, NodeId v) {
+  if (!HasEdge(u, v)) return Status::NotFound("RemoveEdge: edge not present");
+  edge_set_.erase(PairKey(u, v));
+  auto erase_from = [](std::vector<NodeId>& vec, NodeId x) {
+    vec.erase(std::find(vec.begin(), vec.end(), x));
+  };
+  erase_from(adj_[static_cast<size_t>(u)], v);
+  erase_from(adj_[static_cast<size_t>(v)], u);
+  return Status::OK();
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(edge_set_.size());
+  for (uint64_t key : edge_set_) {
+    edges.emplace_back(PairKeyFirst(key), PairKeySecond(key));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+int Graph::MaxDegree() const {
+  int dm = 0;
+  for (const auto& nbrs : adj_) dm = std::max(dm, static_cast<int>(nbrs.size()));
+  return dm;
+}
+
+double Graph::AverageDegree() const {
+  if (adj_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+}
+
+void Graph::SetFeatures(Matrix features) {
+  RCW_CHECK(features.rows() == num_nodes());
+  features_ = std::move(features);
+}
+
+void Graph::SetLabels(std::vector<Label> labels, int num_classes) {
+  RCW_CHECK(static_cast<NodeId>(labels.size()) == num_nodes());
+  labels_ = std::move(labels);
+  num_classes_ = num_classes;
+}
+
+void Graph::SetNodeName(NodeId u, std::string name) {
+  RCW_CHECK(ValidNode(u));
+  if (names_.size() < adj_.size()) names_.resize(adj_.size());
+  names_[static_cast<size_t>(u)] = std::move(name);
+}
+
+const std::string& Graph::NodeName(NodeId u) const {
+  static const std::string kEmpty;
+  if (static_cast<size_t>(u) >= names_.size()) return kEmpty;
+  return names_[static_cast<size_t>(u)];
+}
+
+}  // namespace robogexp

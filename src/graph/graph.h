@@ -1,0 +1,93 @@
+// Attributed undirected graph: adjacency lists + O(1) edge membership,
+// per-node feature rows, and (optional) ground-truth labels.
+#ifndef ROBOGEXP_GRAPH_GRAPH_H_
+#define ROBOGEXP_GRAPH_GRAPH_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/la/matrix.h"
+#include "src/util/common.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// An undirected edge, normalized so that u <= v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  Edge() : u(kInvalidNode), v(kInvalidNode) {}
+  Edge(NodeId a, NodeId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  uint64_t Key() const { return PairKey(u, v); }
+  bool operator==(const Edge& o) const { return u == o.u && v == o.v; }
+  bool operator<(const Edge& o) const {
+    return u != o.u ? u < o.u : v < o.v;
+  }
+};
+
+/// Connected, attributed, undirected graph over dense node ids.
+class Graph {
+ public:
+  explicit Graph(NodeId num_nodes = 0);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edge_set_.size()); }
+
+  /// Adds a node and returns its id.
+  NodeId AddNode();
+
+  /// Adds an undirected edge. Self-loops and duplicates are rejected.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// Removes an undirected edge if present; returns NotFound otherwise.
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  bool HasEdge(NodeId u, NodeId v) const {
+    if (u == v || !ValidNode(u) || !ValidNode(v)) return false;
+    return edge_set_.count(PairKey(u, v)) > 0;
+  }
+
+  bool ValidNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
+
+  int Degree(NodeId u) const { return static_cast<int>(adj_[static_cast<size_t>(u)].size()); }
+
+  const std::vector<NodeId>& Neighbors(NodeId u) const {
+    return adj_[static_cast<size_t>(u)];
+  }
+
+  /// All edges, each reported once (u <= v), in insertion-independent
+  /// deterministic order (sorted).
+  std::vector<Edge> Edges() const;
+
+  int MaxDegree() const;
+  double AverageDegree() const;
+
+  // -- Attributes ----------------------------------------------------------
+
+  /// Sets the node feature matrix (num_nodes x F). Replaces any existing.
+  void SetFeatures(Matrix features);
+  const Matrix& features() const { return features_; }
+  int64_t num_features() const { return features_.cols(); }
+
+  void SetLabels(std::vector<Label> labels, int num_classes);
+  const std::vector<Label>& labels() const { return labels_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Optional node names, used by the case-study graphs for readable output.
+  void SetNodeName(NodeId u, std::string name);
+  const std::string& NodeName(NodeId u) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::unordered_set<uint64_t> edge_set_;
+  Matrix features_;
+  std::vector<Label> labels_;
+  int num_classes_ = 0;
+  std::vector<std::string> names_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GRAPH_GRAPH_H_

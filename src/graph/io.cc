@@ -1,0 +1,123 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace robogexp {
+
+Status SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("SaveGraph: cannot open " + path);
+  f << "graph " << graph.num_nodes() << " " << graph.num_edges() << " "
+    << graph.num_features() << " " << graph.num_classes() << "\n";
+  for (const Edge& e : graph.Edges()) {
+    f << "e " << e.u << " " << e.v << "\n";
+  }
+  if (!graph.labels().empty()) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      f << "l " << u << " " << graph.labels()[static_cast<size_t>(u)] << "\n";
+    }
+  }
+  if (graph.num_features() > 0) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      bool any = false;
+      for (int64_t c = 0; c < graph.num_features(); ++c) {
+        if (graph.features().at(u, c) != 0.0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      f << "f " << u;
+      for (int64_t c = 0; c < graph.num_features(); ++c) {
+        const double v = graph.features().at(u, c);
+        if (v != 0.0) f << " " << c << ":" << v;
+      }
+      f << "\n";
+    }
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (!graph.NodeName(u).empty()) {
+      f << "n " << u << " " << graph.NodeName(u) << "\n";
+    }
+  }
+  if (!f) return Status::Internal("SaveGraph: write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadGraph(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("LoadGraph: cannot open " + path);
+  std::string line;
+  Graph graph;
+  Matrix features;
+  std::vector<Label> labels;
+  int num_classes = 0;
+  bool header_seen = false;
+
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "graph") {
+      NodeId n;
+      int64_t m, nf;
+      ss >> n >> m >> nf >> num_classes;
+      if (!ss) return Status::InvalidArgument("LoadGraph: bad header");
+      graph = Graph(n);
+      features = Matrix(n, nf);
+      labels.assign(static_cast<size_t>(n), 0);
+      header_seen = true;
+    } else if (!header_seen) {
+      return Status::InvalidArgument("LoadGraph: data before header");
+    } else if (tag == "e") {
+      NodeId u, v;
+      ss >> u >> v;
+      RCW_RETURN_IF_ERROR(graph.AddEdge(u, v));
+    } else if (tag == "l") {
+      NodeId u;
+      Label l;
+      ss >> u >> l;
+      if (!graph.ValidNode(u)) {
+        return Status::InvalidArgument("LoadGraph: bad label node");
+      }
+      labels[static_cast<size_t>(u)] = l;
+    } else if (tag == "f") {
+      NodeId u;
+      ss >> u;
+      if (!graph.ValidNode(u)) {
+        return Status::InvalidArgument("LoadGraph: bad feature node");
+      }
+      std::string pair;
+      while (ss >> pair) {
+        const size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("LoadGraph: bad feature pair");
+        }
+        const int64_t idx = std::stoll(pair.substr(0, colon));
+        const double value = std::stod(pair.substr(colon + 1));
+        if (idx < 0 || idx >= features.cols()) {
+          return Status::InvalidArgument("LoadGraph: feature index range");
+        }
+        features.at(u, idx) = value;
+      }
+    } else if (tag == "n") {
+      NodeId u;
+      std::string name;
+      ss >> u >> name;
+      if (!graph.ValidNode(u)) {
+        return Status::InvalidArgument("LoadGraph: bad name node");
+      }
+      graph.SetNodeName(u, name);
+    } else {
+      return Status::InvalidArgument("LoadGraph: unknown tag " + tag);
+    }
+  }
+  if (!header_seen) return Status::InvalidArgument("LoadGraph: empty file");
+  if (features.cols() > 0) graph.SetFeatures(std::move(features));
+  if (num_classes > 0) graph.SetLabels(std::move(labels), num_classes);
+  return graph;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,81 @@
+#include "src/graph/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace robogexp {
+
+std::vector<Fragment> EdgeCutPartition(const Graph& graph, int num_fragments,
+                                       int halo_hops) {
+  RCW_CHECK(num_fragments >= 1);
+  const NodeId n = graph.num_nodes();
+  std::vector<int> owner(static_cast<size_t>(n), -1);
+
+  // BFS-grown regions: repeatedly grow a region from the lowest-id unassigned
+  // node until it reaches the target size. Deterministic and locality-aware.
+  const NodeId target =
+      std::max<NodeId>(1, (n + num_fragments - 1) / num_fragments);
+  int frag = 0;
+  NodeId assigned = 0;
+  NodeId scan = 0;
+  while (assigned < n) {
+    // Find the next unassigned seed.
+    while (scan < n && owner[static_cast<size_t>(scan)] != -1) ++scan;
+    if (scan >= n) break;
+    std::deque<NodeId> q{scan};
+    owner[static_cast<size_t>(scan)] = frag;
+    ++assigned;
+    NodeId in_frag = 1;
+    while (!q.empty() && in_frag < target) {
+      NodeId u = q.front();
+      q.pop_front();
+      std::vector<NodeId> nbrs = graph.Neighbors(u);
+      std::sort(nbrs.begin(), nbrs.end());
+      for (NodeId w : nbrs) {
+        if (in_frag >= target) break;
+        if (owner[static_cast<size_t>(w)] == -1) {
+          owner[static_cast<size_t>(w)] = frag;
+          ++assigned;
+          ++in_frag;
+          q.push_back(w);
+        }
+      }
+    }
+    if (frag + 1 < num_fragments) ++frag;
+  }
+
+  std::vector<Fragment> fragments(static_cast<size_t>(num_fragments));
+  for (int f = 0; f < num_fragments; ++f) {
+    fragments[static_cast<size_t>(f)].id = f;
+    fragments[static_cast<size_t>(f)].owned = Bitmap(static_cast<size_t>(n));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    Fragment& fr = fragments[static_cast<size_t>(owner[static_cast<size_t>(u)])];
+    fr.owned_nodes.push_back(u);
+    fr.owned.Set(static_cast<size_t>(u));
+  }
+  const FullView view(&graph);
+  for (auto& fr : fragments) {
+    fr.nodes_with_halo = KHopBall(view, fr.owned_nodes, halo_hops);
+    std::sort(fr.nodes_with_halo.begin(), fr.nodes_with_halo.end());
+  }
+  for (const Edge& e : graph.Edges()) {
+    fragments[static_cast<size_t>(owner[static_cast<size_t>(e.u)])]
+        .owned_edges.push_back(e);
+  }
+  return fragments;
+}
+
+int64_t CutSize(const Graph& graph, const std::vector<Fragment>& fragments) {
+  std::vector<int> owner(static_cast<size_t>(graph.num_nodes()), -1);
+  for (const auto& fr : fragments) {
+    for (NodeId u : fr.owned_nodes) owner[static_cast<size_t>(u)] = fr.id;
+  }
+  int64_t cut = 0;
+  for (const Edge& e : graph.Edges()) {
+    if (owner[static_cast<size_t>(e.u)] != owner[static_cast<size_t>(e.v)]) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace robogexp

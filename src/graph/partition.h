@@ -1,0 +1,40 @@
+// Edge-cut graph partitioning with L-hop halo duplication, the "inference
+// preserving partition" of Sec. VI: every border node's L-hop neighborhood is
+// replicated into the fragment so that local inference and local disturbance
+// verification need no data exchange.
+#ifndef ROBOGEXP_GRAPH_PARTITION_H_
+#define ROBOGEXP_GRAPH_PARTITION_H_
+
+#include <vector>
+
+#include "src/graph/view.h"
+#include "src/util/bitmap.h"
+
+namespace robogexp {
+
+/// One fragment of an edge-cut partition.
+struct Fragment {
+  int id = 0;
+  /// Nodes owned by this fragment (disjoint across fragments, covering V).
+  std::vector<NodeId> owned_nodes;
+  /// Owned nodes plus the replicated L-hop halo.
+  std::vector<NodeId> nodes_with_halo;
+  /// Edges owned by this fragment: an edge belongs to the fragment owning its
+  /// smaller endpoint. Disjoint across fragments, covering E.
+  std::vector<Edge> owned_edges;
+  /// owned-node membership bitmap over all of V.
+  Bitmap owned;
+};
+
+/// Partitions `graph` into `num_fragments` fragments via BFS-grown regions
+/// (keeps fragments locally contiguous, approximating a low edge-cut), then
+/// replicates an `halo_hops`-hop halo around every owned node.
+std::vector<Fragment> EdgeCutPartition(const Graph& graph, int num_fragments,
+                                       int halo_hops);
+
+/// Number of cut edges (endpoints owned by different fragments).
+int64_t CutSize(const Graph& graph, const std::vector<Fragment>& fragments);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_GRAPH_PARTITION_H_

@@ -1,0 +1,149 @@
+#include "src/graph/view.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace robogexp {
+
+int64_t GraphView::CountEdges() const {
+  int64_t twice = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) twice += Degree(u);
+  return twice / 2;
+}
+
+OverlayView::OverlayView(const GraphView* base, const std::vector<Edge>& flips)
+    : base_(base) {
+  RCW_CHECK(base != nullptr);
+  for (const Edge& e : flips) {
+    RCW_CHECK(e.u != e.v);
+    const uint64_t key = e.Key();
+    // A pair listed twice cancels out (flip is an involution).
+    if (base_->HasEdge(e.u, e.v)) {
+      if (removed_keys_.count(key) > 0) continue;
+      removed_keys_.insert(key);
+      removed_[e.u].push_back(e.v);
+      removed_[e.v].push_back(e.u);
+      ++num_removals_;
+    } else {
+      if (added_keys_.count(key) > 0) continue;
+      added_keys_.insert(key);
+      added_[e.u].push_back(e.v);
+      added_[e.v].push_back(e.u);
+      ++num_insertions_;
+    }
+  }
+}
+
+int OverlayView::Degree(NodeId u) const {
+  int d = base_->Degree(u);
+  auto ita = added_.find(u);
+  if (ita != added_.end()) d += static_cast<int>(ita->second.size());
+  auto itr = removed_.find(u);
+  if (itr != removed_.end()) d -= static_cast<int>(itr->second.size());
+  return d;
+}
+
+bool OverlayView::HasEdge(NodeId u, NodeId v) const {
+  const uint64_t key = PairKey(u, v);
+  if (removed_keys_.count(key) > 0) return false;
+  if (added_keys_.count(key) > 0) return true;
+  return base_->HasEdge(u, v);
+}
+
+void OverlayView::AppendNeighbors(NodeId u, std::vector<NodeId>* out) const {
+  auto itr = removed_.find(u);
+  if (itr == removed_.end()) {
+    base_->AppendNeighbors(u, out);
+  } else {
+    std::vector<NodeId> base_nbrs;
+    base_->AppendNeighbors(u, &base_nbrs);
+    for (NodeId w : base_nbrs) {
+      if (removed_keys_.count(PairKey(u, w)) == 0) out->push_back(w);
+    }
+  }
+  auto ita = added_.find(u);
+  if (ita != added_.end()) {
+    out->insert(out->end(), ita->second.begin(), ita->second.end());
+  }
+}
+
+int64_t OverlayView::CountEdges() const {
+  return base_->CountEdges() + num_insertions_ - num_removals_;
+}
+
+EdgeSubsetView::EdgeSubsetView(NodeId num_nodes, const std::vector<Edge>& edges)
+    : num_nodes_(num_nodes) {
+  for (const Edge& e : edges) {
+    RCW_CHECK(e.u >= 0 && e.v < num_nodes && e.u != e.v);
+    if (!edge_keys_.insert(e.Key()).second) continue;
+    adj_[e.u].push_back(e.v);
+    adj_[e.v].push_back(e.u);
+  }
+}
+
+int EdgeSubsetView::Degree(NodeId u) const {
+  auto it = adj_.find(u);
+  return it == adj_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+void EdgeSubsetView::AppendNeighbors(NodeId u, std::vector<NodeId>* out) const {
+  auto it = adj_.find(u);
+  if (it != adj_.end()) out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+std::vector<NodeId> KHopBall(const GraphView& view, NodeId center, int hops) {
+  return KHopBall(view, std::vector<NodeId>{center}, hops);
+}
+
+std::vector<NodeId> KHopBall(const GraphView& view,
+                             const std::vector<NodeId>& seeds, int hops) {
+  std::vector<NodeId> order;
+  std::unordered_set<NodeId> seen;
+  std::deque<std::pair<NodeId, int>> frontier;
+  for (NodeId s : seeds) {
+    if (seen.insert(s).second) {
+      order.push_back(s);
+      frontier.emplace_back(s, 0);
+    }
+  }
+  std::vector<NodeId> nbrs;
+  while (!frontier.empty()) {
+    auto [u, d] = frontier.front();
+    frontier.pop_front();
+    if (d == hops) continue;
+    nbrs.clear();
+    view.AppendNeighbors(u, &nbrs);
+    std::sort(nbrs.begin(), nbrs.end());  // deterministic order
+    for (NodeId w : nbrs) {
+      if (seen.insert(w).second) {
+        order.push_back(w);
+        frontier.emplace_back(w, d + 1);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<Edge> InducedEdges(const GraphView& view,
+                               const std::vector<NodeId>& nodes) {
+  std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+  std::vector<Edge> edges;
+  std::vector<NodeId> nbrs;
+  for (NodeId u : nodes) {
+    nbrs.clear();
+    view.AppendNeighbors(u, &nbrs);
+    for (NodeId w : nbrs) {
+      if (w > u && in_set.count(w) > 0) edges.emplace_back(u, w);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+bool IsConnected(const GraphView& view) {
+  if (view.num_nodes() == 0) return true;
+  const auto ball = KHopBall(view, NodeId{0}, view.num_nodes());
+  return static_cast<NodeId>(ball.size()) == view.num_nodes();
+}
+
+}  // namespace robogexp

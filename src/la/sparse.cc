@@ -1,0 +1,71 @@
+#include "src/la/sparse.h"
+
+#include <algorithm>
+
+#include "src/util/thread_pool.h"
+
+namespace robogexp {
+
+SparseMatrix SparseMatrix::Build(int64_t rows, int64_t cols,
+                                 std::vector<Triplet> triplets) {
+  SparseMatrix s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  s.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    RCW_CHECK(triplets[i].row >= 0 && triplets[i].row < rows);
+    RCW_CHECK(triplets[i].col >= 0 && triplets[i].col < cols);
+    s.col_idx_.push_back(triplets[i].col);
+    s.values_.push_back(sum);
+    s.row_ptr_[static_cast<size_t>(triplets[i].row) + 1]++;
+    i = j;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    s.row_ptr_[static_cast<size_t>(r) + 1] += s.row_ptr_[static_cast<size_t>(r)];
+  }
+  return s;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  RCW_CHECK(cols_ == x.rows());
+  Matrix y(rows_, x.cols());
+  ParallelFor(DefaultPool(), rows_, [&](int64_t r) {
+    double* yrow = y.Row(r);
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const double v = values_[static_cast<size_t>(p)];
+      const double* xrow = x.Row(col_idx_[static_cast<size_t>(p)]);
+      for (int64_t c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+    }
+  }, /*min_grain=*/64);
+  return y;
+}
+
+Matrix SparseMatrix::TransposeMultiply(const Matrix& x) const {
+  RCW_CHECK(rows_ == x.rows());
+  Matrix y(cols_, x.cols());
+  // Serial over rows to avoid write races on y's rows.
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* xrow = x.Row(r);
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const double v = values_[static_cast<size_t>(p)];
+      double* yrow = y.Row(col_idx_[static_cast<size_t>(p)]);
+      for (int64_t c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,52 @@
+// Compressed sparse row matrix used for the (fixed) normalized adjacency in
+// full-batch GNN training, where the graph does not change between epochs.
+#ifndef ROBOGEXP_LA_SPARSE_H_
+#define ROBOGEXP_LA_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/la/matrix.h"
+
+namespace robogexp {
+
+/// CSR sparse matrix (square or rectangular), immutable after Build.
+class SparseMatrix {
+ public:
+  struct Triplet {
+    int64_t row;
+    int64_t col;
+    double value;
+  };
+
+  SparseMatrix() = default;
+
+  /// Builds from (unsorted) triplets; duplicate entries are summed.
+  static SparseMatrix Build(int64_t rows, int64_t cols,
+                            std::vector<Triplet> triplets);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// y = S * x for dense x (thread-parallel over rows).
+  Matrix Multiply(const Matrix& x) const;
+
+  /// y = S^T * x.
+  Matrix TransposeMultiply(const Matrix& x) const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_LA_SPARSE_H_

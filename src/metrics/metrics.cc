@@ -1,0 +1,47 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+
+#include "src/graph/ged.h"
+
+namespace robogexp {
+
+double NormalizedGed(const Witness& a, const Witness& b) {
+  const int64_t ged =
+      IdentifiedGed(a.Nodes(), a.Edges(), b.Nodes(), b.Edges());
+  const size_t denom = std::max(a.Size(), b.Size());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(ged) / static_cast<double>(denom);
+}
+
+double FidelityPlus(const Graph& graph, const GnnModel& model,
+                    const std::vector<NodeId>& test_nodes,
+                    const Witness& witness) {
+  if (test_nodes.empty()) return 0.0;
+  const FullView full(&graph);
+  const OverlayView removed = witness.RemovedView(&full);
+  double sum = 0.0;
+  for (NodeId v : test_nodes) {
+    const Label l = model.Predict(full, graph.features(), v);
+    const bool kept = model.Predict(removed, graph.features(), v) == l;
+    sum += 1.0 - (kept ? 1.0 : 0.0);
+  }
+  return sum / static_cast<double>(test_nodes.size());
+}
+
+double FidelityMinus(const Graph& graph, const GnnModel& model,
+                     const std::vector<NodeId>& test_nodes,
+                     const Witness& witness) {
+  if (test_nodes.empty()) return 0.0;
+  const FullView full(&graph);
+  const EdgeSubsetView sub = witness.SubgraphView(graph.num_nodes());
+  double sum = 0.0;
+  for (NodeId v : test_nodes) {
+    const Label l = model.Predict(full, graph.features(), v);
+    const bool kept = model.Predict(sub, graph.features(), v) == l;
+    sum += 1.0 - (kept ? 1.0 : 0.0);
+  }
+  return sum / static_cast<double>(test_nodes.size());
+}
+
+}  // namespace robogexp

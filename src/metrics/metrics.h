@@ -1,0 +1,40 @@
+// Evaluation metrics of Sec. VII: normalized GED (Eq. 3), Fidelity+ and
+// Fidelity− (Yuan et al.'s definitions as used by the paper), and
+// explanation size.
+#ifndef ROBOGEXP_METRICS_METRICS_H_
+#define ROBOGEXP_METRICS_METRICS_H_
+
+#include "src/explain/witness.h"
+#include "src/gnn/model.h"
+#include "src/graph/graph.h"
+
+namespace robogexp {
+
+/// Eq. 3 — GED between two witnesses over the same node-id space, normalized
+/// by the larger size (|nodes| + |edges|). 0 = identical ("invariant"
+/// explanations); smaller = more robust.
+double NormalizedGed(const Witness& a, const Witness& b);
+
+/// Fidelity+ — counterfactual effectiveness: the mean over test nodes of
+/// 1(M(v, G) = l) - 1(M(v, G \ Gs) = l) with l the model's prediction on G.
+/// Higher is better (1.0 = every prediction flips when Gs is removed).
+double FidelityPlus(const Graph& graph, const GnnModel& model,
+                    const std::vector<NodeId>& test_nodes,
+                    const Witness& witness);
+
+/// Fidelity− — factual accuracy: mean of 1(M(v, G) = l) - 1(M(v, Gs) = l).
+/// Lower is better (0.0 = the witness alone reproduces every prediction).
+double FidelityMinus(const Graph& graph, const GnnModel& model,
+                     const std::vector<NodeId>& test_nodes,
+                     const Witness& witness);
+
+struct QualityReport {
+  double norm_ged = 0.0;   // mean over disturbance trials
+  double fidelity_plus = 0.0;
+  double fidelity_minus = 0.0;
+  double size = 0.0;       // |nodes| + |edges|
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_METRICS_METRICS_H_

@@ -1,0 +1,167 @@
+#include "src/ppr/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace robogexp {
+
+SparseVector PprPush(const GraphView& view, NodeId source,
+                     const PprOptions& opts) {
+  SparseVector p;
+  SparseVector residual;
+  residual[source] = 1.0;
+  std::deque<NodeId> queue{source};
+  SparseVector queued;
+  queued[source] = 1.0;
+
+  std::vector<NodeId> nbrs;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    queued.erase(u);
+    auto it = residual.find(u);
+    if (it == residual.end() || it->second < opts.epsilon) continue;
+    const double ru = it->second;
+    residual.erase(it);
+    p[u] += (1.0 - opts.alpha) * ru;
+
+    // Push α·ru along P's row of u (self-loop included: d̂ = deg + 1).
+    nbrs.clear();
+    view.AppendNeighbors(u, &nbrs);
+    std::sort(nbrs.begin(), nbrs.end());
+    const double share = opts.alpha * ru / static_cast<double>(nbrs.size() + 1);
+    auto deposit = [&](NodeId w) {
+      double& rw = residual[w];
+      rw += share;
+      if (rw >= opts.epsilon && queued.find(w) == queued.end()) {
+        queued[w] = 1.0;
+        queue.push_back(w);
+      }
+    };
+    deposit(u);  // self-loop
+    for (NodeId w : nbrs) deposit(w);
+  }
+  // Account for remaining sub-threshold residual proportionally: p already
+  // holds (1-α)-scaled mass; the residual r satisfies π = p + Π r and
+  // ||r||_1 < ε·|support|; we fold the local term only.
+  for (const auto& [u, ru] : residual) p[u] += (1.0 - opts.alpha) * ru;
+  return p;
+}
+
+std::vector<double> PprPowerIteration(const GraphView& view, NodeId source,
+                                      const std::vector<NodeId>& subset,
+                                      const PprOptions& opts) {
+  // The PPR row of `source` is π^T = (1-α)(I - αP^T)^{-1} e_source, where
+  // (P^T x)(u) = Σ_{w ∈ N̂(u)} x(w)/d̂(w)  (P is row-stochastic, so the row
+  // of Π needs the transpose iteration; the column solver below handles
+  // (I - αP)^{-1}).
+  const size_t n = subset.size();
+  std::unordered_map<NodeId, size_t> local;
+  local.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) local[subset[i]] = i;
+  auto src_it = local.find(source);
+  RCW_CHECK_MSG(src_it != local.end(), "PprPowerIteration: source not in subset");
+
+  std::vector<std::vector<size_t>> nbrs_local(n);
+  std::vector<double> inv_deg(n);
+  std::vector<NodeId> nbrs;
+  for (size_t i = 0; i < n; ++i) {
+    inv_deg[i] = 1.0 / static_cast<double>(view.Degree(subset[i]) + 1);
+    nbrs.clear();
+    view.AppendNeighbors(subset[i], &nbrs);
+    for (NodeId w : nbrs) {
+      auto it = local.find(w);
+      if (it != local.end()) nbrs_local[i].push_back(it->second);
+    }
+  }
+
+  std::vector<double> x(n, 0.0), next(n);
+  x[src_it->second] = 1.0;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double s = x[i] * inv_deg[i];  // self-loop
+      for (size_t j : nbrs_local[i]) s += x[j] * inv_deg[j];
+      next[i] = (i == src_it->second ? 1.0 : 0.0) + opts.alpha * s;
+      delta = std::max(delta, std::fabs(next[i] - x[i]));
+    }
+    x.swap(next);
+    if (delta < opts.tolerance) break;
+  }
+  for (double& v : x) v *= (1.0 - opts.alpha);
+  return x;
+}
+
+std::vector<double> SolveIMinusAlphaP(const GraphView& view,
+                                      const std::vector<NodeId>& subset,
+                                      const std::vector<double>& r,
+                                      const PprOptions& opts) {
+  RCW_CHECK(subset.size() == r.size());
+  const size_t n = subset.size();
+  std::unordered_map<NodeId, size_t> local;
+  local.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) local[subset[i]] = i;
+
+  // Precompute local adjacency (neighbors inside the subset) and true
+  // inverse degrees d̂ = deg(view) + 1 (self-loop).
+  std::vector<std::vector<size_t>> nbrs_local(n);
+  std::vector<double> inv_deg(n);
+  std::vector<NodeId> nbrs;
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId u = subset[i];
+    inv_deg[i] = 1.0 / static_cast<double>(view.Degree(u) + 1);
+    nbrs.clear();
+    view.AppendNeighbors(u, &nbrs);
+    for (NodeId w : nbrs) {
+      auto it = local.find(w);
+      if (it != local.end()) nbrs_local[i].push_back(it->second);
+    }
+  }
+
+  // x = r + α P x  with  (P x)(u) = inv_deg(u) * (x(u) + Σ_{w∈N(u)} x(w)).
+  // Fixed-point iteration converges geometrically with rate α.
+  std::vector<double> x = r;
+  std::vector<double> next(n);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double s = x[i];  // self-loop
+      for (size_t j : nbrs_local[i]) s += x[j];
+      next[i] = r[i] + opts.alpha * inv_deg[i] * s;
+      delta = std::max(delta, std::fabs(next[i] - x[i]));
+    }
+    x.swap(next);
+    if (delta < opts.tolerance) break;
+  }
+  return x;
+}
+
+std::vector<NodeId> CappedBall(const GraphView& view, NodeId center, int hops,
+                               int max_nodes) {
+  std::vector<NodeId> order{center};
+  std::unordered_map<NodeId, int> seen{{center, 0}};
+  std::deque<NodeId> frontier{center};
+  std::vector<NodeId> nbrs;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const int d = seen[u];
+    if (d == hops) continue;
+    nbrs.clear();
+    view.AppendNeighbors(u, &nbrs);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (NodeId w : nbrs) {
+      if (max_nodes > 0 && static_cast<int>(order.size()) >= max_nodes) {
+        return order;
+      }
+      if (seen.emplace(w, d + 1).second) {
+        order.push_back(w);
+        frontier.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,58 @@
+// Personalized PageRank primitives over GraphViews.
+//
+// The random-walk transition used throughout is the paper's P = D̂^{-1} Â
+// with Â = A + I (self-loops), so every node has degree >= 1 and the
+// propagation matrix Π = (1-α)(I - αP)^{-1} is well defined on any view.
+#ifndef ROBOGEXP_PPR_PPR_H_
+#define ROBOGEXP_PPR_PPR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/view.h"
+
+namespace robogexp {
+
+struct PprOptions {
+  /// Teleport (restart) probability weight: Π = (1-α)(I - αP)^{-1}.
+  /// α is the walk-continuation probability.
+  double alpha = 0.85;
+  /// Residual threshold for local push.
+  double epsilon = 1e-7;
+  /// Iteration cap for power-iteration solvers.
+  int max_iterations = 200;
+  /// L∞ convergence tolerance for power iteration.
+  double tolerance = 1e-10;
+};
+
+/// Sparse PPR vector: node -> probability mass.
+using SparseVector = std::unordered_map<NodeId, double>;
+
+/// Approximate PPR row of `source` via deterministic forward push
+/// (Andersen-style). Returns mass within `opts.epsilon` L1 residual.
+SparseVector PprPush(const GraphView& view, NodeId source,
+                     const PprOptions& opts);
+
+/// Exact (to tolerance) PPR row of `source` via power iteration restricted to
+/// the nodes of `subset` (true degrees from `view` are used; mass leaking to
+/// nodes outside the subset is dropped). Pass all nodes for the global row.
+std::vector<double> PprPowerIteration(const GraphView& view, NodeId source,
+                                      const std::vector<NodeId>& subset,
+                                      const PprOptions& opts);
+
+/// Solves x = r + α P x, i.e. x = (I - αP)^{-1} r, by power iteration over
+/// the given subset of nodes (local indices follow `subset` order).
+/// `r` is indexed by position in `subset`.
+std::vector<double> SolveIMinusAlphaP(const GraphView& view,
+                                      const std::vector<NodeId>& subset,
+                                      const std::vector<double>& r,
+                                      const PprOptions& opts);
+
+/// BFS ball around `center` capped at `max_nodes` (used to localize PPR
+/// solves on very large graphs; cap <= 0 means unlimited).
+std::vector<NodeId> CappedBall(const GraphView& view, NodeId center, int hops,
+                               int max_nodes);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_PPR_PPR_H_

@@ -1,0 +1,79 @@
+// Dynamic bitset used for (a) compressed adjacency rows shipped to parallel
+// workers and (b) recording verified k-disturbances so that the coordinator
+// never re-verifies a disturbance a worker already checked (Sec. VI of the
+// paper).
+#ifndef ROBOGEXP_UTIL_BITMAP_H_
+#define ROBOGEXP_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/common.h"
+
+namespace robogexp {
+
+/// Fixed-capacity dynamic bitset with word-level bulk operations.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i) {
+    RCW_CHECK(i < num_bits_);
+    words_[i >> 6] |= (1ull << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    RCW_CHECK(i < num_bits_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    RCW_CHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// this |= other. Sizes must match. Used to synchronize worker-verified
+  /// disturbance sets into the coordinator's global bitmap.
+  void UnionWith(const Bitmap& other) {
+    RCW_CHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this &= other.
+  void IntersectWith(const Bitmap& other) {
+    RCW_CHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  bool operator==(const Bitmap& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Serialized byte size (for the parallel algorithm's communication-cost
+  /// accounting).
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_UTIL_BITMAP_H_

@@ -1,0 +1,60 @@
+// Common type aliases and small helpers shared across the library.
+#ifndef ROBOGEXP_UTIL_COMMON_H_
+#define ROBOGEXP_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace robogexp {
+
+/// Node identifier within a graph. Nodes are dense integers [0, num_nodes).
+using NodeId = int32_t;
+
+/// Class label produced by a GNN classifier.
+using Label = int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr Label kInvalidLabel = -1;
+
+/// Packs an unordered node pair into a single 64-bit key (u < v enforced).
+inline uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+/// Inverse of PairKey: extracts the smaller endpoint.
+inline NodeId PairKeyFirst(uint64_t key) {
+  return static_cast<NodeId>(key >> 32);
+}
+
+/// Inverse of PairKey: extracts the larger endpoint.
+inline NodeId PairKeySecond(uint64_t key) {
+  return static_cast<NodeId>(key & 0xffffffffu);
+}
+
+// Internal assertion macros. Fatal: invariants broken by a library bug, not
+// by user input (user input errors are reported through Status).
+#define RCW_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "RCW_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define RCW_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "RCW_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, (msg));                                  \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_UTIL_COMMON_H_

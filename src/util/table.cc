@@ -1,0 +1,90 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/util/common.h"
+
+namespace robogexp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  RCW_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    return out + "\"";
+  };
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += esc(header_[c]);
+    out += (c + 1 < header_.size()) ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += esc(row[c]);
+      out += (c + 1 < row.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToText().c_str());
+  std::fflush(stdout);
+}
+
+void Table::MaybeWriteCsv(const std::string& dir,
+                          const std::string& name) const {
+  if (dir.empty()) return;
+  std::ofstream f(dir + "/" + name + ".csv");
+  if (f) f << ToCsv();
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string BenchCsvDir() {
+  const char* dir = std::getenv("ROBOGEXP_BENCH_CSV_DIR");
+  return dir == nullptr ? "" : dir;
+}
+
+}  // namespace robogexp

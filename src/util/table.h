@@ -1,0 +1,45 @@
+// Aligned-text table and CSV writer used by the benchmark harness to print
+// the paper's table rows / figure series.
+#ifndef ROBOGEXP_UTIL_TABLE_H_
+#define ROBOGEXP_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace robogexp {
+
+/// Collects rows of string cells and renders them as an aligned text table
+/// (and optionally CSV).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; cell counts must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders an aligned, pipe-separated table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV.
+  std::string ToCsv() const;
+
+  /// Prints ToText() to stdout with a title line.
+  void Print(const std::string& title) const;
+
+  /// Writes CSV into dir/<name>.csv when dir is non-empty; no-op otherwise.
+  void MaybeWriteCsv(const std::string& dir, const std::string& name) const;
+
+  /// Formats a double with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Returns $ROBOGEXP_BENCH_CSV_DIR or "".
+std::string BenchCsvDir();
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_UTIL_TABLE_H_

@@ -1,0 +1,96 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace robogexp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn, int64_t min_grain) {
+  if (n <= 0) return;
+  if (pool == nullptr || n <= min_grain || pool->num_threads() <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int num_shards =
+      static_cast<int>(std::min<int64_t>(pool->num_threads(), (n + min_grain - 1) / min_grain));
+  std::atomic<int64_t> next(0);
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = num_shards;  // guarded by mu (waiter may destroy mu the
+                               // instant the predicate holds, so the
+                               // decrement must happen under the lock)
+  for (int s = 0; s < num_shards; ++s) {
+    pool->Submit([&] {
+      for (;;) {
+        int64_t i = next.fetch_add(1);
+        if (i >= n) break;
+        fn(i);
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (--remaining == 0) cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool* DefaultPool() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace robogexp

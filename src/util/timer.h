@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for the benchmark harness.
+#ifndef ROBOGEXP_UTIL_TIMER_H_
+#define ROBOGEXP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace robogexp {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_UTIL_TIMER_H_

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datasets/disturbance.h"
+#include "src/datasets/molecules.h"
+#include "src/datasets/provenance.h"
+#include "src/datasets/synthetic.h"
+#include "src/graph/view.h"
+
+namespace robogexp {
+namespace {
+
+TEST(BaHouse, MatchesPaperShape) {
+  const Graph g = MakeBaHouse({});
+  EXPECT_EQ(g.num_nodes(), 300);  // 210 base + 18 houses * 5
+  EXPECT_EQ(g.num_classes(), 4);
+  // Motif labels present.
+  std::set<Label> seen(g.labels().begin(), g.labels().end());
+  EXPECT_EQ(seen.size(), 4u);
+  // Average degree near the paper's 5.
+  EXPECT_NEAR(g.AverageDegree(), 5.0, 2.5);
+}
+
+TEST(BaHouse, HouseMotifsHaveHouseStructure) {
+  BaHouseOptions opts;
+  const Graph g = MakeBaHouse(opts);
+  for (int h = 0; h < opts.num_houses; ++h) {
+    const NodeId roof = opts.base_nodes + 5 * h;
+    EXPECT_EQ(g.labels()[static_cast<size_t>(roof)], 1);
+    EXPECT_TRUE(g.HasEdge(roof, roof + 1));
+    EXPECT_TRUE(g.HasEdge(roof, roof + 2));
+    EXPECT_TRUE(g.HasEdge(roof + 1, roof + 2));
+    EXPECT_TRUE(g.HasEdge(roof + 3, roof + 4));
+  }
+}
+
+TEST(Sbm, RespectsSizeClassAndDegreeTargets) {
+  SbmOptions opts;
+  opts.num_nodes = 500;
+  opts.num_classes = 5;
+  opts.avg_degree = 8.0;
+  opts.feature_dim = 40;
+  const Graph g = MakeSbmGraph(opts);
+  EXPECT_EQ(g.num_nodes(), 500);
+  EXPECT_EQ(g.num_classes(), 5);
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 1.0);
+  EXPECT_EQ(g.num_features(), 40);
+}
+
+TEST(Sbm, HomophilyHolds) {
+  SbmOptions opts;
+  opts.num_nodes = 600;
+  opts.num_classes = 4;
+  opts.homophily = 0.85;
+  opts.feature_dim = 32;
+  const Graph g = MakeSbmGraph(opts);
+  int64_t intra = 0;
+  for (const Edge& e : g.Edges()) {
+    if (g.labels()[static_cast<size_t>(e.u)] ==
+        g.labels()[static_cast<size_t>(e.v)]) {
+      ++intra;
+    }
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(g.num_edges()),
+            0.7);
+}
+
+TEST(Sbm, DeterministicForSeed) {
+  SbmOptions opts;
+  opts.num_nodes = 200;
+  opts.num_classes = 3;
+  opts.feature_dim = 24;
+  const Graph a = MakeSbmGraph(opts);
+  const Graph b = MakeSbmGraph(opts);
+  EXPECT_EQ(a.Edges(), b.Edges());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(DatasetWrappers, MatchTableTwoShapes) {
+  const Graph citeseer = MakeCiteSeerSim(0.2);
+  EXPECT_EQ(citeseer.num_classes(), 6);
+  EXPECT_NEAR(citeseer.AverageDegree(), 5.5, 1.5);
+  const Graph ppi = MakePpiSim(0.2);
+  EXPECT_EQ(ppi.num_classes(), 12);
+  const Graph reddit = MakeRedditSim(0.02);
+  EXPECT_EQ(reddit.num_classes(), 41);
+  EXPECT_GT(reddit.AverageDegree(), 20.0);
+}
+
+TEST(Molecules, ToxicophoresAreLabeledMutagenic) {
+  const Graph g = MakeMutagenicityDataset({});
+  EXPECT_EQ(g.num_classes(), 2);
+  int mutagenic = 0;
+  for (Label l : g.labels()) {
+    if (l == kMutagenic) ++mutagenic;
+  }
+  EXPECT_GT(mutagenic, 0);
+  EXPECT_LT(mutagenic, g.num_nodes());
+}
+
+TEST(Molecules, CaseStudyFamilyIsWellFormed) {
+  const MoleculeFamily fam = MakeCaseStudyFamily();
+  EXPECT_TRUE(fam.graph.ValidNode(fam.test_node));
+  EXPECT_EQ(fam.graph.labels()[static_cast<size_t>(fam.test_node)], kMutagenic);
+  EXPECT_TRUE(fam.graph.HasEdge(fam.e7.u, fam.e7.v));
+  EXPECT_TRUE(fam.graph.HasEdge(fam.e8.u, fam.e8.v));
+  EXPECT_EQ(fam.toxicophore.size(), 4u);
+  EXPECT_EQ(fam.graph.NodeName(fam.test_node), "v3");
+}
+
+TEST(Provenance, AttackPathsReachBreach) {
+  const ProvenanceGraph pg = MakeProvenanceGraph();
+  EXPECT_EQ(pg.graph.labels()[static_cast<size_t>(pg.breach)], kVulnerable);
+  EXPECT_TRUE(pg.graph.HasEdge(pg.cmd, pg.ssh_key));
+  EXPECT_TRUE(pg.graph.HasEdge(pg.ssh_key, pg.breach));
+  EXPECT_TRUE(pg.graph.HasEdge(pg.cmd, pg.sudoers));
+  EXPECT_TRUE(pg.graph.HasEdge(pg.sudoers, pg.breach));
+  EXPECT_EQ(pg.deceptive_edges.size(), 12u);
+  EXPECT_EQ(pg.graph.NodeName(pg.breach), "breach.sh");
+}
+
+TEST(SampleDisturbance, RespectsBudgetsAndProtection) {
+  const Graph g = MakeCiteSeerSim(0.1);
+  Rng rng(3);
+  std::unordered_set<uint64_t> protected_keys;
+  const auto edges = g.Edges();
+  for (size_t i = 0; i < 20 && i < edges.size(); ++i) {
+    protected_keys.insert(edges[i].Key());
+  }
+  DisturbanceOptions opts;
+  opts.k = 10;
+  opts.local_budget = 2;
+  const auto flips = SampleDisturbance(g, protected_keys, opts, &rng);
+  EXPECT_LE(flips.size(), 10u);
+  std::unordered_map<NodeId, int> load;
+  for (const Edge& e : flips) {
+    EXPECT_EQ(protected_keys.count(e.Key()), 0u);
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));  // removal-only by default
+    EXPECT_LE(++load[e.u], 2);
+    EXPECT_LE(++load[e.v], 2);
+  }
+}
+
+TEST(SampleDisturbance, FocusRestrictsLocality) {
+  const Graph g = MakeCiteSeerSim(0.1);
+  Rng rng(5);
+  DisturbanceOptions opts;
+  opts.k = 6;
+  opts.focus_nodes = {0};
+  opts.hop_radius = 2;
+  const auto flips = SampleDisturbance(g, {}, opts, &rng);
+  const FullView full(&g);
+  const auto ball = KHopBall(full, NodeId{0}, 2);
+  const std::set<NodeId> in_ball(ball.begin(), ball.end());
+  for (const Edge& e : flips) {
+    EXPECT_TRUE(in_ball.count(e.u) > 0 && in_ball.count(e.v) > 0);
+  }
+}
+
+TEST(ApplyDisturbance, FlipsExactlyTheListedPairs) {
+  const Graph g = MakeCiteSeerSim(0.05);
+  const auto edges = g.Edges();
+  ASSERT_GE(edges.size(), 2u);
+  const std::vector<Edge> flips{edges[0], Edge(0, g.num_nodes() - 1)};
+  const Graph disturbed = ApplyDisturbance(g, flips);
+  EXPECT_FALSE(disturbed.HasEdge(edges[0].u, edges[0].v));
+  if (!g.HasEdge(0, g.num_nodes() - 1)) {
+    EXPECT_TRUE(disturbed.HasEdge(0, g.num_nodes() - 1));
+  }
+  EXPECT_EQ(disturbed.num_nodes(), g.num_nodes());
+  EXPECT_EQ(disturbed.num_classes(), g.num_classes());
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,70 @@
+#include "src/explain/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explain/robogexp.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+TEST(WitnessToDot, ContainsWitnessEdgesAndTestNodes) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = {1};
+  cfg.k = 1;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  const GenerateResult r = GenerateRcw(cfg);
+  ASSERT_FALSE(r.trivial);
+
+  DotOptions opts;
+  opts.model = f.model.get();
+  opts.features = &f.graph->features();
+  const std::string dot = WitnessToDot(*f.graph, r.witness, {1}, opts);
+  EXPECT_NE(dot.find("graph witness {"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // test node
+  EXPECT_NE(dot.find("penwidth=2.2"), std::string::npos);  // witness edge
+  EXPECT_NE(dot.find("fillcolor="), std::string::npos);    // class colors
+  EXPECT_EQ(dot.find("fillcolor=white"), std::string::npos);
+}
+
+TEST(WitnessToDot, UsesNodeNames) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  g.SetNodeName(0, "breach.sh");
+  Witness w;
+  w.AddEdge(0, 1);
+  const std::string dot = WitnessToDot(g, w, {0});
+  EXPECT_NE(dot.find("breach.sh"), std::string::npos);
+}
+
+TEST(WitnessToDot, ContextRingIsDotted) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  Witness w;
+  w.AddEdge(0, 1);
+  const std::string dot = WitnessToDot(g, w, {0});
+  // Edge (1,2) is context (1 hop from witness node 1) and must be dotted.
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(WitnessToDot, NoContextWhenHopsZero) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  Witness w;
+  w.AddEdge(0, 1);
+  DotOptions opts;
+  opts.context_hops = 0;
+  const std::string dot = WitnessToDot(g, w, {0}, opts);
+  EXPECT_EQ(dot.find("n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,93 @@
+#include "src/explain/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explain/robogexp.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+WitnessConfig Config(const testing::TrainedFixture& f,
+                     std::vector<NodeId> nodes, int k, int b = 1) {
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = std::move(nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  return cfg;
+}
+
+TEST(MinimizeWitness, ShrinksPaddedWitness) {
+  // Pad a generated CW with the whole graph; minimization must strip the
+  // padding while keeping the CW contract.
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1, 2}, 0);
+  const Witness padded = TrivialWitness(*f.graph, cfg.test_nodes);
+  ASSERT_TRUE(VerifyCounterfactual(cfg, padded).ok);
+  const MinimizeResult r =
+      MinimizeWitness(cfg, padded, VerificationLevel::kCounterfactual);
+  EXPECT_GT(r.edges_removed, 0);
+  EXPECT_LT(r.witness.num_edges(), padded.num_edges());
+  EXPECT_TRUE(VerifyCounterfactual(cfg, r.witness).ok);
+}
+
+TEST(MinimizeWitness, OutputStillVerifiesAsRcw) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1, 2}, 2);
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_TRUE(gen.unsecured.empty());
+  const MinimizeResult r =
+      MinimizeWitness(cfg, gen.witness, VerificationLevel::kRcw);
+  EXPECT_LE(r.witness.num_edges(), gen.witness.num_edges());
+  EXPECT_TRUE(VerifyRcw(cfg, r.witness).ok);
+}
+
+TEST(MinimizeWitness, UnverifiedInputReturnedUnchanged) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 0);
+  Witness not_cw;
+  not_cw.AddNode(1);  // edgeless witness is not a CW
+  const MinimizeResult r =
+      MinimizeWitness(cfg, not_cw, VerificationLevel::kCounterfactual);
+  EXPECT_EQ(r.edges_removed, 0);
+  EXPECT_EQ(r.witness, not_cw);
+}
+
+TEST(MinimizeWitness, KeepsAtLeastOneEdge) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 0);
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_FALSE(gen.trivial);
+  const MinimizeResult r =
+      MinimizeWitness(cfg, gen.witness, VerificationLevel::kCounterfactual);
+  EXPECT_GE(r.witness.num_edges(), 1u);  // non-trivial by definition
+}
+
+TEST(MinimizeWitness, FactualLevelIsWeakest) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1, 2}, 0);
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_FALSE(gen.trivial);
+  const MinimizeResult factual =
+      MinimizeWitness(cfg, gen.witness, VerificationLevel::kFactual);
+  const MinimizeResult cw =
+      MinimizeWitness(cfg, gen.witness, VerificationLevel::kCounterfactual);
+  // A weaker contract can never force a larger witness.
+  EXPECT_LE(factual.witness.num_edges(), cw.witness.num_edges());
+  EXPECT_TRUE(VerifyFactual(cfg, factual.witness).ok);
+}
+
+TEST(MinimizeWitness, CountsVerificationCalls) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 0);
+  const GenerateResult gen = GenerateRcw(cfg);
+  const MinimizeResult r =
+      MinimizeWitness(cfg, gen.witness, VerificationLevel::kCounterfactual);
+  EXPECT_GE(r.verification_calls, 1);
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,106 @@
+#include "src/explain/para.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explain/verify.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+WitnessConfig Config(const testing::TrainedFixture& f,
+                     std::vector<NodeId> nodes, int k, int b = 2) {
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = std::move(nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  return cfg;
+}
+
+WitnessConfig Secured(WitnessConfig cfg, const GenerateResult& r) {
+  std::vector<NodeId> keep;
+  for (NodeId v : cfg.test_nodes) {
+    if (std::find(r.unsecured.begin(), r.unsecured.end(), v) ==
+        r.unsecured.end()) {
+      keep.push_back(v);
+    }
+  }
+  cfg.test_nodes = std::move(keep);
+  return cfg;
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, ParallelResultVerifiesForAnyWorkerCount) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 6, {}, 33);
+  ASSERT_GE(nodes.size(), 3u);
+  WitnessConfig cfg = Config(f, nodes, 2);
+  ParallelOptions opts;
+  opts.num_threads = GetParam();
+  ParallelStats stats;
+  const GenerateResult r = ParaGenerateRcw(cfg, opts, &stats);
+  ASSERT_FALSE(r.trivial);
+  const WitnessConfig sec = Secured(cfg, r);
+  ASSERT_FALSE(sec.test_nodes.empty());
+  const VerifyResult v = VerifyRcw(sec, r.witness);
+  EXPECT_TRUE(v.ok) << "threads=" << GetParam() << ": " << v.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ThreadSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST(ParaRoboGExp, SecuresSameNodesAsSequential) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 6, {}, 33);
+  WitnessConfig cfg = Config(f, nodes, 2);
+  const GenerateResult seq = GenerateRcw(cfg);
+  ParallelOptions opts;
+  opts.num_threads = 4;
+  const GenerateResult par = ParaGenerateRcw(cfg, opts);
+  // Both must secure the same node set (witnesses may differ structurally,
+  // but the set of explainable nodes is a property of (G, M, k, b)).
+  EXPECT_EQ(seq.unsecured, par.unsecured);
+}
+
+TEST(ParaRoboGExp, StatsAccountForPartitionAndBitmaps) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 33);
+  WitnessConfig cfg = Config(f, nodes, 2);
+  ParallelOptions opts;
+  opts.num_threads = 3;
+  ParallelStats stats;
+  (void)ParaGenerateRcw(cfg, opts, &stats);
+  EXPECT_GT(stats.bitmap_bytes, 0);
+  EXPECT_GE(stats.cut_edges, 0);
+  EXPECT_GE(stats.partition_seconds, 0.0);
+  EXPECT_GT(stats.worker_seconds, 0.0);
+  EXPECT_GT(stats.gen.inference_calls, 0);
+}
+
+TEST(ParaRoboGExp, SingleThreadDegeneratesGracefully) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg = Config(f, {1, 7}, 1, 1);
+  ParallelOptions opts;
+  opts.num_threads = 1;
+  const GenerateResult r = ParaGenerateRcw(cfg, opts);
+  ASSERT_FALSE(r.trivial);
+  const WitnessConfig sec = Secured(cfg, r);
+  EXPECT_TRUE(VerifyRcw(sec, r.witness).ok);
+}
+
+TEST(ParaRoboGExp, DeterministicAcrossRuns) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 33);
+  WitnessConfig cfg = Config(f, nodes, 2);
+  ParallelOptions opts;
+  opts.num_threads = 4;
+  const GenerateResult a = ParaGenerateRcw(cfg, opts);
+  const GenerateResult b = ParaGenerateRcw(cfg, opts);
+  EXPECT_EQ(a.witness, b.witness);
+}
+
+}  // namespace
+}  // namespace robogexp

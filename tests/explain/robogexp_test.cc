@@ -1,0 +1,118 @@
+#include "src/explain/robogexp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explain/verify.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+WitnessConfig Config(const testing::TrainedFixture& f,
+                     std::vector<NodeId> nodes, int k, int b = 1) {
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = std::move(nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  return cfg;
+}
+
+TEST(RoboGExp, ProducesNonTrivialWitness) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const GenerateResult r = GenerateRcw(Config(f, {1, 2}, 2));
+  EXPECT_FALSE(r.trivial);
+  EXPECT_GE(r.witness.num_edges(), 1u);  // non-trivial: at least one edge
+  EXPECT_LT(r.witness.num_edges(),
+            static_cast<size_t>(f.graph->num_edges()));  // and not all of G
+}
+
+TEST(RoboGExp, StatsArepopulated) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const GenerateResult r = GenerateRcw(Config(f, {1}, 2));
+  EXPECT_GT(r.stats.inference_calls, 0);
+  EXPECT_GT(r.stats.pri_calls, 0);
+  EXPECT_GT(r.stats.secure_rounds, 0);
+  EXPECT_GE(r.stats.seconds, 0.0);
+}
+
+TEST(RoboGExp, TrivialFallbackWhenSkipDisabled) {
+  // Hub 0's label is decided by its own features: no CW exists. With
+  // skip_unsecurable=false the generator must fall back to the trivial G.
+  const auto& f = testing::TwoCommunityAppnp();
+  GenerateOptions opts;
+  opts.skip_unsecurable = false;
+  opts.max_expand_rounds = 30;
+  const GenerateResult r = GenerateRcw(Config(f, {0}, 1), opts);
+  EXPECT_TRUE(r.trivial);
+  EXPECT_EQ(r.witness.num_edges(),
+            static_cast<size_t>(f.graph->num_edges()));
+}
+
+TEST(RoboGExp, UnsecurableNodeIsReportedWhenSkipping) {
+  const auto& f = testing::TwoCommunityAppnp();
+  GenerateOptions opts;
+  opts.max_expand_rounds = 30;
+  const GenerateResult r = GenerateRcw(Config(f, {0, 1}, 1), opts);
+  EXPECT_FALSE(r.trivial);
+  ASSERT_EQ(r.unsecured.size(), 1u);
+  EXPECT_EQ(r.unsecured[0], 0);
+  // Node 1 is still secured.
+  WitnessConfig one = Config(f, {1}, 1);
+  EXPECT_TRUE(VerifyRcw(one, r.witness).ok);
+}
+
+TEST(RoboGExp, SharedWitnessCoversAllTestNodes) {
+  const auto& f = testing::TwoCommunityAppnp();
+  // Nodes from both communities force a multi-component witness.
+  const WitnessConfig cfg = Config(f, {1, 7}, 1);
+  const GenerateResult r = GenerateRcw(cfg);
+  ASSERT_TRUE(r.unsecured.empty());
+  EXPECT_TRUE(r.witness.HasNode(1));
+  EXPECT_TRUE(r.witness.HasNode(7));
+  EXPECT_TRUE(VerifyRcw(cfg, r.witness).ok);
+}
+
+TEST(RoboGExp, LargerKProducesMoreSecuredStructure) {
+  // With trimming disabled, a larger disturbance budget can only add secured
+  // structure (trim makes sizes incomparable across k).
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 3, {}, 5);
+  ASSERT_FALSE(nodes.empty());
+  GenerateOptions opts;
+  opts.trim = false;
+  const GenerateResult small = GenerateRcw(Config(f, nodes, 1, 1), opts);
+  const GenerateResult large = GenerateRcw(Config(f, nodes, 6, 2), opts);
+  EXPECT_GE(large.witness.Size(), small.witness.Size());
+}
+
+TEST(RoboGExp, PrioritizationOrdersByMargin) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg = Config(f, {0, 1}, 1);  // hub 0 has a huge margin
+  const auto order = detail::PrioritizeTestNodes(cfg);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // fragile satellite first
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(RoboGExp, GcnWitnessSatisfiesCwChecks) {
+  const auto& f = testing::TwoCommunityGcn();
+  const WitnessConfig cfg = Config(f, {2, 4}, 1);
+  const GenerateResult r = GenerateRcw(cfg);
+  ASSERT_FALSE(r.trivial);
+  if (r.unsecured.empty()) {
+    EXPECT_TRUE(VerifyCounterfactual(cfg, r.witness).ok);
+  }
+}
+
+TEST(TrivialWitnessHelper, ContainsEverything) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const Witness w = TrivialWitness(*f.graph, {3});
+  EXPECT_EQ(w.num_edges(), static_cast<size_t>(f.graph->num_edges()));
+  EXPECT_TRUE(w.HasNode(3));
+}
+
+}  // namespace
+}  // namespace robogexp

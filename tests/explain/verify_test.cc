@@ -1,0 +1,169 @@
+#include "src/explain/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explain/robogexp.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+WitnessConfig Config(const testing::TrainedFixture& f,
+                     std::vector<NodeId> nodes, int k, int b = 1) {
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = std::move(nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  return cfg;
+}
+
+TEST(VerifyFactual, TrivialWholeGraphWitnessIsFactual) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1, 2}, 0);
+  const Witness w = TrivialWitness(*f.graph, cfg.test_nodes);
+  EXPECT_TRUE(VerifyFactual(cfg, w).ok);
+}
+
+TEST(VerifyFactual, FailsWhenTestNodeMissing) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 0);
+  Witness w;
+  w.AddEdge(6, 7);  // does not contain node 1
+  const VerifyResult r = VerifyFactual(cfg, w);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_node, 1);
+}
+
+TEST(VerifyCounterfactual, EdgelessWitnessIsRejected) {
+  // An empty-edge witness fails the CW checks: the isolated satellite leans
+  // contrarian (factual check fails), and even if it did not, G \ Gs = G
+  // keeps the label (counterfactual check fails).
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 0);
+  Witness w;
+  w.AddNode(1);
+  const VerifyResult r = VerifyCounterfactual(cfg, w);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.reason.empty());
+  EXPECT_EQ(r.failed_node, 1);
+}
+
+TEST(VerifyCounterfactual, GeneratedWitnessPasses) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1, 2}, 0);
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_TRUE(gen.unsecured.empty());
+  EXPECT_TRUE(VerifyCounterfactual(cfg, gen.witness).ok);
+}
+
+TEST(VerifyRcw, KZeroDegeneratesToCw) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 0);
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_FALSE(gen.trivial);
+  const VerifyResult r = VerifyRcw(cfg, gen.witness);
+  EXPECT_TRUE(r.ok) << r.reason;
+}
+
+TEST(VerifyRcw, FragileWitnessIsRejectedForLargeK) {
+  // A 0-RCW (plain CW) generated without robustness hardening should fail
+  // verification under a generous disturbance budget: the adversary can cut
+  // the remaining evidence paths.
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cw_cfg = Config(f, {1}, 0);
+  const GenerateResult gen = GenerateRcw(cw_cfg);
+  ASSERT_FALSE(gen.trivial);
+  WitnessConfig big = cw_cfg;
+  big.k = 6;
+  big.local_budget = 3;
+  const VerifyResult r = VerifyRcw(big, gen.witness);
+  if (!r.ok) {
+    EXPECT_FALSE(r.counterexample.empty());
+    EXPECT_LE(static_cast<int>(r.counterexample.size()), big.k);
+  }
+  // Either way the generated k=6 witness must pass.
+  const GenerateResult hardened = GenerateRcw(big);
+  ASSERT_TRUE(hardened.unsecured.empty());
+  EXPECT_TRUE(VerifyRcw(big, hardened.witness).ok);
+}
+
+TEST(VerifyRcwExhaustive, AgreesWithPriVerifierOnSecuredWitness) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 2, 1);
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_TRUE(gen.unsecured.empty());
+  const VerifyResult pri = VerifyRcw(cfg, gen.witness);
+  const VerifyResult exhaustive = VerifyRcwExhaustive(cfg, gen.witness);
+  EXPECT_TRUE(pri.ok) << pri.reason;
+  EXPECT_TRUE(exhaustive.ok)
+      << exhaustive.reason << " (exhaustive found a counterexample PRI "
+      << "missed — adversarial completeness regression)";
+}
+
+TEST(VerifyRcwExhaustive, FindsCounterexampleForFragileWitness) {
+  // Hand-build a minimal CW for satellite 1: its hub edge only. A 1-flip of
+  // a remaining ring edge re-routes evidence, so it is not a 2-RCW.
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg = Config(f, {1}, 2, 2);
+  const GenerateResult cw = GenerateRcw(Config(f, {1}, 0));
+  ASSERT_FALSE(cw.trivial);
+  const VerifyResult r = VerifyRcwExhaustive(cfg, cw.witness);
+  if (!r.ok) {
+    EXPECT_LE(static_cast<int>(r.counterexample.size()), cfg.k);
+    // Replaying the counterexample must indeed break a CW condition.
+    const FullView full(f.graph.get());
+    const OverlayView disturbed(&full, r.counterexample);
+    std::vector<Edge> combined = cw.witness.Edges();
+    combined.insert(combined.end(), r.counterexample.begin(),
+                    r.counterexample.end());
+    const OverlayView disturbed_minus(&full, combined);
+    const Label l = f.model->Predict(full, f.graph->features(), 1);
+    const bool broke =
+        f.model->Predict(disturbed, f.graph->features(), 1) != l ||
+        f.model->Predict(disturbed_minus, f.graph->features(), 1) == l;
+    EXPECT_TRUE(broke);
+  }
+}
+
+TEST(VerifyRcw, CountsInferenceCalls) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {1}, 1);
+  const GenerateResult gen = GenerateRcw(cfg);
+  const VerifyResult r = VerifyRcw(cfg, gen.witness);
+  EXPECT_GT(r.inference_calls, 0);
+}
+
+TEST(BaseLabels, MatchPredict) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const WitnessConfig cfg = Config(f, {0, 1, 6, 7}, 0);
+  const auto labels = BaseLabels(cfg);
+  const FullView full(f.graph.get());
+  for (size_t i = 0; i < cfg.test_nodes.size(); ++i) {
+    EXPECT_EQ(labels[i], f.model->Predict(full, f.graph->features(),
+                                          cfg.test_nodes[i]));
+  }
+}
+
+TEST(ResolveAlpha, UsesModelAlphaForAppnp) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg = Config(f, {1}, 1);
+  cfg.ppr.alpha = 0.5;  // should be overridden by the model's α
+  const auto* appnp = dynamic_cast<const AppnpModel*>(f.model.get());
+  ASSERT_NE(appnp, nullptr);
+  EXPECT_DOUBLE_EQ(ResolveAlpha(cfg), appnp->alpha());
+}
+
+TEST(ResolveAlpha, FallsBackToConfigForGcn) {
+  const auto& f = testing::TwoCommunityGcn();
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.ppr.alpha = 0.42;
+  EXPECT_DOUBLE_EQ(ResolveAlpha(cfg), 0.42);
+}
+
+}  // namespace
+}  // namespace robogexp

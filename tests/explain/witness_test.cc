@@ -1,0 +1,89 @@
+#include "src/explain/witness.h"
+
+#include <gtest/gtest.h>
+
+namespace robogexp {
+namespace {
+
+TEST(Witness, AddEdgeAddsEndpoints) {
+  Witness w;
+  w.AddEdge(3, 7);
+  EXPECT_TRUE(w.HasNode(3));
+  EXPECT_TRUE(w.HasNode(7));
+  EXPECT_TRUE(w.HasEdge(7, 3));  // either orientation
+  EXPECT_EQ(w.num_nodes(), 2u);
+  EXPECT_EQ(w.num_edges(), 1u);
+}
+
+TEST(Witness, SizeIsNodesPlusEdges) {
+  Witness w;
+  w.AddNode(0);
+  w.AddEdge(1, 2);
+  w.AddEdge(2, 3);
+  EXPECT_EQ(w.Size(), 6u);  // 4 nodes + 2 edges
+}
+
+TEST(Witness, NodesAndEdgesAreSortedDeterministic) {
+  Witness w;
+  w.AddEdge(9, 2);
+  w.AddEdge(5, 1);
+  const auto nodes = w.Nodes();
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  const auto edges = w.Edges();
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(Witness, IdempotentInsertion) {
+  Witness w;
+  w.AddEdge(1, 2);
+  w.AddEdge(2, 1);
+  w.AddNode(1);
+  EXPECT_EQ(w.num_edges(), 1u);
+  EXPECT_EQ(w.num_nodes(), 2u);
+}
+
+TEST(Witness, ProtectedKeysIncludeEdgesAndPairs) {
+  Witness w;
+  w.AddEdge(1, 2);
+  w.AddProtectedPair(3, 4);
+  const auto keys = w.ProtectedKeys();
+  EXPECT_EQ(keys.count(PairKey(1, 2)), 1u);
+  EXPECT_EQ(keys.count(PairKey(3, 4)), 1u);
+  EXPECT_EQ(keys.size(), 2u);
+  // Protected non-edges are not witness edges.
+  EXPECT_FALSE(w.HasEdge(3, 4));
+}
+
+TEST(Witness, SubgraphViewContainsOnlyWitnessEdges) {
+  Witness w;
+  w.AddEdge(0, 1);
+  const EdgeSubsetView view = w.SubgraphView(5);
+  EXPECT_TRUE(view.HasEdge(0, 1));
+  EXPECT_FALSE(view.HasEdge(1, 2));
+  EXPECT_EQ(view.num_nodes(), 5);
+}
+
+TEST(Witness, RemovedViewDeletesWitnessEdges) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  Witness w;
+  w.AddEdge(1, 2);
+  const FullView full(&g);
+  const OverlayView removed = w.RemovedView(&full);
+  EXPECT_FALSE(removed.HasEdge(1, 2));
+  EXPECT_TRUE(removed.HasEdge(0, 1));
+  EXPECT_EQ(removed.CountEdges(), 2);
+}
+
+TEST(Witness, EqualityIgnoresProtectedPairs) {
+  Witness a, b;
+  a.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddProtectedPair(2, 3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace robogexp

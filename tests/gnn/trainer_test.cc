@@ -1,0 +1,131 @@
+#include "src/gnn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+TEST(TrainGcn, ReachesHighTrainAccuracy) {
+  const Graph g = testing::MakeSmallSbm();
+  TrainOptions opts;
+  opts.epochs = 120;
+  opts.hidden_dims = {16};
+  TrainStats stats;
+  const auto model = TrainGcn(g, SampleTrainNodes(g, 0.6, 1), opts, &stats);
+  EXPECT_GE(stats.train_accuracy, 0.85);
+  EXPECT_LT(stats.final_loss, 1.0);
+}
+
+TEST(TrainAppnp, ReachesHighTrainAccuracy) {
+  const Graph g = testing::MakeSmallSbm();
+  TrainOptions opts;
+  opts.epochs = 120;
+  TrainStats stats;
+  const auto model = TrainAppnp(g, SampleTrainNodes(g, 0.6, 1), opts, &stats);
+  EXPECT_GE(stats.train_accuracy, 0.85);
+}
+
+TEST(TrainSage, ReachesHighTrainAccuracy) {
+  const Graph g = testing::MakeSmallSbm();
+  TrainOptions opts;
+  opts.epochs = 120;
+  opts.hidden_dims = {16};
+  TrainStats stats;
+  const auto model = TrainSage(g, SampleTrainNodes(g, 0.6, 1), opts, &stats);
+  EXPECT_GE(stats.train_accuracy, 0.85);
+}
+
+TEST(TrainGcn, LossDecreasesWithMoreEpochs) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto train = SampleTrainNodes(g, 0.8, 1);
+  TrainStats early, late;
+  TrainOptions opts;
+  opts.hidden_dims = {8};
+  opts.epochs = 5;
+  (void)TrainGcn(g, train, opts, &early);
+  opts.epochs = 80;
+  (void)TrainGcn(g, train, opts, &late);
+  EXPECT_LT(late.final_loss, early.final_loss);
+}
+
+TEST(TrainGcn, DeterministicForFixedSeed) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto train = SampleTrainNodes(g, 0.8, 1);
+  TrainOptions opts;
+  opts.epochs = 20;
+  opts.hidden_dims = {8};
+  const auto m1 = TrainGcn(g, train, opts);
+  const auto m2 = TrainGcn(g, train, opts);
+  const FullView full(&g);
+  const Matrix l1 = m1->Infer(full, g.features());
+  const Matrix l2 = m2->Infer(full, g.features());
+  for (int64_t i = 0; i < l1.rows(); ++i) {
+    for (int64_t j = 0; j < l1.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(l1.at(i, j), l2.at(i, j));
+    }
+  }
+}
+
+TEST(TrainGcn, PaperConfigurationThreeLayers) {
+  // Sec. VII: 3 convolution layers. hidden_dims has two entries + output.
+  const Graph g = testing::MakeTwoCommunityGraph();
+  TrainOptions opts;
+  opts.epochs = 10;
+  opts.hidden_dims = {16, 16};
+  const auto model = TrainGcn(g, SampleTrainNodes(g, 0.8, 1), opts);
+  EXPECT_EQ(model->num_layers(), 3);
+  EXPECT_EQ(model->receptive_hops(), 3);
+}
+
+TEST(SampleTrainNodes, StratifiedAndDeterministic) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto a = SampleTrainNodes(g, 0.5, 7);
+  const auto b = SampleTrainNodes(g, 0.5, 7);
+  EXPECT_EQ(a, b);
+  // Every class represented.
+  std::vector<int> per_class(static_cast<size_t>(g.num_classes()), 0);
+  for (NodeId u : a) per_class[static_cast<size_t>(g.labels()[static_cast<size_t>(u)])]++;
+  for (int c : per_class) EXPECT_GT(c, 0);
+}
+
+TEST(SelectCorrectTestNodes, AllSelectedAreCorrect) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectCorrectTestNodes(*f.model, *f.graph, 10, {}, 3);
+  EXPECT_LE(nodes.size(), 10u);
+  const FullView full(f.graph.get());
+  for (NodeId v : nodes) {
+    EXPECT_EQ(f.model->Predict(full, f.graph->features(), v),
+              f.graph->labels()[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(SelectExplainableTestNodes, SelectedAreNeighborhoodDependent) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 10, {}, 3);
+  ASSERT_FALSE(nodes.empty());
+  const FullView full(f.graph.get());
+  const EdgeSubsetView isolated(f.graph->num_nodes(), {});
+  for (NodeId v : nodes) {
+    const Label l = f.model->Predict(full, f.graph->features(), v);
+    EXPECT_EQ(l, f.graph->labels()[static_cast<size_t>(v)]);
+    EXPECT_NE(f.model->Predict(isolated, f.graph->features(), v), l);
+  }
+}
+
+TEST(SelectTestNodes, ExcludeListIsHonored) {
+  const auto& f = testing::SmallSbmAppnp();
+  const auto all = SelectCorrectTestNodes(*f.model, *f.graph, 20, {}, 3);
+  ASSERT_GE(all.size(), 2u);
+  const std::vector<NodeId> exclude{all[0], all[1]};
+  const auto filtered =
+      SelectCorrectTestNodes(*f.model, *f.graph, 20, exclude, 3);
+  for (NodeId v : filtered) {
+    EXPECT_NE(v, exclude[0]);
+    EXPECT_NE(v, exclude[1]);
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

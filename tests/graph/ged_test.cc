@@ -1,0 +1,96 @@
+#include "src/graph/ged.h"
+
+#include <gtest/gtest.h>
+
+namespace robogexp {
+namespace {
+
+TEST(IdentifiedGed, IdenticalIsZero) {
+  const std::vector<NodeId> nodes{1, 2, 3};
+  const std::vector<Edge> edges{Edge(1, 2), Edge(2, 3)};
+  EXPECT_EQ(IdentifiedGed(nodes, edges, nodes, edges), 0);
+}
+
+TEST(IdentifiedGed, CountsSymmetricDifference) {
+  const std::vector<NodeId> a{1, 2, 3};
+  const std::vector<Edge> ea{Edge(1, 2)};
+  const std::vector<NodeId> b{2, 3, 4};
+  const std::vector<Edge> eb{Edge(2, 3)};
+  // nodes: {1} vs {4} -> 2; edges: (1,2) vs (2,3) -> 2.
+  EXPECT_EQ(IdentifiedGed(a, ea, b, eb), 4);
+}
+
+TEST(IdentifiedGed, Symmetric) {
+  const std::vector<NodeId> a{1, 2};
+  const std::vector<Edge> ea{Edge(1, 2)};
+  const std::vector<NodeId> b{1, 2, 3, 4};
+  const std::vector<Edge> eb{Edge(1, 2), Edge(3, 4)};
+  EXPECT_EQ(IdentifiedGed(a, ea, b, eb), IdentifiedGed(b, eb, a, ea));
+  EXPECT_EQ(IdentifiedGed(a, ea, b, eb), 3);
+}
+
+LabeledGraph Triangle(int label) {
+  LabeledGraph g;
+  g.num_nodes = 3;
+  g.labels = {label, label, label};
+  g.edges = {Edge(0, 1), Edge(1, 2), Edge(0, 2)};
+  return g;
+}
+
+TEST(ExactGed, IsomorphicGraphsHaveZeroDistance) {
+  EXPECT_EQ(ExactGed(Triangle(0), Triangle(0)), 0);
+}
+
+TEST(ExactGed, RelabelCostsOnePerNode) {
+  LabeledGraph a = Triangle(0);
+  LabeledGraph b = Triangle(0);
+  b.labels[2] = 1;
+  EXPECT_EQ(ExactGed(a, b), 1);
+}
+
+TEST(ExactGed, EdgeDeletionCostsOne) {
+  LabeledGraph a = Triangle(0);
+  LabeledGraph b = a;
+  b.edges = {Edge(0, 1), Edge(1, 2)};  // path
+  EXPECT_EQ(ExactGed(a, b), 1);
+}
+
+TEST(ExactGed, NodeInsertionWithEdges) {
+  LabeledGraph a = Triangle(0);
+  LabeledGraph b = a;
+  b.num_nodes = 4;
+  b.labels.push_back(0);
+  b.edges.push_back(Edge(2, 3));
+  EXPECT_EQ(ExactGed(a, b), 2);  // insert node + its edge
+}
+
+TEST(ExactGed, HandlesPermutedIsomorphism) {
+  // Path 0-1-2 with labels (0,1,0) vs path relabeled through permutation.
+  LabeledGraph a;
+  a.num_nodes = 3;
+  a.labels = {0, 1, 0};
+  a.edges = {Edge(0, 1), Edge(1, 2)};
+  LabeledGraph b;
+  b.num_nodes = 3;
+  b.labels = {1, 0, 0};  // node 0 is the middle
+  b.edges = {Edge(0, 1), Edge(0, 2)};
+  EXPECT_EQ(ExactGed(a, b), 0);
+}
+
+TEST(ExactGed, EmptyVsGraphCostsFullConstruction) {
+  LabeledGraph empty;
+  EXPECT_EQ(ExactGed(empty, Triangle(0)), 6);  // 3 nodes + 3 edges
+  EXPECT_EQ(ExactGed(Triangle(0), empty), 6);
+}
+
+TEST(ExactGed, TriangleInequalityOnSamples) {
+  LabeledGraph a = Triangle(0);
+  LabeledGraph b = Triangle(0);
+  b.edges = {Edge(0, 1), Edge(1, 2)};
+  LabeledGraph c = Triangle(1);
+  const int ab = ExactGed(a, b), bc = ExactGed(b, c), ac = ExactGed(a, c);
+  EXPECT_LE(ac, ab + bc);
+}
+
+}  // namespace
+}  // namespace robogexp

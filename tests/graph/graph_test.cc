@@ -1,0 +1,106 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace robogexp {
+namespace {
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // undirected
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_FALSE(g.AddEdge(1, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_FALSE(g.AddEdge(1, 0).ok());  // duplicate in either orientation
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(2);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(-1, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Graph, RemoveEdgeUpdatesAdjacency) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_TRUE(g.RemoveEdge(1, 0).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(Graph, EdgesAreSortedAndNormalized) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(3, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[0].v, 2);
+  EXPECT_EQ(edges[1].u, 1);
+  EXPECT_EQ(edges[1].v, 3);
+}
+
+TEST(Graph, AddNodeGrows) {
+  Graph g(1);
+  const NodeId u = g.AddNode();
+  EXPECT_EQ(u, 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_TRUE(g.AddEdge(0, u).ok());
+}
+
+TEST(Graph, DegreeStatistics) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_EQ(g.MaxDegree(), 3);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.5);
+}
+
+TEST(Graph, FeaturesAndLabels) {
+  Graph g(2);
+  Matrix x(2, 3);
+  x.at(1, 2) = 7.0;
+  g.SetFeatures(std::move(x));
+  EXPECT_EQ(g.num_features(), 3);
+  EXPECT_DOUBLE_EQ(g.features().at(1, 2), 7.0);
+  g.SetLabels({0, 1}, 2);
+  EXPECT_EQ(g.num_classes(), 2);
+  EXPECT_EQ(g.labels()[1], 1);
+}
+
+TEST(Graph, NodeNames) {
+  Graph g(2);
+  EXPECT_EQ(g.NodeName(0), "");
+  g.SetNodeName(1, "breach.sh");
+  EXPECT_EQ(g.NodeName(1), "breach.sh");
+}
+
+TEST(Edge, NormalizesEndpoints) {
+  const Edge e(5, 2);
+  EXPECT_EQ(e.u, 2);
+  EXPECT_EQ(e.v, 5);
+  EXPECT_EQ(e, Edge(2, 5));
+}
+
+TEST(PairKey, RoundTrips) {
+  const uint64_t key = PairKey(17, 3);
+  EXPECT_EQ(PairKeyFirst(key), 3);
+  EXPECT_EQ(PairKeySecond(key), 17);
+  EXPECT_EQ(PairKey(3, 17), key);
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,90 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/datasets/provenance.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIo, RoundTripsStructureFeaturesLabels) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const std::string path = TempPath("two_community.rgx");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& h = loaded.value();
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.Edges(), g.Edges());
+  EXPECT_EQ(h.labels(), g.labels());
+  EXPECT_EQ(h.num_classes(), g.num_classes());
+  ASSERT_EQ(h.num_features(), g.num_features());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (int64_t c = 0; c < g.num_features(); ++c) {
+      EXPECT_DOUBLE_EQ(h.features().at(u, c), g.features().at(u, c));
+    }
+  }
+}
+
+TEST(GraphIo, RoundTripsNodeNames) {
+  const ProvenanceGraph pg = MakeProvenanceGraph();
+  const std::string path = TempPath("provenance.rgx");
+  ASSERT_TRUE(SaveGraph(pg.graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NodeName(pg.breach), "breach.sh");
+  EXPECT_EQ(loaded.value().NodeName(pg.cmd), "cmd.exe");
+}
+
+TEST(GraphIo, MissingFileIsNotFound) {
+  const auto r = LoadGraph("/nonexistent/definitely-missing.rgx");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIo, RejectsGarbage) {
+  const std::string path = TempPath("garbage.rgx");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("e 0 1\n", f);  // data before header
+    std::fclose(f);
+  }
+  const auto r = LoadGraph(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIo, RejectsBadFeatureIndex) {
+  const std::string path = TempPath("badfeat.rgx");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("graph 2 0 3 2\nf 0 7:1.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadGraph(path).ok());
+}
+
+TEST(GraphIo, TrainedModelAgreesOnReloadedGraph) {
+  // End-to-end: inference results are identical on the reloaded graph.
+  const auto& f = testing::TwoCommunityAppnp();
+  const std::string path = TempPath("fixture.rgx");
+  ASSERT_TRUE(SaveGraph(*f.graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  const FullView orig(f.graph.get());
+  const FullView redo(&loaded.value());
+  for (NodeId v = 0; v < f.graph->num_nodes(); ++v) {
+    EXPECT_EQ(f.model->Predict(orig, f.graph->features(), v),
+              f.model->Predict(redo, loaded.value().features(), v));
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,93 @@
+#include "src/graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datasets/synthetic.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+class PartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweep, OwnedNodesAreDisjointAndCovering) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto frags = EdgeCutPartition(g, GetParam(), 2);
+  ASSERT_EQ(static_cast<int>(frags.size()), GetParam());
+  std::set<NodeId> seen;
+  for (const auto& f : frags) {
+    for (NodeId u : f.owned_nodes) {
+      EXPECT_TRUE(seen.insert(u).second) << "node owned twice: " << u;
+      EXPECT_TRUE(f.owned.Test(static_cast<size_t>(u)));
+    }
+  }
+  EXPECT_EQ(static_cast<NodeId>(seen.size()), g.num_nodes());
+}
+
+TEST_P(PartitionSweep, OwnedEdgesAreDisjointAndCovering) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto frags = EdgeCutPartition(g, GetParam(), 2);
+  std::set<uint64_t> seen;
+  int64_t total = 0;
+  for (const auto& f : frags) {
+    for (const Edge& e : f.owned_edges) {
+      EXPECT_TRUE(seen.insert(e.Key()).second);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST_P(PartitionSweep, HaloCoversOwnedNeighborhoods) {
+  const Graph g = testing::MakeSmallSbm();
+  const int hops = 2;
+  const auto frags = EdgeCutPartition(g, GetParam(), hops);
+  const FullView full(&g);
+  for (const auto& f : frags) {
+    std::set<NodeId> halo(f.nodes_with_halo.begin(), f.nodes_with_halo.end());
+    // Every owned node's `hops`-ball must be replicated into the fragment.
+    for (size_t i = 0; i < f.owned_nodes.size(); i += 13) {  // sampled
+      for (NodeId u : KHopBall(full, f.owned_nodes[i], hops)) {
+        EXPECT_TRUE(halo.count(u) > 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FragmentCounts, PartitionSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Partition, SingleFragmentHasNoCut) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto frags = EdgeCutPartition(g, 1, 1);
+  EXPECT_EQ(CutSize(g, frags), 0);
+}
+
+TEST(Partition, BfsGrowthKeepsCommunitiesMostlyTogether) {
+  // The two-community fixture splits naturally along its two bridges.
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto frags = EdgeCutPartition(g, 2, 1);
+  EXPECT_LE(CutSize(g, frags), 4);
+}
+
+TEST(Partition, MoreFragmentsMoreCut) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto f2 = EdgeCutPartition(g, 2, 1);
+  const auto f8 = EdgeCutPartition(g, 8, 1);
+  EXPECT_LE(CutSize(g, f2), CutSize(g, f8));
+}
+
+TEST(Partition, FragmentSizesAreBalanced) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto frags = EdgeCutPartition(g, 4, 1);
+  for (const auto& f : frags) {
+    EXPECT_GT(f.owned_nodes.size(), 0u);
+    EXPECT_LE(f.owned_nodes.size(),
+              static_cast<size_t>(g.num_nodes()) / 4 + 60);
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

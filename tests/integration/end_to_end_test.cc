@@ -1,0 +1,156 @@
+// End-to-end pipeline: dataset -> training -> RCW generation -> verification.
+#include <gtest/gtest.h>
+
+#include "src/explain/para.h"
+#include "src/explain/robogexp.h"
+#include "src/explain/verify.h"
+#include "src/metrics/metrics.h"
+#include <algorithm>
+
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+using ::robogexp::testing::SmallSbmAppnp;
+using ::robogexp::testing::TwoCommunityAppnp;
+using ::robogexp::testing::TwoCommunityGcn;
+
+// Correctly-classified satellite nodes (the nodes with meaningful CWs).
+std::vector<NodeId> CorrectSatellites(const testing::TrainedFixture& f,
+                                      int count) {
+  const FullView view(f.graph.get());
+  std::vector<NodeId> out;
+  for (NodeId v : testing::TwoCommunitySatellites()) {
+    if (static_cast<int>(out.size()) >= count) break;
+    if (f.model->Predict(view, f.graph->features(), v) ==
+        f.graph->labels()[static_cast<size_t>(v)]) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+// Restricts cfg to the nodes the generator actually secured (with
+// skip_unsecurable the result is an RCW of VT minus the unsecured nodes).
+WitnessConfig SecuredConfig(WitnessConfig cfg, const GenerateResult& result) {
+  std::vector<NodeId> secured;
+  for (NodeId v : cfg.test_nodes) {
+    if (std::find(result.unsecured.begin(), result.unsecured.end(), v) ==
+        result.unsecured.end()) {
+      secured.push_back(v);
+    }
+  }
+  cfg.test_nodes = std::move(secured);
+  return cfg;
+}
+
+WitnessConfig MakeConfig(const testing::TrainedFixture& f,
+                         std::vector<NodeId> test_nodes, int k, int b) {
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = std::move(test_nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  return cfg;
+}
+
+TEST(EndToEnd, AppnpModelTrainsAccurately) {
+  const auto& f = TwoCommunityAppnp();
+  const FullView view(f.graph.get());
+  std::vector<NodeId> all;
+  for (NodeId u = 0; u < f.graph->num_nodes(); ++u) all.push_back(u);
+  EXPECT_GE(Accuracy(*f.model, view, f.graph->features(), all,
+                     f.graph->labels()),
+            0.9);
+}
+
+TEST(EndToEnd, GeneratedWitnessIsCounterfactual) {
+  const auto& f = TwoCommunityAppnp();
+  const auto test_nodes = CorrectSatellites(f, 2);
+  ASSERT_FALSE(test_nodes.empty());
+  WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/1, /*b=*/1);
+  const GenerateResult result = GenerateRcw(cfg);
+  ASSERT_FALSE(result.trivial);
+  EXPECT_TRUE(VerifyFactual(cfg, result.witness).ok);
+  EXPECT_TRUE(VerifyCounterfactual(cfg, result.witness).ok);
+}
+
+TEST(EndToEnd, GeneratedWitnessIsRobust) {
+  const auto& f = TwoCommunityAppnp();
+  const auto test_nodes = CorrectSatellites(f, 2);
+  WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/2, /*b=*/1);
+  const GenerateResult result = GenerateRcw(cfg);
+  ASSERT_FALSE(result.trivial);
+  EXPECT_TRUE(result.unsecured.empty());
+  const VerifyResult verify = VerifyRcw(cfg, result.witness);
+  EXPECT_TRUE(verify.ok) << verify.reason;
+}
+
+TEST(EndToEnd, GcnWitnessGeneratesAndVerifies) {
+  const auto& f = TwoCommunityGcn();
+  const auto test_nodes = CorrectSatellites(f, 2);
+  ASSERT_FALSE(test_nodes.empty());
+  WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/2, /*b=*/1);
+  const GenerateResult result = GenerateRcw(cfg);
+  ASSERT_FALSE(result.trivial);
+  const VerifyResult verify = VerifyRcw(cfg, result.witness);
+  EXPECT_TRUE(verify.ok) << verify.reason;
+}
+
+TEST(EndToEnd, SbmScaleGenerationVerifies) {
+  const auto& f = SmallSbmAppnp();
+  const auto test_nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
+  ASSERT_GE(test_nodes.size(), 2u);
+  WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/4, /*b=*/2);
+  const GenerateResult result = GenerateRcw(cfg);
+  ASSERT_FALSE(result.trivial);
+  const WitnessConfig secured = SecuredConfig(cfg, result);
+  ASSERT_GE(secured.test_nodes.size(), 2u);
+  const VerifyResult verify = VerifyRcw(secured, result.witness);
+  EXPECT_TRUE(verify.ok) << verify.reason;
+  EXPECT_LT(result.witness.Size(),
+            static_cast<size_t>(f.graph->num_nodes() + f.graph->num_edges()));
+}
+
+TEST(EndToEnd, ParallelMatchesSequentialContract) {
+  const auto& f = SmallSbmAppnp();
+  const auto test_nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
+  WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/3, /*b=*/2);
+  ParallelOptions popts;
+  popts.num_threads = 3;
+  ParallelStats stats;
+  const GenerateResult result = ParaGenerateRcw(cfg, popts, &stats);
+  ASSERT_FALSE(result.trivial);
+  const WitnessConfig secured = SecuredConfig(cfg, result);
+  ASSERT_FALSE(secured.test_nodes.empty());
+  const VerifyResult verify = VerifyRcw(secured, result.witness);
+  EXPECT_TRUE(verify.ok) << verify.reason;
+  EXPECT_GT(stats.bitmap_bytes, 0);
+}
+
+TEST(EndToEnd, FidelityOfGeneratedWitness) {
+  const auto& f = SmallSbmAppnp();
+  const auto test_nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
+  WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/2, /*b=*/1);
+  const GenerateResult result = GenerateRcw(cfg);
+  ASSERT_FALSE(result.trivial);
+  // A verified CW has perfect fidelity by construction (on secured nodes).
+  std::vector<NodeId> secured;
+  for (NodeId v : test_nodes) {
+    if (std::find(result.unsecured.begin(), result.unsecured.end(), v) ==
+        result.unsecured.end()) {
+      secured.push_back(v);
+    }
+  }
+  ASSERT_FALSE(secured.empty());
+  EXPECT_DOUBLE_EQ(
+      FidelityPlus(*f.graph, *f.model, secured, result.witness), 1.0);
+  EXPECT_DOUBLE_EQ(
+      FidelityMinus(*f.graph, *f.model, secured, result.witness), 0.0);
+}
+
+}  // namespace
+}  // namespace robogexp

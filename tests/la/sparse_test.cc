@@ -1,0 +1,84 @@
+#include "src/la/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace robogexp {
+namespace {
+
+TEST(SparseMatrix, BuildSumsDuplicates) {
+  auto s = SparseMatrix::Build(2, 2, {{0, 1, 1.0}, {0, 1, 2.0}, {1, 0, 5.0}});
+  EXPECT_EQ(s.nnz(), 2);
+  Matrix x(2, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 1.0;
+  const Matrix y = s.Multiply(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y.at(1, 0), 5.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(3);
+  const int64_t n = 40, m = 25;
+  Matrix dense(n, m);
+  std::vector<SparseMatrix::Triplet> trips;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      if (rng.Bernoulli(0.15)) {
+        const double v = rng.Uniform(-1, 1);
+        dense.at(i, j) = v;
+        trips.push_back({i, j, v});
+      }
+    }
+  }
+  const auto s = SparseMatrix::Build(n, m, trips);
+  const Matrix x = Matrix::Xavier(m, 6, &rng);
+  const Matrix y1 = s.Multiply(x);
+  const Matrix y2 = Matrix::Multiply(dense, x);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(y1.at(i, j), y2.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(SparseMatrix, TransposeMultiplyMatchesDense) {
+  Rng rng(5);
+  const int64_t n = 30, m = 20;
+  Matrix dense(n, m);
+  std::vector<SparseMatrix::Triplet> trips;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      if (rng.Bernoulli(0.2)) {
+        const double v = rng.Uniform(-1, 1);
+        dense.at(i, j) = v;
+        trips.push_back({i, j, v});
+      }
+    }
+  }
+  const auto s = SparseMatrix::Build(n, m, trips);
+  const Matrix x = Matrix::Xavier(n, 4, &rng);
+  const Matrix y1 = s.TransposeMultiply(x);
+  const Matrix y2 = Matrix::Multiply(dense.Transposed(), x);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(y1.at(i, j), y2.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(SparseMatrix, EmptyMatrixMultiplies) {
+  const auto s = SparseMatrix::Build(3, 3, {});
+  Matrix x(3, 2);
+  x.Fill(1.0);
+  const Matrix y = s.Multiply(x);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(y.at(i, 0), 0.0);
+  }
+}
+
+TEST(SparseMatrixDeath, OutOfRangeTripletAborts) {
+  EXPECT_DEATH(SparseMatrix::Build(2, 2, {{2, 0, 1.0}}), "RCW_CHECK");
+}
+
+}  // namespace
+}  // namespace robogexp

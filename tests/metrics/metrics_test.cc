@@ -1,0 +1,80 @@
+#include "src/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explain/robogexp.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+TEST(NormalizedGed, IdenticalWitnessesScoreZero) {
+  Witness a;
+  a.AddEdge(1, 2);
+  a.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(NormalizedGed(a, a), 0.0);
+}
+
+TEST(NormalizedGed, DisjointWitnessesScoreNearTwo) {
+  // Symmetric difference counts both sides; normalization is by the larger
+  // single witness, so fully disjoint equal-size witnesses score 2.
+  Witness a, b;
+  a.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  EXPECT_DOUBLE_EQ(NormalizedGed(a, b), 2.0);
+}
+
+TEST(NormalizedGed, PartialOverlap) {
+  Witness a, b;
+  a.AddEdge(1, 2);  // nodes {1,2}, edge (1,2): size 3
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);  // size 5
+  // Diff: node 3 + edge (2,3) = 2; denom 5.
+  EXPECT_DOUBLE_EQ(NormalizedGed(a, b), 0.4);
+  EXPECT_DOUBLE_EQ(NormalizedGed(b, a), 0.4);  // symmetric
+}
+
+TEST(NormalizedGed, EmptyWitnessesScoreZero) {
+  Witness a, b;
+  EXPECT_DOUBLE_EQ(NormalizedGed(a, b), 0.0);
+}
+
+TEST(Fidelity, TrivialWitnessHasZeroFidelityMinus) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const Witness w = TrivialWitness(*f.graph, {1, 2});
+  // Keeping the whole graph reproduces every prediction.
+  EXPECT_DOUBLE_EQ(FidelityMinus(*f.graph, *f.model, {1, 2}, w), 0.0);
+}
+
+TEST(Fidelity, EmptyWitnessHasZeroFidelityPlus) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Witness w;
+  w.AddNode(1);
+  // Removing nothing keeps every prediction.
+  EXPECT_DOUBLE_EQ(FidelityPlus(*f.graph, *f.model, {1, 2}, w), 0.0);
+}
+
+TEST(Fidelity, GeneratedRcwIsIdealOnSecuredNodes) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = {1, 2};
+  cfg.k = 1;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  const GenerateResult r = GenerateRcw(cfg);
+  ASSERT_TRUE(r.unsecured.empty());
+  EXPECT_DOUBLE_EQ(FidelityPlus(*f.graph, *f.model, {1, 2}, r.witness), 1.0);
+  EXPECT_DOUBLE_EQ(FidelityMinus(*f.graph, *f.model, {1, 2}, r.witness), 0.0);
+}
+
+TEST(Fidelity, EmptyTestSetIsZero) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Witness w;
+  EXPECT_DOUBLE_EQ(FidelityPlus(*f.graph, *f.model, {}, w), 0.0);
+  EXPECT_DOUBLE_EQ(FidelityMinus(*f.graph, *f.model, {}, w), 0.0);
+}
+
+}  // namespace
+}  // namespace robogexp

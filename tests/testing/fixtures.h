@@ -1,0 +1,47 @@
+// Shared deterministic test fixtures: small graphs and cached trained models.
+#ifndef ROBOGEXP_TESTS_TESTING_FIXTURES_H_
+#define ROBOGEXP_TESTS_TESTING_FIXTURES_H_
+
+#include <memory>
+
+#include "src/gnn/trainer.h"
+#include "src/graph/graph.h"
+
+namespace robogexp::testing {
+
+/// Path graph 0-1-...-n-1 with 2-class features (first half / second half).
+Graph MakePathGraph(int n);
+
+/// Two hub-and-satellite communities (classes 0 and 1) joined by two
+/// bridges; only hubs 0 and 6 carry strong class features, so satellite
+/// predictions are neighborhood-driven (CWs exist). Deterministic.
+Graph MakeTwoCommunityGraph();
+
+/// The satellite (non-hub) nodes of MakeTwoCommunityGraph — the nodes with
+/// meaningful counterfactual witnesses.
+std::vector<NodeId> TwoCommunitySatellites();
+
+/// A mid-size SBM (240 nodes, 4 classes) for heavier unit tests.
+Graph MakeSmallSbm(uint64_t seed = 3);
+
+struct TrainedFixture {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<GnnModel> model;
+  std::vector<NodeId> train_nodes;
+};
+
+/// Cached APPNP trained on MakeTwoCommunityGraph (near-perfect accuracy).
+const TrainedFixture& TwoCommunityAppnp();
+
+/// Cached GCN trained on MakeTwoCommunityGraph.
+const TrainedFixture& TwoCommunityGcn();
+
+/// Cached APPNP trained on MakeSmallSbm.
+const TrainedFixture& SmallSbmAppnp();
+
+/// Cached GCN trained on MakeSmallSbm.
+const TrainedFixture& SmallSbmGcn();
+
+}  // namespace robogexp::testing
+
+#endif  // ROBOGEXP_TESTS_TESTING_FIXTURES_H_

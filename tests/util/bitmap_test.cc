@@ -1,0 +1,83 @@
+#include "src/util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace robogexp {
+namespace {
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+}
+
+TEST(Bitmap, CountAndReset) {
+  Bitmap b(200);
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  EXPECT_EQ(b.Count(), 67u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(Bitmap, UnionSynchronizesWorkerState) {
+  Bitmap a(100), b(100);
+  a.Set(3);
+  a.Set(77);
+  b.Set(77);
+  b.Set(99);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(77));
+  EXPECT_TRUE(a.Test(99));
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(Bitmap, IntersectWith) {
+  Bitmap a(64), b(64);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  a.IntersectWith(b);
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(a.Test(3));
+}
+
+TEST(Bitmap, EqualityAndByteSize) {
+  Bitmap a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.Set(64);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.ByteSize(), 16u);  // two 64-bit words
+}
+
+TEST(Bitmap, WordBoundaries) {
+  Bitmap b(192);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  b.Set(128);
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(127));
+  EXPECT_TRUE(b.Test(128));
+  EXPECT_EQ(b.Count(), 4u);
+}
+
+TEST(BitmapDeath, OutOfRangeAborts) {
+  Bitmap b(10);
+  EXPECT_DEATH(b.Set(10), "RCW_CHECK");
+}
+
+}  // namespace
+}  // namespace robogexp

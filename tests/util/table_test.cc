@@ -1,0 +1,37 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace robogexp {
+namespace {
+
+TEST(Table, RendersAlignedText) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "2.5"});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.AddRow({"a,b"});
+  t.AddRow({"quote\"inside"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(0.12345, 3), "0.123");
+  EXPECT_EQ(Table::Num(2.0, 1), "2.0");
+}
+
+TEST(TableDeath, MismatchedRowAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "RCW_CHECK");
+}
+
+}  // namespace
+}  // namespace robogexp

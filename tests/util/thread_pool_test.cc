@@ -1,0 +1,81 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace robogexp {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count(0);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count(0);
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  ThreadPool pool(8);
+  std::vector<int64_t> out(5000);
+  ParallelFor(&pool, 5000, [&](int64_t i) { out[static_cast<size_t>(i)] = i * i; });
+  int64_t sum = std::accumulate(out.begin(), out.end(), int64_t{0});
+  int64_t expect = 0;
+  for (int64_t i = 0; i < 5000; ++i) expect += i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, 10, [&](int64_t i) { hits[static_cast<size_t>(i)] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, ZeroAndNegativeAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](int64_t) { ++calls; });
+  ParallelFor(&pool, -5, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RepeatedInvocationsAreStable) {
+  // Regression: completion signaling must not race with waiter teardown.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> c(0);
+    ParallelFor(&pool, 64, [&](int64_t) { c.fetch_add(1); });
+    ASSERT_EQ(c.load(), 64);
+  }
+}
+
+TEST(DefaultPool, SingletonIsUsable) {
+  std::atomic<int> c(0);
+  ParallelFor(DefaultPool(), 32, [&](int64_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 32);
+  EXPECT_GE(DefaultPool()->num_threads(), 2);
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,233 @@
+// robogexp — command-line front end over the library:
+//
+//   robogexp info     --graph g.rgx
+//   robogexp train    --graph g.rgx --model-out m.gnn [--arch gcn|appnp|sage|gin]
+//                     [--epochs N] [--hidden H] [--seed S]
+//   robogexp generate --graph g.rgx --model m.gnn --nodes 1,2,3 --k K [--b B]
+//                     [--threads N] [--minimize] [--witness-out w.rcw]
+//                     [--dot-out w.dot]
+//   robogexp verify   --graph g.rgx --model m.gnn --witness w.rcw
+//                     --nodes 1,2,3 --k K [--b B]
+//
+// Graphs use the text format of src/graph/io.h; models and witnesses round
+// trip through src/gnn/serialize.h and src/explain/witness_io.h.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/explain/dot.h"
+#include "src/explain/minimize.h"
+#include "src/explain/para.h"
+#include "src/explain/robogexp.h"
+#include "src/explain/verify.h"
+#include "src/explain/witness_io.h"
+#include "src/gnn/serialize.h"
+#include "src/gnn/trainer.h"
+#include "src/graph/io.h"
+
+namespace robogexp::cli {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+    // Boolean flags (no value).
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--minimize") == 0) values_["minimize"] = "1";
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  int GetInt(const std::string& key, int def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<NodeId> ParseNodes(const std::string& csv) {
+  std::vector<NodeId> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<NodeId>(std::atoi(item.c_str())));
+  }
+  return out;
+}
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+int CmdInfo(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  const Graph& graph = g.value();
+  std::printf("nodes: %d\nedges: %lld\nfeatures: %lld\nclasses: %d\n"
+              "avg degree: %.2f\nmax degree: %d\n",
+              graph.num_nodes(), static_cast<long long>(graph.num_edges()),
+              static_cast<long long>(graph.num_features()),
+              graph.num_classes(), graph.AverageDegree(), graph.MaxDegree());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  const Graph& graph = g.value();
+  if (graph.num_classes() == 0 || graph.num_features() == 0) {
+    return Fail("graph has no labels or features to train on");
+  }
+  TrainOptions opts;
+  opts.epochs = flags.GetInt("epochs", 150);
+  const int hidden = flags.GetInt("hidden", 32);
+  opts.hidden_dims = {hidden, hidden};
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const auto train_nodes = SampleTrainNodes(graph, 0.6, opts.seed);
+
+  const std::string arch = flags.Get("arch", "gcn");
+  TrainStats stats;
+  std::unique_ptr<GnnModel> model;
+  if (arch == "gcn") {
+    model = TrainGcn(graph, train_nodes, opts, &stats);
+  } else if (arch == "appnp") {
+    model = TrainAppnp(graph, train_nodes, opts, &stats);
+  } else if (arch == "sage") {
+    model = TrainSage(graph, train_nodes, opts, &stats);
+  } else if (arch == "gin") {
+    model = TrainGin(graph, train_nodes, opts, &stats);
+  } else {
+    return Fail("unknown --arch (gcn|appnp|sage|gin)");
+  }
+  std::printf("trained %s: loss %.4f, train accuracy %.3f\n",
+              model->name().c_str(), stats.final_loss, stats.train_accuracy);
+  const Status s = SaveModel(*model, flags.Get("model-out", "model.gnn"));
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("model written to %s\n",
+              flags.Get("model-out", "model.gnn").c_str());
+  return 0;
+}
+
+WitnessConfig MakeConfig(const Graph& graph, const GnnModel& model,
+                         const Flags& flags) {
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = &model;
+  cfg.test_nodes = ParseNodes(flags.Get("nodes"));
+  cfg.k = flags.GetInt("k", 5);
+  cfg.local_budget = flags.GetInt("b", 1);
+  cfg.hop_radius = flags.GetInt("hop-radius", 3);
+  cfg.max_contrast_classes = flags.GetInt("contrast-classes", 3);
+  return cfg;
+}
+
+int CmdGenerate(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  auto m = LoadModel(flags.Get("model"));
+  if (!m.ok()) return Fail(m.status().ToString());
+  const WitnessConfig cfg = MakeConfig(g.value(), *m.value(), flags);
+  if (cfg.test_nodes.empty()) return Fail("--nodes is required (csv of ids)");
+
+  GenerateResult result;
+  const int threads = flags.GetInt("threads", 1);
+  if (threads > 1) {
+    ParallelOptions popts;
+    popts.num_threads = threads;
+    result = ParaGenerateRcw(cfg, popts);
+  } else {
+    result = GenerateRcw(cfg);
+  }
+  std::printf("witness: %zu nodes, %zu edges%s; %zu/%zu nodes secured; "
+              "%.2fs, %d inference calls\n",
+              result.witness.num_nodes(), result.witness.num_edges(),
+              result.trivial ? " (trivial)" : "",
+              cfg.test_nodes.size() - result.unsecured.size(),
+              cfg.test_nodes.size(), result.stats.seconds,
+              result.stats.inference_calls);
+
+  if (flags.Has("minimize")) {
+    const MinimizeResult mr =
+        MinimizeWitness(cfg, result.witness, VerificationLevel::kRcw);
+    std::printf("minimized: removed %d edges, now %zu edges\n",
+                mr.edges_removed, mr.witness.num_edges());
+    result.witness = mr.witness;
+  }
+  if (flags.Has("witness-out")) {
+    const Status s = SaveWitness(result.witness, flags.Get("witness-out"));
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("witness written to %s\n", flags.Get("witness-out").c_str());
+  }
+  if (flags.Has("dot-out")) {
+    DotOptions dopts;
+    dopts.model = m.value().get();
+    dopts.features = &g.value().features();
+    std::ofstream out(flags.Get("dot-out"));
+    out << WitnessToDot(g.value(), result.witness, cfg.test_nodes, dopts);
+    std::printf("dot written to %s\n", flags.Get("dot-out").c_str());
+  }
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  auto m = LoadModel(flags.Get("model"));
+  if (!m.ok()) return Fail(m.status().ToString());
+  auto w = LoadWitness(flags.Get("witness"));
+  if (!w.ok()) return Fail(w.status().ToString());
+  const WitnessConfig cfg = MakeConfig(g.value(), *m.value(), flags);
+  if (cfg.test_nodes.empty()) return Fail("--nodes is required (csv of ids)");
+
+  const VerifyResult factual = VerifyFactual(cfg, w.value());
+  const VerifyResult cw = VerifyCounterfactual(cfg, w.value());
+  const VerifyResult rcw = VerifyRcw(cfg, w.value());
+  std::printf("factual:        %s\n", factual.ok ? "ok" : factual.reason.c_str());
+  std::printf("counterfactual: %s\n", cw.ok ? "ok" : cw.reason.c_str());
+  std::printf("%d-RCW:          %s\n", cfg.k,
+              rcw.ok ? "ok" : rcw.reason.c_str());
+  if (!rcw.ok && !rcw.counterexample.empty()) {
+    std::printf("counterexample disturbance:");
+    for (const Edge& e : rcw.counterexample) {
+      std::printf(" (%d,%d)", e.u, e.v);
+    }
+    std::printf("\n");
+  }
+  return rcw.ok ? 0 : 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: robogexp <info|train|generate|verify> [--flags]\n"
+                 "see the header of tools/robogexp_cli.cc for details\n");
+    return 1;
+  }
+  const Flags flags(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "verify") return CmdVerify(flags);
+  return Fail("unknown command " + cmd);
+}
+
+}  // namespace
+}  // namespace robogexp::cli
+
+int main(int argc, char** argv) { return robogexp::cli::Main(argc, argv); }
