@@ -16,7 +16,7 @@ namespace {
 
 void RunPerDataset(const BenchEnv& env) {
   Table table({"dataset", "method", "generate (s)", "regenerate/trial (s)"});
-  for (const std::string& ds : {"BAHouse", "CiteSeer", "PPI"}) {
+  for (const std::string ds : {"BAHouse", "CiteSeer", "PPI"}) {
     Workload w = PrepareWorkload(ds, env.scale, env.faithful);
     const auto test_nodes = TestNodes(w, 20);
     RoboGExpExplainer robo(20, 1);

@@ -1,0 +1,20 @@
+# Defines robogexp_options, the interface target every robogexp target links
+# against: warning flags, optional -Werror, and optional sanitizers.
+include_guard(GLOBAL)
+include(Sanitizers)
+
+add_library(robogexp_options INTERFACE)
+
+if(MSVC)
+  target_compile_options(robogexp_options INTERFACE /W4)
+  if(ROBOGEXP_WERROR)
+    target_compile_options(robogexp_options INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(robogexp_options INTERFACE -Wall -Wextra)
+  if(ROBOGEXP_WERROR)
+    target_compile_options(robogexp_options INTERFACE -Werror)
+  endif()
+endif()
+
+robogexp_enable_sanitizers(robogexp_options)

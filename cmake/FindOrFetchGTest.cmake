@@ -1,0 +1,28 @@
+# Resolves GoogleTest, in order of preference:
+#   1. an installed package (find_package(GTest)),
+#   2. the Debian/Ubuntu source tree at /usr/src/googletest (offline-safe),
+#   3. FetchContent from GitHub (needs network).
+# Guarantees the GTest::gtest and GTest::gtest_main targets exist.
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    add_subdirectory(/usr/src/googletest
+                     ${CMAKE_BINARY_DIR}/_deps/googletest-build
+                     EXCLUDE_FROM_ALL)
+  else()
+    include(FetchContent)
+    FetchContent_Declare(
+      googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+if(NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+  add_library(GTest::gtest ALIAS gtest)
+endif()

@@ -1,0 +1,21 @@
+# Sanitizer support, driven by the ROBOGEXP_SANITIZE cache variable
+# (comma-separated, e.g. "address,undefined").
+include_guard(GLOBAL)
+
+function(robogexp_enable_sanitizers target)
+  if(NOT ROBOGEXP_SANITIZE)
+    return()
+  endif()
+  if(MSVC)
+    # MSVC spells this /fsanitize:address and takes no link flag; unsupported
+    # here rather than silently passing GCC/Clang flags to cl.exe.
+    message(WARNING "ROBOGEXP_SANITIZE is only supported with GCC/Clang")
+    return()
+  endif()
+  string(REPLACE "," ";" _san_list "${ROBOGEXP_SANITIZE}")
+  foreach(_san IN LISTS _san_list)
+    target_compile_options(${target} INTERFACE
+      -fsanitize=${_san} -fno-omit-frame-pointer)
+    target_link_options(${target} INTERFACE -fsanitize=${_san})
+  endforeach()
+endfunction()

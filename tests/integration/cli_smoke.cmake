@@ -1,0 +1,96 @@
+# End-to-end smoke test for the robogexp CLI, run via ctest:
+#   info -> train -> generate -> verify on a tiny two-community graph.
+# Inputs: -DCLI=<path to robogexp_cli> -DWORK_DIR=<scratch dir>
+if(NOT CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "cli_smoke.cmake requires -DCLI=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(GRAPH "${WORK_DIR}/toy.rgx")
+set(MODEL "${WORK_DIR}/toy.gnn")
+set(WITNESS "${WORK_DIR}/toy.rcw")
+set(DOT "${WORK_DIR}/toy.dot")
+
+# Two hub-and-satellite communities (hubs 0 and 6) joined by two bridges;
+# same shape as tests/testing/fixtures.cc MakeTwoCommunityGraph.
+file(WRITE "${GRAPH}" "# tiny two-community smoke graph
+graph 12 20 8 2
+e 0 1
+e 0 2
+e 0 3
+e 0 4
+e 0 5
+e 1 2
+e 2 3
+e 3 4
+e 4 5
+e 6 7
+e 6 8
+e 6 9
+e 6 10
+e 6 11
+e 7 8
+e 8 9
+e 9 10
+e 10 11
+e 2 8
+e 4 10
+l 0 0
+l 1 0
+l 2 0
+l 3 0
+l 4 0
+l 5 0
+l 6 1
+l 7 1
+l 8 1
+l 9 1
+l 10 1
+l 11 1
+f 0 0:2.0 1:2.0
+f 1 2:0.3 5:0.1
+f 2 2:0.3 6:0.1
+f 3 2:0.3 7:0.1
+f 4 2:0.3 4:0.1
+f 5 2:0.3 5:0.1
+f 6 2:2.0 3:2.0
+f 7 0:0.3 7:0.1
+f 8 0:0.3 4:0.1
+f 9 0:0.3 5:0.1
+f 10 0:0.3 6:0.1
+f 11 0:0.3 7:0.1
+")
+
+function(run_cli step)
+  execute_process(
+    COMMAND "${CLI}" ${ARGN}
+    RESULT_VARIABLE _rc
+    OUTPUT_VARIABLE _out
+    ERROR_VARIABLE _err)
+  message(STATUS "[${step}] ${_out}${_err}")
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "robogexp ${step} exited with ${_rc}")
+  endif()
+endfunction()
+
+run_cli(info info --graph "${GRAPH}")
+run_cli(train train --graph "${GRAPH}" --model-out "${MODEL}"
+        --arch appnp --epochs 150 --hidden 16 --seed 42)
+run_cli(generate generate --graph "${GRAPH}" --model "${MODEL}"
+        --nodes 1,2,3 --k 2 --b 1 --minimize
+        --witness-out "${WITNESS}" --dot-out "${DOT}")
+run_cli(verify verify --graph "${GRAPH}" --model "${MODEL}"
+        --witness "${WITNESS}" --nodes 1,2,3 --k 2 --b 1)
+
+foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}")
+  if(NOT EXISTS "${_artifact}")
+    message(FATAL_ERROR "expected output file missing: ${_artifact}")
+  endif()
+endforeach()
+
+file(READ "${WITNESS}" _witness_text)
+if(NOT _witness_text MATCHES "^witness [0-9]+ [0-9]+")
+  message(FATAL_ERROR "witness file malformed: ${_witness_text}")
+endif()
+message(STATUS "cli smoke test passed")

@@ -34,14 +34,15 @@ namespace {
 class Flags {
  public:
   Flags(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        values_[argv[i] + 2] = argv[i + 1];
-      }
-    }
-    // Boolean flags (no value).
     for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--minimize") == 0) values_["minimize"] = "1";
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      const char* key = argv[i] + 2;
+      // Boolean flags take no value; everything else consumes the next arg.
+      if (std::strcmp(key, "minimize") == 0) {
+        values_[key] = "1";
+      } else if (i + 1 < argc) {
+        values_[key] = argv[++i];
+      }
     }
   }
 
