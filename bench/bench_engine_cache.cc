@@ -1,0 +1,153 @@
+// Engine cache benchmark — the acceptance gate for the inference engine:
+// on the Fig. 4 efficiency workload (generate a k-RCW once, then verify it —
+// on the base graph and on sampled (k, b)-disturbance trials, the paper's
+// "once-for-all" serving loop where baselines would re-generate), the cached
+// engine must cut the number of inference-subset recomputations
+// (GenerateStats::inference_calls plus the verifiers' inference calls) by at
+// least 2x versus the uncached baseline, while producing bit-identical
+// witnesses and verification verdicts.
+//
+// Exits non-zero when either property fails, so it doubles as a CI smoke
+// check for the perf path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/datasets/disturbance.h"
+#include "src/explain/verify.h"
+#include "src/util/rng.h"
+
+namespace robogexp::bench {
+namespace {
+
+WitnessConfig MakeConfig(const Graph& graph, const GnnModel& model,
+                         const std::vector<NodeId>& test_nodes, int k) {
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = &model;
+  cfg.test_nodes = test_nodes;
+  cfg.k = k;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 3;
+  cfg.max_contrast_classes = 3;
+  return cfg;
+}
+
+struct RunCost {
+  int64_t inference_calls = 0;
+  int64_t cache_hits = 0;
+  double seconds = 0.0;
+  Witness witness;
+  std::vector<std::string> verdicts;  // base + one per disturbance trial
+};
+
+/// One expand–secure–verify serving pass over the workload: generate the
+/// witness, verify it on G, then verify it on `trials` sampled disturbed
+/// variants ~G (the robust explainer's alternative to re-generation).
+RunCost RunPipeline(const Workload& w, const std::vector<NodeId>& test_nodes,
+                    int k, int trials, uint64_t seed, bool cached) {
+  EngineOptions eopts;
+  eopts.cache = cached;
+  eopts.batch = cached;
+  GenerateOptions gopts;
+  gopts.cache_inference = cached;
+
+  RunCost cost;
+  Timer timer;
+  const WitnessConfig cfg = MakeConfig(*w.graph, *w.model, test_nodes, k);
+  InferenceEngine engine(cfg.model, cfg.graph, eopts);
+  const GenerateResult gen = GenerateRcw(cfg, gopts, &engine);
+  cost.witness = gen.witness;
+  cost.inference_calls += gen.stats.inference_calls;
+  cost.cache_hits += gen.stats.cache_hits;
+
+  const VerifyResult base = VerifyRcw(cfg, gen.witness, &engine);
+  cost.inference_calls += base.inference_calls;
+  cost.cache_hits += base.cache_hits;
+  cost.verdicts.push_back(base.ok ? "ok" : base.reason);
+
+  // Disturbance trials, sampled exactly like the Fig. 4 quality loop for a
+  // robust explainer (witness pairs are protected by the k-RCW contract).
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    DisturbanceOptions dopts;
+    dopts.k = k;
+    dopts.local_budget = 1;
+    dopts.focus_nodes = test_nodes;
+    dopts.hop_radius = 2;
+    const auto flips =
+        SampleDisturbance(*w.graph, gen.witness.edge_keys(), dopts, &rng);
+    const Graph disturbed = ApplyDisturbance(*w.graph, flips);
+    const WitnessConfig dcfg = MakeConfig(disturbed, *w.model, test_nodes, k);
+    InferenceEngine dengine(dcfg.model, dcfg.graph, eopts);
+    const VerifyResult r = VerifyRcw(dcfg, gen.witness, &dengine);
+    cost.inference_calls += r.inference_calls;
+    cost.cache_hits += r.cache_hits;
+    cost.verdicts.push_back(r.ok ? "ok" : r.reason);
+  }
+  cost.seconds = timer.Seconds();
+  return cost;
+}
+
+int Run(const BenchEnv& env) {
+  const int k = 20;
+  const int trials = std::max(1, env.trials);
+  Table table({"dataset", "mode", "inference calls", "cache hits", "time (s)",
+               "reduction"});
+  int failures = 0;
+  for (const std::string ds : {"BAHouse", "CiteSeer"}) {
+    Workload w = PrepareWorkload(ds, env.scale, env.faithful);
+    const auto test_nodes = TestNodes(w, 20);
+    const RunCost uncached =
+        RunPipeline(w, test_nodes, k, trials, 7, /*cached=*/false);
+    const RunCost cached =
+        RunPipeline(w, test_nodes, k, trials, 7, /*cached=*/true);
+
+    const double reduction =
+        cached.inference_calls > 0
+            ? static_cast<double>(uncached.inference_calls) /
+                  static_cast<double>(cached.inference_calls)
+            : 0.0;
+    table.AddRow({ds, "uncached", std::to_string(uncached.inference_calls),
+                  std::to_string(uncached.cache_hits),
+                  Table::Num(uncached.seconds, 2), ""});
+    table.AddRow({ds, "cached", std::to_string(cached.inference_calls),
+                  std::to_string(cached.cache_hits),
+                  Table::Num(cached.seconds, 2), Table::Num(reduction, 2)});
+
+    if (!(cached.witness == uncached.witness)) {
+      std::printf("FAIL[%s]: cached and uncached witnesses differ\n",
+                  ds.c_str());
+      ++failures;
+    }
+    if (cached.verdicts != uncached.verdicts) {
+      std::printf("FAIL[%s]: verification verdicts differ\n", ds.c_str());
+      ++failures;
+    }
+    if (reduction < 2.0) {
+      std::printf("FAIL[%s]: inference-call reduction %.2fx < 2x "
+                  "(%lld uncached vs %lld cached)\n",
+                  ds.c_str(), reduction,
+                  static_cast<long long>(uncached.inference_calls),
+                  static_cast<long long>(cached.inference_calls));
+      ++failures;
+    }
+  }
+  table.Print("Engine cache: inference-call reduction on the Fig. 4 workload");
+  table.MaybeWriteCsv(BenchCsvDir(), "engine_cache");
+  if (failures == 0) {
+    std::printf("OK: >=2x reduction, bit-identical witnesses and verdicts\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  std::printf("Engine cache benchmark (scale=%.2f, trials=%d)\n", env.scale,
+              env.trials);
+  return robogexp::bench::Run(env);
+}

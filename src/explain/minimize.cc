@@ -7,12 +7,13 @@ namespace robogexp {
 namespace {
 
 VerifyResult VerifyAt(const WitnessConfig& cfg, const Witness& w,
-                      VerificationLevel level) {
+                      VerificationLevel level, InferenceEngine* engine) {
   switch (level) {
-    case VerificationLevel::kFactual: return VerifyFactual(cfg, w);
+    case VerificationLevel::kFactual:
+      return VerifyFactual(cfg, w, engine);
     case VerificationLevel::kCounterfactual:
-      return VerifyCounterfactual(cfg, w);
-    case VerificationLevel::kRcw: return VerifyRcw(cfg, w);
+      return VerifyCounterfactual(cfg, w, engine);
+    case VerificationLevel::kRcw: return VerifyRcw(cfg, w, engine);
   }
   RCW_CHECK(false);
   return {};
@@ -34,8 +35,11 @@ MinimizeResult MinimizeWitness(const WitnessConfig& cfg,
                                VerificationLevel level) {
   MinimizeResult result;
   result.witness = witness;
+  // One engine across the per-edge verifications: base labels are computed
+  // once, and disturbance re-checks hit the content-addressed overlay cache.
+  InferenceEngine engine(cfg.model, cfg.graph);
   ++result.verification_calls;
-  if (!VerifyAt(cfg, witness, level).ok) return result;
+  if (!VerifyAt(cfg, witness, level, &engine).ok) return result;
 
   // Edges touching a test node are structurally load-bearing most often;
   // try dropping peripheral edges first (descending distance proxy: edges
@@ -55,7 +59,7 @@ MinimizeResult MinimizeWitness(const WitnessConfig& cfg,
     Witness candidate = WithoutEdge(result.witness, e);
     if (candidate.num_edges() == 0) break;  // keep non-trivial
     ++result.verification_calls;
-    if (VerifyAt(cfg, candidate, level).ok) {
+    if (VerifyAt(cfg, candidate, level, &engine).ok) {
       result.witness = std::move(candidate);
       ++result.edges_removed;
     }

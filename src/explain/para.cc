@@ -21,6 +21,23 @@ struct WorkerOutput {
   double seconds = 0.0;
 };
 
+EngineOptions EngineOptionsFor(const GenerateOptions& gen) {
+  EngineOptions eopts;
+  eopts.cache = gen.cache_inference;
+  eopts.batch = gen.cache_inference;
+  return eopts;
+}
+
+void AccumulateGen(const GenerateStats& in, GenerateStats* out) {
+  out->inference_calls += in.inference_calls;
+  out->pri_calls += in.pri_calls;
+  out->expand_rounds += in.expand_rounds;
+  out->secure_rounds += in.secure_rounds;
+  out->node_queries += in.node_queries;
+  out->cache_hits += in.cache_hits;
+  out->batched_nodes += in.batched_nodes;
+}
+
 }  // namespace
 
 GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
@@ -60,7 +77,9 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
   const Matrix base_logits =
       cfg.model->BaseLogits(full, cfg.graph->features());
 
-  // -- Parallel phase: each worker secures its own test nodes. -------------
+  // -- Parallel phase: each worker secures its own test nodes on a private
+  // inference engine (its caches mirror the fragment's working set and need
+  // no cross-worker synchronization). ---------------------------------------
   std::vector<WorkerOutput> outputs(fragments.size());
   ThreadPool pool(n_workers);
   for (size_t f = 0; f < fragments.size(); ++f) {
@@ -69,6 +88,12 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
       WorkerOutput& out = outputs[f];
       out.touched_edges = Bitmap(all_edges.size());
       const Fragment& frag = fragments[f];
+
+      InferenceEngine engine(cfg.model, cfg.graph,
+                             EngineOptionsFor(opts.gen));
+      const EngineStats engine_before = engine.stats();
+      WitnessEngineViews views(&engine);
+      engine.Warm(InferenceEngine::kFullView, nodes_per_fragment[f]);
 
       std::unordered_set<NodeId> halo(frag.nodes_with_halo.begin(),
                                       frag.nodes_with_halo.end());
@@ -92,8 +117,9 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
             break;
           }
         }
-        const bool ok = detail::SecureNode(cfg, v, base_logits, opts.gen,
-                                           scope, &out.witness, &out.stats);
+        const bool ok =
+            detail::SecureNode(cfg, v, base_logits, opts.gen, scope, &engine,
+                               &views, &out.witness, &out.stats);
         if (!ok) {
           // Local scope may simply be too tight; escalate to coordinator.
           out.needs_global.push_back(v);
@@ -109,6 +135,7 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
           out.needs_global.push_back(v);
         }
       }
+      AddEngineDelta(engine.stats() - engine_before, &out.stats);
       out.seconds = wt.Seconds();
     });
   }
@@ -126,29 +153,38 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
     ps->bitmap_bytes += static_cast<int64_t>(out.touched_edges.ByteSize());
     reverify.insert(reverify.end(), out.needs_global.begin(),
                     out.needs_global.end());
-    ps->gen.inference_calls += out.stats.inference_calls;
-    ps->gen.pri_calls += out.stats.pri_calls;
-    ps->gen.expand_rounds += out.stats.expand_rounds;
-    ps->gen.secure_rounds += out.stats.secure_rounds;
+    AccumulateGen(out.stats, &ps->gen);
     ps->worker_seconds = std::max(ps->worker_seconds, out.seconds);
   }
   std::sort(reverify.begin(), reverify.end());
   ps->coordinator_reverified = static_cast<int>(reverify.size());
 
+  // The coordinator runs its own engine; its cache carries from the border
+  // re-securing straight into the CW probe sweep below.
+  InferenceEngine coord_engine(cfg.model, cfg.graph,
+                               EngineOptionsFor(opts.gen));
+  const EngineStats coord_before = coord_engine.stats();
+  WitnessEngineViews coord_views(&coord_engine);
+  auto finish_coord = [&]() {
+    AddEngineDelta(coord_engine.stats() - coord_before, &ps->gen);
+    ps->coordinator_seconds = coord_timer.Seconds();
+    ps->gen.seconds = total.Seconds();
+    result.stats = ps->gen;
+  };
+
   detail::NodeWorkScope global_scope;  // unrestricted
   std::unordered_set<NodeId> unsecured;
   for (NodeId v : reverify) {
     if (!detail::SecureNode(cfg, v, base_logits, opts.gen, global_scope,
-                            &result.witness, &ps->gen)) {
+                            &coord_engine, &coord_views, &result.witness,
+                            &ps->gen)) {
       if (opts.gen.skip_unsecurable) {
         unsecured.insert(v);
         continue;
       }
       result.witness = TrivialWitness(*cfg.graph, cfg.test_nodes);
       result.trivial = true;
-      ps->coordinator_seconds = coord_timer.Seconds();
-      ps->gen.seconds = total.Seconds();
-      result.stats = ps->gen;
+      finish_coord();
       return result;
     }
   }
@@ -165,25 +201,31 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
   // Merging witnesses is monotone, but a union edge landing inside another
   // node's receptive field can in principle perturb its factual check; a
   // two-inference CW probe per node catches that cheaply and demotes the
-  // node into the sweep.
+  // node into the sweep. The probe runs on the merged witness's view slots,
+  // warmed once for all probed nodes (three batched inferences instead of
+  // three per node).
   {
-    const EdgeSubsetView sub = result.witness.SubgraphView(cfg.graph->num_nodes());
-    const OverlayView removed = result.witness.RemovedView(&full);
-    for (auto it = locally_verified.begin(); it != locally_verified.end();) {
-      const NodeId v = *it;
-      ps->gen.inference_calls += 3;
-      const Label l = cfg.model->Predict(full, cfg.graph->features(), v);
+    coord_views.Sync(result.witness);
+    std::vector<NodeId> probed(locally_verified.begin(),
+                               locally_verified.end());
+    std::sort(probed.begin(), probed.end());
+    coord_engine.Warm(InferenceEngine::kFullView, probed);
+    coord_engine.Warm(coord_views.sub_id(), probed);
+    coord_engine.Warm(coord_views.removed_id(), probed);
+    for (NodeId v : probed) {
+      const Label l = coord_engine.Predict(InferenceEngine::kFullView, v);
       const bool cw_ok =
-          cfg.model->Predict(sub, cfg.graph->features(), v) == l &&
-          cfg.model->Predict(removed, cfg.graph->features(), v) != l;
-      it = cw_ok ? std::next(it) : locally_verified.erase(it);
+          coord_engine.Predict(coord_views.sub_id(), v) == l &&
+          coord_engine.Predict(coord_views.removed_id(), v) != l;
+      if (!cw_ok) locally_verified.erase(v);
     }
   }
   for (NodeId v : cfg.test_nodes) {
     if (unsecured.count(v) > 0) continue;
     if (locally_verified.count(v) > 0) continue;
     if (!detail::SecureNode(cfg, v, base_logits, opts.gen, global_scope,
-                            &result.witness, &ps->gen)) {
+                            &coord_engine, &coord_views, &result.witness,
+                            &ps->gen)) {
       if (opts.gen.skip_unsecurable) {
         unsecured.insert(v);
         continue;
@@ -196,9 +238,7 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
   result.unsecured.assign(unsecured.begin(), unsecured.end());
   std::sort(result.unsecured.begin(), result.unsecured.end());
 
-  ps->coordinator_seconds = coord_timer.Seconds();
-  ps->gen.seconds = total.Seconds();
-  result.stats = ps->gen;
+  finish_coord();
   return result;
 }
 

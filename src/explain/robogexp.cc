@@ -32,11 +32,11 @@ struct ScoredEdge {
 /// reaching v, and the counterfactual side needs G \ Gs to lose an edge-cut
 /// around v. Candidates are therefore ordered by hop distance from v first
 /// (v's incident edges form the natural cut) and by routed class-l evidence
-/// second.
+/// second. No inference happens here — the class-l evidence is read from the
+/// base logits the caller computed once per generation.
 std::vector<ScoredEdge> RankExpansionCandidates(
-    const WitnessConfig& cfg, NodeId v, Label l, const Matrix& base_logits,
-    const Witness& gs, const NodeWorkScope& scope) {
-  const FullView full(cfg.graph);
+    const WitnessConfig& cfg, const FullView& full, NodeId v, Label l,
+    const Matrix& base_logits, const Witness& gs, const NodeWorkScope& scope) {
   const std::vector<NodeId> ball =
       CappedBall(full, v, cfg.hop_radius, cfg.max_ball_nodes);
 
@@ -106,15 +106,13 @@ std::vector<ScoredEdge> RankExpansionCandidates(
   return out;
 }
 
-/// Single-node CW condition under the current witness.
-bool IsCwForNode(const WitnessConfig& cfg, NodeId v, Label l,
-                 const Witness& gs, GenerateStats* stats) {
-  const FullView full(cfg.graph);
-  const EdgeSubsetView sub = gs.SubgraphView(cfg.graph->num_nodes());
-  stats->inference_calls += 2;
-  if (cfg.model->Predict(sub, cfg.graph->features(), v) != l) return false;
-  const OverlayView removed = gs.RemovedView(&full);
-  return cfg.model->Predict(removed, cfg.graph->features(), v) != l;
+/// Single-node CW condition under the current witness: two predictions on
+/// the engine's witness-view slots (cached until the witness mutates).
+bool IsCwForNode(InferenceEngine* engine, WitnessEngineViews* views, NodeId v,
+                 Label l, const Witness& gs) {
+  views->Sync(gs);
+  if (engine->Predict(views->sub_id(), v) != l) return false;
+  return engine->Predict(views->removed_id(), v) != l;
 }
 
 std::vector<Label> ContrastOrder(const WitnessConfig& cfg,
@@ -138,11 +136,17 @@ std::vector<Label> ContrastOrder(const WitnessConfig& cfg,
 }  // namespace
 
 std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg) {
-  const FullView full(cfg.graph);
+  InferenceEngine engine(cfg.model, cfg.graph);
+  return PrioritizeTestNodes(cfg, &engine);
+}
+
+std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg,
+                                        InferenceEngine* engine) {
+  engine->Warm(InferenceEngine::kFullView, cfg.test_nodes);
   std::vector<std::pair<double, NodeId>> ranked;
   for (NodeId v : cfg.test_nodes) {
     const std::vector<double> logits =
-        cfg.model->InferNode(full, cfg.graph->features(), v);
+        engine->Logits(InferenceEngine::kFullView, v);
     std::vector<double> sorted = logits;
     std::sort(sorted.begin(), sorted.end(), std::greater<double>());
     const double margin = sorted.size() > 1 ? sorted[0] - sorted[1] : 1.0;
@@ -159,16 +163,19 @@ std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg) {
 
 bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
                 const GenerateOptions& opts, const NodeWorkScope& scope,
+                InferenceEngine* engine, WitnessEngineViews* views,
                 Witness* out_gs, GenerateStats* stats) {
   // Work on a copy and commit only on success: a failed node must not leave
   // partial expansion in the shared witness.
   Witness work = *out_gs;
   Witness* gs = &work;
-  const FullView full(cfg.graph);
+  const FullView& full = engine->full_view();
   gs->AddNode(v);
   out_gs->AddNode(v);
-  ++stats->inference_calls;
-  const Label l = cfg.model->Predict(full, cfg.graph->features(), v);
+  // The base label and logits of v never change (the full view is
+  // immutable), so these are cache hits on every secure round and every
+  // fixpoint pass after the first.
+  const Label l = engine->Predict(InferenceEngine::kFullView, v);
 
   PriOptions pri_opts = cfg.MakePriOptions();
   pri_opts.ppr.alpha = ResolveAlpha(cfg);
@@ -180,11 +187,11 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
     // -- Phase 1: expand until Gs is a CW for v. ---------------------------
     int expand_round = 0;
     std::vector<Edge> added_this_phase;
-    while (!IsCwForNode(cfg, v, l, *gs, stats)) {
+    while (!IsCwForNode(engine, views, v, l, *gs)) {
       if (++expand_round > opts.max_expand_rounds) return false;
       ++stats->expand_rounds;
       const auto candidates =
-          RankExpansionCandidates(cfg, v, l, base_logits, *gs, scope);
+          RankExpansionCandidates(cfg, full, v, l, base_logits, *gs, scope);
       if (candidates.empty()) return false;
       const int take =
           std::min<int>(opts.expand_batch, static_cast<int>(candidates.size()));
@@ -217,7 +224,7 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
           }
           reduced.AddEdge(e.u, e.v);
         }
-        if (IsCwForNode(cfg, v, l, reduced, stats)) {
+        if (IsCwForNode(engine, views, v, l, reduced)) {
           *gs = std::move(reduced);
         }
       }
@@ -229,8 +236,7 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
 
     // -- Phase 2: adversarial verification; secure offending pairs. -------
     const std::vector<double> logits =
-        cfg.model->InferNode(full, cfg.graph->features(), v);
-    ++stats->inference_calls;
+        engine->Logits(InferenceEngine::kFullView, v);
     const auto protected_keys = gs->ProtectedKeys();
     bool violated = false;
 
@@ -244,16 +250,15 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
       const PriResult pri = Pri(full, protected_keys, v, r, pri_opts);
       if (pri.disturbance.empty()) continue;
 
-      const OverlayView disturbed(&full, pri.disturbance);
-      ++stats->inference_calls;
-      bool bad = cfg.model->Predict(disturbed, cfg.graph->features(), v) != l;
+      // Content-addressed: a stable witness reproduces the same PRI
+      // disturbance on every re-verification pass, so these re-checks hit
+      // the engine's overlay cache.
+      bool bad = engine->PredictOverlay(pri.disturbance, v) != l;
       if (!bad) {
         std::vector<Edge> combined = gs->Edges();
         combined.insert(combined.end(), pri.disturbance.begin(),
                         pri.disturbance.end());
-        const OverlayView disturbed_minus(&full, combined);
-        ++stats->inference_calls;
-        bad = cfg.model->Predict(disturbed_minus, cfg.graph->features(), v) == l;
+        bad = engine->PredictOverlay(combined, v) == l;
       }
       if (bad) {
         // Secure the most damaging offending pairs (PRI orders the
@@ -280,23 +285,23 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
     }
     if (violated) continue;
 
-    // Counterfactual side: strongest restoration disturbance of G \ Gs.
-    const OverlayView removed = gs->RemovedView(&full);
-    ++stats->inference_calls;
-    const Label l2 = cfg.model->Predict(removed, cfg.graph->features(), v);
+    // Counterfactual side: strongest restoration disturbance of G \ Gs. The
+    // removed-view prediction is a cache hit: the CW probe above already
+    // computed it for the current witness state.
+    views->Sync(*gs);
+    const Label l2 = engine->Predict(views->removed_id(), v);
     std::vector<double> r(static_cast<size_t>(cfg.graph->num_nodes()));
     for (NodeId u = 0; u < cfg.graph->num_nodes(); ++u) {
       r[static_cast<size_t>(u)] = base_logits.at(u, l) - base_logits.at(u, l2);
     }
     ++stats->pri_calls;
-    const PriResult back = Pri(removed, protected_keys, v, r, pri_opts);
+    const PriResult back =
+        Pri(views->removed_view(), protected_keys, v, r, pri_opts);
     if (!back.disturbance.empty()) {
       std::vector<Edge> combined = gs->Edges();
       combined.insert(combined.end(), back.disturbance.begin(),
                       back.disturbance.end());
-      const OverlayView restored(&full, combined);
-      ++stats->inference_calls;
-      if (cfg.model->Predict(restored, cfg.graph->features(), v) == l) {
+      if (engine->PredictOverlay(combined, v) == l) {
         const int take = std::min<int>(opts.secure_batch,
                                        static_cast<int>(back.disturbance.size()));
         for (int i = 0; i < take; ++i) {
@@ -322,17 +327,37 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
 GenerateResult GenerateRcw(const WitnessConfig& cfg,
                            const GenerateOptions& opts) {
   RCW_CHECK(cfg.Valid());
+  EngineOptions eopts;
+  eopts.cache = opts.cache_inference;
+  eopts.batch = opts.cache_inference;
+  InferenceEngine engine(cfg.model, cfg.graph, eopts);
+  return GenerateRcw(cfg, opts, &engine);
+}
+
+GenerateResult GenerateRcw(const WitnessConfig& cfg,
+                           const GenerateOptions& opts,
+                           InferenceEngine* engine) {
+  RCW_CHECK(cfg.Valid());
+  RCW_CHECK(&engine->model() == cfg.model && &engine->graph() == cfg.graph);
   Timer timer;
   GenerateResult result;
+  const EngineStats before = engine->stats();
+  auto finish = [&]() -> GenerateResult& {
+    AddEngineDelta(engine->stats() - before, &result.stats);
+    result.stats.seconds = timer.Seconds();
+    return result;
+  };
 
-  const FullView full(cfg.graph);
+  const FullView& full = engine->full_view();
   const Matrix base_logits =
       cfg.model->BaseLogits(full, cfg.graph->features());
 
   for (NodeId v : cfg.test_nodes) result.witness.AddNode(v);
 
-  const std::vector<NodeId> order = detail::PrioritizeTestNodes(cfg);
+  const std::vector<NodeId> order =
+      detail::PrioritizeTestNodes(cfg, engine);
   detail::NodeWorkScope scope;
+  WitnessEngineViews views(engine);
   // Securing a later node grows Gs, which can perturb an earlier node's
   // factual check; iterate to a fixpoint (witness growth is monotone and
   // bounded by |G|, so this terminates — Algorithm 2's outer while loop).
@@ -345,26 +370,33 @@ GenerateResult GenerateRcw(const WitnessConfig& cfg,
     // converge monotonically (witness growth is bounded by |G|).
     GenerateOptions pass_opts = opts;
     if (pass > 0) pass_opts.trim = false;
+    if (pass > 0) {
+      // Re-verification passes rarely mutate the witness, so the per-node CW
+      // probes mostly query the same witness state: warm the witness views
+      // for every node in two batched inferences up front. (Pointless in
+      // pass 0, where the first secured node invalidates them anyway.)
+      views.Sync(result.witness);
+      engine->Warm(views.sub_id(), order);
+      engine->Warm(views.removed_id(), order);
+    }
     for (NodeId v : order) {
       if (unsecured.count(v) > 0) continue;
-      if (!detail::SecureNode(cfg, v, base_logits, pass_opts, scope,
-                              &result.witness, &result.stats)) {
+      if (!detail::SecureNode(cfg, v, base_logits, pass_opts, scope, engine,
+                              &views, &result.witness, &result.stats)) {
         if (opts.skip_unsecurable) {
           unsecured.insert(v);
           continue;
         }
         result.witness = TrivialWitness(*cfg.graph, cfg.test_nodes);
         result.trivial = true;
-        result.stats.seconds = timer.Seconds();
-        return result;
+        return finish();
       }
     }
   }
   result.unsecured.assign(unsecured.begin(), unsecured.end());
   std::sort(result.unsecured.begin(), result.unsecured.end());
 
-  result.stats.seconds = timer.Seconds();
-  return result;
+  return finish();
 }
 
 }  // namespace robogexp

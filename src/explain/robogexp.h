@@ -45,16 +45,38 @@ struct GenerateOptions {
   /// are reported in GenerateResult::unsecured and skipped; when false, the
   /// generator falls back to the trivial witness G (Algorithm 2 verbatim).
   bool skip_unsecurable = true;
+  /// Memoize + batch GNN inference through the InferenceEngine. Off runs
+  /// the engine in pass-through mode (every logical query hits the model) —
+  /// the measured baseline of bench_engine_cache; witnesses are bit-identical
+  /// either way.
+  bool cache_inference = true;
   bool verbose = false;
 };
 
 struct GenerateStats {
+  /// Actual GNN inference invocations issued (engine model invocations;
+  /// cache hits are free, batched warms count once).
   int inference_calls = 0;
   int pri_calls = 0;
   int expand_rounds = 0;
   int secure_rounds = 0;
+  /// Logical single-node inference requests served by the engine.
+  int64_t node_queries = 0;
+  /// Requests answered from the engine's per-(view, node) cache.
+  int64_t cache_hits = 0;
+  /// Nodes served by batched (union-ball) inference invocations.
+  int64_t batched_nodes = 0;
   double seconds = 0.0;
 };
+
+/// Folds an engine-work delta (EngineStats after - before) into generation
+/// stats — the single place the EngineStats → GenerateStats mapping lives.
+inline void AddEngineDelta(const EngineStats& d, GenerateStats* stats) {
+  stats->inference_calls += static_cast<int>(d.model_invocations);
+  stats->node_queries += d.node_queries;
+  stats->cache_hits += d.cache_hits;
+  stats->batched_nodes += d.batched_nodes;
+}
 
 struct GenerateResult {
   Witness witness;
@@ -69,6 +91,14 @@ struct GenerateResult {
 /// Generates a k-RCW for cfg.test_nodes (sequential RoboGExp).
 GenerateResult GenerateRcw(const WitnessConfig& cfg,
                            const GenerateOptions& opts = {});
+
+/// Engine-threading overload: runs on a caller-owned engine so its cache
+/// (base labels, witness-view logits) is shared with surrounding work, e.g.
+/// a verification pass over the generated witness. Stats report the engine
+/// work performed by this call only.
+GenerateResult GenerateRcw(const WitnessConfig& cfg,
+                           const GenerateOptions& opts,
+                           InferenceEngine* engine);
 
 namespace detail {
 
@@ -85,13 +115,22 @@ struct NodeWorkScope {
 
 /// Expand-and-secure for a single test node; grows *gs in place. Returns
 /// false when the node cannot be made CW / robust within the scope and caps.
+/// Inference goes through `engine`; `views` tracks the witness-derived view
+/// slots (invalidated on every witness mutation). inference_calls /
+/// cache_hits are NOT accumulated into *stats — callers report them from
+/// the engine's stats delta.
 bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
                 const GenerateOptions& opts, const NodeWorkScope& scope,
+                InferenceEngine* engine, WitnessEngineViews* views,
                 Witness* gs, GenerateStats* stats);
 
 /// Test nodes ordered by ascending prediction margin (the paper's
 /// prioritization processes nodes "unlikely to have labels changed" last).
+/// The engine overload serves margins from the cached base logits (one
+/// batched inference for all misses).
 std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg);
+std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg,
+                                        InferenceEngine* engine);
 
 }  // namespace detail
 

@@ -1,19 +1,17 @@
 #include "src/explain/verify.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "src/gnn/appnp.h"
+#include "src/util/thread_pool.h"
 
 namespace robogexp {
 
 namespace {
-
-Label PredictOn(const WitnessConfig& cfg, const GraphView& view, NodeId v,
-                int* calls) {
-  ++*calls;
-  return cfg.model->Predict(view, cfg.graph->features(), v);
-}
 
 /// Contrast classes for node v, strongest runner-up first.
 std::vector<Label> ContrastClasses(const WitnessConfig& cfg,
@@ -44,15 +42,82 @@ std::vector<double> ContrastVector(const Matrix& base_logits, Label pos,
   return r;
 }
 
+/// Fills the result's cost fields with the engine-work delta since `before`.
+void FillCost(const EngineStats& before, InferenceEngine* engine,
+              VerifyResult* r) {
+  const EngineStats d = engine->stats() - before;
+  r->inference_calls = static_cast<int>(d.model_invocations);
+  r->cache_hits = d.cache_hits;
+}
+
+/// Factual check against an already-registered witness-subgraph slot.
+VerifyResult FactualImpl(const WitnessConfig& cfg, const Witness& witness,
+                         InferenceEngine* engine,
+                         InferenceEngine::ViewId sub_id) {
+  // Containment is structural — reject before spending any inference.
+  for (NodeId v : cfg.test_nodes) {
+    if (!witness.HasNode(v)) {
+      VerifyResult r;
+      r.reason = "witness does not contain test node";
+      r.failed_node = v;
+      return r;
+    }
+  }
+  engine->Warm(InferenceEngine::kFullView, cfg.test_nodes);
+  engine->Warm(sub_id, cfg.test_nodes);
+  for (NodeId v : cfg.test_nodes) {
+    const Label l = engine->Predict(InferenceEngine::kFullView, v);
+    if (engine->Predict(sub_id, v) != l) {
+      VerifyResult r;
+      r.reason = "factual check failed: M(v, Gs) != l";
+      r.failed_node = v;
+      return r;
+    }
+  }
+  VerifyResult r;
+  r.ok = true;
+  return r;
+}
+
+/// CW check against already-registered witness-view slots.
+VerifyResult CwImpl(const WitnessConfig& cfg, const Witness& witness,
+                    InferenceEngine* engine, InferenceEngine::ViewId sub_id,
+                    InferenceEngine::ViewId removed_id) {
+  VerifyResult factual = FactualImpl(cfg, witness, engine, sub_id);
+  if (!factual.ok) return factual;
+  engine->Warm(removed_id, cfg.test_nodes);
+  for (NodeId v : cfg.test_nodes) {
+    // The base label M(v, G) was computed by the factual pass and is served
+    // from the cache here — once per verification, not once per check.
+    const Label l = engine->Predict(InferenceEngine::kFullView, v);
+    if (engine->Predict(removed_id, v) == l) {
+      VerifyResult r;
+      r.reason = "counterfactual check failed: M(v, G \\ Gs) == l";
+      r.failed_node = v;
+      return r;
+    }
+  }
+  VerifyResult r;
+  r.ok = true;
+  return r;
+}
+
 }  // namespace
 
 std::vector<Label> BaseLabels(const WitnessConfig& cfg) {
   RCW_CHECK(cfg.Valid());
-  const FullView view(cfg.graph);
+  InferenceEngine engine(cfg.model, cfg.graph);
+  return BaseLabels(cfg, &engine);
+}
+
+std::vector<Label> BaseLabels(const WitnessConfig& cfg,
+                              InferenceEngine* engine) {
+  RCW_CHECK(cfg.Valid());
+  engine->Warm(InferenceEngine::kFullView, cfg.test_nodes);
   std::vector<Label> labels;
   labels.reserve(cfg.test_nodes.size());
   for (NodeId v : cfg.test_nodes) {
-    labels.push_back(cfg.model->Predict(view, cfg.graph->features(), v));
+    labels.push_back(engine->Predict(InferenceEngine::kFullView, v));
   }
   return labels;
 }
@@ -66,123 +131,198 @@ double ResolveAlpha(const WitnessConfig& cfg) {
 
 VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness) {
   RCW_CHECK(cfg.Valid());
-  int calls = 0;
-  const FullView full(cfg.graph);
+  InferenceEngine engine(cfg.model, cfg.graph);
+  return VerifyFactual(cfg, witness, &engine);
+}
+
+VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness,
+                           InferenceEngine* engine) {
+  RCW_CHECK(cfg.Valid());
+  const EngineStats before = engine->stats();
   const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
-  for (NodeId v : cfg.test_nodes) {
-    if (!witness.HasNode(v)) {
-      VerifyResult r;
-      r.reason = "witness does not contain test node";
-      r.failed_node = v;
-      r.inference_calls = calls;
-      return r;
-    }
-    const Label l = PredictOn(cfg, full, v, &calls);
-    if (PredictOn(cfg, sub, v, &calls) != l) {
-      VerifyResult r;
-      r.reason = "factual check failed: M(v, Gs) != l";
-      r.failed_node = v;
-      r.inference_calls = calls;
-      return r;
-    }
-  }
-  return VerifyResult::Ok(calls);
+  InferenceEngine::ScopedView sub_slot(engine, &sub);
+  VerifyResult r = FactualImpl(cfg, witness, engine, sub_slot.id());
+  FillCost(before, engine, &r);
+  return r;
 }
 
 VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
                                   const Witness& witness) {
-  VerifyResult factual = VerifyFactual(cfg, witness);
-  if (!factual.ok) return factual;
-  int calls = factual.inference_calls;
-  const FullView full(cfg.graph);
-  const OverlayView removed = witness.RemovedView(&full);
-  for (NodeId v : cfg.test_nodes) {
-    const Label l = PredictOn(cfg, full, v, &calls);
-    if (PredictOn(cfg, removed, v, &calls) == l) {
-      VerifyResult r;
-      r.reason = "counterfactual check failed: M(v, G \\ Gs) == l";
-      r.failed_node = v;
-      r.inference_calls = calls;
-      return r;
-    }
-  }
-  return VerifyResult::Ok(calls);
+  RCW_CHECK(cfg.Valid());
+  InferenceEngine engine(cfg.model, cfg.graph);
+  return VerifyCounterfactual(cfg, witness, &engine);
+}
+
+VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
+                                  const Witness& witness,
+                                  InferenceEngine* engine) {
+  RCW_CHECK(cfg.Valid());
+  const EngineStats before = engine->stats();
+  const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
+  const OverlayView removed = witness.RemovedView(&engine->full_view());
+  InferenceEngine::ScopedView sub_slot(engine, &sub);
+  InferenceEngine::ScopedView removed_slot(engine, &removed);
+  VerifyResult r =
+      CwImpl(cfg, witness, engine, sub_slot.id(), removed_slot.id());
+  FillCost(before, engine, &r);
+  return r;
 }
 
 VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness) {
-  VerifyResult cw = VerifyCounterfactual(cfg, witness);
-  if (!cw.ok) return cw;
-  int calls = cw.inference_calls;
-  if (cfg.k == 0) return VerifyResult::Ok(calls);  // CW == 0-RCW
+  RCW_CHECK(cfg.Valid());
+  InferenceEngine engine(cfg.model, cfg.graph);
+  return VerifyRcw(cfg, witness, &engine);
+}
 
-  const FullView full(cfg.graph);
+VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
+                       InferenceEngine* engine) {
+  RCW_CHECK(cfg.Valid());
+  const EngineStats before = engine->stats();
+  const FullView& full = engine->full_view();
+  const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
+  const OverlayView removed = witness.RemovedView(&full);
+  InferenceEngine::ScopedView sub_slot(engine, &sub);
+  InferenceEngine::ScopedView removed_slot(engine, &removed);
+
+  VerifyResult cw =
+      CwImpl(cfg, witness, engine, sub_slot.id(), removed_slot.id());
+  if (!cw.ok) {
+    FillCost(before, engine, &cw);
+    return cw;
+  }
+  if (cfg.k == 0) {  // CW == 0-RCW
+    VerifyResult r;
+    r.ok = true;
+    FillCost(before, engine, &r);
+    return r;
+  }
+
   const Matrix base_logits = cfg.model->BaseLogits(full, cfg.graph->features());
   PriOptions pri_opts = cfg.MakePriOptions();
   pri_opts.ppr.alpha = ResolveAlpha(cfg);
   const auto protected_keys = witness.ProtectedKeys();
+  const std::vector<Edge> witness_edges = witness.Edges();
 
+  // Per-node context from the cached base logits (warmed by the CW pass).
+  struct NodeCtx {
+    NodeId v;
+    std::vector<double> logits;
+    Label l;
+    std::vector<Label> classes;
+  };
+  std::vector<NodeCtx> ctx;
+  ctx.reserve(cfg.test_nodes.size());
   for (NodeId v : cfg.test_nodes) {
-    const std::vector<double> logits =
-        cfg.model->InferNode(full, cfg.graph->features(), v);
-    ++calls;
-    Label l = 0;
-    for (int c = 1; c < cfg.model->num_classes(); ++c) {
-      if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(l)]) l = c;
-    }
-
-    // (i) Label robustness: no (k, b)-disturbance flips M(v, ~G) away from l,
-    // and the witness stays counterfactual under each worst-case candidate.
-    for (Label c : ContrastClasses(cfg, logits, l)) {
-      const std::vector<double> r = ContrastVector(base_logits, c, l);
-      const PriResult pri = Pri(full, protected_keys, v, r, pri_opts);
-      if (pri.disturbance.empty()) continue;
-      const OverlayView disturbed(&full, pri.disturbance);
-      if (PredictOn(cfg, disturbed, v, &calls) != l) {
-        VerifyResult res;
-        res.reason = "robustness failed: disturbance flips M(v, ~G)";
-        res.failed_node = v;
-        res.counterexample = pri.disturbance;
-        res.inference_calls = calls;
-        return res;
-      }
-      std::vector<Edge> combined = witness.Edges();
-      combined.insert(combined.end(), pri.disturbance.begin(),
-                      pri.disturbance.end());
-      const OverlayView disturbed_minus(&full, combined);
-      if (PredictOn(cfg, disturbed_minus, v, &calls) == l) {
-        VerifyResult res;
-        res.reason =
-            "robustness failed: disturbance restores M(v, ~G \\ Gs) == l";
-        res.failed_node = v;
-        res.counterexample = pri.disturbance;
-        res.inference_calls = calls;
-        return res;
-      }
-    }
-
-    // (ii) Counterfactual robustness from the other side: the strongest
-    // disturbance of G \ Gs pushing v back toward l must not succeed.
-    const OverlayView removed = witness.RemovedView(&full);
-    const Label l2 = PredictOn(cfg, removed, v, &calls);
-    const std::vector<double> r_back = ContrastVector(base_logits, l, l2);
-    const PriResult back = Pri(removed, protected_keys, v, r_back, pri_opts);
-    if (!back.disturbance.empty()) {
-      std::vector<Edge> combined = witness.Edges();
-      combined.insert(combined.end(), back.disturbance.begin(),
-                      back.disturbance.end());
-      const OverlayView restored(&full, combined);
-      if (PredictOn(cfg, restored, v, &calls) == l) {
-        VerifyResult res;
-        res.reason =
-            "robustness failed: disturbance of G \\ Gs restores label l";
-        res.failed_node = v;
-        res.counterexample = back.disturbance;
-        res.inference_calls = calls;
-        return res;
-      }
-    }
+    NodeCtx c;
+    c.v = v;
+    c.logits = engine->Logits(InferenceEngine::kFullView, v);
+    c.l = ArgmaxLabel(c.logits);
+    c.classes = ContrastClasses(cfg, c.logits, c.l);
+    ctx.push_back(std::move(c));
   }
-  return VerifyResult::Ok(calls);
+
+  // (i) Label robustness per (node, contrast class): no (k, b)-disturbance
+  // flips M(v, ~G) away from l, and the witness stays counterfactual under
+  // each worst-case candidate.
+  auto run_class_unit =
+      [&](const NodeCtx& c, Label contrast) -> std::optional<VerifyResult> {
+    const std::vector<double> r = ContrastVector(base_logits, contrast, c.l);
+    const PriResult pri = Pri(full, protected_keys, c.v, r, pri_opts);
+    if (pri.disturbance.empty()) return std::nullopt;
+    // Overlay predictions are content-addressed: when this verification
+    // follows generation on a shared engine, the generator's final secure
+    // round already checked the same disturbances — cache hits here.
+    if (engine->PredictOverlay(pri.disturbance, c.v) != c.l) {
+      VerifyResult res;
+      res.reason = "robustness failed: disturbance flips M(v, ~G)";
+      res.failed_node = c.v;
+      res.counterexample = pri.disturbance;
+      return res;
+    }
+    std::vector<Edge> combined = witness_edges;
+    combined.insert(combined.end(), pri.disturbance.begin(),
+                    pri.disturbance.end());
+    if (engine->PredictOverlay(combined, c.v) == c.l) {
+      VerifyResult res;
+      res.reason =
+          "robustness failed: disturbance restores M(v, ~G \\ Gs) == l";
+      res.failed_node = c.v;
+      res.counterexample = pri.disturbance;
+      return res;
+    }
+    return std::nullopt;
+  };
+
+  // (ii) Counterfactual robustness from the other side: the strongest
+  // disturbance of G \ Gs pushing v back toward l must not succeed.
+  auto run_back_unit =
+      [&](const NodeCtx& c) -> std::optional<VerifyResult> {
+    const Label l2 = engine->Predict(removed_slot.id(), c.v);
+    const std::vector<double> r_back = ContrastVector(base_logits, c.l, l2);
+    const PriResult back = Pri(removed, protected_keys, c.v, r_back, pri_opts);
+    if (back.disturbance.empty()) return std::nullopt;
+    std::vector<Edge> combined = witness_edges;
+    combined.insert(combined.end(), back.disturbance.begin(),
+                    back.disturbance.end());
+    if (engine->PredictOverlay(combined, c.v) == c.l) {
+      VerifyResult res;
+      res.reason = "robustness failed: disturbance of G \\ Gs restores label l";
+      res.failed_node = c.v;
+      res.counterexample = back.disturbance;
+      return res;
+    }
+    return std::nullopt;
+  };
+
+  // The units are independent; run them on the shared pool. Units are listed
+  // in the sequential verifier's check order, and the lexicographically
+  // smallest failing unit wins, so the reported outcome is identical to the
+  // sequential run (later units may be skipped once an earlier failure is
+  // known, which only sheds redundant work).
+  struct Unit {
+    size_t node;
+    int cls;  // index into NodeCtx::classes, or -1 for the back-check
+  };
+  std::vector<Unit> units;
+  for (size_t i = 0; i < ctx.size(); ++i) {
+    for (size_t j = 0; j < ctx[i].classes.size(); ++j) {
+      units.push_back({i, static_cast<int>(j)});
+    }
+    units.push_back({i, -1});
+  }
+  std::vector<std::optional<VerifyResult>> failures(units.size());
+  std::atomic<size_t> first_failure{units.size()};
+  ParallelFor(
+      DefaultPool(), static_cast<int64_t>(units.size()),
+      [&](int64_t idx) {
+        const size_t uidx = static_cast<size_t>(idx);
+        if (first_failure.load(std::memory_order_acquire) < uidx) return;
+        const Unit& u = units[uidx];
+        std::optional<VerifyResult> f =
+            u.cls < 0 ? run_back_unit(ctx[u.node])
+                      : run_class_unit(
+                            ctx[u.node],
+                            ctx[u.node].classes[static_cast<size_t>(u.cls)]);
+        if (f.has_value()) {
+          failures[uidx] = std::move(*f);
+          size_t cur = first_failure.load();
+          while (uidx < cur &&
+                 !first_failure.compare_exchange_weak(cur, uidx)) {
+          }
+        }
+      },
+      /*min_grain=*/1);
+
+  const size_t winner = first_failure.load();
+  if (winner < units.size()) {
+    VerifyResult res = *failures[winner];
+    FillCost(before, engine, &res);
+    return res;
+  }
+  VerifyResult res;
+  res.ok = true;
+  FillCost(before, engine, &res);
+  return res;
 }
 
 namespace {
@@ -192,10 +332,10 @@ struct ExhaustiveState {
   const Witness* witness;
   const FullView* full;
   const std::vector<Edge>* candidates;
+  InferenceEngine* engine;
   std::vector<Label> labels;  // aligned with cfg->test_nodes
   std::vector<Edge> chosen;
   std::vector<int> node_load;  // per-node flip count (local budget b)
-  int calls = 0;
 
   // Returns true when a counterexample was found (stored in `result`).
   bool Check(VerifyResult* result) {
@@ -203,15 +343,15 @@ struct ExhaustiveState {
     std::vector<Edge> combined = witness->Edges();
     combined.insert(combined.end(), chosen.begin(), chosen.end());
     const OverlayView disturbed_minus(full, combined);
+    InferenceEngine::ScopedView d_slot(engine, &disturbed);
+    InferenceEngine::ScopedView dm_slot(engine, &disturbed_minus);
+    engine->Warm(d_slot.id(), cfg->test_nodes);
+    engine->Warm(dm_slot.id(), cfg->test_nodes);
     for (size_t i = 0; i < cfg->test_nodes.size(); ++i) {
       const NodeId v = cfg->test_nodes[i];
       const Label l = labels[i];
-      ++calls;
-      const bool factual_ok =
-          cfg->model->Predict(disturbed, cfg->graph->features(), v) == l;
-      ++calls;
-      const bool counter_ok =
-          cfg->model->Predict(disturbed_minus, cfg->graph->features(), v) != l;
+      const bool factual_ok = engine->Predict(d_slot.id(), v) == l;
+      const bool counter_ok = engine->Predict(dm_slot.id(), v) != l;
       if (!factual_ok || !counter_ok) {
         result->ok = false;
         result->reason = factual_ok
@@ -219,7 +359,6 @@ struct ExhaustiveState {
                              : "exhaustive: label flipped by disturbance";
         result->failed_node = v;
         result->counterexample = chosen;
-        result->inference_calls = calls;
         return true;
       }
     }
@@ -252,9 +391,28 @@ struct ExhaustiveState {
 VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
                                  const Witness& witness,
                                  int64_t max_combinations) {
-  VerifyResult cw = VerifyCounterfactual(cfg, witness);
-  if (!cw.ok) return cw;
-  const FullView full(cfg.graph);
+  RCW_CHECK(cfg.Valid());
+  InferenceEngine engine(cfg.model, cfg.graph);
+  return VerifyRcwExhaustive(cfg, witness, max_combinations, &engine);
+}
+
+VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
+                                 const Witness& witness,
+                                 int64_t max_combinations,
+                                 InferenceEngine* engine) {
+  RCW_CHECK(cfg.Valid());
+  const EngineStats before = engine->stats();
+  const FullView& full = engine->full_view();
+  const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
+  const OverlayView removed = witness.RemovedView(&full);
+  InferenceEngine::ScopedView sub_slot(engine, &sub);
+  InferenceEngine::ScopedView removed_slot(engine, &removed);
+  VerifyResult cw =
+      CwImpl(cfg, witness, engine, sub_slot.id(), removed_slot.id());
+  if (!cw.ok) {
+    FillCost(before, engine, &cw);
+    return cw;
+  }
 
   // Candidate pairs within the hop radius of any test node.
   const std::vector<NodeId> ball =
@@ -291,13 +449,53 @@ VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
   state.witness = &witness;
   state.full = &full;
   state.candidates = &candidates;
-  state.labels = BaseLabels(cfg);
+  state.engine = engine;
+  state.labels = BaseLabels(cfg, engine);
   state.node_load.assign(static_cast<size_t>(cfg.graph->num_nodes()), 0);
-  state.calls = cw.inference_calls;
 
   VerifyResult result;
-  if (state.Recurse(0, cfg.k, &result)) return result;
-  return VerifyResult::Ok(state.calls);
+  if (state.Recurse(0, cfg.k, &result)) {
+    FillCost(before, engine, &result);
+    return result;
+  }
+  result = VerifyResult();
+  result.ok = true;
+  FillCost(before, engine, &result);
+  return result;
+}
+
+WitnessEngineViews::WitnessEngineViews(InferenceEngine* engine)
+    : engine_(engine) {
+  RCW_CHECK(engine != nullptr);
+}
+
+WitnessEngineViews::~WitnessEngineViews() {
+  if (synced_) {
+    engine_->Release(sub_id_);
+    engine_->Release(removed_id_);
+  }
+}
+
+void WitnessEngineViews::Sync(const Witness& witness) {
+  if (synced_ && witness.edge_version() == synced_version_) return;
+  // Build the new views before rebinding so the slots never dangle, then
+  // drop the old ones. Bind() invalidates the slots' cached logits — this
+  // is the explicit cache invalidation on witness edge-set mutation.
+  auto sub = std::make_unique<EdgeSubsetView>(
+      witness.SubgraphView(engine_->graph().num_nodes()));
+  auto removed =
+      std::make_unique<OverlayView>(witness.RemovedView(&engine_->full_view()));
+  if (!synced_) {
+    sub_id_ = engine_->Register(sub.get());
+    removed_id_ = engine_->Register(removed.get());
+    synced_ = true;
+  } else {
+    engine_->Bind(sub_id_, sub.get());
+    engine_->Bind(removed_id_, removed.get());
+  }
+  sub_ = std::move(sub);
+  removed_ = std::move(removed);
+  synced_version_ = witness.edge_version();
 }
 
 }  // namespace robogexp

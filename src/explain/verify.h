@@ -9,17 +9,30 @@
 //    (ii) the witness stays counterfactual under the disturbance
 //    (M(v, (G ⊕ E*) \ Gs) != l). Exact for APPNP (Lemma 4); for other models
 //    PRI serves as the adversarial proposal and inference is the judge.
+//    The independent per-node / per-contrast-class checks run in parallel on
+//    the shared ThreadPool; the reported outcome is identical to the
+//    sequential order (the lexicographically first failure wins).
 //  * VerifyRcwExhaustive — the general (NP-hard) verifier: enumerates every
 //    j-disturbance, j <= k, over the local candidate pairs. Exponential; the
 //    ground-truth oracle for tests and the hardness ablation.
+//
+// All verifiers run on an InferenceEngine (src/gnn/engine.h): base labels
+// and logits are computed once per verification and served from the
+// per-(view, node) cache, and multi-node misses are batched into single
+// union-ball inferences. Each verifier has an engine-threading overload so
+// callers can share one cache across factual → counterfactual → RCW (and
+// across repeated verifications of the same configuration); the plain
+// overloads build a private engine per call.
 #ifndef ROBOGEXP_EXPLAIN_VERIFY_H_
 #define ROBOGEXP_EXPLAIN_VERIFY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/explain/config.h"
 #include "src/explain/witness.h"
+#include "src/gnn/engine.h"
 
 namespace robogexp {
 
@@ -31,19 +44,17 @@ struct VerifyResult {
   std::vector<Edge> counterexample;
   /// Test node whose check failed (kInvalidNode when ok).
   NodeId failed_node = kInvalidNode;
-  /// GNN inference invocations performed.
+  /// GNN inference invocations performed (engine model invocations: cache
+  /// hits are free, batched warms count once).
   int inference_calls = 0;
-
-  static VerifyResult Ok(int calls) {
-    VerifyResult r;
-    r.ok = true;
-    r.inference_calls = calls;
-    return r;
-  }
+  /// Inference requests served from the engine cache.
+  int64_t cache_hits = 0;
 };
 
 /// Labels assigned by M on the base graph for the configured test nodes.
 std::vector<Label> BaseLabels(const WitnessConfig& cfg);
+std::vector<Label> BaseLabels(const WitnessConfig& cfg,
+                              InferenceEngine* engine);
 
 /// Resolves the PPR α for PRI: the model's own α for APPNP, cfg.ppr.alpha
 /// otherwise.
@@ -51,14 +62,21 @@ double ResolveAlpha(const WitnessConfig& cfg);
 
 /// Lemma 2: is `witness` a factual witness for every test node?
 VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness);
+VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness,
+                           InferenceEngine* engine);
 
 /// Lemma 3: is `witness` a counterfactual witness (factual + removal flips
 /// the label) for every test node?
 VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
                                   const Witness& witness);
+VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
+                                  const Witness& witness,
+                                  InferenceEngine* engine);
 
 /// Algorithm 1: is `witness` a k-RCW under (k, b)-disturbances?
 VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness);
+VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
+                       InferenceEngine* engine);
 
 /// Ground-truth verifier: enumerates all disturbances of size <= k among the
 /// candidate pairs within cfg.hop_radius of the test nodes. Aborts (CHECK)
@@ -66,6 +84,48 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness);
 VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
                                  const Witness& witness,
                                  int64_t max_combinations = 2'000'000);
+VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
+                                 const Witness& witness,
+                                 int64_t max_combinations,
+                                 InferenceEngine* engine);
+
+/// Engine slots for the two witness-derived views — the Gs subgraph (factual
+/// test) and the G \ Gs overlay (counterfactual test) — kept in sync with a
+/// mutating witness. Sync() rebuilds the views and drops their cached logits
+/// exactly when the witness's edge set changed since the last sync (tracked
+/// via Witness::edge_version), so the generator's secure loop gets explicit
+/// cache invalidation on every witness mutation and free reuse otherwise.
+class WitnessEngineViews {
+ public:
+  explicit WitnessEngineViews(InferenceEngine* engine);
+  ~WitnessEngineViews();
+  WitnessEngineViews(const WitnessEngineViews&) = delete;
+  WitnessEngineViews& operator=(const WitnessEngineViews&) = delete;
+
+  /// Points the slots at `witness`'s current edge set.
+  void Sync(const Witness& witness);
+
+  /// Valid after the first Sync.
+  InferenceEngine::ViewId sub_id() const { return sub_id_; }
+  InferenceEngine::ViewId removed_id() const { return removed_id_; }
+
+  /// The synced view objects (valid until the next Sync; for callers that
+  /// need the view itself, e.g. to run PRI over G \ Gs).
+  const EdgeSubsetView& sub_view() const { return *sub_; }
+  const OverlayView& removed_view() const { return *removed_; }
+
+  /// Stamp of the last synced edge set (Witness::edge_version).
+  uint64_t synced_version() const { return synced_version_; }
+
+ private:
+  InferenceEngine* engine_;
+  std::unique_ptr<EdgeSubsetView> sub_;
+  std::unique_ptr<OverlayView> removed_;
+  InferenceEngine::ViewId sub_id_ = -1;
+  InferenceEngine::ViewId removed_id_ = -1;
+  uint64_t synced_version_ = 0;
+  bool synced_ = false;
+};
 
 }  // namespace robogexp
 

@@ -1,8 +1,14 @@
 #include "src/explain/witness.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace robogexp {
+
+uint64_t Witness::NextEdgeVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::vector<NodeId> Witness::Nodes() const {
   std::vector<NodeId> out(nodes_.begin(), nodes_.end());

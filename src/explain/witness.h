@@ -26,7 +26,9 @@ class Witness {
     RCW_CHECK(u != v);
     nodes_.insert(u);
     nodes_.insert(v);
-    edge_keys_.insert(PairKey(u, v));
+    if (edge_keys_.insert(PairKey(u, v)).second) {
+      edge_version_ = NextEdgeVersion();
+    }
   }
 
   void AddProtectedPair(NodeId u, NodeId v) {
@@ -70,10 +72,21 @@ class Witness {
     return nodes_ == other.nodes_ && edge_keys_ == other.edge_keys_;
   }
 
+  /// Identity stamp of the edge set, used by the inference engine to key
+  /// cached witness-view logits. Every edge-set mutation (of any witness)
+  /// draws a globally fresh stamp, and copies carry their source's stamp,
+  /// so equal stamps imply equal edge sets. 0 = the empty edge set.
+  uint64_t edge_version() const { return edge_version_; }
+
  private:
+  /// Globally unique, monotonically increasing stamp source (thread-safe:
+  /// paraRoboGExp workers mutate their private witnesses concurrently).
+  static uint64_t NextEdgeVersion();
+
   std::unordered_set<NodeId> nodes_;
   std::unordered_set<uint64_t> edge_keys_;
   std::unordered_set<uint64_t> protected_keys_;
+  uint64_t edge_version_ = 0;
 };
 
 }  // namespace robogexp

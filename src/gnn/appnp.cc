@@ -51,6 +51,18 @@ std::vector<double> AppnpModel::InferNode(const GraphView& view,
   return z;
 }
 
+Matrix AppnpModel::InferNodes(const GraphView& view, const Matrix& features,
+                              const std::vector<NodeId>& nodes) const {
+  Matrix out(static_cast<int64_t>(nodes.size()), num_classes());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const std::vector<double> z = InferNode(view, features, nodes[i]);
+    for (int c = 0; c < num_classes(); ++c) {
+      out.at(static_cast<int64_t>(i), c) = z[static_cast<size_t>(c)];
+    }
+  }
+  return out;
+}
+
 Matrix AppnpModel::BaseLogits(const GraphView& view,
                               const Matrix& features) const {
   (void)view;  // H is structure-independent for APPNP.

@@ -36,6 +36,16 @@ class AppnpModel final : public GnnModel {
   std::vector<double> InferNode(const GraphView& view, const Matrix& features,
                                 NodeId v) const override;
 
+  /// Batched node inference runs the per-node PPR push for each node (not
+  /// the default union-ball InferSubset), so batched and single-node paths
+  /// stay bit-identical: push truncation depends on the source node, not on
+  /// which other nodes share the batch.
+  Matrix InferNodes(const GraphView& view, const Matrix& features,
+                    const std::vector<NodeId>& nodes) const override;
+
+  /// The batched path above is a per-node loop: a batch of N costs N pushes.
+  bool BatchedInferenceAmortizes() const override { return false; }
+
   /// Pre-propagation per-node logits H = XΘ + b (the paper's Z in Eq. 2).
   Matrix BaseLogits(const GraphView& view,
                     const Matrix& features) const override;

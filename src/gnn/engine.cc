@@ -1,0 +1,188 @@
+#include "src/gnn/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace robogexp {
+
+InferenceEngine::InferenceEngine(const GnnModel* model, const Graph* graph,
+                                 const EngineOptions& opts)
+    : model_(model), graph_(graph), full_(graph), opts_(opts) {
+  RCW_CHECK(model != nullptr && graph != nullptr);
+  slots_[kFullView].view = &full_;
+}
+
+const GraphView* InferenceEngine::ViewOf(ViewId id) const {
+  auto it = slots_.find(id);
+  RCW_CHECK_MSG(it != slots_.end() && it->second.view != nullptr,
+                "InferenceEngine: unknown or released view slot");
+  return it->second.view;
+}
+
+InferenceEngine::ViewId InferenceEngine::Register(const GraphView* view) {
+  RCW_CHECK(view != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  const ViewId id = next_id_++;
+  slots_[id].view = view;
+  return id;
+}
+
+void InferenceEngine::Bind(ViewId id, const GraphView* view) {
+  RCW_CHECK(view != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  Slot& slot = slots_[id];
+  slot.view = view;
+  slot.logits.clear();
+}
+
+void InferenceEngine::Invalidate(ViewId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it != slots_.end()) it->second.logits.clear();
+}
+
+void InferenceEngine::Release(ViewId id) {
+  RCW_CHECK_MSG(id != kFullView, "InferenceEngine: cannot release full view");
+  std::unique_lock<std::mutex> lock(mu_);
+  slots_.erase(id);
+}
+
+std::vector<double> InferenceEngine::Logits(ViewId id, NodeId v) {
+  const GraphView* view;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.node_queries;
+    view = ViewOf(id);
+    if (opts_.cache) {
+      auto it = slots_[id].logits.find(v);
+      if (it != slots_[id].logits.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+      }
+    }
+  }
+  // Model invocation outside the lock; concurrent misses on the same node
+  // compute identical values and the insert below is idempotent.
+  std::vector<double> logits = model_->InferNode(*view, graph_->features(), v);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.model_invocations;
+    if (opts_.cache) {
+      auto it = slots_.find(id);
+      // The slot may have been rebound/released while we computed; only a
+      // still-matching binding may absorb the result.
+      if (it != slots_.end() && it->second.view == view) {
+        it->second.logits.emplace(v, logits);
+      }
+    }
+  }
+  return logits;
+}
+
+Label InferenceEngine::Predict(ViewId id, NodeId v) {
+  return ArgmaxLabel(Logits(id, v));
+}
+
+void InferenceEngine::Warm(ViewId id, const std::vector<NodeId>& nodes) {
+  if (!opts_.cache || nodes.empty()) return;
+  const GraphView* view;
+  std::vector<NodeId> missing;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    view = ViewOf(id);
+    const Slot& slot = slots_[id];
+    for (NodeId v : nodes) {
+      if (slot.logits.count(v) == 0) missing.push_back(v);
+    }
+  }
+  if (missing.empty()) return;
+  if (!opts_.batch || missing.size() == 1 ||
+      !model_->BatchedInferenceAmortizes()) {
+    // No amortization to be had (or batching disabled): serve the misses
+    // per node so each one is honestly counted as a model invocation.
+    for (NodeId v : missing) Logits(id, v);
+    return;
+  }
+  const Matrix rows = model_->InferNodes(*view, graph_->features(), missing);
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.model_invocations;
+  stats_.batched_nodes += static_cast<int64_t>(missing.size());
+  auto it = slots_.find(id);
+  if (it == slots_.end() || it->second.view != view) return;
+  for (size_t i = 0; i < missing.size(); ++i) {
+    std::vector<double> logits(static_cast<size_t>(rows.cols()));
+    for (int64_t c = 0; c < rows.cols(); ++c) {
+      logits[static_cast<size_t>(c)] = rows.at(static_cast<int64_t>(i), c);
+    }
+    it->second.logits.emplace(missing[i], std::move(logits));
+  }
+}
+
+std::vector<double> InferenceEngine::LogitsOverlay(
+    const std::vector<Edge>& flips, NodeId v) {
+  // Canonical key: sorted, deduplicated pair keys. OverlayView ignores
+  // repeated occurrences of a pair (the first flip sticks), so dedup — not
+  // parity cancellation — is the content identity that matches building an
+  // OverlayView from `flips` directly.
+  std::vector<uint64_t> canon;
+  canon.reserve(flips.size());
+  for (const Edge& e : flips) canon.push_back(e.Key());
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  if (opts_.cache) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.node_queries;
+    auto it = overlay_cache_.find(canon);
+    if (it != overlay_cache_.end()) {
+      auto nit = it->second.find(v);
+      if (nit != it->second.end()) {
+        ++stats_.cache_hits;
+        return nit->second;
+      }
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(canon.size());
+  for (uint64_t k : canon) edges.emplace_back(PairKeyFirst(k), PairKeySecond(k));
+  const OverlayView overlay(&full_, edges);
+  std::vector<double> logits =
+      model_->InferNode(overlay, graph_->features(), v);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!opts_.cache) ++stats_.node_queries;
+  ++stats_.model_invocations;
+  if (opts_.cache) {
+    if (overlay_entries_ >= kMaxOverlayEntries) {
+      overlay_cache_.clear();
+      overlay_entries_ = 0;
+    }
+    if (overlay_cache_[canon].emplace(v, logits).second) ++overlay_entries_;
+  }
+  return logits;
+}
+
+Label InferenceEngine::PredictOverlay(const std::vector<Edge>& flips,
+                                      NodeId v) {
+  return ArgmaxLabel(LogitsOverlay(flips, v));
+}
+
+std::vector<double> InferenceEngine::LogitsOn(const GraphView& view, NodeId v) {
+  std::vector<double> logits = model_->InferNode(view, graph_->features(), v);
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.node_queries;
+  ++stats_.model_invocations;
+  return logits;
+}
+
+Label InferenceEngine::PredictOn(const GraphView& view, NodeId v) {
+  return ArgmaxLabel(LogitsOn(view, v));
+}
+
+EngineStats InferenceEngine::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace robogexp

@@ -45,6 +45,23 @@ class GnnModel {
                                         const Matrix& features,
                                         NodeId v) const;
 
+  /// Batched localized inference: logits for each of `nodes` (rows follow
+  /// `nodes` order). The default runs ONE InferSubset over the union of the
+  /// nodes' receptive balls; because an L-layer model's output at v only
+  /// reads values computed from v's own ball, every row is bit-identical to
+  /// the corresponding InferNode result. Models whose single-node path is
+  /// not InferSubset-based (APPNP's PPR push) override this to preserve
+  /// their exact per-node numerics.
+  virtual Matrix InferNodes(const GraphView& view, const Matrix& features,
+                            const std::vector<NodeId>& nodes) const;
+
+  /// True when InferNodes genuinely amortizes: one subset computation serves
+  /// the whole batch. Models whose batched path is a per-node loop (APPNP)
+  /// return false so the inference engine counts their batches as N
+  /// invocations, not one — invocation accounting must reflect actual model
+  /// work.
+  virtual bool BatchedInferenceAmortizes() const { return true; }
+
   /// Predicted label for a single node (argmax of InferNode; determinism of
   /// the paper's M is inherited from fixed weights + ordered reductions).
   Label Predict(const GraphView& view, const Matrix& features, NodeId v) const;
@@ -56,6 +73,10 @@ class GnnModel {
   virtual Matrix BaseLogits(const GraphView& view,
                             const Matrix& features) const;
 };
+
+/// Argmax label of a logit vector (ties break toward the smaller class, the
+/// same rule every Predict path uses).
+Label ArgmaxLabel(const std::vector<double>& logits);
 
 /// Fraction of `nodes` whose prediction matches `labels`.
 double Accuracy(const GnnModel& model, const GraphView& view,

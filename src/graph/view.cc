@@ -32,6 +32,12 @@ OverlayView::OverlayView(const GraphView* base, const std::vector<Edge>& flips)
       ++num_insertions_;
     }
   }
+  // Canonicalize inserted-neighbor order: AppendNeighbors must enumerate the
+  // same sequence for the same edge-set content regardless of the order the
+  // flips were listed in, so inference over equal overlays is bit-identical
+  // no matter which caller built them (PprPush deliberately does not sort
+  // its neighbor lists, so enumeration order reaches the numerics).
+  for (auto& [u, nbrs] : added_) std::sort(nbrs.begin(), nbrs.end());
 }
 
 int OverlayView::Degree(NodeId u) const {

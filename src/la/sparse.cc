@@ -34,6 +34,27 @@ SparseMatrix SparseMatrix::Build(int64_t rows, int64_t cols,
   for (int64_t r = 0; r < rows; ++r) {
     s.row_ptr_[static_cast<size_t>(r) + 1] += s.row_ptr_[static_cast<size_t>(r)];
   }
+
+  // Column-bucketed (CSC) copy for TransposeMultiply: stable counting sort,
+  // so each bucket keeps row-ascending order.
+  const size_t nnz = s.values_.size();
+  s.col_ptr_.assign(static_cast<size_t>(cols) + 1, 0);
+  for (int64_t c : s.col_idx_) ++s.col_ptr_[static_cast<size_t>(c) + 1];
+  for (int64_t c = 0; c < cols; ++c) {
+    s.col_ptr_[static_cast<size_t>(c) + 1] += s.col_ptr_[static_cast<size_t>(c)];
+  }
+  s.csc_row_.resize(nnz);
+  s.csc_val_.resize(nnz);
+  std::vector<int64_t> fill(s.col_ptr_.begin(), s.col_ptr_.end() - 1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t p = s.row_ptr_[static_cast<size_t>(r)];
+         p < s.row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const size_t dst = static_cast<size_t>(
+          fill[static_cast<size_t>(s.col_idx_[static_cast<size_t>(p)])]++);
+      s.csc_row_[dst] = r;
+      s.csc_val_[dst] = s.values_[static_cast<size_t>(p)];
+    }
+  }
   return s;
 }
 
@@ -55,16 +76,19 @@ Matrix SparseMatrix::Multiply(const Matrix& x) const {
 Matrix SparseMatrix::TransposeMultiply(const Matrix& x) const {
   RCW_CHECK(rows_ == x.rows());
   Matrix y(cols_, x.cols());
-  // Serial over rows to avoid write races on y's rows.
-  for (int64_t r = 0; r < rows_; ++r) {
-    const double* xrow = x.Row(r);
-    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
-         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-      const double v = values_[static_cast<size_t>(p)];
-      double* yrow = y.Row(col_idx_[static_cast<size_t>(p)]);
+  // Column-partitioned pass over the precomputed CSC buckets: each output
+  // row of y is owned by exactly one ParallelFor iteration (no write races,
+  // matching Multiply's structure), and the buckets' row-ascending order
+  // makes the result bit-identical to the old serial loop.
+  ParallelFor(DefaultPool(), cols_, [&](int64_t out_row) {
+    double* yrow = y.Row(out_row);
+    for (int64_t p = col_ptr_[static_cast<size_t>(out_row)];
+         p < col_ptr_[static_cast<size_t>(out_row) + 1]; ++p) {
+      const double v = csc_val_[static_cast<size_t>(p)];
+      const double* xrow = x.Row(csc_row_[static_cast<size_t>(p)]);
       for (int64_t c = 0; c < x.cols(); ++c) yrow[c] += v * xrow[c];
     }
-  }
+  }, /*min_grain=*/64);
   return y;
 }
 

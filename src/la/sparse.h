@@ -45,6 +45,13 @@ class SparseMatrix {
   std::vector<int64_t> row_ptr_;
   std::vector<int64_t> col_idx_;
   std::vector<double> values_;
+  // Column-bucketed copy of the entries (CSC), built once at Build time for
+  // TransposeMultiply: the structure is immutable, so the counting sort
+  // must not be repaid on every backprop call. Buckets keep row-ascending
+  // order (stable sort), preserving the serial accumulation order bit-for-bit.
+  std::vector<int64_t> col_ptr_;
+  std::vector<int64_t> csc_row_;
+  std::vector<double> csc_val_;
 };
 
 }  // namespace robogexp

@@ -27,9 +27,13 @@ SparseVector PprPush(const GraphView& view, NodeId source,
     p[u] += (1.0 - opts.alpha) * ru;
 
     // Push α·ru along P's row of u (self-loop included: d̂ = deg + 1).
+    // Deposits are order-independent (each neighbor receives the same share
+    // regardless of iteration order), so the neighbor list is deliberately
+    // NOT sorted here — an O(d log d) sort in the hottest PPR loop would be
+    // pure waste. CappedBall keeps its sort: ball *ordering* is part of its
+    // deterministic-output contract.
     nbrs.clear();
     view.AppendNeighbors(u, &nbrs);
-    std::sort(nbrs.begin(), nbrs.end());
     const double share = opts.alpha * ru / static_cast<double>(nbrs.size() + 1);
     auto deposit = [&](NodeId w) {
       double& rw = residual[w];
@@ -150,6 +154,9 @@ std::vector<NodeId> CappedBall(const GraphView& view, NodeId center, int hops,
     if (d == hops) continue;
     nbrs.clear();
     view.AppendNeighbors(u, &nbrs);
+    // The sort stays: CappedBall's output ORDER is part of its contract
+    // (deterministic ball ordering for downstream local indexing), unlike
+    // PprPush where deposit order is immaterial.
     std::sort(nbrs.begin(), nbrs.end());
     for (NodeId w : nbrs) {
       if (max_nodes > 0 && static_cast<int>(order.size()) >= max_nodes) {

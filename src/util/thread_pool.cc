@@ -62,29 +62,43 @@ void ParallelFor(ThreadPool* pool, int64_t n,
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const int num_shards =
-      static_cast<int>(std::min<int64_t>(pool->num_threads(), (n + min_grain - 1) / min_grain));
-  std::atomic<int64_t> next(0);
-  std::mutex mu;
-  std::condition_variable cv;
-  int remaining = num_shards;  // guarded by mu (waiter may destroy mu the
-                               // instant the predicate holds, so the
-                               // decrement must happen under the lock)
-  for (int s = 0; s < num_shards; ++s) {
-    pool->Submit([&] {
-      for (;;) {
-        int64_t i = next.fetch_add(1);
-        if (i >= n) break;
-        fn(i);
+  // Completion is counted per *iteration*, not per shard task, and the
+  // calling thread drains iterations itself. This makes nesting safe: when
+  // every pool worker is blocked inside an outer ParallelFor, each inner
+  // call still finishes because its caller performs all the work, and the
+  // queued helper shards later wake up, find no iterations left, and exit.
+  // State is shared-owned so a helper shard that runs after the caller has
+  // returned touches no dangling stack frame.
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    int64_t n;
+    std::function<void(int64_t)> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = fn;
+  auto drain = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const int64_t i = s->next.fetch_add(1);
+      if (i >= s->n) break;
+      s->fn(i);
+      if (s->done.fetch_add(1) + 1 == s->n) {
+        std::unique_lock<std::mutex> lock(s->mu);
+        s->cv.notify_all();
       }
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        if (--remaining == 0) cv.notify_all();
-      }
-    });
+    }
+  };
+  const int num_helpers = static_cast<int>(std::min<int64_t>(
+      pool->num_threads(), (n + min_grain - 1) / min_grain));
+  for (int s = 0; s < num_helpers; ++s) {
+    pool->Submit([state, drain] { drain(state); });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return remaining == 0; });
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
 }
 
 ThreadPool* DefaultPool() {

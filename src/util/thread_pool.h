@@ -42,7 +42,10 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) across `pool` (or inline when pool == nullptr
-/// or n is small). Blocks until all iterations finish.
+/// or n is small). Blocks until all iterations finish. The calling thread
+/// participates in the work, so nested ParallelFor calls on the same pool
+/// (e.g. a parallel verifier whose inference kernels are themselves
+/// parallel) cannot deadlock even when every worker is busy.
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& fn,
                  int64_t min_grain = 1);

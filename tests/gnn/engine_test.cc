@@ -1,0 +1,211 @@
+// InferenceEngine contract tests: cached, uncached, batched, and one-shot
+// paths must produce bit-identical logits across every model family, and the
+// stats must account for queries, hits, and model invocations honestly.
+#include "src/gnn/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/gnn/trainer.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<GnnModel>(const Graph&)> make;
+};
+
+// All five model families of the reproduction.
+std::vector<ModelCase> AllModels() {
+  TrainOptions quick;
+  quick.epochs = 30;
+  quick.hidden_dims = {8};
+  return {
+      {"GCN",
+       [quick](const Graph& g) {
+         return TrainGcn(g, SampleTrainNodes(g, 0.5, 1), quick);
+       }},
+      {"APPNP",
+       [quick](const Graph& g) {
+         return TrainAppnp(g, SampleTrainNodes(g, 0.5, 1), quick);
+       }},
+      {"SAGE",
+       [quick](const Graph& g) {
+         return TrainSage(g, SampleTrainNodes(g, 0.5, 1), quick);
+       }},
+      {"GIN",
+       [quick](const Graph& g) {
+         return TrainGin(g, SampleTrainNodes(g, 0.5, 1), quick);
+       }},
+      {"GAT",
+       [](const Graph& g) {
+         return MakeRandomGat(g.num_features(), 8, g.num_classes(), 99);
+       }},
+  };
+}
+
+class EngineAllModelsTest : public ::testing::TestWithParam<size_t> {};
+
+std::vector<NodeId> AllNodes(const Graph& g) {
+  std::vector<NodeId> nodes(static_cast<size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes[static_cast<size_t>(v)] = v;
+  return nodes;
+}
+
+TEST_P(EngineAllModelsTest, BatchedInferNodesMatchesInferNodeBitwise) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto model = AllModels()[GetParam()].make(g);
+  const FullView full(&g);
+  const std::vector<NodeId> nodes = {0, 7, 100, 239, 63};
+  const Matrix batched = model->InferNodes(full, g.features(), nodes);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const std::vector<double> single =
+        model->InferNode(full, g.features(), nodes[i]);
+    for (int c = 0; c < model->num_classes(); ++c) {
+      // Bit-identical, not merely close: the batched union-ball computation
+      // must perform the same floating-point operations per node.
+      EXPECT_EQ(batched.at(static_cast<int64_t>(i), c),
+                single[static_cast<size_t>(c)])
+          << AllModels()[GetParam()].name << " node " << nodes[i] << " class "
+          << c;
+    }
+  }
+}
+
+TEST_P(EngineAllModelsTest, CachedAndUncachedLogitsAreBitIdentical) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto model = AllModels()[GetParam()].make(g);
+  EngineOptions uncached_opts;
+  uncached_opts.cache = false;
+  uncached_opts.batch = false;
+  InferenceEngine cached(model.get(), &g);
+  InferenceEngine uncached(model.get(), &g, uncached_opts);
+
+  const std::vector<NodeId> nodes = AllNodes(g);
+  cached.Warm(InferenceEngine::kFullView, nodes);  // batched fill
+  for (NodeId v : nodes) {
+    const auto a = cached.Logits(InferenceEngine::kFullView, v);
+    const auto b = uncached.Logits(InferenceEngine::kFullView, v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c], b[c]) << AllModels()[GetParam()].name << " node " << v;
+    }
+    EXPECT_EQ(cached.Predict(InferenceEngine::kFullView, v),
+              uncached.Predict(InferenceEngine::kFullView, v));
+  }
+  // Cached served everything after one batch; uncached paid per query.
+  EXPECT_EQ(cached.stats().cache_hits,
+            static_cast<int64_t>(2 * nodes.size()));  // Logits + Predict
+  EXPECT_EQ(uncached.stats().cache_hits, 0);
+  EXPECT_EQ(uncached.stats().model_invocations,
+            static_cast<int64_t>(2 * nodes.size()));  // Logits + Predict
+  EXPECT_LT(cached.stats().model_invocations,
+            uncached.stats().model_invocations);
+}
+
+TEST_P(EngineAllModelsTest, CacheIsConsistentOnOverlayViews) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto model = AllModels()[GetParam()].make(g);
+  InferenceEngine engine(model.get(), &g);
+  const OverlayView overlay(&engine.full_view(),
+                            {Edge(0, 1), Edge(2, 8), Edge(1, 7)});
+  InferenceEngine::ScopedView slot(&engine, &overlay);
+  const std::vector<NodeId> nodes = AllNodes(g);
+  engine.Warm(slot.id(), nodes);
+  for (NodeId v : nodes) {
+    const auto cached_row = engine.Logits(slot.id(), v);
+    const auto direct = model->InferNode(overlay, g.features(), v);
+    for (size_t c = 0; c < cached_row.size(); ++c) {
+      EXPECT_EQ(cached_row[c], direct[c]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, EngineAllModelsTest,
+                         ::testing::Values(0, 1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return AllModels()[info.param].name;
+                         });
+
+TEST(InferenceEngine, StatsAccountQueriesHitsAndInvocations) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  engine.Logits(InferenceEngine::kFullView, 1);  // miss
+  engine.Logits(InferenceEngine::kFullView, 1);  // hit
+  engine.Predict(InferenceEngine::kFullView, 1); // hit
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.node_queries, 3);
+  EXPECT_EQ(s.cache_hits, 2);
+  EXPECT_EQ(s.model_invocations, 1);
+}
+
+TEST(InferenceEngine, WarmBatchesMissesIntoOneInvocation) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::vector<NodeId> nodes = {1, 2, 3, 4, 5};
+  engine.Warm(InferenceEngine::kFullView, nodes);
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+  EXPECT_EQ(engine.stats().batched_nodes, 5);
+  // Re-warming the same nodes is free.
+  engine.Warm(InferenceEngine::kFullView, nodes);
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+  for (NodeId v : nodes) engine.Logits(InferenceEngine::kFullView, v);
+  EXPECT_EQ(engine.stats().cache_hits, 5);
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+}
+
+TEST(InferenceEngine, BindInvalidatesCachedLogits) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const OverlayView a(&engine.full_view(), {Edge(0, 1)});
+  const OverlayView b(&engine.full_view(), {Edge(0, 2)});
+  const InferenceEngine::ViewId id = engine.Register(&a);
+  const auto on_a = engine.Logits(id, 1);
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+  engine.Bind(id, &b);  // edge set changed -> cache must drop
+  const auto on_b = engine.Logits(id, 1);
+  EXPECT_EQ(engine.stats().model_invocations, 2);
+  EXPECT_EQ(engine.stats().cache_hits, 0);
+  // And the recomputed logits match direct inference on the new view.
+  const auto direct = f.model->InferNode(b, f.graph->features(), 1);
+  for (size_t c = 0; c < on_b.size(); ++c) EXPECT_EQ(on_b[c], direct[c]);
+}
+
+TEST(InferenceEngine, EphemeralPredictionsAreCountedNotCached) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const OverlayView disturbed(&engine.full_view(), {Edge(0, 1)});
+  engine.PredictOn(disturbed, 1);
+  engine.PredictOn(disturbed, 1);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.model_invocations, 2);
+  EXPECT_EQ(s.cache_hits, 0);
+}
+
+// Regression: GnnModel::InferNode reads row 0 of the subset result as the
+// center's logits, which is only sound because KHopBall puts the center
+// first. Pin that ordering contract down.
+TEST(KHopBall, CenterIsAlwaysFirstAndOrderIsDeterministicBfs) {
+  const Graph g = testing::MakeSmallSbm();
+  const FullView full(&g);
+  for (NodeId v : {NodeId{0}, NodeId{17}, NodeId{100}, NodeId{239}}) {
+    for (int hops : {0, 1, 2, 3}) {
+      const std::vector<NodeId> ball = KHopBall(full, v, hops);
+      ASSERT_FALSE(ball.empty());
+      EXPECT_EQ(ball[0], v) << "center must be the first ball entry";
+      // Deterministic: two computations agree element-wise.
+      EXPECT_EQ(ball, KHopBall(full, v, hops));
+    }
+  }
+  // Multi-seed variant: seeds first, in the given order.
+  const std::vector<NodeId> seeds = {42, 7, 199};
+  const std::vector<NodeId> ball = KHopBall(full, seeds, 2);
+  ASSERT_GE(ball.size(), seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) EXPECT_EQ(ball[i], seeds[i]);
+}
+
+}  // namespace
+}  // namespace robogexp

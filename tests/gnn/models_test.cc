@@ -33,6 +33,10 @@ std::vector<ModelCase> AllModels() {
        [quick](const Graph& g) {
          return TrainSage(g, SampleTrainNodes(g, 0.5, 1), quick);
        }},
+      {"GIN",
+       [quick](const Graph& g) {
+         return TrainGin(g, SampleTrainNodes(g, 0.5, 1), quick);
+       }},
       {"GAT",
        [](const Graph& g) {
          return MakeRandomGat(g.num_features(), 8, g.num_classes(), 99);
@@ -125,7 +129,7 @@ TEST_P(AllModelsTest, IsolatedNodeInferenceIsDefined) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, AllModelsTest,
-                         ::testing::Values(0, 1, 2, 3),
+                         ::testing::Values(0, 1, 2, 3, 4),
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return AllModels()[info.param].name;
                          });

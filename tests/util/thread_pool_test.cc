@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 
 namespace robogexp {
@@ -68,6 +69,39 @@ TEST(ParallelFor, RepeatedInvocationsAreStable) {
     ParallelFor(&pool, 64, [&](int64_t) { c.fetch_add(1); });
     ASSERT_EQ(c.load(), 64);
   }
+}
+
+TEST(ParallelFor, NestedOnTheSamePoolDoesNotDeadlock) {
+  // Regression: the parallel RCW verifier fans out units whose inference
+  // kernels themselves ParallelFor on the same pool. With shard-counted
+  // completion this deadlocked when every worker was blocked in an outer
+  // iteration; iteration-counted completion with caller participation must
+  // finish regardless of pool occupancy.
+  ThreadPool pool(2);  // small pool: all workers occupied by the outer loop
+  std::atomic<int> inner_total(0);
+  ParallelFor(&pool, 8, [&](int64_t) {
+    ParallelFor(&pool, 16, [&](int64_t) { inner_total.fetch_add(1); },
+                /*min_grain=*/1);
+  }, /*min_grain=*/1);
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelFor, CallerParticipatesWhenPoolIsBusy) {
+  // Even with every worker parked on a long task, ParallelFor must complete
+  // (the calling thread drains the iterations itself).
+  ThreadPool pool(2);
+  std::mutex block;
+  block.lock();
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> hold(block);  // parked until unlock
+    });
+  }
+  std::atomic<int> c(0);
+  ParallelFor(&pool, 32, [&](int64_t) { c.fetch_add(1); }, /*min_grain=*/1);
+  EXPECT_EQ(c.load(), 32);
+  block.unlock();
+  pool.Wait();
 }
 
 TEST(DefaultPool, SingletonIsUsable) {
