@@ -1,0 +1,209 @@
+// Streaming-maintenance benchmark — the acceptance gate for the stream
+// subsystem: replaying the same update stream, incremental witness
+// maintenance (WitnessMaintainer) must cut per-batch inference calls by at
+// least 3x versus the snapshot baseline (regenerate + verify from scratch
+// after every batch), while producing identical per-batch verification
+// verdicts.
+//
+// Accounting: each pipeline is charged the engine model invocations it
+// performs per batch — the maintainer its Apply() work (revalidation,
+// re-securing, regeneration fallbacks), the baseline a fresh GenerateRcw
+// plus a full VerifyRcw per batch. The verdict oracle (per-node VerifyRcw on
+// a fresh engine after every batch) is the referee and is charged to
+// neither side. Initial witness generation happens once on both sides and
+// is excluded for the same reason.
+//
+// Exits non-zero when either property fails, so it doubles as a CI smoke
+// check for the streaming path.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/explain/verify.h"
+#include "src/stream/maintain.h"
+#include "src/stream/update.h"
+#include "src/util/rng.h"
+
+namespace robogexp::bench {
+namespace {
+
+WitnessConfig MakeConfig(const Graph& graph, const GnnModel& model,
+                         const std::vector<NodeId>& test_nodes, int k) {
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = &model;
+  cfg.test_nodes = test_nodes;
+  cfg.k = k;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 3;
+  cfg.max_contrast_classes = 3;
+  return cfg;
+}
+
+/// Per-node RCW verdicts of `witness` on the (current) graph, computed on a
+/// fresh engine — the independent referee both pipelines are scored against.
+std::vector<std::string> OracleVerdicts(const Graph& graph,
+                                        const GnnModel& model,
+                                        const std::vector<NodeId>& test_nodes,
+                                        int k, const Witness& witness) {
+  std::vector<std::string> out;
+  InferenceEngine engine(&model, &graph);
+  for (NodeId v : test_nodes) {
+    const WitnessConfig one = MakeConfig(graph, model, {v}, k);
+    out.push_back(VerifyRcw(one, witness, &engine).ok ? "ok" : "fail");
+  }
+  return out;
+}
+
+struct PipelineCost {
+  int64_t inference_calls = 0;
+  double seconds = 0.0;
+  std::vector<std::vector<std::string>> verdicts;  // one vector per batch
+  std::string actions;  // maintained pipeline: one action letter per batch
+};
+
+PipelineCost RunMaintained(const Workload& w,
+                           const std::vector<NodeId>& test_nodes, int k,
+                           const std::vector<UpdateBatch>& stream) {
+  PipelineCost cost;
+  Timer timer;
+  Graph graph = *w.graph;
+  const WitnessConfig cfg = MakeConfig(graph, *w.model, test_nodes, k);
+  WitnessMaintainer maintainer(&graph, cfg, {});
+  maintainer.Initialize();
+  for (const UpdateBatch& batch : stream) {
+    const auto r = maintainer.Apply(batch);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    cost.inference_calls += r.value().inference_calls;
+    cost.actions += r.value().action == MaintainAction::kRegenerated
+                        ? 'g'
+                        : MaintainActionName(r.value().action)[0];
+    cost.verdicts.push_back(OracleVerdicts(graph, *w.model, test_nodes, k,
+                                           maintainer.witness()));
+  }
+  // The maintained witness must never reference edges the stream deleted.
+  for (const Edge& e : maintainer.witness().Edges()) {
+    RCW_CHECK_MSG(graph.HasEdge(e.u, e.v),
+                  "maintained witness holds a deleted edge");
+  }
+  cost.seconds = timer.Seconds();
+  return cost;
+}
+
+PipelineCost RunRegenerated(const Workload& w,
+                            const std::vector<NodeId>& test_nodes, int k,
+                            const std::vector<UpdateBatch>& stream) {
+  PipelineCost cost;
+  Timer timer;
+  Graph graph = *w.graph;
+  const WitnessConfig cfg = MakeConfig(graph, *w.model, test_nodes, k);
+  {
+    // Parity with the maintained pipeline's uncounted Initialize().
+    InferenceEngine engine(cfg.model, cfg.graph);
+    GenerateRcw(cfg, {}, &engine);
+  }
+  for (const UpdateBatch& batch : stream) {
+    RCW_CHECK(ApplyUpdateBatch(&graph, batch).ok());
+    // Snapshot serving: regenerate the portfolio and verify it, from cold.
+    InferenceEngine engine(cfg.model, cfg.graph);
+    const EngineStats before = engine.stats();
+    const GenerateResult gen = GenerateRcw(cfg, {}, &engine);
+    VerifyRcw(cfg, gen.witness, &engine);
+    cost.inference_calls += (engine.stats() - before).model_invocations;
+    cost.verdicts.push_back(
+        OracleVerdicts(graph, *w.model, test_nodes, k, gen.witness));
+  }
+  cost.seconds = timer.Seconds();
+  return cost;
+}
+
+int Run(const BenchEnv& env) {
+  // The streaming regime the maintainer targets: per-batch deltas small
+  // relative to the disturbance budget, and removal-dominated (the
+  // certificate is removal-only here, matching the paper's experimental
+  // setting — every insertion necessarily escalates past the certificate).
+  const int k = 10;
+  Table table({"dataset", "pipeline", "inference calls", "time (s)",
+               "reduction"});
+  int failures = 0;
+  for (const std::string ds : {"BAHouse", "CiteSeer"}) {
+    Workload w = PrepareWorkload(ds, env.scale, env.faithful);
+    const auto test_nodes = TestNodes(w, 12);
+
+    StreamSampleOptions sopts;
+    sopts.num_batches = 10;
+    sopts.ops_per_batch = 1;
+    sopts.insert_fraction = 0.1;
+    sopts.focus_nodes = test_nodes;
+    sopts.hop_radius = 2;
+    // Benign churn: deletions spare the served portfolio's own edges (the
+    // stream analogue of the paper's protected disturbance sampling);
+    // insertions still land anywhere and exercise the escalation path.
+    {
+      const WitnessConfig cfg0 = MakeConfig(*w.graph, *w.model, test_nodes, k);
+      sopts.avoid_keys = GenerateRcw(cfg0).witness.edge_keys();
+    }
+    Rng rng(7);
+    const auto stream = SampleUpdateStream(*w.graph, sopts, &rng);
+
+    const PipelineCost maintained = RunMaintained(w, test_nodes, k, stream);
+    const PipelineCost regen = RunRegenerated(w, test_nodes, k, stream);
+
+    const double reduction =
+        maintained.inference_calls > 0
+            ? static_cast<double>(regen.inference_calls) /
+                  static_cast<double>(maintained.inference_calls)
+            : static_cast<double>(regen.inference_calls);
+    table.AddRow({ds, "regenerate", std::to_string(regen.inference_calls),
+                  Table::Num(regen.seconds, 2), ""});
+    table.AddRow({ds, "maintained",
+                  std::to_string(maintained.inference_calls),
+                  Table::Num(maintained.seconds, 2),
+                  Table::Num(reduction, 2)});
+    std::printf("[%s] per-batch actions (u/c/r/g): %s\n", ds.c_str(),
+                maintained.actions.c_str());
+
+    if (maintained.verdicts != regen.verdicts) {
+      std::printf("FAIL[%s]: maintained and regenerated verdicts differ\n",
+                  ds.c_str());
+      for (size_t b = 0; b < maintained.verdicts.size(); ++b) {
+        if (maintained.verdicts[b] != regen.verdicts[b]) {
+          std::printf("  batch %zu:\n    maintained:", b);
+          for (const auto& v : maintained.verdicts[b]) {
+            std::printf(" %s", v.c_str());
+          }
+          std::printf("\n    regenerate:");
+          for (const auto& v : regen.verdicts[b]) std::printf(" %s", v.c_str());
+          std::printf("\n");
+        }
+      }
+      ++failures;
+    }
+    if (reduction < 3.0) {
+      std::printf("FAIL[%s]: inference-call reduction %.2fx < 3x "
+                  "(%lld regenerate vs %lld maintained)\n",
+                  ds.c_str(), reduction,
+                  static_cast<long long>(regen.inference_calls),
+                  static_cast<long long>(maintained.inference_calls));
+      ++failures;
+    }
+  }
+  table.Print("Stream maintenance: per-batch inference calls, maintained vs "
+              "regenerate-from-scratch");
+  table.MaybeWriteCsv(BenchCsvDir(), "stream_maintain");
+  if (failures == 0) {
+    std::printf(
+        "OK: >=3x inference-call reduction, identical per-batch verdicts\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  std::printf("Stream maintenance benchmark (scale=%.2f)\n", env.scale);
+  return robogexp::bench::Run(env);
+}

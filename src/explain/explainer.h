@@ -23,7 +23,7 @@ class Explainer {
                           const std::vector<NodeId>& test_nodes) = 0;
 
   /// True when the explanation comes with the k-RCW robustness contract,
-  /// whose disturbance model only flips pairs of G \ Gw. The evaluation
+  /// whose disturbance model only flips pairs of G ∖ Gw. The evaluation
   /// harness protects explanation edges from sampled disturbances only for
   /// such explainers (baselines make no such claim, so their edges are fair
   /// game — exactly the asymmetry the paper measures).

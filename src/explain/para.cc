@@ -21,13 +21,6 @@ struct WorkerOutput {
   double seconds = 0.0;
 };
 
-EngineOptions EngineOptionsFor(const GenerateOptions& gen) {
-  EngineOptions eopts;
-  eopts.cache = gen.cache_inference;
-  eopts.batch = gen.cache_inference;
-  return eopts;
-}
-
 void AccumulateGen(const GenerateStats& in, GenerateStats* out) {
   out->inference_calls += in.inference_calls;
   out->pri_calls += in.pri_calls;
@@ -39,6 +32,87 @@ void AccumulateGen(const GenerateStats& in, GenerateStats* out) {
 }
 
 }  // namespace
+
+std::vector<NodeId> ParaSecureNodes(const WitnessConfig& cfg,
+                                    const std::vector<NodeId>& nodes,
+                                    const Matrix& base_logits,
+                                    const GenerateOptions& opts,
+                                    int num_threads, Witness* witness,
+                                    GenerateStats* stats) {
+  RCW_CHECK(cfg.Valid());
+  RCW_CHECK(witness != nullptr && stats != nullptr);
+  if (nodes.empty()) return {};
+
+  const detail::NodeWorkScope scope;  // unrestricted
+
+  // Round-robin node groups; each group gets a private engine and witness
+  // copy (the witness is small, the engine caches are group-local).
+  const size_t n_groups = std::min<size_t>(
+      nodes.size(), static_cast<size_t>(std::max(1, num_threads)));
+  std::vector<Witness> locals(n_groups, *witness);
+  std::vector<GenerateStats> local_stats(n_groups);
+  std::vector<std::vector<NodeId>> local_failed(n_groups);
+  ParallelFor(
+      DefaultPool(), static_cast<int64_t>(n_groups),
+      [&](int64_t g) {
+        const size_t gi = static_cast<size_t>(g);
+        InferenceEngine engine(cfg.model, cfg.graph, EngineOptionsFor(opts));
+        const EngineStats before = engine.stats();
+        WitnessEngineViews views(&engine);
+        for (size_t i = gi; i < nodes.size(); i += n_groups) {
+          if (!detail::SecureNode(cfg, nodes[i], base_logits, opts, scope,
+                                  &engine, &views, &locals[gi],
+                                  &local_stats[gi])) {
+            local_failed[gi].push_back(nodes[i]);
+          }
+        }
+        AddEngineDelta(engine.stats() - before, &local_stats[gi]);
+      },
+      /*min_grain=*/1);
+
+  // Merge: witness growth is monotone, so the union preserves every worker's
+  // secured structure.
+  std::vector<NodeId> retry;
+  for (size_t g = 0; g < n_groups; ++g) {
+    for (NodeId u : locals[g].Nodes()) witness->AddNode(u);
+    for (const Edge& e : locals[g].Edges()) witness->AddEdge(e.u, e.v);
+    for (uint64_t key : locals[g].protected_pair_keys()) {
+      witness->AddProtectedPair(PairKeyFirst(key), PairKeySecond(key));
+    }
+    AccumulateGen(local_stats[g], stats);
+    retry.insert(retry.end(), local_failed[g].begin(), local_failed[g].end());
+  }
+
+  // Coordinator: a union edge landing in another node's receptive field can
+  // perturb its factual check — probe cheaply, re-secure the demoted nodes
+  // (plus the worker-side failures) sequentially on one engine.
+  InferenceEngine coord(cfg.model, cfg.graph, EngineOptionsFor(opts));
+  const EngineStats coord_before = coord.stats();
+  WitnessEngineViews coord_views(&coord);
+  coord_views.Sync(*witness);
+  coord.Warm(InferenceEngine::kFullView, nodes);
+  coord.Warm(coord_views.sub_id(), nodes);
+  coord.Warm(coord_views.removed_id(), nodes);
+  const std::unordered_set<NodeId> failed_first(retry.begin(), retry.end());
+  for (NodeId v : nodes) {
+    if (failed_first.count(v) > 0) continue;  // already queued for retry
+    const Label l = coord.Predict(InferenceEngine::kFullView, v);
+    if (coord.Predict(coord_views.sub_id(), v) != l ||
+        coord.Predict(coord_views.removed_id(), v) == l) {
+      retry.push_back(v);
+    }
+  }
+  std::vector<NodeId> failed;
+  for (NodeId v : retry) {
+    if (!detail::SecureNode(cfg, v, base_logits, opts, scope, &coord,
+                            &coord_views, witness, stats)) {
+      failed.push_back(v);
+    }
+  }
+  AddEngineDelta(coord.stats() - coord_before, stats);
+  std::sort(failed.begin(), failed.end());
+  return failed;
+}
 
 GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
                                const ParallelOptions& opts,

@@ -42,6 +42,24 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
                                const ParallelOptions& opts,
                                ParallelStats* stats = nullptr);
 
+/// Parallel incremental re-securing, the maintenance-path sibling of
+/// ParaGenerateRcw used by the streaming WitnessMaintainer: secures `nodes`
+/// against the current graph on the shared ThreadPool, each worker group
+/// expanding a private copy of *witness on a private engine (no fragment
+/// partition — maintenance touches few nodes, so the fan-out is per-node).
+/// The coordinator merges the copies (union of nodes, edges, and protected
+/// pairs), CW-probes every secured node on the merged witness, and
+/// sequentially re-secures any node the merge perturbed — the same
+/// monotone-merge + probe contract as Algorithm 3's coordinator. Engine work
+/// from workers and coordinator is accumulated into *stats. Returns the
+/// nodes that could not be secured (sorted).
+std::vector<NodeId> ParaSecureNodes(const WitnessConfig& cfg,
+                                    const std::vector<NodeId>& nodes,
+                                    const Matrix& base_logits,
+                                    const GenerateOptions& opts,
+                                    int num_threads, Witness* witness,
+                                    GenerateStats* stats);
+
 }  // namespace robogexp
 
 #endif  // ROBOGEXP_EXPLAIN_PARA_H_

@@ -29,7 +29,7 @@ struct ScoredEdge {
 /// Evidence-carrying candidate edges around v, nearest-and-strongest first.
 ///
 /// Both CW conditions are local to v: the factual side needs evidence paths
-/// reaching v, and the counterfactual side needs G \ Gs to lose an edge-cut
+/// reaching v, and the counterfactual side needs G ∖ Gs to lose an edge-cut
 /// around v. Candidates are therefore ordered by hop distance from v first
 /// (v's incident edges form the natural cut) and by routed class-l evidence
 /// second. No inference happens here — the class-l evidence is read from the
@@ -327,10 +327,7 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
 GenerateResult GenerateRcw(const WitnessConfig& cfg,
                            const GenerateOptions& opts) {
   RCW_CHECK(cfg.Valid());
-  EngineOptions eopts;
-  eopts.cache = opts.cache_inference;
-  eopts.batch = opts.cache_inference;
-  InferenceEngine engine(cfg.model, cfg.graph, eopts);
+  InferenceEngine engine(cfg.model, cfg.graph, EngineOptionsFor(opts));
   return GenerateRcw(cfg, opts, &engine);
 }
 

@@ -69,6 +69,16 @@ struct GenerateStats {
   double seconds = 0.0;
 };
 
+/// EngineOptions implied by generation options — caching and batching ride
+/// the same switch (the single place this mapping lives; used by the
+/// sequential generator, paraRoboGExp workers, and the stream maintainer).
+inline EngineOptions EngineOptionsFor(const GenerateOptions& opts) {
+  EngineOptions eopts;
+  eopts.cache = opts.cache_inference;
+  eopts.batch = opts.cache_inference;
+  return eopts;
+}
+
 /// Folds an engine-work delta (EngineStats after - before) into generation
 /// stats — the single place the EngineStats → GenerateStats mapping lives.
 inline void AddEngineDelta(const EngineStats& d, GenerateStats* stats) {

@@ -1,28 +1,30 @@
-// Verification of witnesses (Sec. III).
-//
-//  * VerifyFactual / VerifyCounterfactual — the PTIME checks of Lemmas 2-3:
-//    direct inference tests M(v, Gs) = l and M(v, G \ Gs) != l.
-//  * VerifyRcw — Algorithm 1 (verifyRCW-APPNP generalized): after the CW
-//    checks, for each test node and contrast class it runs PRI to construct
-//    the worst-case (k, b)-disturbance E*, then confirms by actual inference
-//    that (i) the disturbed graph keeps the label (M(v, G ⊕ E*) = l) and
-//    (ii) the witness stays counterfactual under the disturbance
-//    (M(v, (G ⊕ E*) \ Gs) != l). Exact for APPNP (Lemma 4); for other models
-//    PRI serves as the adversarial proposal and inference is the judge.
-//    The independent per-node / per-contrast-class checks run in parallel on
-//    the shared ThreadPool; the reported outcome is identical to the
-//    sequential order (the lexicographically first failure wins).
-//  * VerifyRcwExhaustive — the general (NP-hard) verifier: enumerates every
-//    j-disturbance, j <= k, over the local candidate pairs. Exponential; the
-//    ground-truth oracle for tests and the hardness ablation.
-//
-// All verifiers run on an InferenceEngine (src/gnn/engine.h): base labels
-// and logits are computed once per verification and served from the
-// per-(view, node) cache, and multi-node misses are batched into single
-// union-ball inferences. Each verifier has an engine-threading overload so
-// callers can share one cache across factual → counterfactual → RCW (and
-// across repeated verifications of the same configuration); the plain
-// overloads build a private engine per call.
+/// \file
+/// Verification of witnesses (Sec. III).
+///
+///  - VerifyFactual / VerifyCounterfactual — the PTIME checks of Lemmas 2-3:
+///    direct inference tests M(v, Gs) = l and M(v, G ∖ Gs) != l.
+///  - VerifyRcw — Algorithm 1 (verifyRCW-APPNP generalized): after the CW
+///    checks, for each test node and contrast class it runs PRI to construct
+///    the worst-case (k, b)-disturbance E*, then confirms by actual
+///    inference that (i) the disturbed graph keeps the label
+///    (M(v, G ⊕ E*) = l) and (ii) the witness stays counterfactual under
+///    the disturbance (M(v, (G ⊕ E*) ∖ Gs) != l). Exact for APPNP
+///    (Lemma 4); for other models PRI serves as the adversarial proposal
+///    and inference is the judge. The independent per-node /
+///    per-contrast-class checks run in parallel on the shared ThreadPool;
+///    the reported outcome is identical to the sequential order (the
+///    lexicographically first failure wins).
+///  - VerifyRcwExhaustive — the general (NP-hard) verifier: enumerates every
+///    j-disturbance, j <= k, over the local candidate pairs. Exponential;
+///    the ground-truth oracle for tests and the hardness ablation.
+///
+/// All verifiers run on an InferenceEngine (src/gnn/engine.h): base labels
+/// and logits are computed once per verification and served from the
+/// per-(view, node) cache, and multi-node misses are batched into single
+/// union-ball inferences. Each verifier has an engine-threading overload so
+/// callers can share one cache across factual → counterfactual → RCW (and
+/// across repeated verifications of the same configuration); the plain
+/// overloads build a private engine per call.
 #ifndef ROBOGEXP_EXPLAIN_VERIFY_H_
 #define ROBOGEXP_EXPLAIN_VERIFY_H_
 
@@ -90,7 +92,7 @@ VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
                                  InferenceEngine* engine);
 
 /// Engine slots for the two witness-derived views — the Gs subgraph (factual
-/// test) and the G \ Gs overlay (counterfactual test) — kept in sync with a
+/// test) and the G ∖ Gs overlay (counterfactual test) — kept in sync with a
 /// mutating witness. Sync() rebuilds the views and drops their cached logits
 /// exactly when the witness's edge set changed since the last sync (tracked
 /// via Witness::edge_version), so the generator's secure loop gets explicit
@@ -110,7 +112,7 @@ class WitnessEngineViews {
   InferenceEngine::ViewId removed_id() const { return removed_id_; }
 
   /// The synced view objects (valid until the next Sync; for callers that
-  /// need the view itself, e.g. to run PRI over G \ Gs).
+  /// need the view itself, e.g. to run PRI over G ∖ Gs).
   const EdgeSubsetView& sub_view() const { return *sub_; }
   const OverlayView& removed_view() const { return *removed_; }
 

@@ -54,6 +54,13 @@ class Witness {
 
   const std::unordered_set<uint64_t>& edge_keys() const { return edge_keys_; }
 
+  /// Keys of the protected pairs only (without the witness edges); exposed so
+  /// maintenance code can rebuild a witness — e.g. after pruning edges the
+  /// update stream deleted from the base graph — without losing them.
+  const std::unordered_set<uint64_t>& protected_pair_keys() const {
+    return protected_keys_;
+  }
+
   /// Keys a disturbance must not flip: witness edges plus protected pairs
   /// ("it does not insert nor remove edges of Gw").
   std::unordered_set<uint64_t> ProtectedKeys() const;
@@ -63,7 +70,7 @@ class Witness {
     return EdgeSubsetView(graph_num_nodes, Edges());
   }
 
-  /// View of G \ Gs (for the counterfactual test).
+  /// View of G ∖ Gs (for the counterfactual test).
   OverlayView RemovedView(const GraphView* base) const {
     return OverlayView(base, Edges());
   }

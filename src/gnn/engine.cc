@@ -41,6 +41,22 @@ void InferenceEngine::Invalidate(ViewId id) {
   if (it != slots_.end()) it->second.logits.clear();
 }
 
+void InferenceEngine::InvalidateNodes(ViewId id,
+                                      const std::vector<NodeId>& nodes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  for (NodeId v : nodes) it->second.logits.erase(v);
+}
+
+void InferenceEngine::InvalidateOverlayNodes(const std::vector<NodeId>& nodes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = overlay_cache_.begin(); it != overlay_cache_.end();) {
+    for (NodeId v : nodes) overlay_entries_ -= it->second.erase(v);
+    it = it->second.empty() ? overlay_cache_.erase(it) : std::next(it);
+  }
+}
+
 void InferenceEngine::Release(ViewId id) {
   RCW_CHECK_MSG(id != kFullView, "InferenceEngine: cannot release full view");
   std::unique_lock<std::mutex> lock(mu_);

@@ -1,28 +1,31 @@
-// InferenceEngine — the batching + caching layer between the explainer's
-// expand–secure–verify loop and GnnModel inference.
-//
-// The paper's dominant cost is GNN inference (its efficiency figures count
-// inference calls), and the loop's access pattern is extremely repetitive:
-// the full view G never changes, the witness views Gs and G \ Gs only change
-// when the witness mutates, and verification asks for the same per-node
-// logits over and over. The engine exploits that shape:
-//
-//  * per-(view, node) logit memoization behind caller-managed view slots,
-//    with explicit invalidation when a view's edge set changes;
-//  * batched misses: Warm() serves many nodes on one view with a single
-//    GnnModel::InferNodes call (one InferSubset over the union of the
-//    receptive balls) instead of one call per node;
-//  * honest accounting: stats() separates logical node queries from actual
-//    model invocations, so call-reduction claims are measurable.
-//
-// Cached and uncached paths are bit-identical: the union-ball batch computes
-// exactly the same floating-point values as per-node InferNode (see
-// GnnModel::InferNodes), so enabling the cache can never change a witness.
-//
-// Thread safety: all public methods are safe to call concurrently (the
-// parallel RCW verifier queries logits from ThreadPool workers). The model
-// invocation itself runs outside the lock; two threads racing on the same
-// missing node may both compute it — identical values, idempotent insert.
+/// \file
+/// InferenceEngine — the batching + caching layer between the explainer's
+/// expand–secure–verify loop and GnnModel inference.
+///
+/// The paper's dominant cost is GNN inference (its efficiency figures count
+/// inference calls), and the loop's access pattern is extremely repetitive:
+/// the full view G rarely changes, the witness views Gs and G ∖ Gs only
+/// change when the witness mutates, and verification asks for the same
+/// per-node logits over and over. The engine exploits that shape:
+///
+///  - per-(view, node) logit memoization behind caller-managed view slots,
+///    with explicit invalidation when a view's edge set changes — whole-view
+///    via Bind()/Invalidate(), or per-ball via InvalidateNodes() when a
+///    streaming update touches only part of the base graph;
+///  - batched misses: Warm() serves many nodes on one view with a single
+///    GnnModel::InferNodes call (one InferSubset over the union of the
+///    receptive balls) instead of one call per node;
+///  - honest accounting: stats() separates logical node queries from actual
+///    model invocations, so call-reduction claims are measurable.
+///
+/// Cached and uncached paths are bit-identical: the union-ball batch computes
+/// exactly the same floating-point values as per-node InferNode (see
+/// GnnModel::InferNodes), so enabling the cache can never change a witness.
+///
+/// Thread safety: all public methods are safe to call concurrently (the
+/// parallel RCW verifier queries logits from ThreadPool workers). The model
+/// invocation itself runs outside the lock; two threads racing on the same
+/// missing node may both compute it — identical values, idempotent insert.
 #ifndef ROBOGEXP_GNN_ENGINE_H_
 #define ROBOGEXP_GNN_ENGINE_H_
 
@@ -95,6 +98,20 @@ class InferenceEngine {
 
   /// Drops the slot's cached logits, keeping the binding.
   void Invalidate(ViewId id);
+
+  /// Drops the cached logits of exactly `nodes` on slot `id`, keeping every
+  /// other entry warm. This is the targeted (per-ball, not whole-view)
+  /// invalidation used by streaming maintenance: after an in-place base-graph
+  /// update, only nodes whose receptive ball intersects the update are stale.
+  /// The slot's view must still describe the post-update edge set (FullView
+  /// reads the mutated Graph in place). No-op on released/unknown ids.
+  void InvalidateNodes(ViewId id, const std::vector<NodeId>& nodes);
+
+  /// Drops the cached overlay logits of `nodes` across every
+  /// content-addressed flip set (the overlays are keyed relative to the base
+  /// graph, so an in-place base update makes the touched balls stale under
+  /// every cached disturbance).
+  void InvalidateOverlayNodes(const std::vector<NodeId>& nodes);
 
   /// Unbinds the slot (safe to call before the view's lifetime ends; the
   /// slot id is not reused).

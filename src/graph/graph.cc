@@ -11,6 +11,7 @@ Graph::Graph(NodeId num_nodes)
 
 NodeId Graph::AddNode() {
   adj_.emplace_back();
+  ++mutation_version_;
   return static_cast<NodeId>(adj_.size() - 1);
 }
 
@@ -24,6 +25,7 @@ Status Graph::AddEdge(NodeId u, NodeId v) {
   }
   adj_[static_cast<size_t>(u)].push_back(v);
   adj_[static_cast<size_t>(v)].push_back(u);
+  ++mutation_version_;
   return Status::OK();
 }
 
@@ -35,6 +37,7 @@ Status Graph::RemoveEdge(NodeId u, NodeId v) {
   };
   erase_from(adj_[static_cast<size_t>(u)], v);
   erase_from(adj_[static_cast<size_t>(v)], u);
+  ++mutation_version_;
   return Status::OK();
 }
 

@@ -44,6 +44,11 @@ class Graph {
   /// Removes an undirected edge if present; returns NotFound otherwise.
   Status RemoveEdge(NodeId u, NodeId v);
 
+  /// Structure-mutation stamp: incremented by every successful AddNode /
+  /// AddEdge / RemoveEdge. Streaming consumers (WitnessMaintainer, engine
+  /// owners) use it to detect that the graph changed underneath them.
+  uint64_t mutation_version() const { return mutation_version_; }
+
   bool HasEdge(NodeId u, NodeId v) const {
     if (u == v || !ValidNode(u) || !ValidNode(v)) return false;
     return edge_set_.count(PairKey(u, v)) > 0;
@@ -82,6 +87,7 @@ class Graph {
  private:
   std::vector<std::vector<NodeId>> adj_;
   std::unordered_set<uint64_t> edge_set_;
+  uint64_t mutation_version_ = 0;
   Matrix features_;
   std::vector<Label> labels_;
   int num_classes_ = 0;

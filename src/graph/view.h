@@ -67,7 +67,7 @@ class FullView final : public GraphView {
 /// Base view with a set of node pairs toggled: pairs present in the base are
 /// removed, absent pairs are inserted. This is exactly the paper's
 /// k-disturbance "flip" semantics; with removals only it also implements
-/// G \ Gs.
+/// G ∖ Gs.
 class OverlayView final : public GraphView {
  public:
   /// `flips` toggles each listed pair relative to `base`.

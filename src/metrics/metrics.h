@@ -16,7 +16,7 @@ namespace robogexp {
 double NormalizedGed(const Witness& a, const Witness& b);
 
 /// Fidelity+ — counterfactual effectiveness: the mean over test nodes of
-/// 1(M(v, G) = l) - 1(M(v, G \ Gs) = l) with l the model's prediction on G.
+/// 1(M(v, G) = l) - 1(M(v, G ∖ Gs) = l) with l the model's prediction on G.
 /// Higher is better (1.0 = every prediction flips when Gs is removed).
 double FidelityPlus(const Graph& graph, const GnnModel& model,
                     const std::vector<NodeId>& test_nodes,

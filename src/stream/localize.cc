@@ -1,0 +1,68 @@
+#include "src/stream/localize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace robogexp {
+
+int MaintenanceRadius(const WitnessConfig& cfg) {
+  RCW_CHECK(cfg.model != nullptr);
+  const int base = std::max(cfg.hop_radius, cfg.model->receptive_hops());
+  if (cfg.disturbance == DisturbanceModel::kFlip) {
+    // An inserted candidate pair can shortcut up to hop_radius of distance
+    // into the receptive field.
+    return cfg.hop_radius + cfg.model->receptive_hops();
+  }
+  return base;
+}
+
+AffectedSet LocalizeFlips(const GraphView& union_view,
+                          const std::vector<Edge>& flips,
+                          const std::vector<NodeId>& test_nodes,
+                          const LocalizeOptions& opts) {
+  RCW_CHECK(opts.radius >= 0);
+  AffectedSet out;
+  if (flips.empty() || union_view.num_nodes() == 0) return out;
+
+  std::unordered_set<NodeId> ball_union;
+  // flip index -> set of reached test nodes, gathered per-flip so the
+  // certificate can charge each test node only for the flips in its ball.
+  std::unordered_map<NodeId, std::vector<size_t>> hits;
+  const std::unordered_set<NodeId> tests(test_nodes.begin(), test_nodes.end());
+  for (size_t i = 0; i < flips.size(); ++i) {
+    const std::vector<NodeId> ball = KHopBall(
+        union_view, {flips[i].u, flips[i].v}, opts.radius);
+    for (NodeId w : ball) {
+      ball_union.insert(w);
+      if (tests.count(w) > 0) hits[w].push_back(i);
+    }
+  }
+
+  out.ball.assign(ball_union.begin(), ball_union.end());
+  std::sort(out.ball.begin(), out.ball.end());
+
+  for (NodeId v : test_nodes) {
+    auto it = hits.find(v);
+    if (it == hits.end()) continue;
+    if (opts.use_ppr) {
+      // PPR-mass refinement: how much personalized mass does v put on the
+      // flipped endpoints? Below threshold, the flips cannot move v's
+      // PPR-propagated logits beyond solver tolerance.
+      const SparseVector mass = PprPush(union_view, v, opts.ppr);
+      double reach = 0.0;
+      for (size_t i : it->second) {
+        auto mu = mass.find(flips[i].u);
+        if (mu != mass.end()) reach += mu->second;
+        auto mv = mass.find(flips[i].v);
+        if (mv != mass.end()) reach += mv->second;
+      }
+      if (reach < opts.ppr_threshold) continue;
+    }
+    out.test_nodes.push_back(v);
+    out.flips_per_test.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace robogexp

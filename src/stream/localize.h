@@ -1,0 +1,63 @@
+// Affected-set localization: which test nodes can an update batch touch?
+//
+// Every check the pipeline runs for a test node v is local: inference reads
+// at most receptive_hops around v, and the PRI adversary only proposes flips
+// within hop_radius of v. A flipped pair therefore affects v only when one
+// of its endpoints lies within the *maintenance radius* of v — measured on
+// the union graph (post-update edges plus the just-deleted ones), since a
+// deleted edge still bounds the pre-update distances it used to carry.
+// Everything outside the union of those balls keeps bit-identical logits and
+// candidate sets, which is what lets the maintainer invalidate per-ball and
+// leave the rest of the engine cache warm.
+#ifndef ROBOGEXP_STREAM_LOCALIZE_H_
+#define ROBOGEXP_STREAM_LOCALIZE_H_
+
+#include <vector>
+
+#include "src/explain/config.h"
+#include "src/graph/view.h"
+#include "src/ppr/ppr.h"
+
+namespace robogexp {
+
+struct LocalizeOptions {
+  /// Ball radius in hops (use MaintenanceRadius(cfg)).
+  int radius = 3;
+  /// Refine the hop-ball test by personalized-PageRank mass: an affected
+  /// candidate is kept only when the PPR mass its ball-hitting flips carry
+  /// from the test node exceeds `ppr_threshold`. Sound for PPR-propagation
+  /// models (APPNP), where mass below solver tolerance cannot move a logit;
+  /// for other models it is a heuristic trade of recall for work.
+  bool use_ppr = false;
+  double ppr_threshold = 1e-4;
+  PprOptions ppr;
+};
+
+struct AffectedSet {
+  /// Union of the flips' radius-balls (sorted): exactly the nodes whose
+  /// cached logits may have gone stale.
+  std::vector<NodeId> ball;
+  /// Test nodes whose maintenance ball intersects a flip (input order).
+  std::vector<NodeId> test_nodes;
+  /// For each affected test node (aligned with `test_nodes`), the indices
+  /// into the input flip list that reach it — the certificate accounting
+  /// charges each node only for the flips inside its own ball.
+  std::vector<std::vector<size_t>> flips_per_test;
+};
+
+/// Radius within which a flip can influence a test node's verdict: the
+/// model's receptive field and the adversarial search locality, plus the
+/// hop-shortcut slack of inserted edges in full flip mode (removals only
+/// ever increase distances, so kRemovalOnly needs no slack).
+int MaintenanceRadius(const WitnessConfig& cfg);
+
+/// Localizes `flips` against `test_nodes` on `union_view` (the post-update
+/// graph with deleted edges re-added).
+AffectedSet LocalizeFlips(const GraphView& union_view,
+                          const std::vector<Edge>& flips,
+                          const std::vector<NodeId>& test_nodes,
+                          const LocalizeOptions& opts);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_STREAM_LOCALIZE_H_

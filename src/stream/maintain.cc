@@ -1,0 +1,419 @@
+#include "src/stream/maintain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/explain/para.h"
+#include "src/util/timer.h"
+
+namespace robogexp {
+
+const char* MaintainActionName(MaintainAction action) {
+  switch (action) {
+    case MaintainAction::kInitialized:
+      return "initialized";
+    case MaintainAction::kUntouched:
+      return "untouched";
+    case MaintainAction::kCertified:
+      return "certified";
+    case MaintainAction::kResecured:
+      return "resecured";
+    case MaintainAction::kRegenerated:
+      return "regenerated";
+  }
+  return "unknown";
+}
+
+WitnessMaintainer::WitnessMaintainer(Graph* graph, const WitnessConfig& cfg,
+                                     const MaintainOptions& opts)
+    : graph_(graph),
+      cfg_(cfg),
+      opts_(opts),
+      engine_(cfg.model, graph, EngineOptionsFor(opts.gen)),
+      views_(&engine_) {
+  RCW_CHECK(graph != nullptr);
+  RCW_CHECK_MSG(cfg.graph == graph,
+                "WitnessMaintainer: cfg.graph must be the maintained graph");
+  RCW_CHECK(cfg_.Valid());
+}
+
+MaintainReport WitnessMaintainer::Initialize() {
+  Timer timer;
+  const EngineStats before = engine_.stats();
+  const GenerateResult gen = GenerateRcw(cfg_, opts_.gen, &engine_);
+  witness_ = gen.witness;
+  unsecured_.clear();
+  unsecured_.insert(gen.unsecured.begin(), gen.unsecured.end());
+  outstanding_.clear();
+  base_logits_fresh_ = false;
+  known_graph_version_ = graph_->mutation_version();
+  initialized_ = true;
+
+  MaintainReport report;
+  report.action = MaintainAction::kInitialized;
+  report.unsecured = gen.unsecured;
+  report.ok = gen.unsecured.empty() && !gen.trivial;
+  const EngineStats d = engine_.stats() - before;
+  report.inference_calls = static_cast<int>(d.model_invocations);
+  report.cache_hits = d.cache_hits;
+  report.seconds = timer.Seconds();
+  return report;
+}
+
+MaintainReport WitnessMaintainer::Adopt(const Witness& witness) {
+  Timer timer;
+  const EngineStats before = engine_.stats();
+  witness_ = witness;
+  for (NodeId v : cfg_.test_nodes) witness_.AddNode(v);
+  unsecured_.clear();
+  outstanding_.clear();
+  base_logits_fresh_ = false;
+  known_graph_version_ = graph_->mutation_version();
+  initialized_ = true;
+
+  MaintainReport report;
+  report.action = MaintainAction::kInitialized;
+
+  // The adopted witness may predate the graph (e.g. loaded from disk after
+  // the feed moved on): shed phantom edges *before* verifying, so the
+  // witness ⊆ graph invariant holds from the first moment.
+  PruneDeletedWitnessEdges();
+
+  // Full-budget revalidation; nodes the adopted witness does not cover get
+  // re-secured (with the growth-probe fixpoint, so repairing one node
+  // cannot silently perturb an already-verified one), and only then given
+  // up on.
+  std::vector<NodeId> failing = VerifyNodesAtFullBudget(cfg_.test_nodes);
+  if (!failing.empty()) {
+    RefreshBaseLogits();
+    GenerateStats gstats;
+    std::unordered_set<NodeId> recovered, failed;
+    ResecureWithGrowthProbes(failing, &gstats, &recovered, &failed);
+    unsecured_.insert(failed.begin(), failed.end());
+    report.resecured.assign(recovered.begin(), recovered.end());
+    std::sort(report.resecured.begin(), report.resecured.end());
+    report.inference_calls += gstats.inference_calls;
+    report.cache_hits += gstats.cache_hits;
+  }
+  report.unsecured.assign(unsecured_.begin(), unsecured_.end());
+  std::sort(report.unsecured.begin(), report.unsecured.end());
+  report.ok = unsecured_.empty();
+  const EngineStats d = engine_.stats() - before;
+  report.inference_calls += static_cast<int>(d.model_invocations);
+  report.cache_hits += d.cache_hits;
+  report.seconds = timer.Seconds();
+  return report;
+}
+
+std::vector<NodeId> WitnessMaintainer::unsecured() const {
+  std::vector<NodeId> out(unsecured_.begin(), unsecured_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int WitnessMaintainer::RemainingBudget(NodeId v) const {
+  if (!WithinCertificate(v, witness_.ProtectedKeys())) return 0;
+  auto it = outstanding_.find(v);
+  const int spent = it == outstanding_.end() ? 0 : static_cast<int>(it->second.size());
+  return std::max(0, cfg_.k - spent);
+}
+
+bool WitnessMaintainer::WithinCertificate(
+    NodeId v, const std::unordered_set<uint64_t>& protected_keys) const {
+  auto it = outstanding_.find(v);
+  if (it == outstanding_.end()) return true;
+  const auto& out = it->second;
+  if (static_cast<int>(out.size()) > cfg_.k) return false;
+  std::unordered_map<NodeId, int> load;
+  for (const auto& [key, e] : out) {
+    // Flipping a witness edge or protected pair is outside every
+    // disturbance the certificate quantified over.
+    if (protected_keys.count(key) > 0) return false;
+    // A net insertion (pair now present that was absent when v was secured)
+    // is only certified in full flip mode.
+    if (cfg_.disturbance == DisturbanceModel::kRemovalOnly &&
+        graph_->HasEdge(e.u, e.v)) {
+      return false;
+    }
+    if (++load[e.u] > cfg_.local_budget || ++load[e.v] > cfg_.local_budget) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WitnessMaintainer::PruneDeletedWitnessEdges() {
+  bool stale = false;
+  for (const Edge& e : witness_.Edges()) {
+    if (!graph_->HasEdge(e.u, e.v)) {
+      stale = true;
+      break;
+    }
+  }
+  if (!stale) return;
+  // Rebuild without the deleted edges (a fresh edge_version, so the engine's
+  // witness-view slots resync and drop their logits on the next use).
+  Witness pruned;
+  for (NodeId u : witness_.Nodes()) pruned.AddNode(u);
+  for (const Edge& e : witness_.Edges()) {
+    if (graph_->HasEdge(e.u, e.v)) pruned.AddEdge(e.u, e.v);
+  }
+  for (uint64_t key : witness_.protected_pair_keys()) {
+    pruned.AddProtectedPair(PairKeyFirst(key), PairKeySecond(key));
+  }
+  witness_ = std::move(pruned);
+}
+
+void WitnessMaintainer::RefreshBaseLogits() {
+  if (base_logits_fresh_) return;
+  // Mirrors the per-call BaseLogits computation of GenerateRcw (and like
+  // there, it is direct model work, not engine-counted inference).
+  base_logits_ = cfg_.model->BaseLogits(engine_.full_view(), graph_->features());
+  base_logits_fresh_ = true;
+}
+
+std::vector<NodeId> WitnessMaintainer::Resecure(
+    const std::vector<NodeId>& nodes, GenerateStats* stats) {
+  if (opts_.num_threads > 1 && nodes.size() > 1) {
+    // ParaSecureNodes reports its own engines' work through *stats.
+    return ParaSecureNodes(cfg_, nodes, base_logits_, opts_.gen,
+                           opts_.num_threads, &witness_, stats);
+  }
+  const detail::NodeWorkScope scope;  // unrestricted
+  std::vector<NodeId> failed;
+  for (NodeId v : nodes) {
+    if (!detail::SecureNode(cfg_, v, base_logits_, opts_.gen, scope, &engine_,
+                            &views_, &witness_, stats)) {
+      failed.push_back(v);
+    }
+  }
+  std::sort(failed.begin(), failed.end());
+  return failed;
+}
+
+void WitnessMaintainer::ResecureWithGrowthProbes(
+    const std::vector<NodeId>& escalate, GenerateStats* stats,
+    std::unordered_set<NodeId>* recovered, std::unordered_set<NodeId>* failed) {
+  std::vector<NodeId> round = escalate;
+  for (int pass = 0; pass < 4 && !round.empty(); ++pass) {
+    const std::unordered_set<uint64_t> edges_before = witness_.edge_keys();
+    for (NodeId v : Resecure(round, stats)) failed->insert(v);
+    for (NodeId v : round) {
+      if (failed->count(v) > 0) continue;
+      outstanding_.erase(v);  // secured against the current graph
+      unsecured_.erase(v);
+      recovered->insert(v);
+    }
+    round.clear();
+    // Which covered nodes can the newly added witness edges perturb? Only
+    // those whose receptive ball sees one: witness growth does not change
+    // the graph, so the hazard radius is the model's receptive field, not
+    // the full maintenance radius.
+    std::vector<Edge> grown;
+    for (uint64_t key : witness_.edge_keys()) {
+      if (edges_before.count(key) == 0) {
+        grown.emplace_back(PairKeyFirst(key), PairKeySecond(key));
+      }
+    }
+    if (grown.empty()) break;
+    std::sort(grown.begin(), grown.end());
+    std::vector<NodeId> covered;
+    for (NodeId v : cfg_.test_nodes) {
+      if (unsecured_.count(v) == 0 && failed->count(v) == 0) {
+        covered.push_back(v);
+      }
+    }
+    LocalizeOptions popts;
+    popts.radius = cfg_.model->receptive_hops();
+    const AffectedSet touched =
+        LocalizeFlips(engine_.full_view(), grown, covered, popts);
+    if (touched.test_nodes.empty()) break;
+    views_.Sync(witness_);
+    engine_.Warm(InferenceEngine::kFullView, touched.test_nodes);
+    engine_.Warm(views_.sub_id(), touched.test_nodes);
+    engine_.Warm(views_.removed_id(), touched.test_nodes);
+    for (NodeId v : touched.test_nodes) {
+      const Label l = engine_.Predict(InferenceEngine::kFullView, v);
+      if (engine_.Predict(views_.sub_id(), v) != l ||
+          engine_.Predict(views_.removed_id(), v) == l) {
+        round.push_back(v);
+      }
+    }
+  }
+  // Nodes still demoted when the pass cap ran out count as lost coverage.
+  for (NodeId v : round) {
+    failed->insert(v);
+    recovered->erase(v);
+  }
+}
+
+std::vector<NodeId> WitnessMaintainer::VerifyNodesAtFullBudget(
+    std::vector<NodeId> nodes) {
+  std::vector<NodeId> failed;
+  WitnessConfig sub = cfg_;
+  while (!nodes.empty()) {
+    sub.test_nodes = nodes;
+    const VerifyResult r = VerifyRcw(sub, witness_, &engine_);
+    if (r.ok) break;
+    const size_t before = nodes.size();
+    std::erase(nodes, r.failed_node);
+    if (nodes.size() == before) {
+      // Defensive: a failure not attributed to a specific remaining node
+      // escalates everything rather than looping.
+      failed.insert(failed.end(), nodes.begin(), nodes.end());
+      break;
+    }
+    failed.push_back(r.failed_node);
+  }
+  return failed;
+}
+
+StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "WitnessMaintainer: Initialize() or Adopt() must run before Apply()");
+  }
+  if (graph_->mutation_version() != known_graph_version_) {
+    return Status::FailedPrecondition(
+        "WitnessMaintainer: graph mutated outside the maintainer");
+  }
+  Timer timer;
+  const EngineStats before = engine_.stats();
+  MaintainReport report;
+
+  auto apply = ApplyUpdateBatch(graph_, batch);
+  RCW_RETURN_IF_ERROR(apply.status());
+  known_graph_version_ = apply.value().graph_version;
+  report.applied = static_cast<int>(batch.size()) - apply.value().rejected;
+  report.rejected = apply.value().rejected;
+
+  const std::vector<Edge> flips = apply.value().Flips();
+  auto finish = [&](MaintainAction action) {
+    report.action = action;
+    const EngineStats d = engine_.stats() - before;
+    report.inference_calls += static_cast<int>(d.model_invocations);
+    report.cache_hits += d.cache_hits;
+    report.seconds = timer.Seconds();
+    return report;
+  };
+  if (flips.empty()) return finish(MaintainAction::kUntouched);
+  base_logits_fresh_ = false;
+
+  // Localize: which receptive balls did the batch touch? Distances are
+  // measured on the union graph (deleted edges re-added), so a deletion
+  // still reaches everything it used to be close to.
+  const OverlayView union_view(&engine_.full_view(), apply.value().deleted);
+  LocalizeOptions lopts;
+  lopts.radius = MaintenanceRadius(cfg_);
+  lopts.use_ppr = opts_.ppr_localizer;
+  lopts.ppr_threshold = opts_.ppr_threshold;
+  lopts.ppr = cfg_.ppr;
+  const AffectedSet affected =
+      LocalizeFlips(union_view, flips, cfg_.test_nodes, lopts);
+  report.affected_tests = static_cast<int>(affected.test_nodes.size());
+  report.ball_nodes = static_cast<int>(affected.ball.size());
+
+  // Targeted invalidation: only the touched balls go cold. The witness
+  // subgraph view reads no base-graph edges, so it stays warm entirely.
+  engine_.InvalidateNodes(InferenceEngine::kFullView, affected.ball);
+  engine_.InvalidateNodes(views_.removed_id(), affected.ball);
+  engine_.InvalidateOverlayNodes(affected.ball);
+
+  // The certificate is judged against the protected pairs as of when the
+  // nodes were secured — captured before any pruning below.
+  const auto protected_keys = witness_.ProtectedKeys();
+
+  // Keep the witness ⊆ graph invariant even when a deleted witness edge
+  // lies outside every test node's ball (then it influenced no verdict, so
+  // pruning alone — without re-securing — is sound; in-ball deletions hit
+  // the protected-pair check and escalate to re-secure regardless).
+  for (const Edge& e : apply.value().deleted) {
+    if (witness_.HasEdge(e.u, e.v)) {
+      PruneDeletedWitnessEdges();
+      break;
+    }
+  }
+
+  if (affected.test_nodes.empty()) return finish(MaintainAction::kUntouched);
+
+  // Charge each affected node for the flips inside its own ball (toggled:
+  // re-flipping a pair restores the secured state and refunds the budget).
+  for (size_t i = 0; i < affected.test_nodes.size(); ++i) {
+    auto& out = outstanding_[affected.test_nodes[i]];
+    for (size_t fi : affected.flips_per_test[i]) {
+      const Edge& e = flips[fi];
+      const uint64_t key = e.Key();
+      if (out.erase(key) == 0) out.emplace(key, e);
+    }
+  }
+
+  // Tier the affected nodes: inside the certificate -> cheap revalidation;
+  // outside (or currently uncovered) -> incremental re-secure.
+  std::vector<NodeId> certified, escalate;
+  for (NodeId v : affected.test_nodes) {
+    if (unsecured_.count(v) > 0) {
+      // The stream may have made a previously unsecurable node securable;
+      // retry it on the re-secure path.
+      escalate.push_back(v);
+    } else if (WithinCertificate(v, protected_keys)) {
+      certified.push_back(v);
+    } else {
+      escalate.push_back(v);
+    }
+  }
+
+  // Certified tier: the k-RCW certificate guarantees the witness is still a
+  // CW here; revalidate at full budget on the warm engine, escalating any
+  // node the (heuristic, for non-APPNP) adversary can now break.
+  for (NodeId v : VerifyNodesAtFullBudget(certified)) escalate.push_back(v);
+
+  if (escalate.empty()) return finish(MaintainAction::kCertified);
+
+  // Re-secure tier: shed deleted witness edges, then expand-secure only the
+  // escalated nodes starting from the current witness (with the
+  // growth-probe fixpoint — see ResecureWithGrowthProbes).
+  PruneDeletedWitnessEdges();
+  RefreshBaseLogits();
+  GenerateStats gstats;
+  std::sort(escalate.begin(), escalate.end());
+  std::unordered_set<NodeId> recovered_set, failed_set;
+  ResecureWithGrowthProbes(escalate, &gstats, &recovered_set, &failed_set);
+  std::vector<NodeId> failed(failed_set.begin(), failed_set.end());
+  std::sort(failed.begin(), failed.end());
+  report.resecured.assign(recovered_set.begin(), recovered_set.end());
+  std::sort(report.resecured.begin(), report.resecured.end());
+  report.inference_calls += gstats.inference_calls;
+  report.cache_hits += gstats.cache_hits;
+  if (opts_.verbose) {
+    std::printf("[maintain] re-secured %zu nodes (%zu failed)\n",
+                recovered_set.size(), failed_set.size());
+  }
+
+  // A node that was already uncovered and stays unsecurable is not a reason
+  // to regenerate — nothing was lost. Only failing a previously-covered
+  // node escalates to the last resort.
+  std::vector<NodeId> lost;
+  for (NodeId v : failed) {
+    if (unsecured_.count(v) == 0) lost.push_back(v);
+    outstanding_.erase(v);
+  }
+  if (lost.empty()) {
+    // Everything that was covered is covered again; `failed` holds only
+    // retried nodes that were already unsecurable before the batch, so per
+    // MaintainReport::ok's contract this batch is healthy.
+    report.unsecured = failed;
+    return finish(MaintainAction::kResecured);
+  }
+
+  // Last resort: regenerate the whole portfolio from scratch.
+  const GenerateResult gen = GenerateRcw(cfg_, opts_.gen, &engine_);
+  witness_ = gen.witness;
+  outstanding_.clear();
+  unsecured_.clear();
+  unsecured_.insert(gen.unsecured.begin(), gen.unsecured.end());
+  report.unsecured = gen.unsecured;
+  report.ok = report.unsecured.empty();
+  return finish(MaintainAction::kRegenerated);
+}
+
+}  // namespace robogexp

@@ -1,0 +1,178 @@
+// WitnessMaintainer — incremental maintenance of verified robust witnesses
+// under a stream of edge updates (the streaming extension of the paper's
+// "once-for-all" serving story).
+//
+// The k-RCW certificate is itself an update budget: a witness verified
+// robust against every (k, b)-disturbance that avoids its protected pairs
+// is, after the stream applies a flip set O inside that envelope, still a
+// counterfactual witness of the updated graph, and still robust at the
+// reduced budget k - |O|. The maintainer exploits this with a tiered state
+// machine per batch:
+//
+//   kUntouched   — no flip lands within the maintenance radius of any test
+//                  node: zero inference, the certificate is untouched.
+//   kCertified   — every affected node's outstanding flips stay within the
+//                  certificate (<= k total, <= b per endpoint, no protected
+//                  pair, removals only when so configured): consume budget
+//                  and revalidate just the affected nodes on the cached
+//                  engine — a verification, never a regeneration.
+//   kResecured   — the budget is exhausted, a protected pair was flipped, an
+//                  insertion arrived in removal-only mode, or revalidation
+//                  failed: drop witness edges the stream deleted and
+//                  re-secure only the affected nodes, starting from the
+//                  existing witness (incremental expand–secure; parallel on
+//                  the shared pool when configured).
+//   kRegenerated — incremental re-securing failed: regenerate from scratch,
+//                  the old per-snapshot cost, as a last resort.
+//
+// Inference flows through one long-lived InferenceEngine whose caches
+// survive updates: after a batch only the (view, node) entries inside the
+// touched receptive balls are invalidated (per-ball, not whole-view), so
+// untouched test nodes stay warm across the whole stream.
+#ifndef ROBOGEXP_STREAM_MAINTAIN_H_
+#define ROBOGEXP_STREAM_MAINTAIN_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/explain/robogexp.h"
+#include "src/explain/verify.h"
+#include "src/stream/localize.h"
+#include "src/stream/update.h"
+
+namespace robogexp {
+
+enum class MaintainAction {
+  kInitialized,
+  kUntouched,
+  kCertified,
+  kResecured,
+  kRegenerated,
+};
+
+/// Human-readable action name (CLI / bench reporting).
+const char* MaintainActionName(MaintainAction action);
+
+struct MaintainOptions {
+  /// Generation knobs for re-securing / regeneration.
+  GenerateOptions gen;
+  /// Workers for parallel re-securing of multi-node affected sets (via
+  /// ParaSecureNodes on the shared pool); 1 = sequential.
+  int num_threads = 1;
+  /// Refine the hop-ball localizer by PPR mass (LocalizeOptions::use_ppr).
+  bool ppr_localizer = false;
+  double ppr_threshold = 1e-4;
+  bool verbose = false;
+};
+
+/// Per-batch maintenance outcome.
+struct MaintainReport {
+  MaintainAction action = MaintainAction::kUntouched;
+  /// Updates applied / skipped as no-ops by ApplyUpdateBatch.
+  int applied = 0;
+  int rejected = 0;
+  /// Test nodes whose maintenance ball a flip touched.
+  int affected_tests = 0;
+  /// Stale nodes invalidated in the engine caches (the touched-ball size).
+  int ball_nodes = 0;
+  /// Nodes whose witness coverage was re-secured / newly given up on.
+  std::vector<NodeId> resecured;
+  std::vector<NodeId> unsecured;
+  /// True when every affected node is covered again (unsecurable nodes are
+  /// excluded — they are reported above instead).
+  bool ok = true;
+  /// Engine work performed by this maintenance step (model invocations /
+  /// cache hits, the same accounting as GenerateStats).
+  int inference_calls = 0;
+  int64_t cache_hits = 0;
+  double seconds = 0.0;
+};
+
+class WitnessMaintainer {
+ public:
+  /// `graph` must be the same object `cfg.graph` points to (the maintainer
+  /// mutates it when applying batches); both outlive the maintainer.
+  WitnessMaintainer(Graph* graph, const WitnessConfig& cfg,
+                    const MaintainOptions& opts = {});
+
+  /// Generates the initial witness portfolio on the maintainer's engine.
+  MaintainReport Initialize();
+
+  /// Adopts an externally generated witness (e.g. loaded from disk) and
+  /// revalidates it at full budget; nodes that fail are re-secured.
+  MaintainReport Adopt(const Witness& witness);
+
+  /// Applies `batch` to the graph and maintains the witness. Fails (without
+  /// touching the graph) when the batch itself is malformed, or when the
+  /// graph was mutated behind the maintainer's back.
+  StatusOr<MaintainReport> Apply(const UpdateBatch& batch);
+
+  const Witness& witness() const { return witness_; }
+  const WitnessConfig& config() const { return cfg_; }
+
+  /// Test nodes currently without witness coverage (sorted).
+  std::vector<NodeId> unsecured() const;
+
+  /// Remaining certified disturbance budget of test node v: k minus the
+  /// flips outstanding in v's maintenance ball since v was last secured
+  /// (0 when the node's outstanding set already left the certificate).
+  int RemainingBudget(NodeId v) const;
+
+  /// The long-lived engine (its stats() delta measures maintenance work;
+  /// parallel re-secure work is reported in MaintainReport, not here).
+  InferenceEngine& engine() { return engine_; }
+
+ private:
+  /// True when v's outstanding flips are inside the k-RCW certificate.
+  bool WithinCertificate(NodeId v,
+                         const std::unordered_set<uint64_t>& protected_keys) const;
+
+  /// Rebuilds the witness without edges the stream deleted from the graph
+  /// (protected pairs and nodes survive).
+  void PruneDeletedWitnessEdges();
+
+  /// Recomputes cached base logits when the graph changed under them.
+  void RefreshBaseLogits();
+
+  /// Re-secures `nodes` (sequential or parallel), returns failures (sorted).
+  std::vector<NodeId> Resecure(const std::vector<NodeId>& nodes,
+                               GenerateStats* stats);
+
+  /// Re-secures `escalate` incrementally, then CW-probes the covered nodes
+  /// whose receptive ball a newly added witness edge touches and re-secures
+  /// demotions, looping to a fixpoint (witness growth can perturb another
+  /// node's factual check — the merge hazard ParaGenerateRcw's coordinator
+  /// probes for; the pass cap mirrors GenerateRcw's). Secured nodes are
+  /// erased from outstanding_/unsecured_ and added to *recovered; nodes
+  /// that could not be secured — or were still demoted at the cap — are
+  /// added to *failed. Callers run RefreshBaseLogits() first.
+  void ResecureWithGrowthProbes(const std::vector<NodeId>& escalate,
+                                GenerateStats* stats,
+                                std::unordered_set<NodeId>* recovered,
+                                std::unordered_set<NodeId>* failed);
+
+  /// Verifies `nodes` at full budget k on the shared engine; returns the
+  /// nodes that failed (each failure re-checks the remaining set, so one bad
+  /// node does not condemn the others).
+  std::vector<NodeId> VerifyNodesAtFullBudget(std::vector<NodeId> nodes);
+
+  Graph* graph_;
+  WitnessConfig cfg_;
+  MaintainOptions opts_;
+  InferenceEngine engine_;
+  WitnessEngineViews views_;
+  Witness witness_;
+  std::unordered_set<NodeId> unsecured_;
+  /// Per test node: flips currently outstanding against the graph state the
+  /// node was last secured on (toggled — a flip applied twice cancels).
+  std::unordered_map<NodeId, std::unordered_map<uint64_t, Edge>> outstanding_;
+  Matrix base_logits_;
+  bool base_logits_fresh_ = false;
+  uint64_t known_graph_version_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_STREAM_MAINTAIN_H_

@@ -1,0 +1,136 @@
+#include "src/stream/update.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/graph/view.h"
+
+namespace robogexp {
+
+std::vector<Edge> ApplyReport::Flips() const {
+  std::vector<Edge> flips = inserted;
+  flips.insert(flips.end(), deleted.begin(), deleted.end());
+  std::sort(flips.begin(), flips.end());
+  return flips;
+}
+
+StatusOr<ApplyReport> ApplyUpdateBatch(Graph* graph, const UpdateBatch& batch) {
+  RCW_CHECK(graph != nullptr);
+  for (const EdgeUpdate& up : batch.updates) {
+    if (!graph->ValidNode(up.u) || !graph->ValidNode(up.v)) {
+      return Status::InvalidArgument("ApplyUpdateBatch: node id out of range");
+    }
+    if (up.u == up.v) {
+      return Status::InvalidArgument("ApplyUpdateBatch: self-loop update");
+    }
+  }
+
+  ApplyReport report;
+  // Net effect per pair; an insert+delete of the same pair inside one batch
+  // cancels (toggle semantics, matching the flip-involution of OverlayView).
+  std::unordered_map<uint64_t, Edge> net_inserted, net_deleted;
+  for (const EdgeUpdate& up : batch.updates) {
+    const Edge e = up.edge();
+    const uint64_t key = e.Key();
+    if (up.kind == UpdateKind::kInsert) {
+      if (graph->HasEdge(e.u, e.v)) {
+        ++report.rejected;
+        continue;
+      }
+      RCW_CHECK(graph->AddEdge(e.u, e.v).ok());
+      if (net_deleted.erase(key) == 0) net_inserted.emplace(key, e);
+    } else {
+      if (!graph->HasEdge(e.u, e.v)) {
+        ++report.rejected;
+        continue;
+      }
+      RCW_CHECK(graph->RemoveEdge(e.u, e.v).ok());
+      if (net_inserted.erase(key) == 0) net_deleted.emplace(key, e);
+    }
+  }
+  for (const auto& [key, e] : net_inserted) report.inserted.push_back(e);
+  for (const auto& [key, e] : net_deleted) report.deleted.push_back(e);
+  std::sort(report.inserted.begin(), report.inserted.end());
+  std::sort(report.deleted.begin(), report.deleted.end());
+  report.graph_version = graph->mutation_version();
+  return report;
+}
+
+std::vector<UpdateBatch> SampleUpdateStream(const Graph& graph,
+                                            const StreamSampleOptions& opts,
+                                            Rng* rng) {
+  RCW_CHECK(rng != nullptr);
+  RCW_CHECK(opts.num_batches >= 0 && opts.ops_per_batch >= 0);
+  // Replay against a scratch copy so every batch is consistent with the
+  // stream applied so far.
+  Graph scratch = graph;
+  const FullView full(&scratch);
+
+  // The sampling pool: edges (for deletion) and node pairs (for insertion)
+  // near the focus nodes, or anywhere when no focus is given.
+  std::vector<NodeId> pool_nodes;
+  if (opts.focus_nodes.empty()) {
+    pool_nodes.reserve(static_cast<size_t>(scratch.num_nodes()));
+    for (NodeId u = 0; u < scratch.num_nodes(); ++u) pool_nodes.push_back(u);
+  } else {
+    pool_nodes = KHopBall(full, opts.focus_nodes, opts.hop_radius);
+    std::sort(pool_nodes.begin(), pool_nodes.end());
+  }
+
+  std::vector<Edge> deleted_pool;  // previously deleted pairs, for re-insertion
+  // Deletable edges (both endpoints in the pool, not protected), maintained
+  // incrementally across the replay instead of re-scanned per operation.
+  std::vector<Edge> edge_pool = InducedEdges(full, pool_nodes);
+  std::erase_if(edge_pool, [&](const Edge& e) {
+    return opts.avoid_keys.count(e.Key()) > 0;
+  });
+  std::vector<UpdateBatch> stream;
+  stream.reserve(static_cast<size_t>(opts.num_batches));
+  for (int b = 0; b < opts.num_batches; ++b) {
+    UpdateBatch batch;
+    for (int op = 0; op < opts.ops_per_batch; ++op) {
+      const bool want_insert = rng->Uniform() < opts.insert_fraction;
+      if (want_insert) {
+        // Prefer restoring a previously deleted pair; fall back to a fresh
+        // local pair.
+        Edge e;
+        bool found = false;
+        if (!deleted_pool.empty() && rng->Uniform() < 0.7) {
+          const size_t i = rng->UniformInt(deleted_pool.size());
+          e = deleted_pool[i];
+          if (!scratch.HasEdge(e.u, e.v)) {
+            deleted_pool.erase(deleted_pool.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            found = true;
+          }
+        }
+        for (int guard = 0; !found && guard < 64; ++guard) {
+          const NodeId u = pool_nodes[rng->UniformInt(pool_nodes.size())];
+          const NodeId v = pool_nodes[rng->UniformInt(pool_nodes.size())];
+          if (u == v || scratch.HasEdge(u, v)) continue;
+          e = Edge(u, v);
+          found = true;
+        }
+        if (!found) continue;
+        batch.Insert(e.u, e.v);
+        RCW_CHECK(scratch.AddEdge(e.u, e.v).ok());
+        if (opts.avoid_keys.count(e.Key()) == 0) {
+          edge_pool.push_back(e);  // endpoints are in the pool by construction
+        }
+      } else {
+        if (edge_pool.empty()) continue;
+        const size_t i = rng->UniformInt(edge_pool.size());
+        const Edge e = edge_pool[i];
+        edge_pool[i] = edge_pool.back();
+        edge_pool.pop_back();
+        batch.Delete(e.u, e.v);
+        RCW_CHECK(scratch.RemoveEdge(e.u, e.v).ok());
+        deleted_pool.push_back(e);
+      }
+    }
+    stream.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+}  // namespace robogexp

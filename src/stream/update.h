@@ -1,0 +1,112 @@
+// Streaming edge updates: bounded batches of edge insertions/deletions
+// applied in place to the base Graph.
+//
+// Real deployments of the witness pipeline (cyber-provenance feeds, evolving
+// molecule stores) do not see one static snapshot — they see a stream of
+// graph deltas. An UpdateBatch is the unit of that stream: it is applied
+// atomically between witness-maintenance steps, stamps the graph's
+// mutation_version, and reports exactly which pairs actually flipped so the
+// maintainer can localize the damage. The node set is fixed (features and
+// trained weights are per-node); updates referencing out-of-range nodes are
+// a stream error, while redundant updates (inserting a present edge,
+// deleting an absent one) are counted as no-ops — upstream feeds routinely
+// replay deltas.
+#ifndef ROBOGEXP_STREAM_UPDATE_H_
+#define ROBOGEXP_STREAM_UPDATE_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+enum class UpdateKind {
+  kInsert,
+  kDelete,
+};
+
+/// One edge delta of the stream.
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  EdgeUpdate() = default;
+  EdgeUpdate(UpdateKind k, NodeId a, NodeId b) : kind(k), u(a), v(b) {}
+
+  Edge edge() const { return Edge(u, v); }
+  bool operator==(const EdgeUpdate& o) const {
+    return kind == o.kind && edge() == o.edge();
+  }
+};
+
+/// A batch of edge deltas applied atomically between maintenance steps.
+struct UpdateBatch {
+  std::vector<EdgeUpdate> updates;
+
+  void Insert(NodeId u, NodeId v) {
+    updates.emplace_back(UpdateKind::kInsert, u, v);
+  }
+  void Delete(NodeId u, NodeId v) {
+    updates.emplace_back(UpdateKind::kDelete, u, v);
+  }
+  size_t size() const { return updates.size(); }
+  bool empty() const { return updates.empty(); }
+  bool operator==(const UpdateBatch& o) const { return updates == o.updates; }
+};
+
+/// What ApplyUpdateBatch actually did to the graph.
+struct ApplyReport {
+  /// Edges newly inserted / removed by this batch (net of the batch's own
+  /// internal cancellations: an insert followed by a delete of the same pair
+  /// within one batch leaves the graph unchanged and appears in neither).
+  std::vector<Edge> inserted;
+  std::vector<Edge> deleted;
+  /// Redundant updates skipped (insert of a present edge, delete of an
+  /// absent one).
+  int rejected = 0;
+  /// Graph::mutation_version after the batch was applied.
+  uint64_t graph_version = 0;
+
+  /// All flipped pairs (insertions + deletions), the disturbance-shaped
+  /// delta the localizer and certificate accounting consume.
+  std::vector<Edge> Flips() const;
+};
+
+/// Applies `batch` to `graph` in place, sequentially. Self-loops and
+/// out-of-range node ids fail with InvalidArgument *before* any update is
+/// applied (the batch is validated up front, so a failed batch never leaves
+/// the graph half-updated).
+StatusOr<ApplyReport> ApplyUpdateBatch(Graph* graph, const UpdateBatch& batch);
+
+/// Knobs for SampleUpdateStream.
+struct StreamSampleOptions {
+  int num_batches = 10;
+  int ops_per_batch = 4;
+  /// Fraction of sampled updates that are insertions; insertions prefer
+  /// re-inserting previously deleted pairs, then fresh local pairs.
+  double insert_fraction = 0.0;
+  /// When non-empty, updates stay within `hop_radius` hops of these nodes
+  /// (streams far from every test node are inert for maintenance).
+  std::vector<NodeId> focus_nodes;
+  int hop_radius = 3;
+  /// Pair keys deletions must not touch — the stream analogue of
+  /// SampleDisturbance's protected set. Benign churn around a served witness
+  /// portfolio passes the portfolio's edge keys here, modelling feeds whose
+  /// updates do not tear out the certified explanation itself.
+  std::unordered_set<uint64_t> avoid_keys;
+};
+
+/// Samples a deterministic, replayable update stream against `graph`
+/// (batches are consistent: each delete targets an edge present at that
+/// point of the replay, each insert a pair absent there). The graph itself
+/// is not modified.
+std::vector<UpdateBatch> SampleUpdateStream(const Graph& graph,
+                                            const StreamSampleOptions& opts,
+                                            Rng* rng);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_STREAM_UPDATE_H_

@@ -1,0 +1,94 @@
+#include "src/stream/update_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace robogexp {
+
+Status SaveUpdateStream(const std::vector<UpdateBatch>& stream,
+                        const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("SaveUpdateStream: cannot open " + path);
+  f << "stream " << stream.size() << "\n";
+  for (const UpdateBatch& batch : stream) {
+    f << "batch " << batch.updates.size() << "\n";
+    for (const EdgeUpdate& up : batch.updates) {
+      f << (up.kind == UpdateKind::kInsert ? "+" : "-") << " " << up.u << " "
+        << up.v << "\n";
+    }
+  }
+  if (!f) return Status::Internal("SaveUpdateStream: write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<UpdateBatch>> LoadUpdateStream(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("LoadUpdateStream: cannot open " + path);
+  std::vector<UpdateBatch> stream;
+  bool header_seen = false;
+  size_t declared_batches = 0;
+  size_t declared_updates = 0;  // of the batch currently being read
+  // The declared counts are the truncation guard: a partially-written file
+  // must fail loudly, not replay as a silently shorter stream.
+  auto check_batch_complete = [&]() -> bool {
+    return stream.empty() || stream.back().updates.size() == declared_updates;
+  };
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "stream") {
+      if (header_seen) {
+        return Status::InvalidArgument("LoadUpdateStream: duplicate header");
+      }
+      if (!(ss >> declared_batches)) {
+        return Status::InvalidArgument("LoadUpdateStream: bad header");
+      }
+      stream.reserve(declared_batches);
+      header_seen = true;
+    } else if (!header_seen) {
+      return Status::InvalidArgument("LoadUpdateStream: data before header");
+    } else if (tag == "batch") {
+      if (!check_batch_complete()) {
+        return Status::InvalidArgument(
+            "LoadUpdateStream: batch shorter than declared");
+      }
+      size_t n = 0;
+      if (!(ss >> n)) {
+        return Status::InvalidArgument("LoadUpdateStream: bad batch line");
+      }
+      declared_updates = n;
+      stream.emplace_back();
+    } else if (tag == "+" || tag == "-") {
+      if (stream.empty()) {
+        return Status::InvalidArgument("LoadUpdateStream: update before batch");
+      }
+      if (stream.back().updates.size() >= declared_updates) {
+        return Status::InvalidArgument(
+            "LoadUpdateStream: batch longer than declared");
+      }
+      NodeId u, v;
+      if (!(ss >> u >> v) || u == v || u < 0 || v < 0) {
+        return Status::InvalidArgument("LoadUpdateStream: bad update line");
+      }
+      stream.back().updates.emplace_back(
+          tag == "+" ? UpdateKind::kInsert : UpdateKind::kDelete, u, v);
+    } else {
+      return Status::InvalidArgument("LoadUpdateStream: unknown tag " + tag);
+    }
+  }
+  if (!header_seen) return Status::InvalidArgument("LoadUpdateStream: empty file");
+  if (!check_batch_complete()) {
+    return Status::InvalidArgument(
+        "LoadUpdateStream: batch shorter than declared");
+  }
+  if (stream.size() != declared_batches) {
+    return Status::InvalidArgument(
+        "LoadUpdateStream: batch count differs from header");
+  }
+  return stream;
+}
+
+}  // namespace robogexp

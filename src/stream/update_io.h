@@ -1,0 +1,30 @@
+// Plain-text update-stream serialization, so recorded graph deltas can be
+// replayed across processes (the CLI's `stream` command) and inspected with
+// standard tools.
+//
+// Format (line-oriented, '#' comments allowed):
+//   stream <num_batches>
+//   batch <num_updates>        (one per batch, followed by its updates)
+//   + <u> <v>                  (edge insertion)
+//   - <u> <v>                  (edge deletion)
+#ifndef ROBOGEXP_STREAM_UPDATE_IO_H_
+#define ROBOGEXP_STREAM_UPDATE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stream/update.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// Writes `stream` to `path`.
+Status SaveUpdateStream(const std::vector<UpdateBatch>& stream,
+                        const std::string& path);
+
+/// Reads a stream previously written by SaveUpdateStream.
+StatusOr<std::vector<UpdateBatch>> LoadUpdateStream(const std::string& path);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_STREAM_UPDATE_IO_H_

@@ -1,5 +1,6 @@
 # End-to-end smoke test for the robogexp CLI, run via ctest:
-#   info -> train -> generate -> verify on a tiny two-community graph.
+#   info -> train -> generate -> verify -> sample-stream -> stream replay
+# on a tiny two-community graph.
 # Inputs: -DCLI=<path to robogexp_cli> -DWORK_DIR=<scratch dir>
 if(NOT CLI OR NOT WORK_DIR)
   message(FATAL_ERROR "cli_smoke.cmake requires -DCLI=... and -DWORK_DIR=...")
@@ -83,7 +84,18 @@ run_cli(generate generate --graph "${GRAPH}" --model "${MODEL}"
 run_cli(verify verify --graph "${GRAPH}" --model "${MODEL}"
         --witness "${WITNESS}" --nodes 1,2,3 --k 2 --b 1)
 
-foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}")
+# Streaming maintenance: synthesize a replayable update stream, then
+# maintain the generated witness across it (adopting it from disk).
+set(STREAM "${WORK_DIR}/toy.rsu")
+set(MAINTAINED "${WORK_DIR}/maintained.rcw")
+run_cli(sample-stream sample-stream --graph "${GRAPH}" --out "${STREAM}"
+        --batches 6 --ops 2 --insert-frac 0.3 --focus 1,2,3
+        --hop-radius 2 --seed 7)
+run_cli(stream stream --graph "${GRAPH}" --model "${MODEL}" --nodes 1,2,3
+        --k 2 --b 1 --stream "${STREAM}" --witness "${WITNESS}"
+        --witness-out "${MAINTAINED}")
+
+foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}" "${STREAM}" "${MAINTAINED}")
   if(NOT EXISTS "${_artifact}")
     message(FATAL_ERROR "expected output file missing: ${_artifact}")
   endif()

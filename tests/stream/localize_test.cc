@@ -1,0 +1,166 @@
+#include "src/stream/localize.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/datasets/synthetic.h"
+#include "src/stream/update.h"
+#include "src/util/rng.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+/// Reference implementation: v is affected by flip e iff an endpoint of e
+/// lies within `radius` hops of v (ball intersection, one BFS per test node).
+std::vector<NodeId> BruteForceAffected(const GraphView& view,
+                                       const std::vector<Edge>& flips,
+                                       const std::vector<NodeId>& test_nodes,
+                                       int radius) {
+  std::vector<NodeId> out;
+  for (NodeId v : test_nodes) {
+    const std::vector<NodeId> ball = KHopBall(view, v, radius);
+    const std::unordered_set<NodeId> in_ball(ball.begin(), ball.end());
+    for (const Edge& e : flips) {
+      if (in_ball.count(e.u) > 0 || in_ball.count(e.v) > 0) {
+        out.push_back(v);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Localize, MatchesBruteForceBallIntersection) {
+  const Graph g = testing::MakeSmallSbm(5);
+  const FullView full(&g);
+  Rng rng(17);
+  std::vector<NodeId> test_nodes;
+  for (int i = 0; i < 12; ++i) {
+    test_nodes.push_back(
+        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(g.num_nodes()))));
+  }
+  const std::vector<Edge> all_edges = g.Edges();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Edge> flips;
+    const int n_flips = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int i = 0; i < n_flips; ++i) {
+      flips.push_back(all_edges[rng.UniformInt(all_edges.size())]);
+    }
+    for (int radius : {1, 2, 3}) {
+      LocalizeOptions opts;
+      opts.radius = radius;
+      const AffectedSet got = LocalizeFlips(full, flips, test_nodes, opts);
+      EXPECT_EQ(got.test_nodes,
+                BruteForceAffected(full, flips, test_nodes, radius))
+          << "trial " << trial << " radius " << radius;
+    }
+  }
+}
+
+TEST(Localize, BallCoversEveryNodeWithinRadiusOfAFlip) {
+  const Graph g = testing::MakeSmallSbm(9);
+  const FullView full(&g);
+  const std::vector<Edge> flips = {g.Edges()[3], g.Edges()[40]};
+  LocalizeOptions opts;
+  opts.radius = 2;
+  const AffectedSet got = LocalizeFlips(full, flips, {}, opts);
+  const std::unordered_set<NodeId> ball(got.ball.begin(), got.ball.end());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::vector<NodeId> vball = KHopBall(full, v, opts.radius);
+    const std::unordered_set<NodeId> in_ball(vball.begin(), vball.end());
+    bool reaches = false;
+    for (const Edge& e : flips) {
+      if (in_ball.count(e.u) > 0 || in_ball.count(e.v) > 0) reaches = true;
+    }
+    EXPECT_EQ(ball.count(v) > 0, reaches) << "node " << v;
+  }
+}
+
+TEST(Localize, FlipAttributionChargesOnlyReachingFlips) {
+  // Path 0-1-2-3-4-5-6-7: with radius 1, a flip of (0,1) reaches nodes
+  // {0,1,2} only, and a flip of (6,7) reaches {5,6,7} only.
+  const Graph g = testing::MakePathGraph(8);
+  const FullView full(&g);
+  const std::vector<Edge> flips = {Edge(0, 1), Edge(6, 7)};
+  LocalizeOptions opts;
+  opts.radius = 1;
+  const AffectedSet got = LocalizeFlips(full, flips, {1, 3, 6}, opts);
+  ASSERT_EQ(got.test_nodes, (std::vector<NodeId>{1, 6}));
+  EXPECT_EQ(got.flips_per_test[0], (std::vector<size_t>{0}));
+  EXPECT_EQ(got.flips_per_test[1], (std::vector<size_t>{1}));
+}
+
+TEST(Localize, DeletedEdgesStillCarryDistanceOnTheUnionView) {
+  // Path 0-1-2-3-4-5 with both 1-2 and 3-4 deleted in one batch: the flip
+  // (3,4) reaches node 1 only through the re-added edge 1-2 (two hops,
+  // 3-2-1), a path the post-deletion graph no longer has. The union view
+  // must still report it — the pre-update logits of node 1 depended on it.
+  Graph g = testing::MakePathGraph(6);
+  UpdateBatch batch;
+  batch.Delete(1, 2);
+  batch.Delete(3, 4);
+  const auto applied = ApplyUpdateBatch(&g, batch);
+  ASSERT_TRUE(applied.ok());
+  const std::vector<Edge> flips = applied.value().Flips();  // sorted
+  ASSERT_EQ(flips, (std::vector<Edge>{Edge(1, 2), Edge(3, 4)}));
+
+  const FullView post(&g);
+  const OverlayView union_view(&post, applied.value().deleted);
+  LocalizeOptions opts;
+  opts.radius = 2;
+  const AffectedSet via_union = LocalizeFlips(union_view, flips, {1}, opts);
+  ASSERT_EQ(via_union.test_nodes, (std::vector<NodeId>{1}));
+  EXPECT_EQ(via_union.flips_per_test[0], (std::vector<size_t>{0, 1}));
+
+  // On the post-deletion view alone the (3,4) flip cannot reach node 1 —
+  // which is exactly why the localizer must run on the union view.
+  const AffectedSet via_post = LocalizeFlips(post, flips, {1}, opts);
+  ASSERT_EQ(via_post.test_nodes, (std::vector<NodeId>{1}));
+  EXPECT_EQ(via_post.flips_per_test[0], (std::vector<size_t>{0}));
+}
+
+TEST(Localize, PprRefinementDropsMasslessNodes) {
+  // On a long path with a generous hop radius, the hop-ball test reaches far
+  // nodes whose PPR mass on the flipped endpoints is negligible; a high
+  // threshold prunes them, while the nearest node survives.
+  const Graph g = testing::MakePathGraph(12);
+  const FullView full(&g);
+  const std::vector<Edge> flips = {Edge(0, 1)};
+  LocalizeOptions ball_only;
+  ball_only.radius = 8;
+  const AffectedSet loose = LocalizeFlips(full, flips, {1, 8}, ball_only);
+  ASSERT_EQ(loose.test_nodes, (std::vector<NodeId>{1, 8}));
+
+  LocalizeOptions refined = ball_only;
+  refined.use_ppr = true;
+  refined.ppr_threshold = 0.05;
+  refined.ppr.alpha = 0.5;
+  const AffectedSet tight = LocalizeFlips(full, flips, {1, 8}, refined);
+  EXPECT_EQ(tight.test_nodes, (std::vector<NodeId>{1}));
+}
+
+TEST(Localize, MaintenanceRadiusCoversModelAndSearchLocality) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.hop_radius = 2;
+  EXPECT_GE(MaintenanceRadius(cfg), cfg.hop_radius);
+  EXPECT_GE(MaintenanceRadius(cfg), cfg.model->receptive_hops());
+  WitnessConfig flip = cfg;
+  flip.disturbance = DisturbanceModel::kFlip;
+  EXPECT_GE(MaintenanceRadius(flip), MaintenanceRadius(cfg));
+}
+
+TEST(Localize, EmptyFlipsAffectNothing) {
+  const Graph g = testing::MakePathGraph(4);
+  const FullView full(&g);
+  const AffectedSet got = LocalizeFlips(full, {}, {0, 1}, LocalizeOptions{});
+  EXPECT_TRUE(got.ball.empty());
+  EXPECT_TRUE(got.test_nodes.empty());
+}
+
+}  // namespace
+}  // namespace robogexp

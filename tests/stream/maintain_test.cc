@@ -1,0 +1,267 @@
+#include "src/stream/maintain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/explain/verify.h"
+#include "src/stream/update.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+WitnessConfig Config(const Graph* graph, const GnnModel* model,
+                     std::vector<NodeId> nodes, int k = 2, int b = 1) {
+  WitnessConfig cfg;
+  cfg.graph = graph;
+  cfg.model = model;
+  cfg.test_nodes = std::move(nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  return cfg;
+}
+
+/// Per-test-node RCW verdict of `witness` on cfg's (current) graph.
+std::vector<std::string> Verdicts(const WitnessConfig& cfg,
+                                  const Witness& witness) {
+  std::vector<std::string> out;
+  for (NodeId v : cfg.test_nodes) {
+    WitnessConfig one = cfg;
+    one.test_nodes = {v};
+    out.push_back(VerifyRcw(one, witness).ok ? "ok" : "fail");
+  }
+  return out;
+}
+
+TEST(Maintain, ApplyBeforeInitializeFails) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  WitnessMaintainer m(&graph, Config(&graph, f.model.get(), {1}), {});
+  EXPECT_FALSE(m.Apply(UpdateBatch{}).ok());
+}
+
+TEST(Maintain, DetectsOutsideMutation) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  WitnessMaintainer m(&graph, Config(&graph, f.model.get(), {1}), {});
+  m.Initialize();
+  ASSERT_TRUE(graph.RemoveEdge(0, 1).ok());  // behind the maintainer's back
+  const auto r = m.Apply(UpdateBatch{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Maintain, UntouchedBatchCostsNoInference) {
+  const auto& f = testing::SmallSbmAppnp();
+  Graph graph = *f.graph;
+  const auto nodes = SelectExplainableTestNodes(*f.model, *f.graph, 1, {}, 33);
+  ASSERT_EQ(nodes.size(), 1u);
+  const NodeId test_node = nodes[0];
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {test_node});
+  WitnessMaintainer m(&graph, cfg, {});
+  ASSERT_TRUE(m.Initialize().ok);
+
+  // Find an edge entirely outside the test node's maintenance ball.
+  const FullView full(&graph);
+  const std::vector<NodeId> ball =
+      KHopBall(full, test_node, MaintenanceRadius(cfg));
+  const std::unordered_set<NodeId> near(ball.begin(), ball.end());
+  Edge victim(kInvalidNode, kInvalidNode);
+  for (const Edge& e : graph.Edges()) {
+    if (near.count(e.u) == 0 && near.count(e.v) == 0) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_NE(victim.u, kInvalidNode)
+      << "fixture too dense: every edge is near node 0";
+
+  UpdateBatch far;
+  far.Delete(victim.u, victim.v);
+  const auto r = m.Apply(far);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().action, MaintainAction::kUntouched);
+  EXPECT_EQ(r.value().affected_tests, 0);
+  EXPECT_EQ(r.value().inference_calls, 0);
+  EXPECT_FALSE(graph.HasEdge(victim.u, victim.v))
+      << "the batch must still be applied";
+}
+
+TEST(Maintain, NoOpBatchIsUntouched) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  WitnessMaintainer m(&graph, Config(&graph, f.model.get(), {1}), {});
+  m.Initialize();
+  UpdateBatch noop;
+  noop.Delete(0, 11);  // not an edge
+  const auto r = m.Apply(noop);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().action, MaintainAction::kUntouched);
+  EXPECT_EQ(r.value().rejected, 1);
+  EXPECT_EQ(r.value().inference_calls, 0);
+}
+
+TEST(Maintain, CertifiedPathConsumesBudgetAndKeepsVerdicts) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {1}, /*k=*/3);
+  WitnessMaintainer m(&graph, cfg, {});
+  ASSERT_TRUE(m.Initialize().ok);
+  ASSERT_EQ(m.RemainingBudget(1), 3);
+
+  // Remove a non-witness edge inside node 1's ball: a 1-flip disturbance the
+  // certificate already quantified over.
+  Edge victim(kInvalidNode, kInvalidNode);
+  for (const Edge& e : graph.Edges()) {
+    const bool near = (e.u == 1 || e.v == 1 || e.u == 2 || e.v == 2);
+    if (near && !m.witness().HasEdge(e.u, e.v)) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_NE(victim.u, kInvalidNode) << "fixture has no certifiable edge";
+
+  UpdateBatch batch;
+  batch.Delete(victim.u, victim.v);
+  const auto r = m.Apply(batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().action, MaintainAction::kCertified);
+  EXPECT_TRUE(r.value().ok);
+  EXPECT_EQ(m.RemainingBudget(1), 2);
+  EXPECT_TRUE(VerifyRcw(cfg, m.witness()).ok);
+
+  // Re-inserting the same pair refunds the budget (flip toggling).
+  UpdateBatch undo;
+  undo.Insert(victim.u, victim.v);
+  const auto r2 = m.Apply(undo);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(m.RemainingBudget(1), 3);
+}
+
+TEST(Maintain, DeletedWitnessEdgeIsPrunedAndResecured) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {1, 2});
+  WitnessMaintainer m(&graph, cfg, {});
+  ASSERT_TRUE(m.Initialize().ok);
+  ASSERT_GE(m.witness().num_edges(), 1u);
+  const Edge victim = m.witness().Edges()[0];
+
+  UpdateBatch batch;
+  batch.Delete(victim.u, victim.v);
+  const auto r = m.Apply(batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().action, MaintainAction::kUntouched);
+  EXPECT_NE(r.value().action, MaintainAction::kCertified)
+      << "flipping a protected pair is outside the certificate";
+  EXPECT_FALSE(m.witness().HasEdge(victim.u, victim.v))
+      << "deleted edges must not survive in the witness";
+  for (const Edge& e : m.witness().Edges()) {
+    EXPECT_TRUE(graph.HasEdge(e.u, e.v))
+        << "witness edge (" << e.u << "," << e.v << ") not in the graph";
+  }
+}
+
+TEST(Maintain, AdoptRevalidatesAnExternalWitness) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {1, 7});
+  const GenerateResult gen = GenerateRcw(cfg);
+  ASSERT_TRUE(gen.unsecured.empty());
+
+  WitnessMaintainer m(&graph, cfg, {});
+  const MaintainReport r = m.Adopt(gen.witness);
+  EXPECT_EQ(r.action, MaintainAction::kInitialized);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.resecured.empty()) << "a verified witness needs no repair";
+  EXPECT_TRUE(VerifyRcw(cfg, m.witness()).ok);
+}
+
+/// The headline equivalence property: replaying a random update stream,
+/// maintained witnesses must verify equivalently to regenerating from
+/// scratch on every snapshot — sound (every node the maintainer claims
+/// covered actually verifies) and never worse (every node from-scratch
+/// generation can certify, maintenance certifies too). Exact per-node
+/// equality is deliberately not asserted: the generator is heuristic, and a
+/// warm-started re-secure can legitimately certify a node the from-scratch
+/// search gives up on.
+TEST(Maintain, RandomizedEquivalenceWithRegenerationOn50Batches) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {1, 2, 7});
+
+  StreamSampleOptions sopts;
+  sopts.num_batches = 50;
+  sopts.ops_per_batch = 1;
+  sopts.insert_fraction = 0.35;
+  sopts.focus_nodes = cfg.test_nodes;
+  sopts.hop_radius = 2;
+  Rng rng(23);
+  const auto stream = SampleUpdateStream(graph, sopts, &rng);
+  ASSERT_EQ(stream.size(), 50u);
+
+  WitnessMaintainer m(&graph, cfg, {});
+  m.Initialize();
+  for (size_t b = 0; b < stream.size(); ++b) {
+    const auto r = m.Apply(stream[b]);
+    ASSERT_TRUE(r.ok()) << "batch " << b << ": " << r.status().ToString();
+    // Scratch baseline on the same (already updated) graph.
+    const GenerateResult scratch = GenerateRcw(cfg);
+    const auto maintained = Verdicts(cfg, m.witness());
+    const auto regenerated = Verdicts(cfg, scratch.witness);
+    const auto uncovered = m.unsecured();
+    for (size_t i = 0; i < cfg.test_nodes.size(); ++i) {
+      const NodeId v = cfg.test_nodes[i];
+      const bool covered =
+          std::find(uncovered.begin(), uncovered.end(), v) == uncovered.end();
+      if (covered) {
+        EXPECT_EQ(maintained[i], "ok")
+            << "batch " << b << " node " << v << " ("
+            << MaintainActionName(r.value().action)
+            << "): claimed coverage must verify";
+      }
+      EXPECT_TRUE(maintained[i] == "ok" || regenerated[i] == "fail")
+          << "batch " << b << " node " << v
+          << ": maintenance must never verify worse than regeneration";
+    }
+  }
+}
+
+TEST(Maintain, ParallelResecureKeepsVerdicts) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph seq_graph = *f.graph;
+  Graph par_graph = *f.graph;
+  const std::vector<NodeId> nodes = {1, 2, 7, 8};
+
+  StreamSampleOptions sopts;
+  sopts.num_batches = 10;
+  sopts.ops_per_batch = 2;
+  sopts.insert_fraction = 0.3;
+  sopts.focus_nodes = nodes;
+  sopts.hop_radius = 2;
+  Rng rng(41);
+  const auto stream = SampleUpdateStream(seq_graph, sopts, &rng);
+
+  MaintainOptions seq_opts;
+  MaintainOptions par_opts;
+  par_opts.num_threads = 4;
+  const WitnessConfig seq_cfg = Config(&seq_graph, f.model.get(), nodes);
+  const WitnessConfig par_cfg = Config(&par_graph, f.model.get(), nodes);
+  WitnessMaintainer seq(&seq_graph, seq_cfg, seq_opts);
+  WitnessMaintainer par(&par_graph, par_cfg, par_opts);
+  seq.Initialize();
+  par.Initialize();
+  for (size_t b = 0; b < stream.size(); ++b) {
+    ASSERT_TRUE(seq.Apply(stream[b]).ok());
+    ASSERT_TRUE(par.Apply(stream[b]).ok());
+    EXPECT_EQ(Verdicts(seq_cfg, seq.witness()),
+              Verdicts(par_cfg, par.witness()))
+        << "batch " << b;
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,203 @@
+#include "src/stream/update_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/stream/update.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<UpdateBatch> SampleStream() {
+  std::vector<UpdateBatch> stream(3);
+  stream[0].Delete(0, 1);
+  stream[0].Insert(2, 5);
+  stream[1].Delete(3, 4);
+  // stream[2] deliberately left empty (heartbeat batches are legal).
+  return stream;
+}
+
+TEST(UpdateIo, RoundTrips) {
+  TempFile file("stream_roundtrip.rsu");
+  const std::vector<UpdateBatch> stream = SampleStream();
+  ASSERT_TRUE(SaveUpdateStream(stream, file.path()).ok());
+  const auto loaded = LoadUpdateStream(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), stream);
+}
+
+TEST(UpdateIo, EmptyStreamRoundTrips) {
+  TempFile file("stream_empty.rsu");
+  ASSERT_TRUE(SaveUpdateStream({}, file.path()).ok());
+  const auto loaded = LoadUpdateStream(file.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(UpdateIo, CommentsAndBlankLinesAreIgnored) {
+  TempFile file("stream_comments.rsu");
+  {
+    std::ofstream f(file.path());
+    f << "# recorded 2026-07-31\nstream 1\n\nbatch 2\n+ 1 2\n# mid\n- 3 4\n";
+  }
+  const auto loaded = LoadUpdateStream(file.path());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].updates.size(), 2u);
+  EXPECT_EQ(loaded.value()[0].updates[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(loaded.value()[0].updates[1].kind, UpdateKind::kDelete);
+}
+
+TEST(UpdateIo, RejectsMalformedFiles) {
+  TempFile file("stream_bad.rsu");
+  const std::vector<std::string> bad = {
+      "",                          // empty
+      "batch 1\n+ 0 1\n",          // data before header
+      "stream 1\n+ 0 1\n",         // update before batch
+      "stream 1\nbatch 1\n+ 2 2\n",  // self-loop
+      "stream 1\nbatch 1\n* 0 1\n",  // unknown tag
+      "stream 1\nbatch 1\n+ 0\n",    // truncated update
+      "stream 2\nbatch 1\n+ 0 1\n",  // fewer batches than declared
+      "stream 1\nbatch 2\n+ 0 1\n",  // batch shorter than declared
+      "stream 1\nbatch 1\n+ 0 1\n- 2 3\n",    // batch longer than declared
+      "stream 1\nbatch 2\n+ 0 1\nbatch 0\n",  // truncated before next batch
+      "stream 1\nbatch 1\n+ 0 1\nstream 2\nbatch 1\n- 2 3\n",  // concatenated
+  };
+  for (const std::string& contents : bad) {
+    {
+      std::ofstream f(file.path());
+      f << contents;
+    }
+    EXPECT_FALSE(LoadUpdateStream(file.path()).ok()) << contents;
+  }
+  EXPECT_FALSE(LoadUpdateStream(::testing::TempDir() + "missing.rsu").ok());
+}
+
+TEST(UpdateApply, AppliesInsertsAndDeletes) {
+  Graph g = testing::MakePathGraph(6);  // edges 0-1, 1-2, ..., 4-5
+  UpdateBatch batch;
+  batch.Delete(1, 2);
+  batch.Insert(0, 3);
+  const auto r = ApplyUpdateBatch(&g, batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_EQ(r.value().rejected, 0);
+  EXPECT_EQ(r.value().deleted, std::vector<Edge>{Edge(1, 2)});
+  EXPECT_EQ(r.value().inserted, std::vector<Edge>{Edge(0, 3)});
+  EXPECT_EQ(r.value().graph_version, g.mutation_version());
+}
+
+TEST(UpdateApply, CountsNoOpsAsRejected) {
+  Graph g = testing::MakePathGraph(4);
+  UpdateBatch batch;
+  batch.Insert(0, 1);  // already present
+  batch.Delete(0, 3);  // absent
+  const auto r = ApplyUpdateBatch(&g, batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rejected, 2);
+  EXPECT_TRUE(r.value().Flips().empty());
+}
+
+TEST(UpdateApply, InsertThenDeleteCancelsWithinABatch) {
+  Graph g = testing::MakePathGraph(4);
+  const uint64_t v0 = g.mutation_version();
+  UpdateBatch batch;
+  batch.Insert(0, 2);
+  batch.Delete(0, 2);
+  const auto r = ApplyUpdateBatch(&g, batch);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_TRUE(r.value().Flips().empty()) << "net effect must be empty";
+  EXPECT_GT(g.mutation_version(), v0) << "mutations still stamped";
+}
+
+TEST(UpdateApply, ValidatesBeforeApplying) {
+  Graph g = testing::MakePathGraph(4);
+  UpdateBatch batch;
+  batch.Delete(0, 1);   // valid...
+  batch.Insert(0, 99);  // ...but a later update is out of range
+  const auto r = ApplyUpdateBatch(&g, batch);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(g.HasEdge(0, 1)) << "failed batch must not half-apply";
+}
+
+TEST(UpdateSample, StreamReplaysConsistently) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  Rng rng(7);
+  StreamSampleOptions opts;
+  opts.num_batches = 12;
+  opts.ops_per_batch = 3;
+  opts.insert_fraction = 0.4;
+  const auto stream = SampleUpdateStream(g, opts, &rng);
+  ASSERT_EQ(stream.size(), 12u);
+  // Replaying the stream must hit zero no-ops: every delete targets a
+  // present edge, every insert an absent pair.
+  Graph replay = g;
+  int total_ops = 0;
+  for (const UpdateBatch& batch : stream) {
+    const auto r = ApplyUpdateBatch(&replay, batch);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().rejected, 0);
+    total_ops += static_cast<int>(batch.size());
+  }
+  EXPECT_GT(total_ops, 0);
+}
+
+TEST(UpdateSample, AvoidKeysAreNeverDeleted) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  StreamSampleOptions opts;
+  opts.num_batches = 30;
+  opts.ops_per_batch = 2;
+  opts.insert_fraction = 0.2;
+  // Protect the hub stars of both communities.
+  for (NodeId s = 1; s <= 5; ++s) opts.avoid_keys.insert(PairKey(0, s));
+  for (NodeId s = 7; s <= 11; ++s) opts.avoid_keys.insert(PairKey(6, s));
+  Rng rng(5);
+  int deletes = 0;
+  for (const UpdateBatch& batch : SampleUpdateStream(g, opts, &rng)) {
+    for (const EdgeUpdate& up : batch.updates) {
+      if (up.kind != UpdateKind::kDelete) continue;
+      ++deletes;
+      EXPECT_EQ(opts.avoid_keys.count(PairKey(up.u, up.v)), 0u)
+          << "deleted protected pair (" << up.u << "," << up.v << ")";
+    }
+  }
+  EXPECT_GT(deletes, 0);
+}
+
+TEST(UpdateSample, FocusKeepsUpdatesLocal) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  Rng rng(11);
+  StreamSampleOptions opts;
+  opts.num_batches = 8;
+  opts.ops_per_batch = 2;
+  opts.focus_nodes = {1};
+  opts.hop_radius = 1;
+  const FullView full(&g);
+  const std::vector<NodeId> ball = KHopBall(full, {1}, 1);
+  const std::unordered_set<NodeId> allowed(ball.begin(), ball.end());
+  for (const UpdateBatch& batch : SampleUpdateStream(g, opts, &rng)) {
+    for (const EdgeUpdate& up : batch.updates) {
+      EXPECT_TRUE(allowed.count(up.u) > 0 && allowed.count(up.v) > 0)
+          << "(" << up.u << "," << up.v << ") outside the focus ball";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

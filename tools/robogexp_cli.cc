@@ -8,9 +8,21 @@
 //                     [--dot-out w.dot]
 //   robogexp verify   --graph g.rgx --model m.gnn --witness w.rcw
 //                     --nodes 1,2,3 --k K [--b B]
+//   robogexp stream   --graph g.rgx --model m.gnn --nodes 1,2,3 --k K
+//                     --stream u.rsu [--b B] [--threads N] [--witness w.rcw]
+//                     [--witness-out w.rcw] [--ppr-localizer]
+//   robogexp sample-stream --graph g.rgx --out u.rsu [--batches N] [--ops M]
+//                     [--insert-frac F] [--focus 1,2,3] [--hop-radius R]
+//                     [--seed S] [--avoid-witness w.rcw]
 //
-// Graphs use the text format of src/graph/io.h; models and witnesses round
-// trip through src/gnn/serialize.h and src/explain/witness_io.h.
+// `stream` replays an update stream against the graph, maintaining the
+// witness incrementally (see src/stream/maintain.h) and printing per-batch
+// maintenance stats; `sample-stream` synthesizes a replayable stream file.
+//
+// Graphs use the text format of src/graph/io.h; models, witnesses, and
+// update streams round trip through src/gnn/serialize.h,
+// src/explain/witness_io.h, and src/stream/update_io.h.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +39,9 @@
 #include "src/gnn/serialize.h"
 #include "src/gnn/trainer.h"
 #include "src/graph/io.h"
+#include "src/stream/maintain.h"
+#include "src/stream/update_io.h"
+#include "src/util/timer.h"
 
 namespace robogexp::cli {
 namespace {
@@ -38,7 +53,8 @@ class Flags {
       if (std::strncmp(argv[i], "--", 2) != 0) continue;
       const char* key = argv[i] + 2;
       // Boolean flags take no value; everything else consumes the next arg.
-      if (std::strcmp(key, "minimize") == 0) {
+      if (std::strcmp(key, "minimize") == 0 ||
+          std::strcmp(key, "ppr-localizer") == 0) {
         values_[key] = "1";
       } else if (i + 1 < argc) {
         values_[key] = argv[++i];
@@ -234,10 +250,138 @@ int CmdVerify(const Flags& flags) {
   return rcw.ok ? 0 : 2;
 }
 
+int CmdStream(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  auto m = LoadModel(flags.Get("model"));
+  if (!m.ok()) return Fail(m.status().ToString());
+  auto stream = LoadUpdateStream(flags.Get("stream"));
+  if (!stream.ok()) return Fail(stream.status().ToString());
+  Graph& graph = g.value();
+  const WitnessConfig cfg = MakeConfig(graph, *m.value(), flags);
+  if (cfg.test_nodes.empty()) return Fail("--nodes is required (csv of ids)");
+
+  MaintainOptions mopts;
+  mopts.num_threads = flags.GetInt("threads", 1);
+  mopts.ppr_localizer = flags.Has("ppr-localizer");
+  WitnessMaintainer maintainer(&graph, cfg, mopts);
+
+  Timer total;
+  MaintainReport init;
+  if (flags.Has("witness")) {
+    auto w = LoadWitness(flags.Get("witness"));
+    if (!w.ok()) return Fail(w.status().ToString());
+    init = maintainer.Adopt(w.value());
+  } else {
+    init = maintainer.Initialize();
+  }
+  std::printf("init: witness %zu nodes, %zu edges; %zu unsecured; "
+              "%d inference calls (%.2fs)\n",
+              maintainer.witness().num_nodes(),
+              maintainer.witness().num_edges(), init.unsecured.size(),
+              init.inference_calls, init.seconds);
+  total.Reset();  // report replay time separately from init
+
+  int64_t maintain_calls = 0;
+  std::map<std::string, int> actions;
+  for (size_t b = 0; b < stream.value().size(); ++b) {
+    const auto r = maintainer.Apply(stream.value()[b]);
+    if (!r.ok()) {
+      return Fail("batch " + std::to_string(b) + ": " + r.status().ToString());
+    }
+    const MaintainReport& rep = r.value();
+    maintain_calls += rep.inference_calls;
+    ++actions[MaintainActionName(rep.action)];
+    std::printf("batch %3zu: %-11s %d applied, %d no-op; %d affected, "
+                "%d ball nodes; %d re-secured, %zu unsecured; "
+                "%d inference calls, %lld cache hits (%.3fs)\n",
+                b, MaintainActionName(rep.action), rep.applied, rep.rejected,
+                rep.affected_tests, rep.ball_nodes,
+                static_cast<int>(rep.resecured.size()), rep.unsecured.size(),
+                rep.inference_calls, static_cast<long long>(rep.cache_hits),
+                rep.seconds);
+  }
+
+  std::printf("replayed %zu batches in %.2fs: %lld maintenance inference "
+              "calls (+%d init)\n",
+              stream.value().size(), total.Seconds(),
+              static_cast<long long>(maintain_calls), init.inference_calls);
+  std::printf("actions:");
+  for (const auto& [name, count] : actions) {
+    std::printf(" %s=%d", name.c_str(), count);
+  }
+  std::printf("\n");
+  const EngineStats es = maintainer.engine().stats();
+  std::printf("engine: %lld node queries, %lld cache hits, "
+              "%lld model invocations\n",
+              static_cast<long long>(es.node_queries),
+              static_cast<long long>(es.cache_hits),
+              static_cast<long long>(es.model_invocations));
+
+  // Final verdict over the maintained portfolio (on a fresh engine, so the
+  // number is an independent check, not a cache readout).
+  WitnessConfig final_cfg = cfg;
+  std::vector<NodeId> covered;
+  const auto unsecured = maintainer.unsecured();
+  for (NodeId v : cfg.test_nodes) {
+    if (std::find(unsecured.begin(), unsecured.end(), v) == unsecured.end()) {
+      covered.push_back(v);
+    }
+  }
+  final_cfg.test_nodes = covered;
+  // Exit-code contract matches `verify`: success means every requested node
+  // ends the stream with a verified witness; any uncovered node fails.
+  bool ok = covered.size() == cfg.test_nodes.size();
+  if (!covered.empty()) {
+    const VerifyResult vr = VerifyRcw(final_cfg, maintainer.witness());
+    ok = ok && vr.ok;
+    std::printf("final verify (%zu/%zu covered nodes): %s\n", covered.size(),
+                cfg.test_nodes.size(), vr.ok ? "ok" : vr.reason.c_str());
+  } else {
+    std::printf("final verify: no covered nodes\n");
+  }
+
+  if (flags.Has("witness-out")) {
+    const Status s =
+        SaveWitness(maintainer.witness(), flags.Get("witness-out"));
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("witness written to %s\n", flags.Get("witness-out").c_str());
+  }
+  return ok ? 0 : 2;
+}
+
+int CmdSampleStream(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  StreamSampleOptions sopts;
+  sopts.num_batches = flags.GetInt("batches", 10);
+  sopts.ops_per_batch = flags.GetInt("ops", 4);
+  sopts.insert_fraction = std::atof(flags.Get("insert-frac", "0").c_str());
+  sopts.focus_nodes = ParseNodes(flags.Get("focus"));
+  sopts.hop_radius = flags.GetInt("hop-radius", 3);
+  if (flags.Has("avoid-witness")) {
+    // Benign churn: deletions spare a served witness's edges.
+    auto w = LoadWitness(flags.Get("avoid-witness"));
+    if (!w.ok()) return Fail(w.status().ToString());
+    sopts.avoid_keys = w.value().edge_keys();
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  const auto stream = SampleUpdateStream(g.value(), sopts, &rng);
+  const std::string out = flags.Get("out", "updates.rsu");
+  const Status s = SaveUpdateStream(stream, out);
+  if (!s.ok()) return Fail(s.ToString());
+  size_t ops = 0;
+  for (const auto& batch : stream) ops += batch.size();
+  std::printf("sampled %zu batches (%zu updates) written to %s\n",
+              stream.size(), ops, out.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: robogexp <info|train|generate|verify> [--flags]\n"
+                 "usage: robogexp "
+                 "<info|train|generate|verify|stream|sample-stream> [--flags]\n"
                  "see the header of tools/robogexp_cli.cc for details\n");
     return 1;
   }
@@ -247,6 +391,8 @@ int Main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "verify") return CmdVerify(flags);
+  if (cmd == "stream") return CmdStream(flags);
+  if (cmd == "sample-stream") return CmdSampleStream(flags);
   return Fail("unknown command " + cmd);
 }
 
