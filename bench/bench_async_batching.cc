@@ -1,0 +1,167 @@
+// Async batching benchmark — the acceptance gate for the BatchScheduler:
+// a serving workload of many concurrent witness-logit requests (full view,
+// witness subgraph Gs, and G \ Gs, fired from 16 requester threads) must
+// need at least 2x fewer model invocations when the requests go through the
+// async batching front than when every requester issues its own synchronous
+// engine warm — with bit-identical logits for every served node.
+//
+// The workload is the coalescing-friendly shape the scheduler targets:
+// requests carry *distinct* nodes (so the per-caller path genuinely pays one
+// union-ball invocation per request and its count cannot be deflated by
+// plain cache hits), all requesters release together, and the scheduler's
+// deadline window is wide enough that one wave of concurrent demand lands in
+// one flush per view regardless of CI scheduling jitter.
+//
+// Exits non-zero when either property fails, so it doubles as a CI smoke
+// check for the serving path; scheduler stats land in
+// BENCH_async_batching.json.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/explain/robogexp.h"
+#include "src/serve/replay.h"
+
+namespace robogexp::bench {
+namespace {
+
+WitnessConfig MakeConfig(const Graph& graph, const GnnModel& model,
+                         const std::vector<NodeId>& test_nodes, int k) {
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = &model;
+  cfg.test_nodes = test_nodes;
+  cfg.k = k;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 3;
+  cfg.max_contrast_classes = 3;
+  return cfg;
+}
+
+/// One replay of `trace` on a fresh engine with the witness views
+/// registered, logits collected for the bit-identity check.
+ReplayRun RunReplayMode(const Workload& w, const Witness& witness,
+                        const std::vector<TraceRequest>& trace,
+                        bool use_scheduler) {
+  InferenceEngine engine(w.model.get(), w.graph.get());
+  const WitnessServeViews views(&engine, &witness);
+
+  ReplayOptions ropts;
+  ropts.num_threads = 16;
+  ropts.use_scheduler = use_scheduler;
+  // One wave: no size trigger, and a deadline window generous enough that
+  // all 16 requesters (released together by the replay's start latch) land
+  // in the same flush even on an oversubscribed CI core.
+  ropts.scheduler.max_batch_nodes = 1 << 20;
+  ropts.scheduler.deadline_us = 400000;
+
+  auto r = ReplayAndCollect(&engine, views.views(), trace, ropts);
+  RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.value();
+}
+
+int Run(const BenchEnv& env) {
+  const int kRequesters = 16;
+  Table table({"dataset", "mode", "requests", "model invocations", "flushes",
+               "occupancy", "time (s)", "reduction"});
+  BenchJson json("async_batching");
+  int failures = 0;
+  for (const std::string ds : {"BAHouse", "CiteSeer"}) {
+    Workload w = PrepareWorkload(ds, env.scale, env.faithful);
+    const auto pool = TestNodes(w, 48);
+    RCW_CHECK_MSG(static_cast<int>(pool.size()) >= 2 * kRequesters,
+                  "test pool too small for the request trace");
+
+    // A small witness so the sub/removed views exist (its quality is not
+    // under test here; the scheduler serves any registered view).
+    const WitnessConfig cfg = MakeConfig(
+        *w.graph, *w.model, {pool.begin(), pool.begin() + 8}, /*k=*/3);
+    const Witness witness = GenerateRcw(cfg).witness;
+
+    // 16 concurrent requests, round-robin across the three views, each
+    // carrying nodes no other request asks for: the per-caller path must pay
+    // one union-ball invocation per request.
+    const char* kViews[] = {"full", "sub", "removed"};
+    std::vector<TraceRequest> trace(kRequesters);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      trace[i % kRequesters].nodes.push_back(pool[i]);
+    }
+    for (int i = 0; i < kRequesters; ++i) {
+      trace[static_cast<size_t>(i)].view = kViews[i % 3];
+    }
+
+    const ReplayRun per_caller =
+        RunReplayMode(w, witness, trace, /*use_scheduler=*/false);
+    const ReplayRun batched =
+        RunReplayMode(w, witness, trace, /*use_scheduler=*/true);
+
+    const int64_t sync_calls = per_caller.result.engine_delta.model_invocations;
+    const int64_t batched_calls = batched.result.engine_delta.model_invocations;
+    const double reduction =
+        batched_calls > 0 ? static_cast<double>(sync_calls) /
+                                static_cast<double>(batched_calls)
+                          : 0.0;
+    const SchedulerStats& ss = batched.result.scheduler_stats;
+    table.AddRow({ds, "per-caller", std::to_string(per_caller.result.requests),
+                  std::to_string(sync_calls), "", "",
+                  Table::Num(per_caller.result.seconds, 2), ""});
+    table.AddRow({ds, "batched", std::to_string(batched.result.requests),
+                  std::to_string(batched_calls), std::to_string(ss.flushes),
+                  Table::Num(ss.batch_occupancy(), 1),
+                  Table::Num(batched.result.seconds, 2),
+                  Table::Num(reduction, 2)});
+    std::printf("[%s] scheduler: %lld submitted, %lld flushes "
+                "(%lld coalesced, %lld size, %lld deadline)\n",
+                ds.c_str(), static_cast<long long>(ss.submitted),
+                static_cast<long long>(ss.flushes),
+                static_cast<long long>(ss.coalesced_flushes),
+                static_cast<long long>(ss.size_flushes),
+                static_cast<long long>(ss.deadline_flushes));
+
+    json.Add(ds + ".per_caller_calls", sync_calls);
+    json.Add(ds + ".batched_calls", batched_calls);
+    json.Add(ds + ".reduction", reduction);
+    json.Add(ds + ".flushes", ss.flushes);
+    json.Add(ds + ".coalesced_flushes", ss.coalesced_flushes);
+    json.Add(ds + ".batch_occupancy", ss.batch_occupancy());
+    json.Add(ds + ".per_caller_seconds", per_caller.result.seconds);
+    json.Add(ds + ".batched_seconds", batched.result.seconds);
+
+    if (batched.logits != per_caller.logits) {
+      std::printf("FAIL[%s]: batched and per-caller logits differ\n",
+                  ds.c_str());
+      ++failures;
+    }
+    if (reduction < 2.0) {
+      std::printf("FAIL[%s]: model-invocation reduction %.2fx < 2x "
+                  "(%lld per-caller vs %lld batched)\n",
+                  ds.c_str(), reduction, static_cast<long long>(sync_calls),
+                  static_cast<long long>(batched_calls));
+      ++failures;
+    }
+    if (ss.coalesced_flushes < 1) {
+      std::printf("FAIL[%s]: no flush served more than one request\n",
+                  ds.c_str());
+      ++failures;
+    }
+  }
+  table.Print("Async batching: model invocations under 16 concurrent "
+              "requesters, per-caller vs batched");
+  table.MaybeWriteCsv(BenchCsvDir(), "async_batching");
+  json.Write();
+  if (failures == 0) {
+    std::printf("OK: >=2x fewer model invocations, bit-identical logits\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  std::printf("Async batching benchmark (scale=%.2f)\n", env.scale);
+  return robogexp::bench::Run(env);
+}

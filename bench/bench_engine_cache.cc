@@ -95,6 +95,7 @@ int Run(const BenchEnv& env) {
   const int trials = std::max(1, env.trials);
   Table table({"dataset", "mode", "inference calls", "cache hits", "time (s)",
                "reduction"});
+  BenchJson json("engine_cache");
   int failures = 0;
   for (const std::string ds : {"BAHouse", "CiteSeer"}) {
     Workload w = PrepareWorkload(ds, env.scale, env.faithful);
@@ -115,6 +116,12 @@ int Run(const BenchEnv& env) {
     table.AddRow({ds, "cached", std::to_string(cached.inference_calls),
                   std::to_string(cached.cache_hits),
                   Table::Num(cached.seconds, 2), Table::Num(reduction, 2)});
+    json.Add(ds + ".uncached_calls", uncached.inference_calls);
+    json.Add(ds + ".cached_calls", cached.inference_calls);
+    json.Add(ds + ".cache_hits", cached.cache_hits);
+    json.Add(ds + ".reduction", reduction);
+    json.Add(ds + ".uncached_seconds", uncached.seconds);
+    json.Add(ds + ".cached_seconds", cached.seconds);
 
     if (!(cached.witness == uncached.witness)) {
       std::printf("FAIL[%s]: cached and uncached witnesses differ\n",
@@ -136,6 +143,7 @@ int Run(const BenchEnv& env) {
   }
   table.Print("Engine cache: inference-call reduction on the Fig. 4 workload");
   table.MaybeWriteCsv(BenchCsvDir(), "engine_cache");
+  json.Write();
   if (failures == 0) {
     std::printf("OK: >=2x reduction, bit-identical witnesses and verdicts\n");
   }

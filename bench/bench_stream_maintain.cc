@@ -126,6 +126,7 @@ int Run(const BenchEnv& env) {
   const int k = 10;
   Table table({"dataset", "pipeline", "inference calls", "time (s)",
                "reduction"});
+  BenchJson json("stream_maintain");
   int failures = 0;
   for (const std::string ds : {"BAHouse", "CiteSeer"}) {
     Workload w = PrepareWorkload(ds, env.scale, env.faithful);
@@ -163,6 +164,12 @@ int Run(const BenchEnv& env) {
                   Table::Num(reduction, 2)});
     std::printf("[%s] per-batch actions (u/c/r/g): %s\n", ds.c_str(),
                 maintained.actions.c_str());
+    json.Add(ds + ".regenerate_calls", regen.inference_calls);
+    json.Add(ds + ".maintained_calls", maintained.inference_calls);
+    json.Add(ds + ".reduction", reduction);
+    json.Add(ds + ".regenerate_seconds", regen.seconds);
+    json.Add(ds + ".maintained_seconds", maintained.seconds);
+    json.Add(ds + ".actions", maintained.actions);
 
     if (maintained.verdicts != regen.verdicts) {
       std::printf("FAIL[%s]: maintained and regenerated verdicts differ\n",
@@ -192,6 +199,7 @@ int Run(const BenchEnv& env) {
   table.Print("Stream maintenance: per-batch inference calls, maintained vs "
               "regenerate-from-scratch");
   table.MaybeWriteCsv(BenchCsvDir(), "stream_maintain");
+  json.Write();
   if (failures == 0) {
     std::printf(
         "OK: >=3x inference-call reduction, identical per-batch verdicts\n");

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "src/datasets/molecules.h"
 
@@ -58,6 +60,58 @@ Workload PrepareWorkload(const std::string& dataset_name, double scale,
   w.test_pool = SelectExplainableTestNodes(*w.model, *w.graph, test_pool_size,
                                            {}, seed + 1);
   return w;
+}
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::Add(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::Add(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss << value;
+  fields_.emplace_back(key, ss.str());
+}
+
+void BenchJson::Add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+bool BenchJson::Write() const {
+  const char* dir = std::getenv("ROBOGEXP_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "") +
+      "BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  if (f) {
+    f << "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      f << "  \"" << JsonEscape(fields_[i].first) << "\": "
+        << fields_[i].second << (i + 1 < fields_.size() ? ",\n" : "\n");
+    }
+    f << "}\n";
+  }
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("bench report written to %s\n", path.c_str());
+  return true;
 }
 
 std::vector<NodeId> TestNodes(const Workload& w, int n) {

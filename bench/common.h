@@ -6,6 +6,8 @@
 //   ROBOGEXP_BENCH_TRIALS    disturbance trials per measurement (default 2)
 //   ROBOGEXP_BENCH_FAITHFUL  "1": paper-faithful model size (3x128 GCN)
 //   ROBOGEXP_BENCH_CSV_DIR   write each table as CSV into this directory
+//   ROBOGEXP_BENCH_JSON_DIR  directory for BENCH_<name>.json reports
+//                            (default: current directory)
 #ifndef ROBOGEXP_BENCH_COMMON_H_
 #define ROBOGEXP_BENCH_COMMON_H_
 
@@ -68,6 +70,28 @@ QualityResult EvaluateQuality(const Workload& w, Explainer* explainer,
 
 /// First `n` nodes of the workload's explainable pool.
 std::vector<NodeId> TestNodes(const Workload& w, int n);
+
+/// Flat machine-readable bench report: collects key -> value fields and
+/// writes them as BENCH_<name>.json into $ROBOGEXP_BENCH_JSON_DIR (default:
+/// the current directory). CI uploads these as artifacts so the perf
+/// trajectory — inference calls, batch occupancy, wall time — is tracked
+/// across commits.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, const std::string& value);
+
+  /// Writes the report; returns false (after printing a warning) on IO
+  /// failure so benches never fail their self-checks over a read-only dir.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // rendered JSON
+};
 
 }  // namespace robogexp::bench
 

@@ -21,6 +21,18 @@ struct WorkerOutput {
   double seconds = 0.0;
 };
 
+/// Pipelined CW-probe warm: the three independent union-ball warms — full,
+/// Gs, G ∖ Gs — run concurrently on the shared (nest-safe) pool instead of
+/// back-to-back. Cache contents are bit-identical to sequential Warm()s.
+void PipelinedProbeWarm(InferenceEngine* engine, WitnessEngineViews* views,
+                        const std::vector<NodeId>& nodes) {
+  const InferenceEngine::ViewId ids[] = {InferenceEngine::kFullView,
+                                         views->sub_id(), views->removed_id()};
+  ParallelFor(DefaultPool(), 3,
+              [&](int64_t i) { engine->Warm(ids[i], nodes); },
+              /*min_grain=*/1);
+}
+
 void AccumulateGen(const GenerateStats& in, GenerateStats* out) {
   out->inference_calls += in.inference_calls;
   out->pri_calls += in.pri_calls;
@@ -90,9 +102,7 @@ std::vector<NodeId> ParaSecureNodes(const WitnessConfig& cfg,
   const EngineStats coord_before = coord.stats();
   WitnessEngineViews coord_views(&coord);
   coord_views.Sync(*witness);
-  coord.Warm(InferenceEngine::kFullView, nodes);
-  coord.Warm(coord_views.sub_id(), nodes);
-  coord.Warm(coord_views.removed_id(), nodes);
+  PipelinedProbeWarm(&coord, &coord_views, nodes);
   const std::unordered_set<NodeId> failed_first(retry.begin(), retry.end());
   for (NodeId v : nodes) {
     if (failed_first.count(v) > 0) continue;  // already queued for retry
@@ -283,9 +293,7 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
     std::vector<NodeId> probed(locally_verified.begin(),
                                locally_verified.end());
     std::sort(probed.begin(), probed.end());
-    coord_engine.Warm(InferenceEngine::kFullView, probed);
-    coord_engine.Warm(coord_views.sub_id(), probed);
-    coord_engine.Warm(coord_views.removed_id(), probed);
+    PipelinedProbeWarm(&coord_engine, &coord_views, probed);
     for (NodeId v : probed) {
       const Label l = coord_engine.Predict(InferenceEngine::kFullView, v);
       const bool cw_ok =

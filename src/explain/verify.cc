@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/gnn/appnp.h"
+#include "src/serve/batch_scheduler.h"
 #include "src/util/thread_pool.h"
 
 namespace robogexp {
@@ -50,9 +51,28 @@ void FillCost(const EngineStats& before, InferenceEngine* engine,
   r->cache_hits = d.cache_hits;
 }
 
+/// Warms `views` × cfg.test_nodes: pipelined through the scheduler when one
+/// is given (the flushes run concurrently and coalesce with any other
+/// outstanding demand), sequential engine warms otherwise. Identical cache
+/// contents either way.
+void WarmViews(const WitnessConfig& cfg, InferenceEngine* engine,
+               BatchScheduler* scheduler,
+               const std::vector<InferenceEngine::ViewId>& views) {
+  if (scheduler != nullptr) {
+    std::vector<LogitRequest> requests;
+    requests.reserve(views.size());
+    for (InferenceEngine::ViewId id : views) {
+      requests.push_back({id, cfg.test_nodes});
+    }
+    scheduler->WarmAll(requests);
+    return;
+  }
+  for (InferenceEngine::ViewId id : views) engine->Warm(id, cfg.test_nodes);
+}
+
 /// Factual check against an already-registered witness-subgraph slot.
 VerifyResult FactualImpl(const WitnessConfig& cfg, const Witness& witness,
-                         InferenceEngine* engine,
+                         InferenceEngine* engine, BatchScheduler* scheduler,
                          InferenceEngine::ViewId sub_id) {
   // Containment is structural — reject before spending any inference.
   for (NodeId v : cfg.test_nodes) {
@@ -63,8 +83,7 @@ VerifyResult FactualImpl(const WitnessConfig& cfg, const Witness& witness,
       return r;
     }
   }
-  engine->Warm(InferenceEngine::kFullView, cfg.test_nodes);
-  engine->Warm(sub_id, cfg.test_nodes);
+  WarmViews(cfg, engine, scheduler, {InferenceEngine::kFullView, sub_id});
   for (NodeId v : cfg.test_nodes) {
     const Label l = engine->Predict(InferenceEngine::kFullView, v);
     if (engine->Predict(sub_id, v) != l) {
@@ -81,11 +100,12 @@ VerifyResult FactualImpl(const WitnessConfig& cfg, const Witness& witness,
 
 /// CW check against already-registered witness-view slots.
 VerifyResult CwImpl(const WitnessConfig& cfg, const Witness& witness,
-                    InferenceEngine* engine, InferenceEngine::ViewId sub_id,
+                    InferenceEngine* engine, BatchScheduler* scheduler,
+                    InferenceEngine::ViewId sub_id,
                     InferenceEngine::ViewId removed_id) {
-  VerifyResult factual = FactualImpl(cfg, witness, engine, sub_id);
+  VerifyResult factual = FactualImpl(cfg, witness, engine, scheduler, sub_id);
   if (!factual.ok) return factual;
-  engine->Warm(removed_id, cfg.test_nodes);
+  WarmViews(cfg, engine, scheduler, {removed_id});
   for (NodeId v : cfg.test_nodes) {
     // The base label M(v, G) was computed by the factual pass and is served
     // from the cache here — once per verification, not once per check.
@@ -136,12 +156,13 @@ VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness) {
 }
 
 VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness,
-                           InferenceEngine* engine) {
+                           InferenceEngine* engine,
+                           BatchScheduler* scheduler) {
   RCW_CHECK(cfg.Valid());
   const EngineStats before = engine->stats();
   const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
   InferenceEngine::ScopedView sub_slot(engine, &sub);
-  VerifyResult r = FactualImpl(cfg, witness, engine, sub_slot.id());
+  VerifyResult r = FactualImpl(cfg, witness, engine, scheduler, sub_slot.id());
   FillCost(before, engine, &r);
   return r;
 }
@@ -155,15 +176,16 @@ VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
 
 VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
                                   const Witness& witness,
-                                  InferenceEngine* engine) {
+                                  InferenceEngine* engine,
+                                  BatchScheduler* scheduler) {
   RCW_CHECK(cfg.Valid());
   const EngineStats before = engine->stats();
   const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
   const OverlayView removed = witness.RemovedView(&engine->full_view());
   InferenceEngine::ScopedView sub_slot(engine, &sub);
   InferenceEngine::ScopedView removed_slot(engine, &removed);
-  VerifyResult r =
-      CwImpl(cfg, witness, engine, sub_slot.id(), removed_slot.id());
+  VerifyResult r = CwImpl(cfg, witness, engine, scheduler, sub_slot.id(),
+                          removed_slot.id());
   FillCost(before, engine, &r);
   return r;
 }
@@ -175,7 +197,7 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness) {
 }
 
 VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
-                       InferenceEngine* engine) {
+                       InferenceEngine* engine, BatchScheduler* scheduler) {
   RCW_CHECK(cfg.Valid());
   const EngineStats before = engine->stats();
   const FullView& full = engine->full_view();
@@ -184,8 +206,8 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
   InferenceEngine::ScopedView sub_slot(engine, &sub);
   InferenceEngine::ScopedView removed_slot(engine, &removed);
 
-  VerifyResult cw =
-      CwImpl(cfg, witness, engine, sub_slot.id(), removed_slot.id());
+  VerifyResult cw = CwImpl(cfg, witness, engine, scheduler, sub_slot.id(),
+                           removed_slot.id());
   if (!cw.ok) {
     FillCost(before, engine, &cw);
     return cw;
@@ -221,6 +243,17 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
     ctx.push_back(std::move(c));
   }
 
+  // Per-contrast disturbance checks submit their overlay demand instead of
+  // querying synchronously when a scheduler is given: concurrent
+  // verifications of the same witness (the serving replay workload) then
+  // coalesce identical disturbance checks into one union-ball flush. The
+  // read afterwards is a cache hit on exactly the values the synchronous
+  // path would compute.
+  auto predict_overlay = [&](const std::vector<Edge>& flips, NodeId v) {
+    if (scheduler != nullptr) scheduler->SubmitOverlay(flips, {v}).Wait();
+    return engine->PredictOverlay(flips, v);
+  };
+
   // (i) Label robustness per (node, contrast class): no (k, b)-disturbance
   // flips M(v, ~G) away from l, and the witness stays counterfactual under
   // each worst-case candidate.
@@ -232,7 +265,7 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
     // Overlay predictions are content-addressed: when this verification
     // follows generation on a shared engine, the generator's final secure
     // round already checked the same disturbances — cache hits here.
-    if (engine->PredictOverlay(pri.disturbance, c.v) != c.l) {
+    if (predict_overlay(pri.disturbance, c.v) != c.l) {
       VerifyResult res;
       res.reason = "robustness failed: disturbance flips M(v, ~G)";
       res.failed_node = c.v;
@@ -242,7 +275,7 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
     std::vector<Edge> combined = witness_edges;
     combined.insert(combined.end(), pri.disturbance.begin(),
                     pri.disturbance.end());
-    if (engine->PredictOverlay(combined, c.v) == c.l) {
+    if (predict_overlay(combined, c.v) == c.l) {
       VerifyResult res;
       res.reason =
           "robustness failed: disturbance restores M(v, ~G \\ Gs) == l";
@@ -264,7 +297,7 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
     std::vector<Edge> combined = witness_edges;
     combined.insert(combined.end(), back.disturbance.begin(),
                     back.disturbance.end());
-    if (engine->PredictOverlay(combined, c.v) == c.l) {
+    if (predict_overlay(combined, c.v) == c.l) {
       VerifyResult res;
       res.reason = "robustness failed: disturbance of G \\ Gs restores label l";
       res.failed_node = c.v;
@@ -407,8 +440,8 @@ VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
   const OverlayView removed = witness.RemovedView(&full);
   InferenceEngine::ScopedView sub_slot(engine, &sub);
   InferenceEngine::ScopedView removed_slot(engine, &removed);
-  VerifyResult cw =
-      CwImpl(cfg, witness, engine, sub_slot.id(), removed_slot.id());
+  VerifyResult cw = CwImpl(cfg, witness, engine, /*scheduler=*/nullptr,
+                           sub_slot.id(), removed_slot.id());
   if (!cw.ok) {
     FillCost(before, engine, &cw);
     return cw;
@@ -473,6 +506,27 @@ WitnessEngineViews::~WitnessEngineViews() {
   if (synced_) {
     engine_->Release(sub_id_);
     engine_->Release(removed_id_);
+  }
+}
+
+WitnessServeViews::WitnessServeViews(InferenceEngine* engine,
+                                     const Witness* witness)
+    : engine_(engine) {
+  RCW_CHECK(engine != nullptr);
+  views_["full"] = InferenceEngine::kFullView;
+  if (witness == nullptr) return;
+  sub_ = std::make_unique<EdgeSubsetView>(
+      witness->SubgraphView(engine->graph().num_nodes()));
+  removed_ =
+      std::make_unique<OverlayView>(witness->RemovedView(&engine->full_view()));
+  views_["sub"] = engine->Register(sub_.get());
+  views_["removed"] = engine->Register(removed_.get());
+}
+
+WitnessServeViews::~WitnessServeViews() {
+  if (sub_ != nullptr) {
+    engine_->Release(views_.at("sub"));
+    engine_->Release(views_.at("removed"));
   }
 }
 

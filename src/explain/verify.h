@@ -25,11 +25,20 @@
 /// callers can share one cache across factual → counterfactual → RCW (and
 /// across repeated verifications of the same configuration); the plain
 /// overloads build a private engine per call.
+///
+/// The engine overloads additionally accept an optional BatchScheduler
+/// (src/serve/batch_scheduler.h). When given, the verifier's warms become
+/// pipelined submissions and the parallel RCW units submit their
+/// per-contrast disturbance checks instead of querying synchronously, so
+/// concurrent verifications sharing one engine+scheduler coalesce their
+/// inference demand into union-ball flushes. Results are bit-identical with
+/// and without a scheduler (a flush only warms the shared cache).
 #ifndef ROBOGEXP_EXPLAIN_VERIFY_H_
 #define ROBOGEXP_EXPLAIN_VERIFY_H_
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/explain/config.h"
@@ -37,6 +46,8 @@
 #include "src/gnn/engine.h"
 
 namespace robogexp {
+
+class BatchScheduler;  // src/serve/batch_scheduler.h
 
 struct VerifyResult {
   bool ok = false;
@@ -65,7 +76,8 @@ double ResolveAlpha(const WitnessConfig& cfg);
 /// Lemma 2: is `witness` a factual witness for every test node?
 VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness);
 VerifyResult VerifyFactual(const WitnessConfig& cfg, const Witness& witness,
-                           InferenceEngine* engine);
+                           InferenceEngine* engine,
+                           BatchScheduler* scheduler = nullptr);
 
 /// Lemma 3: is `witness` a counterfactual witness (factual + removal flips
 /// the label) for every test node?
@@ -73,12 +85,14 @@ VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
                                   const Witness& witness);
 VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
                                   const Witness& witness,
-                                  InferenceEngine* engine);
+                                  InferenceEngine* engine,
+                                  BatchScheduler* scheduler = nullptr);
 
 /// Algorithm 1: is `witness` a k-RCW under (k, b)-disturbances?
 VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness);
 VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
-                       InferenceEngine* engine);
+                       InferenceEngine* engine,
+                       BatchScheduler* scheduler = nullptr);
 
 /// Ground-truth verifier: enumerates all disturbances of size <= k among the
 /// candidate pairs within cfg.hop_radius of the test nodes. Aborts (CHECK)
@@ -127,6 +141,34 @@ class WitnessEngineViews {
   InferenceEngine::ViewId removed_id_ = -1;
   uint64_t synced_version_ = 0;
   bool synced_ = false;
+};
+
+/// The conventional serving view map over a (fixed) witness, for replaying
+/// `.rrt` request traces: "full" is always the base-graph slot, and when a
+/// witness is given, "sub" / "removed" are freshly registered slots for Gs
+/// and G ∖ Gs whose views this object owns. The single home of the trace
+/// view-name convention, shared by `robogexp serve --replay` and the
+/// async-batching bench so the CLI comparison and the CI gate cannot
+/// diverge.
+class WitnessServeViews {
+ public:
+  /// `witness` may be null (base-graph-only serving); the engine and graph
+  /// must outlive this object.
+  WitnessServeViews(InferenceEngine* engine, const Witness* witness);
+  ~WitnessServeViews();
+  WitnessServeViews(const WitnessServeViews&) = delete;
+  WitnessServeViews& operator=(const WitnessServeViews&) = delete;
+
+  const std::unordered_map<std::string, InferenceEngine::ViewId>& views()
+      const {
+    return views_;
+  }
+
+ private:
+  InferenceEngine* engine_;
+  std::unique_ptr<EdgeSubsetView> sub_;
+  std::unique_ptr<OverlayView> removed_;
+  std::unordered_map<std::string, InferenceEngine::ViewId> views_;
 };
 
 }  // namespace robogexp

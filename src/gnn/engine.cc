@@ -5,11 +5,43 @@
 
 namespace robogexp {
 
+namespace {
+
+/// Packs one matrix row into a freshly allocated shared logit vector.
+std::shared_ptr<const std::vector<double>> PackRow(const Matrix& rows,
+                                                   size_t i) {
+  std::vector<double> logits(static_cast<size_t>(rows.cols()));
+  for (int64_t c = 0; c < rows.cols(); ++c) {
+    logits[static_cast<size_t>(c)] = rows.at(static_cast<int64_t>(i), c);
+  }
+  return std::make_shared<const std::vector<double>>(std::move(logits));
+}
+
+}  // namespace
+
 InferenceEngine::InferenceEngine(const GnnModel* model, const Graph* graph,
                                  const EngineOptions& opts)
     : model_(model), graph_(graph), full_(graph), opts_(opts) {
   RCW_CHECK(model != nullptr && graph != nullptr);
   slots_[kFullView].view = &full_;
+}
+
+std::vector<uint64_t> InferenceEngine::CanonicalFlipKeys(
+    const std::vector<Edge>& flips) {
+  std::vector<uint64_t> canon;
+  canon.reserve(flips.size());
+  for (const Edge& e : flips) canon.push_back(e.Key());
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  return canon;
+}
+
+std::vector<Edge> InferenceEngine::EdgesOfKeys(
+    const std::vector<uint64_t>& keys) {
+  std::vector<Edge> edges;
+  edges.reserve(keys.size());
+  for (uint64_t k : keys) edges.emplace_back(PairKeyFirst(k), PairKeySecond(k));
+  return edges;
 }
 
 const GraphView* InferenceEngine::ViewOf(ViewId id) const {
@@ -52,15 +84,41 @@ void InferenceEngine::InvalidateNodes(ViewId id,
 void InferenceEngine::InvalidateOverlayNodes(const std::vector<NodeId>& nodes) {
   std::unique_lock<std::mutex> lock(mu_);
   for (auto it = overlay_cache_.begin(); it != overlay_cache_.end();) {
-    for (NodeId v : nodes) overlay_entries_ -= it->second.erase(v);
-    it = it->second.empty() ? overlay_cache_.erase(it) : std::next(it);
+    for (NodeId v : nodes) overlay_entries_ -= it->second.logits.erase(v);
+    it = it->second.logits.empty() ? overlay_cache_.erase(it) : std::next(it);
   }
+  // Purge the FIFO entries of dropped sets here rather than leaving them for
+  // eviction: eviction only runs at the cap, so a stream that invalidates
+  // every batch while staying under the cap would otherwise grow the queue
+  // without bound. Cost is O(queue), same order as the sweep above.
+  std::erase_if(overlay_fifo_, [&](const auto& entry) {
+    auto it = overlay_cache_.find(entry.first);
+    return it == overlay_cache_.end() || it->second.stamp != entry.second;
+  });
 }
 
 void InferenceEngine::Release(ViewId id) {
   RCW_CHECK_MSG(id != kFullView, "InferenceEngine: cannot release full view");
   std::unique_lock<std::mutex> lock(mu_);
   slots_.erase(id);
+}
+
+void InferenceEngine::EvictOverlayForInsertLocked(size_t incoming) {
+  // Evict until the incoming entries fit under the cap (a single batch
+  // larger than the whole cap still lands intact — the bound is then the
+  // batch itself, and the next insert restores it).
+  while (overlay_entries_ + incoming > opts_.max_overlay_entries &&
+         !overlay_fifo_.empty()) {
+    const auto [key, stamp] = std::move(overlay_fifo_.front());
+    overlay_fifo_.pop_front();
+    auto it = overlay_cache_.find(key);
+    // A missing set was dropped by InvalidateOverlayNodes; a stamp mismatch
+    // means it was dropped and re-created since — its live entries queue at
+    // the re-creation position, so this earlier slot must not evict them.
+    if (it == overlay_cache_.end() || it->second.stamp != stamp) continue;
+    overlay_entries_ -= it->second.logits.size();
+    overlay_cache_.erase(it);
+  }
 }
 
 std::vector<double> InferenceEngine::Logits(ViewId id, NodeId v) {
@@ -73,13 +131,18 @@ std::vector<double> InferenceEngine::Logits(ViewId id, NodeId v) {
       auto it = slots_[id].logits.find(v);
       if (it != slots_[id].logits.end()) {
         ++stats_.cache_hits;
-        return it->second;
+        const LogitsPtr hit = it->second;
+        lock.unlock();
+        // Only the refcount bump happened under mu_; the vector copy is
+        // lock-free (hot under the concurrent load of the batching front).
+        return *hit;
       }
     }
   }
   // Model invocation outside the lock; concurrent misses on the same node
   // compute identical values and the insert below is idempotent.
-  std::vector<double> logits = model_->InferNode(*view, graph_->features(), v);
+  auto logits = std::make_shared<const std::vector<double>>(
+      model_->InferNode(*view, graph_->features(), v));
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.model_invocations;
@@ -92,7 +155,7 @@ std::vector<double> InferenceEngine::Logits(ViewId id, NodeId v) {
       }
     }
   }
-  return logits;
+  return *logits;
 }
 
 Label InferenceEngine::Predict(ViewId id, NodeId v) {
@@ -103,6 +166,7 @@ void InferenceEngine::Warm(ViewId id, const std::vector<NodeId>& nodes) {
   if (!opts_.cache || nodes.empty()) return;
   const GraphView* view;
   std::vector<NodeId> missing;
+  missing.reserve(nodes.size());
   {
     std::unique_lock<std::mutex> lock(mu_);
     view = ViewOf(id);
@@ -111,6 +175,8 @@ void InferenceEngine::Warm(ViewId id, const std::vector<NodeId>& nodes) {
       if (slot.logits.count(v) == 0) missing.push_back(v);
     }
   }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
   if (missing.empty()) return;
   if (!opts_.batch || missing.size() == 1 ||
       !model_->BatchedInferenceAmortizes()) {
@@ -120,63 +186,101 @@ void InferenceEngine::Warm(ViewId id, const std::vector<NodeId>& nodes) {
     return;
   }
   const Matrix rows = model_->InferNodes(*view, graph_->features(), missing);
+  std::vector<LogitsPtr> packed;
+  packed.reserve(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) packed.push_back(PackRow(rows, i));
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.model_invocations;
   stats_.batched_nodes += static_cast<int64_t>(missing.size());
   auto it = slots_.find(id);
   if (it == slots_.end() || it->second.view != view) return;
   for (size_t i = 0; i < missing.size(); ++i) {
-    std::vector<double> logits(static_cast<size_t>(rows.cols()));
-    for (int64_t c = 0; c < rows.cols(); ++c) {
-      logits[static_cast<size_t>(c)] = rows.at(static_cast<int64_t>(i), c);
+    it->second.logits.emplace(missing[i], std::move(packed[i]));
+  }
+}
+
+void InferenceEngine::WarmOverlay(const std::vector<Edge>& flips,
+                                  const std::vector<NodeId>& nodes) {
+  if (!opts_.cache || nodes.empty()) return;
+  const std::vector<uint64_t> canon = CanonicalFlipKeys(flips);
+  std::vector<NodeId> missing;
+  missing.reserve(nodes.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = overlay_cache_.find(canon);
+    for (NodeId v : nodes) {
+      if (it == overlay_cache_.end() || it->second.logits.count(v) == 0) {
+        missing.push_back(v);
+      }
     }
-    it->second.logits.emplace(missing[i], std::move(logits));
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  if (missing.empty()) return;
+  if (!opts_.batch || missing.size() == 1 ||
+      !model_->BatchedInferenceAmortizes()) {
+    for (NodeId v : missing) LogitsOverlay(flips, v);
+    return;
+  }
+  const OverlayView overlay(&full_, EdgesOfKeys(canon));
+  const Matrix rows = model_->InferNodes(overlay, graph_->features(), missing);
+  std::vector<LogitsPtr> packed;
+  packed.reserve(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) packed.push_back(PackRow(rows, i));
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.model_invocations;
+  stats_.batched_nodes += static_cast<int64_t>(missing.size());
+  EvictOverlayForInsertLocked(missing.size());
+  auto it = overlay_cache_.find(canon);
+  if (it == overlay_cache_.end()) {
+    it = overlay_cache_.emplace(canon, OverlaySet()).first;
+    it->second.stamp = ++overlay_stamp_;
+    overlay_fifo_.emplace_back(canon, it->second.stamp);
+  }
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (it->second.logits.emplace(missing[i], std::move(packed[i])).second) {
+      ++overlay_entries_;
+    }
   }
 }
 
 std::vector<double> InferenceEngine::LogitsOverlay(
     const std::vector<Edge>& flips, NodeId v) {
-  // Canonical key: sorted, deduplicated pair keys. OverlayView ignores
-  // repeated occurrences of a pair (the first flip sticks), so dedup — not
-  // parity cancellation — is the content identity that matches building an
-  // OverlayView from `flips` directly.
-  std::vector<uint64_t> canon;
-  canon.reserve(flips.size());
-  for (const Edge& e : flips) canon.push_back(e.Key());
-  std::sort(canon.begin(), canon.end());
-  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  const std::vector<uint64_t> canon = CanonicalFlipKeys(flips);
 
   if (opts_.cache) {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.node_queries;
     auto it = overlay_cache_.find(canon);
     if (it != overlay_cache_.end()) {
-      auto nit = it->second.find(v);
-      if (nit != it->second.end()) {
+      auto nit = it->second.logits.find(v);
+      if (nit != it->second.logits.end()) {
         ++stats_.cache_hits;
-        return nit->second;
+        const LogitsPtr hit = nit->second;
+        lock.unlock();
+        return *hit;
       }
     }
   }
 
-  std::vector<Edge> edges;
-  edges.reserve(canon.size());
-  for (uint64_t k : canon) edges.emplace_back(PairKeyFirst(k), PairKeySecond(k));
-  const OverlayView overlay(&full_, edges);
-  std::vector<double> logits =
-      model_->InferNode(overlay, graph_->features(), v);
+  const OverlayView overlay(&full_, EdgesOfKeys(canon));
+  auto logits = std::make_shared<const std::vector<double>>(
+      model_->InferNode(overlay, graph_->features(), v));
 
   std::unique_lock<std::mutex> lock(mu_);
   if (!opts_.cache) ++stats_.node_queries;
   ++stats_.model_invocations;
   if (opts_.cache) {
-    if (overlay_entries_ >= kMaxOverlayEntries) {
-      overlay_cache_.clear();
-      overlay_entries_ = 0;
+    EvictOverlayForInsertLocked(1);
+    auto it = overlay_cache_.find(canon);
+    if (it == overlay_cache_.end()) {
+      it = overlay_cache_.emplace(canon, OverlaySet()).first;
+      it->second.stamp = ++overlay_stamp_;
+      overlay_fifo_.emplace_back(canon, it->second.stamp);
     }
-    if (overlay_cache_[canon].emplace(v, logits).second) ++overlay_entries_;
+    if (it->second.logits.emplace(v, logits).second) ++overlay_entries_;
   }
-  return logits;
+  return *logits;
 }
 
 Label InferenceEngine::PredictOverlay(const std::vector<Edge>& flips,

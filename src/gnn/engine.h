@@ -14,7 +14,8 @@
 ///    streaming update touches only part of the base graph;
 ///  - batched misses: Warm() serves many nodes on one view with a single
 ///    GnnModel::InferNodes call (one InferSubset over the union of the
-///    receptive balls) instead of one call per node;
+///    receptive balls) instead of one call per node; WarmOverlay() is the
+///    same batched path for a tentative disturbance overlay;
 ///  - honest accounting: stats() separates logical node queries from actual
 ///    model invocations, so call-reduction claims are measurable.
 ///
@@ -23,12 +24,17 @@
 /// GnnModel::InferNodes), so enabling the cache can never change a witness.
 ///
 /// Thread safety: all public methods are safe to call concurrently (the
-/// parallel RCW verifier queries logits from ThreadPool workers). The model
-/// invocation itself runs outside the lock; two threads racing on the same
-/// missing node may both compute it — identical values, idempotent insert.
+/// parallel RCW verifier queries logits from ThreadPool workers, and the
+/// async batching front of src/serve flushes coalesced demand from pool
+/// workers). Cached logits are held behind shared_ptr so a hit only copies
+/// the vector after the lock is released; the model invocation itself runs
+/// outside the lock, and two threads racing on the same missing node may
+/// both compute it — identical values, idempotent insert.
 #ifndef ROBOGEXP_GNN_ENGINE_H_
 #define ROBOGEXP_GNN_ENGINE_H_
 
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +50,11 @@ struct EngineOptions {
   bool cache = true;
   /// Serve multi-node cache misses with one batched InferNodes call.
   bool batch = true;
+  /// Bound on cached overlay node-entries. When an insert would exceed it,
+  /// the oldest flip-sets (FIFO by first insertion) are evicted until the
+  /// cache fits again, so a long stream keeps its hot disturbances warm
+  /// instead of losing the whole overlay cache at once.
+  size_t max_overlay_entries = 1 << 16;
 };
 
 struct EngineStats {
@@ -76,6 +87,26 @@ class InferenceEngine {
   using ViewId = int;
   /// Slot 0 is always the unmodified base graph.
   static constexpr ViewId kFullView = 0;
+
+  /// Canonical content identity of a flip set: sorted, deduplicated pair
+  /// keys. OverlayView ignores repeated occurrences of a pair (the first
+  /// flip sticks), so dedup — not parity cancellation — is the identity that
+  /// matches building an OverlayView from the flips directly. Shared with
+  /// the async batching front, which coalesces overlay demand by the same
+  /// key.
+  static std::vector<uint64_t> CanonicalFlipKeys(const std::vector<Edge>& flips);
+
+  /// Hash for canonical flip-key vectors (FNV-1a over the keys).
+  struct FlipKeyHash {
+    size_t operator()(const std::vector<uint64_t>& keys) const {
+      uint64_t h = 1469598103934665603ull;
+      for (uint64_t k : keys) {
+        h ^= k;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
 
   /// `model` and `graph` must outlive the engine. Features are taken from
   /// the graph.
@@ -128,15 +159,22 @@ class InferenceEngine {
   /// (the baseline then pays per-query, exactly like the pre-engine code).
   void Warm(ViewId id, const std::vector<NodeId>& nodes);
 
+  /// Ensures overlay logits of `nodes` under G ⊕ `flips` are cached, serving
+  /// the misses with one batched model invocation on the overlay view (the
+  /// overlay sibling of Warm(), used by the async batching front to flush
+  /// coalesced disturbance demand). Bit-identical to per-node LogitsOverlay;
+  /// no-op when caching is off.
+  void WarmOverlay(const std::vector<Edge>& flips,
+                   const std::vector<NodeId>& nodes);
+
   /// One-shot inference on an ephemeral view (a tentative disturbance that
   /// will never be queried again); never cached, always counted.
   std::vector<double> LogitsOn(const GraphView& view, NodeId v);
   Label PredictOn(const GraphView& view, NodeId v);
 
   /// Memoized inference on a tentative overlay of the base graph (G ⊕
-  /// flips). Content-addressed: the sorted, deduplicated flip set is the
-  /// cache key (matching OverlayView, which ignores repeated pairs), so
-  /// re-checking the same disturbance — across secure rounds, fixpoint
+  /// flips). Content-addressed: CanonicalFlipKeys(flips) is the cache key,
+  /// so re-checking the same disturbance — across secure rounds, fixpoint
   /// passes, or a verification following generation on a shared engine — is
   /// a cache hit. Exact: keys compare the full flip set, no hashing
   /// shortcuts.
@@ -161,39 +199,51 @@ class InferenceEngine {
   };
 
  private:
+  /// Cached logits are shared so a hit copies the vector outside the engine
+  /// lock (the map entry may be rehashed or erased concurrently; the
+  /// shared_ptr keeps the value alive without holding mu_).
+  using LogitsPtr = std::shared_ptr<const std::vector<double>>;
+
   struct Slot {
     const GraphView* view = nullptr;
-    std::unordered_map<NodeId, std::vector<double>> logits;
+    std::unordered_map<NodeId, LogitsPtr> logits;
   };
-
-  struct OverlayKeyHash {
-    size_t operator()(const std::vector<uint64_t>& keys) const {
-      uint64_t h = 1469598103934665603ull;  // FNV-1a
-      for (uint64_t k : keys) {
-        h ^= k;
-        h *= 1099511628211ull;
-      }
-      return static_cast<size_t>(h);
-    }
-  };
-
-  /// Bound on cached overlay node-entries before the overlay cache resets
-  /// (a long-running serving process must not grow without limit).
-  static constexpr size_t kMaxOverlayEntries = 1 << 16;
 
   const GraphView* ViewOf(ViewId id) const;
+
+  /// Rebuilds the overlay edge list from a canonical key vector.
+  static std::vector<Edge> EdgesOfKeys(const std::vector<uint64_t>& keys);
+
+  /// Evicts the oldest overlay flip-sets (insertion FIFO) until `incoming`
+  /// new entries fit under max_overlay_entries. Caller holds mu_.
+  void EvictOverlayForInsertLocked(size_t incoming);
 
   const GnnModel* model_;
   const Graph* graph_;
   FullView full_;
   EngineOptions opts_;
 
+  /// One content-addressed overlay entry set. The stamp is drawn fresh each
+  /// time a flip set's map is (re)created, so FIFO eviction can tell a live
+  /// set from a stale queue entry left behind by InvalidateOverlayNodes —
+  /// without it, a set invalidated and later re-warmed would be evicted at
+  /// its *original* queue position, dropping a hot set while older ones
+  /// survive.
+  struct OverlaySet {
+    uint64_t stamp = 0;
+    std::unordered_map<NodeId, LogitsPtr> logits;
+  };
+
   mutable std::mutex mu_;
   std::unordered_map<ViewId, Slot> slots_;
-  std::unordered_map<std::vector<uint64_t>,
-                     std::unordered_map<NodeId, std::vector<double>>,
-                     OverlayKeyHash>
+  std::unordered_map<std::vector<uint64_t>, OverlaySet, FlipKeyHash>
       overlay_cache_;
+  /// (flip-set key, creation stamp) in insertion order — the FIFO eviction
+  /// queue. Entries whose stamp no longer matches the live set are stale
+  /// (the set was invalidated, and possibly re-created since) and are
+  /// skipped by eviction.
+  std::deque<std::pair<std::vector<uint64_t>, uint64_t>> overlay_fifo_;
+  uint64_t overlay_stamp_ = 0;
   size_t overlay_entries_ = 0;
   ViewId next_id_ = 1;
   EngineStats stats_;

@@ -1,0 +1,260 @@
+#include "src/serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace robogexp {
+
+BatchScheduler::BatchScheduler(InferenceEngine* engine,
+                               const BatchSchedulerOptions& opts)
+    : engine_(engine),
+      opts_(opts),
+      pool_(opts.pool != nullptr ? opts.pool : DefaultPool()) {
+  RCW_CHECK(engine != nullptr);
+  if (opts_.max_batch_nodes < 1) opts_.max_batch_nodes = 1;
+  if (opts_.deadline_us < 0) opts_.deadline_us = 0;
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_timer_.notify_all();
+  timer_.join();
+  // Drain: pending batches whose tickets were never waited must still
+  // complete — Submit's contract is that every accepted request is flushed.
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!pending_.empty()) {
+        batch = pending_.begin()->second;
+      } else if (!pending_overlay_.empty()) {
+        batch = pending_overlay_.begin()->second;
+      }
+      if (batch != nullptr) DetachLocked(batch, FlushTrigger::kDrain);
+    }
+    if (batch == nullptr) break;
+    RunBatch(batch);
+  }
+  // Hold destruction until every flush touching `this` has finished: pool
+  // lambdas still queued (cheap no-ops once their batch is done) and flushes
+  // a client thread claimed inside Ticket::Wait and is running right now.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] {
+    return inflight_pool_tasks_ == 0 && running_flushes_ == 0;
+  });
+}
+
+void BatchScheduler::Ticket::Wait() {
+  if (batch_ == nullptr) return;
+  scheduler_->WaitFor(batch_);
+}
+
+BatchScheduler::Ticket BatchScheduler::Submit(
+    InferenceEngine::ViewId view, const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return Ticket();
+  std::unique_lock<std::mutex> lock(mu_);
+  RCW_CHECK_MSG(!stop_, "BatchScheduler: Submit during shutdown");
+  std::shared_ptr<Batch>& slot = pending_[view];
+  const bool fresh = slot == nullptr;
+  if (fresh) {
+    slot = std::make_shared<Batch>();
+    slot->view = view;
+  }
+  return JoinLocked(std::move(lock), slot, fresh, nodes);
+}
+
+BatchScheduler::Ticket BatchScheduler::SubmitOverlay(
+    const std::vector<Edge>& flips, const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return Ticket();
+  std::vector<uint64_t> key = InferenceEngine::CanonicalFlipKeys(flips);
+  std::unique_lock<std::mutex> lock(mu_);
+  RCW_CHECK_MSG(!stop_, "BatchScheduler: SubmitOverlay during shutdown");
+  std::shared_ptr<Batch>& slot = pending_overlay_[key];
+  const bool fresh = slot == nullptr;
+  if (fresh) {
+    slot = std::make_shared<Batch>();
+    slot->overlay = true;
+    slot->flips = flips;
+    slot->flip_key = std::move(key);
+  }
+  return JoinLocked(std::move(lock), slot, fresh, nodes);
+}
+
+BatchScheduler::Ticket BatchScheduler::JoinLocked(
+    std::unique_lock<std::mutex> lock, std::shared_ptr<Batch> batch,
+    bool fresh, const std::vector<NodeId>& nodes) {
+  if (fresh) {
+    batch->deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(opts_.deadline_us);
+  }
+  ++stats_.submitted;
+  stats_.submitted_nodes += static_cast<int64_t>(nodes.size());
+  for (NodeId v : nodes) {
+    if (batch->node_set.insert(v).second) batch->nodes.push_back(v);
+  }
+  ++batch->requests;
+  std::shared_ptr<Batch> flush;
+  if (static_cast<int>(batch->node_set.size()) >= opts_.max_batch_nodes) {
+    DetachLocked(batch, FlushTrigger::kSize);
+    flush = batch;
+  }
+  lock.unlock();
+  if (fresh && flush == nullptr) cv_timer_.notify_one();
+  if (flush != nullptr) Dispatch(std::move(flush));
+  return Ticket(this, std::move(batch));
+}
+
+void BatchScheduler::WarmAll(const std::vector<LogitRequest>& requests) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (const LogitRequest& r : requests) tickets.push_back(Submit(r.view, r.nodes));
+  for (Ticket& t : tickets) t.Wait();
+}
+
+std::vector<double> BatchScheduler::Logits(InferenceEngine::ViewId view,
+                                           NodeId v) {
+  Submit(view, {v}).Wait();
+  return engine_->Logits(view, v);
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BatchScheduler::DetachLocked(const std::shared_ptr<Batch>& batch,
+                                  FlushTrigger trigger) {
+  batch->state = BatchState::kDetached;
+  if (batch->overlay) {
+    pending_overlay_.erase(batch->flip_key);
+  } else {
+    pending_.erase(batch->view);
+  }
+  ++stats_.flushes;
+  stats_.flushed_nodes += static_cast<int64_t>(batch->nodes.size());
+  if (batch->requests >= 2) ++stats_.coalesced_flushes;
+  switch (trigger) {
+    case FlushTrigger::kSize:
+      ++stats_.size_flushes;
+      break;
+    case FlushTrigger::kDeadline:
+      ++stats_.deadline_flushes;
+      break;
+    case FlushTrigger::kDrain:
+      ++stats_.drain_flushes;
+      break;
+  }
+  // Waiters of this batch may now claim the flush.
+  cv_done_.notify_all();
+}
+
+void BatchScheduler::Dispatch(std::shared_ptr<Batch> batch) {
+  if (ThreadPool::InWorkerThread()) {
+    // Queueing behind (possibly blocked) sibling workers only adds latency;
+    // the current worker runs the flush it just filled.
+    RunBatch(batch);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++inflight_pool_tasks_;
+  }
+  pool_->Submit([this, b = std::move(batch)] {
+    RunBatch(b);
+    std::unique_lock<std::mutex> lock(mu_);
+    --inflight_pool_tasks_;
+    cv_done_.notify_all();
+  });
+}
+
+void BatchScheduler::RunBatch(const std::shared_ptr<Batch>& batch) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (batch->state != BatchState::kDetached) return;  // claimed elsewhere
+    batch->state = BatchState::kRunning;
+    ++running_flushes_;
+  }
+  Flush(*batch);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch->state = BatchState::kDone;
+    --running_flushes_;
+  }
+  cv_done_.notify_all();
+}
+
+void BatchScheduler::Flush(const Batch& batch) {
+  // Deterministic union-ball composition regardless of join order; the
+  // engine warms are bit-identical to per-node queries either way, this
+  // just keeps flush composition reproducible for accounting.
+  std::vector<NodeId> nodes = batch.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  if (batch.overlay) {
+    engine_->WarmOverlay(batch.flips, nodes);
+  } else {
+    engine_->Warm(batch.view, nodes);
+  }
+}
+
+void BatchScheduler::WaitFor(const std::shared_ptr<Batch>& batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (batch->state == BatchState::kDone) return;
+    if (batch->state == BatchState::kDetached) {
+      // Caller participation: the batch is ready but nobody has started it
+      // (the dispatched task may be stuck behind blocked pool workers).
+      // Claim it and run the flush on this thread.
+      batch->state = BatchState::kRunning;
+      ++running_flushes_;
+      lock.unlock();
+      Flush(*batch);
+      lock.lock();
+      batch->state = BatchState::kDone;
+      --running_flushes_;
+      cv_done_.notify_all();
+      return;
+    }
+    cv_done_.wait(lock);
+  }
+}
+
+void BatchScheduler::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_) return;
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& [view, batch] : pending_) {
+      next = std::min(next, batch->deadline);
+    }
+    for (const auto& [key, batch] : pending_overlay_) {
+      next = std::min(next, batch->deadline);
+    }
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      cv_timer_.wait(lock);
+      continue;
+    }
+    cv_timer_.wait_until(lock, next);
+    if (stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<Batch>> expired;
+    for (const auto& [view, batch] : pending_) {
+      if (batch->deadline <= now) expired.push_back(batch);
+    }
+    for (const auto& [key, batch] : pending_overlay_) {
+      if (batch->deadline <= now) expired.push_back(batch);
+    }
+    for (const auto& batch : expired) {
+      DetachLocked(batch, FlushTrigger::kDeadline);
+    }
+    if (expired.empty()) continue;
+    lock.unlock();
+    for (auto& batch : expired) Dispatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace robogexp

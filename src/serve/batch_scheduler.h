@@ -1,0 +1,234 @@
+/// \file
+/// BatchScheduler — the async cross-request batching front over
+/// InferenceEngine.
+///
+/// The engine already batches multi-node misses *within* one call (Warm's
+/// union-ball InferNodes), but every concurrent caller — parallel verifier
+/// workers, streaming maintenance rounds, many CLI/serving requests — still
+/// issues its own warm, so under many small requests the model runs once per
+/// requester instead of once per view. The scheduler closes that gap:
+/// callers submit a LogitRequest and get a Ticket; outstanding requests are
+/// coalesced per engine view slot (and per canonical overlay flip set) and
+/// flushed as ONE Warm()/WarmOverlay() union-ball invocation when either
+///
+///  - the pending batch reaches max_batch_nodes distinct nodes (size
+///    trigger, flushed immediately), or
+///  - deadline_us elapsed since the batch's first request (deadline trigger,
+///    fired by a dedicated timer thread that is never a pool worker).
+///
+/// Results stay bit-identical to synchronous queries: a flush only *warms*
+/// the engine cache (the same union-ball floating-point contract as Warm),
+/// and callers read their logits back through the ordinary engine API.
+///
+/// Nest-safety: flushes are claim-based. A detached batch may be executed by
+/// the pool task dispatched for it, by the timer's dispatch, or by any
+/// waiter inside Ticket::Wait() — whoever claims it first runs the flush
+/// inline; everyone else blocks until it completes. When every pool worker
+/// is blocked in Wait() under a ParallelFor, the timer thread still detaches
+/// batches at their deadline and the waiters themselves execute the flush,
+/// so the scheduler cannot deadlock on a saturated pool. Size-triggered
+/// flushes submitted from a pool worker run inline for the same reason.
+///
+/// Lifetime contract: the engine, its bound view slots with pending demand,
+/// and the pool must outlive the scheduler; tickets must not be waited on
+/// after the scheduler is destroyed (the destructor drains every pending
+/// batch and blocks until all running flushes — including ones claimed by
+/// waiters on other threads — have finished, so un-waited tickets
+/// complete). Slots must not be rebound or
+/// released while they have outstanding tickets.
+#ifndef ROBOGEXP_SERVE_BATCH_SCHEDULER_H_
+#define ROBOGEXP_SERVE_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/gnn/engine.h"
+#include "src/util/thread_pool.h"
+
+namespace robogexp {
+
+/// One unit of coalescable demand: logits of `nodes` on engine slot `view`.
+struct LogitRequest {
+  InferenceEngine::ViewId view = InferenceEngine::kFullView;
+  std::vector<NodeId> nodes;
+};
+
+struct BatchSchedulerOptions {
+  /// Size trigger: flush a slot's pending batch as soon as it holds this
+  /// many distinct nodes.
+  int max_batch_nodes = 64;
+  /// Deadline trigger: flush a pending batch this long after its first
+  /// request joined, even if the size trigger never fires. 0 = flush on the
+  /// timer's next wake-up (immediate dispatch, no coalescing window).
+  int64_t deadline_us = 200;
+  /// Pool the flushes run on (nullptr = DefaultPool()).
+  ThreadPool* pool = nullptr;
+};
+
+/// Honest accounting of the batching front, extending the engine's
+/// EngineStats: `submitted` requests went in, `flushes` union-ball warms
+/// came out, and batch_occupancy() says how many distinct nodes the average
+/// flush carried.
+struct SchedulerStats {
+  /// Requests accepted by Submit/SubmitOverlay.
+  int64_t submitted = 0;
+  /// Nodes across all requests, before per-batch deduplication.
+  int64_t submitted_nodes = 0;
+  /// Batches flushed (each at most one engine warm).
+  int64_t flushes = 0;
+  /// Flushes that served two or more requests — actual cross-request
+  /// coalescing, the scheduler's reason to exist.
+  int64_t coalesced_flushes = 0;
+  /// Flushes fired by the size trigger.
+  int64_t size_flushes = 0;
+  /// Flushes fired by the deadline timer.
+  int64_t deadline_flushes = 0;
+  /// Flushes forced by the destructor draining un-waited batches.
+  int64_t drain_flushes = 0;
+  /// Distinct nodes across all flushed batches.
+  int64_t flushed_nodes = 0;
+
+  /// Average distinct nodes per flush.
+  double batch_occupancy() const {
+    return flushes > 0
+               ? static_cast<double>(flushed_nodes) / static_cast<double>(flushes)
+               : 0.0;
+  }
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(InferenceEngine* engine,
+                          const BatchSchedulerOptions& opts = {});
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  class Ticket;
+
+  /// Joins `nodes` onto the pending batch of view slot `view` (creating one
+  /// if none is pending). Returns a ticket that completes when the batch has
+  /// been flushed; after Wait() the logits of every submitted node are
+  /// served from the engine cache.
+  Ticket Submit(InferenceEngine::ViewId view, const std::vector<NodeId>& nodes);
+
+  /// Overlay sibling: joins `nodes` onto the pending batch of the
+  /// disturbance overlay G ⊕ `flips`, coalesced by the canonical flip set
+  /// (InferenceEngine::CanonicalFlipKeys) — concurrent checks of the same
+  /// disturbance share one flush.
+  Ticket SubmitOverlay(const std::vector<Edge>& flips,
+                       const std::vector<NodeId>& nodes);
+
+  /// Submits every request, then waits for all tickets: a pipelined
+  /// multi-view warm whose flushes run concurrently on the pool (and
+  /// coalesce with any other outstanding demand) instead of one Warm after
+  /// another.
+  void WarmAll(const std::vector<LogitRequest>& requests);
+
+  /// Submit + wait + cached read: bit-identical to engine()->Logits(view, v)
+  /// but coalescable with concurrent demand.
+  std::vector<double> Logits(InferenceEngine::ViewId view, NodeId v);
+
+  InferenceEngine* engine() const { return engine_; }
+  const BatchSchedulerOptions& options() const { return opts_; }
+  SchedulerStats stats() const;
+
+ private:
+  enum class BatchState { kPending, kDetached, kRunning, kDone };
+  enum class FlushTrigger { kSize, kDeadline, kDrain };
+
+  /// A coalesced unit of demand on one view slot (or one overlay flip set).
+  struct Batch {
+    InferenceEngine::ViewId view = InferenceEngine::kFullView;
+    bool overlay = false;
+    std::vector<Edge> flips;         // overlay batches only
+    std::vector<uint64_t> flip_key;  // canonical key (overlay batches only)
+    std::vector<NodeId> nodes;       // distinct, in join order
+    std::unordered_set<NodeId> node_set;
+    int requests = 0;
+    std::chrono::steady_clock::time_point deadline;
+    BatchState state = BatchState::kPending;
+  };
+
+ public:
+  /// Completion handle for one submitted request. Default-constructed (or
+  /// empty-request) tickets are already complete.
+  class Ticket {
+   public:
+    Ticket() = default;
+    /// Blocks until the request's batch has been flushed. If the batch is
+    /// detached but unclaimed, the waiter runs the flush itself (the
+    /// caller-participation path that keeps a saturated pool deadlock-free).
+    void Wait();
+    bool valid() const { return batch_ != nullptr; }
+
+   private:
+    friend class BatchScheduler;
+    Ticket(BatchScheduler* scheduler, std::shared_ptr<Batch> batch)
+        : scheduler_(scheduler), batch_(std::move(batch)) {}
+    BatchScheduler* scheduler_ = nullptr;
+    std::shared_ptr<Batch> batch_;
+  };
+
+ private:
+  /// The shared tail of Submit/SubmitOverlay: stamps a fresh batch's
+  /// deadline, joins `nodes`, fires the size trigger, and (after releasing
+  /// the taken-over `lock`) wakes the timer / dispatches the flush. `batch`
+  /// is passed by value because a size-detach erases the map slot the caller
+  /// found it in.
+  Ticket JoinLocked(std::unique_lock<std::mutex> lock,
+                    std::shared_ptr<Batch> batch, bool fresh,
+                    const std::vector<NodeId>& nodes);
+
+  /// Moves a pending batch out of its map and into kDetached, recording the
+  /// trigger. Caller holds mu_.
+  void DetachLocked(const std::shared_ptr<Batch>& batch, FlushTrigger trigger);
+
+  /// Hands a detached batch to an executor: inline when the caller is
+  /// already a pool worker (queueing behind possibly-blocked workers only
+  /// adds latency), otherwise onto the pool.
+  void Dispatch(std::shared_ptr<Batch> batch);
+
+  /// Claims and executes `batch` if still unclaimed; returns after the batch
+  /// is flushed by someone (possibly not us) or immediately when done.
+  void RunBatch(const std::shared_ptr<Batch>& batch);
+
+  /// The actual engine warm. No scheduler lock held.
+  void Flush(const Batch& batch);
+
+  /// Blocks until `batch` completes, claiming the flush when possible.
+  void WaitFor(const std::shared_ptr<Batch>& batch);
+
+  void TimerLoop();
+
+  InferenceEngine* engine_;
+  BatchSchedulerOptions opts_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;   // batch state changes
+  std::condition_variable cv_timer_;  // new pending batch / shutdown
+  std::unordered_map<InferenceEngine::ViewId, std::shared_ptr<Batch>> pending_;
+  std::unordered_map<std::vector<uint64_t>, std::shared_ptr<Batch>,
+                     InferenceEngine::FlipKeyHash>
+      pending_overlay_;
+  SchedulerStats stats_;
+  int inflight_pool_tasks_ = 0;
+  /// Flushes some thread is executing right now (pool worker, timer
+  /// dispatch, or a claiming waiter); the destructor blocks until zero so a
+  /// client-claimed flush can never outlive the scheduler.
+  int running_flushes_ = 0;
+  bool stop_ = false;
+  std::thread timer_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_SERVE_BATCH_SCHEDULER_H_

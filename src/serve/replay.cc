@@ -1,0 +1,195 @@
+#include "src/serve/replay.h"
+
+#include <atomic>
+#include <fstream>
+#include <latch>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "src/util/timer.h"
+
+namespace robogexp {
+
+Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
+                        const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("SaveRequestTrace: cannot open " + path);
+  f << "trace " << trace.size() << "\n";
+  for (const TraceRequest& r : trace) {
+    f << "r " << r.view << " ";
+    for (size_t i = 0; i < r.nodes.size(); ++i) {
+      if (i > 0) f << ",";
+      f << r.nodes[i];
+    }
+    f << "\n";
+  }
+  if (!f) return Status::Internal("SaveRequestTrace: write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<TraceRequest>> LoadRequestTrace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("LoadRequestTrace: cannot open " + path);
+  std::vector<TraceRequest> trace;
+  bool header_seen = false;
+  size_t declared = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "trace") {
+      if (header_seen) {
+        return Status::InvalidArgument("LoadRequestTrace: duplicate header");
+      }
+      if (!(ss >> declared)) {
+        return Status::InvalidArgument("LoadRequestTrace: bad header");
+      }
+      trace.reserve(declared);
+      header_seen = true;
+    } else if (!header_seen) {
+      return Status::InvalidArgument("LoadRequestTrace: data before header");
+    } else if (tag == "r") {
+      if (trace.size() >= declared) {
+        return Status::InvalidArgument(
+            "LoadRequestTrace: more requests than declared");
+      }
+      TraceRequest r;
+      std::string csv;
+      if (!(ss >> r.view >> csv)) {
+        return Status::InvalidArgument("LoadRequestTrace: bad request line");
+      }
+      std::istringstream nodes(csv);
+      std::string item;
+      while (std::getline(nodes, item, ',')) {
+        if (item.empty()) continue;
+        NodeId v = 0;
+        std::istringstream is(item);
+        if (!(is >> v) || v < 0) {
+          return Status::InvalidArgument(
+              "LoadRequestTrace: bad node id " + item);
+        }
+        r.nodes.push_back(v);
+      }
+      if (r.nodes.empty()) {
+        return Status::InvalidArgument(
+            "LoadRequestTrace: request without nodes");
+      }
+      trace.push_back(std::move(r));
+    } else {
+      return Status::InvalidArgument("LoadRequestTrace: unknown tag " + tag);
+    }
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("LoadRequestTrace: missing header");
+  }
+  if (trace.size() != declared) {
+    return Status::InvalidArgument(
+        "LoadRequestTrace: fewer requests than declared");
+  }
+  return trace;
+}
+
+StatusOr<ReplayResult> ReplayTrace(
+    InferenceEngine* engine,
+    const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
+    const std::vector<TraceRequest>& trace, const ReplayOptions& opts) {
+  RCW_CHECK(engine != nullptr);
+  // Resolve every view name and range-check every node id before the first
+  // request fires: a hand-written trace must fail loudly, not index out of
+  // bounds inside a warm.
+  const NodeId num_nodes = engine->graph().num_nodes();
+  std::vector<InferenceEngine::ViewId> resolved;
+  resolved.reserve(trace.size());
+  for (const TraceRequest& r : trace) {
+    auto it = views.find(r.view);
+    if (it == views.end()) {
+      return Status::InvalidArgument("ReplayTrace: unknown view " + r.view);
+    }
+    for (NodeId v : r.nodes) {
+      if (v < 0 || v >= num_nodes) {
+        return Status::InvalidArgument("ReplayTrace: node id out of range: " +
+                                       std::to_string(v));
+      }
+    }
+    resolved.push_back(it->second);
+  }
+
+  ReplayResult result;
+  result.requests = static_cast<int64_t>(trace.size());
+  for (const TraceRequest& r : trace) {
+    result.nodes += static_cast<int64_t>(r.nodes.size());
+  }
+
+  std::unique_ptr<BatchScheduler> scheduler;
+  if (opts.use_scheduler) {
+    scheduler = std::make_unique<BatchScheduler>(engine, opts.scheduler);
+  }
+
+  const int num_threads =
+      std::max(1, std::min<int>(opts.num_threads,
+                                static_cast<int>(trace.size() > 0
+                                                     ? trace.size()
+                                                     : 1)));
+  const EngineStats before = engine->stats();
+  Timer timer;
+  std::atomic<size_t> next{0};
+  // All requesters release together so concurrent demand actually overlaps
+  // (the coalescing window is the scheduler deadline, not thread spawn skew).
+  std::latch start(num_threads);
+  auto worker = [&] {
+    start.arrive_and_wait();
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= trace.size()) break;
+      const TraceRequest& r = trace[i];
+      const InferenceEngine::ViewId view = resolved[i];
+      if (scheduler != nullptr) {
+        scheduler->Submit(view, r.nodes).Wait();
+      } else {
+        engine->Warm(view, r.nodes);
+      }
+      // Serve the demand: every node's logits must be readable. In both
+      // modes these are cache reads after the warm.
+      for (NodeId v : r.nodes) engine->Logits(view, v);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  result.seconds = timer.Seconds();
+  if (scheduler != nullptr) result.scheduler_stats = scheduler->stats();
+  scheduler.reset();  // drain before reading the engine delta
+  result.engine_delta = engine->stats() - before;
+  return result;
+}
+
+std::vector<std::vector<double>> CollectServedLogits(
+    InferenceEngine* engine,
+    const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
+    const std::vector<TraceRequest>& trace) {
+  RCW_CHECK(engine != nullptr);
+  std::vector<std::vector<double>> out;
+  for (const TraceRequest& r : trace) {
+    const InferenceEngine::ViewId id = views.at(r.view);
+    for (NodeId v : r.nodes) out.push_back(engine->Logits(id, v));
+  }
+  return out;
+}
+
+StatusOr<ReplayRun> ReplayAndCollect(
+    InferenceEngine* engine,
+    const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
+    const std::vector<TraceRequest>& trace, const ReplayOptions& opts) {
+  auto r = ReplayTrace(engine, views, trace, opts);
+  RCW_RETURN_IF_ERROR(r.status());
+  ReplayRun run;
+  run.result = r.value();
+  run.logits = CollectServedLogits(engine, views, trace);
+  return run;
+}
+
+}  // namespace robogexp

@@ -1,0 +1,101 @@
+/// \file
+/// Request-trace replay — the serving-workload driver behind
+/// `robogexp serve --replay`.
+///
+/// A trace is a list of logit requests against named engine view slots,
+/// replayed by many concurrent requester threads to exercise (and measure)
+/// the BatchScheduler's cross-request coalescing. The on-disk `.rrt` format
+/// is line-oriented plain text like every other robogexp artifact (see
+/// docs/FILE_FORMATS.md):
+///
+/// \verbatim
+///   trace <num_requests>
+///   r <view-name> <node,node,...>
+/// \endverbatim
+///
+/// View names are resolved by the caller (the CLI maps "full", "sub" and
+/// "removed" to the base graph and the witness-derived slots); the format
+/// itself allows arbitrary names.
+#ifndef ROBOGEXP_SERVE_REPLAY_H_
+#define ROBOGEXP_SERVE_REPLAY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/batch_scheduler.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// One trace line: logit demand for `nodes` on the slot named `view`.
+struct TraceRequest {
+  std::string view;
+  std::vector<NodeId> nodes;
+};
+
+Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
+                        const std::string& path);
+
+/// Loads a `.rrt` file. The declared request count is a truncation guard: a
+/// partially-written trace fails loudly instead of replaying short.
+StatusOr<std::vector<TraceRequest>> LoadRequestTrace(const std::string& path);
+
+struct ReplayOptions {
+  /// Concurrent requester threads (independent clients, not pool workers).
+  int num_threads = 8;
+  /// true: requests go through a BatchScheduler (cross-request coalescing);
+  /// false: the per-caller baseline, each request its own synchronous Warm.
+  bool use_scheduler = true;
+  BatchSchedulerOptions scheduler;
+};
+
+struct ReplayResult {
+  int64_t requests = 0;
+  /// Nodes across all requests (pre-dedup — the logical demand).
+  int64_t nodes = 0;
+  double seconds = 0.0;
+  /// Engine work performed by the replay (after - before).
+  EngineStats engine_delta;
+  /// Zero-valued when the replay ran in per-caller mode.
+  SchedulerStats scheduler_stats;
+};
+
+/// Replays `trace` against `engine` with opts.num_threads concurrent
+/// requesters. `views` maps trace view names to registered engine slots;
+/// an unknown name fails the whole replay before any request runs. Each
+/// requester submits (or, per-caller mode, warms) its request and then reads
+/// every requested node's logits back through the engine cache, so the
+/// demand is genuinely served, not just queued.
+StatusOr<ReplayResult> ReplayTrace(
+    InferenceEngine* engine,
+    const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
+    const std::vector<TraceRequest>& trace, const ReplayOptions& opts);
+
+/// Reads every requested logit vector back from the engine cache, flattened
+/// in trace order — the bit-identity comparison payload shared by the CLI's
+/// `serve --compare` and the async-batching bench. Call after ReplayTrace on
+/// the same engine and view map.
+std::vector<std::vector<double>> CollectServedLogits(
+    InferenceEngine* engine,
+    const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
+    const std::vector<TraceRequest>& trace);
+
+/// A replay plus its comparison payload.
+struct ReplayRun {
+  ReplayResult result;
+  /// One logit vector per (request, node), flattened in trace order.
+  std::vector<std::vector<double>> logits;
+};
+
+/// ReplayTrace followed by CollectServedLogits on the same engine — the one
+/// replay-and-compare routine behind both `robogexp serve` and the
+/// async-batching bench, so the CLI check and the CI gate cannot diverge.
+StatusOr<ReplayRun> ReplayAndCollect(
+    InferenceEngine* engine,
+    const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
+    const std::vector<TraceRequest>& trace, const ReplayOptions& opts);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_SERVE_REPLAY_H_

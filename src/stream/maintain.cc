@@ -35,6 +35,9 @@ WitnessMaintainer::WitnessMaintainer(Graph* graph, const WitnessConfig& cfg,
   RCW_CHECK_MSG(cfg.graph == graph,
                 "WitnessMaintainer: cfg.graph must be the maintained graph");
   RCW_CHECK(cfg_.Valid());
+  if (opts_.async_batching) {
+    scheduler_ = std::make_unique<BatchScheduler>(&engine_, opts_.scheduler);
+  }
 }
 
 MaintainReport WitnessMaintainer::Initialize() {
@@ -229,9 +232,7 @@ void WitnessMaintainer::ResecureWithGrowthProbes(
         LocalizeFlips(engine_.full_view(), grown, covered, popts);
     if (touched.test_nodes.empty()) break;
     views_.Sync(witness_);
-    engine_.Warm(InferenceEngine::kFullView, touched.test_nodes);
-    engine_.Warm(views_.sub_id(), touched.test_nodes);
-    engine_.Warm(views_.removed_id(), touched.test_nodes);
+    WarmProbeViews(touched.test_nodes);
     for (NodeId v : touched.test_nodes) {
       const Label l = engine_.Predict(InferenceEngine::kFullView, v);
       if (engine_.Predict(views_.sub_id(), v) != l ||
@@ -247,13 +248,27 @@ void WitnessMaintainer::ResecureWithGrowthProbes(
   }
 }
 
+void WitnessMaintainer::WarmProbeViews(const std::vector<NodeId>& nodes) {
+  if (scheduler_ != nullptr) {
+    // Pipelined: the three view flushes run concurrently on the pool, and
+    // any other demand sharing the engine coalesces with them.
+    scheduler_->WarmAll({{InferenceEngine::kFullView, nodes},
+                         {views_.sub_id(), nodes},
+                         {views_.removed_id(), nodes}});
+    return;
+  }
+  engine_.Warm(InferenceEngine::kFullView, nodes);
+  engine_.Warm(views_.sub_id(), nodes);
+  engine_.Warm(views_.removed_id(), nodes);
+}
+
 std::vector<NodeId> WitnessMaintainer::VerifyNodesAtFullBudget(
     std::vector<NodeId> nodes) {
   std::vector<NodeId> failed;
   WitnessConfig sub = cfg_;
   while (!nodes.empty()) {
     sub.test_nodes = nodes;
-    const VerifyResult r = VerifyRcw(sub, witness_, &engine_);
+    const VerifyResult r = VerifyRcw(sub, witness_, &engine_, scheduler_.get());
     if (r.ok) break;
     const size_t before = nodes.size();
     std::erase(nodes, r.failed_node);

@@ -38,6 +38,7 @@
 
 #include "src/explain/robogexp.h"
 #include "src/explain/verify.h"
+#include "src/serve/batch_scheduler.h"
 #include "src/stream/localize.h"
 #include "src/stream/update.h"
 
@@ -64,6 +65,14 @@ struct MaintainOptions {
   bool ppr_localizer = false;
   double ppr_threshold = 1e-4;
   bool verbose = false;
+  /// Route the maintainer's revalidation warms and the verifier's
+  /// per-contrast disturbance checks through an async BatchScheduler on the
+  /// maintainer's engine: the three witness-view warms of a probe round run
+  /// as concurrent flushes, and any other demand sharing the engine (e.g. a
+  /// serving front) coalesces with maintenance demand. Reports are
+  /// bit-identical with and without.
+  bool async_batching = false;
+  BatchSchedulerOptions scheduler;
 };
 
 /// Per-batch maintenance outcome.
@@ -123,6 +132,10 @@ class WitnessMaintainer {
   /// parallel re-secure work is reported in MaintainReport, not here).
   InferenceEngine& engine() { return engine_; }
 
+  /// The async batching front over engine(), or nullptr when
+  /// MaintainOptions::async_batching is off.
+  BatchScheduler* scheduler() { return scheduler_.get(); }
+
  private:
   /// True when v's outstanding flips are inside the k-RCW certificate.
   bool WithinCertificate(NodeId v,
@@ -152,6 +165,10 @@ class WitnessMaintainer {
                                 std::unordered_set<NodeId>* recovered,
                                 std::unordered_set<NodeId>* failed);
 
+  /// Warms the full / Gs / G ∖ Gs view slots for `nodes` — pipelined through
+  /// the scheduler when async batching is on, sequential warms otherwise.
+  void WarmProbeViews(const std::vector<NodeId>& nodes);
+
   /// Verifies `nodes` at full budget k on the shared engine; returns the
   /// nodes that failed (each failure re-checks the remaining set, so one bad
   /// node does not condemn the others).
@@ -162,6 +179,10 @@ class WitnessMaintainer {
   MaintainOptions opts_;
   InferenceEngine engine_;
   WitnessEngineViews views_;
+  /// Must stay declared after engine_ and views_: its destructor drains
+  /// pending batches through both, so they have to be destroyed later
+  /// (i.e. declared earlier).
+  std::unique_ptr<BatchScheduler> scheduler_;
   Witness witness_;
   std::unordered_set<NodeId> unsecured_;
   /// Per test node: flips currently outstanding against the graph state the

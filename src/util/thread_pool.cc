@@ -35,7 +35,14 @@ void ThreadPool::Wait() {
   cv_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -29,6 +29,13 @@ class ThreadPool {
   /// Blocks until all submitted tasks have completed.
   void Wait();
 
+  /// True when the calling thread is a worker of *any* ThreadPool in this
+  /// process. Lets schedulers choose between queueing work (which may sit
+  /// behind blocked workers) and running it inline on the current worker —
+  /// e.g. the async batching front runs size-triggered flushes inline when
+  /// the submitter is already a pool worker.
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 

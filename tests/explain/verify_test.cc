@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/explain/robogexp.h"
+#include "src/serve/batch_scheduler.h"
 #include "tests/testing/fixtures.h"
 
 namespace robogexp {
@@ -134,6 +135,29 @@ TEST(VerifyRcw, CountsInferenceCalls) {
   const GenerateResult gen = GenerateRcw(cfg);
   const VerifyResult r = VerifyRcw(cfg, gen.witness);
   EXPECT_GT(r.inference_calls, 0);
+}
+
+TEST(VerifyRcw, SchedulerPathIsBitIdenticalToSynchronousVerification) {
+  // The async batching front must not change any verdict: run the same
+  // verifications with and without a scheduler on separate engines and
+  // compare every result field.
+  const auto& f = testing::TwoCommunityGcn();
+  const WitnessConfig cfg = Config(f, {1, 2, 7}, 2);
+  const GenerateResult gen = GenerateRcw(cfg);
+  Witness edgeless;
+  for (NodeId v : cfg.test_nodes) edgeless.AddNode(v);
+  const Witness* cases[] = {&gen.witness, &edgeless};
+  for (const Witness* w : cases) {
+    InferenceEngine plain_engine(cfg.model, cfg.graph);
+    const VerifyResult plain = VerifyRcw(cfg, *w, &plain_engine);
+    InferenceEngine sched_engine(cfg.model, cfg.graph);
+    BatchScheduler scheduler(&sched_engine);
+    const VerifyResult sched = VerifyRcw(cfg, *w, &sched_engine, &scheduler);
+    EXPECT_EQ(plain.ok, sched.ok);
+    EXPECT_EQ(plain.reason, sched.reason);
+    EXPECT_EQ(plain.failed_node, sched.failed_node);
+    EXPECT_EQ(plain.counterexample, sched.counterexample);
+  }
 }
 
 TEST(BaseLabels, MatchPredict) {

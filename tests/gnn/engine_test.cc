@@ -174,6 +174,78 @@ TEST(InferenceEngine, BindInvalidatesCachedLogits) {
   for (size_t c = 0; c < on_b.size(); ++c) EXPECT_EQ(on_b[c], direct[c]);
 }
 
+TEST(InferenceEngine, WarmOverlayBatchesAndMatchesPerNodeOverlayLogits) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  InferenceEngine reference(f.model.get(), f.graph.get());
+  const std::vector<Edge> flips = {Edge(0, 1), Edge(2, 8)};
+  const std::vector<NodeId> nodes = {1, 2, 3, 4};
+  engine.WarmOverlay(flips, nodes);
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+  EXPECT_EQ(engine.stats().batched_nodes, 4);
+  for (NodeId v : nodes) {
+    EXPECT_EQ(engine.LogitsOverlay(flips, v),
+              reference.LogitsOverlay(flips, v));
+  }
+  // All four reads were cache hits on the batched results.
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+  EXPECT_EQ(engine.stats().cache_hits, 4);
+  // Re-warming (also under a reordered, duplicated spelling of the same
+  // flip set) is free: the canonical key matches.
+  engine.WarmOverlay({Edge(2, 8), Edge(0, 1), Edge(0, 1)}, nodes);
+  EXPECT_EQ(engine.stats().model_invocations, 1);
+}
+
+TEST(InferenceEngine, OverlayCacheEvictsOldestFlipSetsFifo) {
+  const auto& f = testing::TwoCommunityGcn();
+  EngineOptions opts;
+  opts.max_overlay_entries = 4;
+  InferenceEngine engine(f.model.get(), f.graph.get(), opts);
+  const std::vector<Edge> flip_sets[] = {
+      {Edge(0, 1)}, {Edge(0, 2)}, {Edge(0, 3)}, {Edge(0, 4)}, {Edge(0, 5)}};
+  // Fill the cache to its cap: four flip sets, one entry each.
+  for (int i = 0; i < 4; ++i) engine.LogitsOverlay(flip_sets[i], 1);
+  EXPECT_EQ(engine.stats().model_invocations, 4);
+  // A fifth insert evicts only the oldest flip set, not the whole cache.
+  engine.LogitsOverlay(flip_sets[4], 1);
+  EXPECT_EQ(engine.stats().model_invocations, 5);
+  const int64_t hits_before = engine.stats().cache_hits;
+  // Sets 2-5 are still warm ...
+  for (int i = 1; i < 5; ++i) engine.LogitsOverlay(flip_sets[i], 1);
+  EXPECT_EQ(engine.stats().model_invocations, 5);
+  EXPECT_EQ(engine.stats().cache_hits, hits_before + 4);
+  // ... and only the evicted oldest set recomputes.
+  engine.LogitsOverlay(flip_sets[0], 1);
+  EXPECT_EQ(engine.stats().model_invocations, 6);
+}
+
+TEST(InferenceEngine, OverlayEvictionSkipsStaleFifoEntriesAfterInvalidation) {
+  // Regression: a flip set invalidated and later re-warmed must age from its
+  // re-creation, not from its original queue position — otherwise eviction
+  // drops the hot re-warmed set while genuinely older ones survive.
+  const auto& f = testing::TwoCommunityGcn();
+  EngineOptions opts;
+  opts.max_overlay_entries = 3;
+  InferenceEngine engine(f.model.get(), f.graph.get(), opts);
+  const std::vector<Edge> set_f = {Edge(0, 1)};
+  const std::vector<Edge> set_g = {Edge(0, 2)};
+  const std::vector<Edge> set_h = {Edge(0, 3)};
+  const std::vector<Edge> set_i = {Edge(0, 4)};
+  engine.LogitsOverlay(set_f, 1);          // F enters the FIFO first ...
+  engine.InvalidateOverlayNodes({1});      // ... and is dropped entirely.
+  engine.LogitsOverlay(set_g, 1);
+  engine.LogitsOverlay(set_h, 1);
+  engine.LogitsOverlay(set_f, 1);          // F re-created: now the newest.
+  // Cache is at its cap of 3 (G, H, F); the next insert must evict G — the
+  // oldest live set — not F via its stale original FIFO slot.
+  engine.LogitsOverlay(set_i, 1);
+  const int64_t calls = engine.stats().model_invocations;
+  engine.LogitsOverlay(set_f, 1);  // hit: F survived
+  EXPECT_EQ(engine.stats().model_invocations, calls);
+  engine.LogitsOverlay(set_g, 1);  // miss: G was evicted
+  EXPECT_EQ(engine.stats().model_invocations, calls + 1);
+}
+
 TEST(InferenceEngine, EphemeralPredictionsAreCountedNotCached) {
   const auto& f = testing::TwoCommunityGcn();
   InferenceEngine engine(f.model.get(), f.graph.get());

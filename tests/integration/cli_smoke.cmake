@@ -1,5 +1,6 @@
 # End-to-end smoke test for the robogexp CLI, run via ctest:
 #   info -> train -> generate -> verify -> sample-stream -> stream replay
+#   -> serve --replay (batched vs per-caller comparison)
 # on a tiny two-community graph.
 # Inputs: -DCLI=<path to robogexp_cli> -DWORK_DIR=<scratch dir>
 if(NOT CLI OR NOT WORK_DIR)
@@ -93,7 +94,21 @@ run_cli(sample-stream sample-stream --graph "${GRAPH}" --out "${STREAM}"
         --hop-radius 2 --seed 7)
 run_cli(stream stream --graph "${GRAPH}" --model "${MODEL}" --nodes 1,2,3
         --k 2 --b 1 --stream "${STREAM}" --witness "${WITNESS}"
-        --witness-out "${MAINTAINED}")
+        --witness-out "${MAINTAINED}" --async-batching)
+
+# Concurrent serving: replay a request trace through the async batching
+# front and check the per-caller comparison (exit 1 on any logit mismatch).
+set(TRACE "${WORK_DIR}/toy.rrt")
+file(WRITE "${TRACE}" "trace 5
+r full 1,2,3
+r full 4,5
+r sub 1,2
+r removed 3
+r full 6,7
+")
+run_cli(serve serve --graph "${GRAPH}" --model "${MODEL}"
+        --witness "${WITNESS}" --replay "${TRACE}" --threads 5
+        --deadline-us 50000 --compare)
 
 foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}" "${STREAM}" "${MAINTAINED}")
   if(NOT EXISTS "${_artifact}")

@@ -1,0 +1,327 @@
+// BatchScheduler contract tests: submitted demand is always served with
+// logits bit-identical to synchronous engine queries — across many threads,
+// many views, overlay flip sets, and randomized size/deadline triggers —
+// and the claim-based flush path cannot deadlock under a saturated
+// ParallelFor.
+#include "src/serve/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+// Reference values come from a second, independent engine over the same
+// model/graph: both sides are bit-identical to direct model inference by
+// the engine contract, so equality here proves the scheduler changed
+// nothing.
+struct Rig {
+  explicit Rig(const testing::TrainedFixture& f)
+      : engine(f.model.get(), f.graph.get()),
+        reference(f.model.get(), f.graph.get()),
+        sub_view(f.graph->num_nodes(), {Edge(0, 1), Edge(1, 2), Edge(2, 3)}),
+        overlay_view(&engine.full_view(), {Edge(0, 2), Edge(1, 3)}),
+        ref_overlay_view(&reference.full_view(), {Edge(0, 2), Edge(1, 3)}) {
+    sub_id = engine.Register(&sub_view);
+    overlay_id = engine.Register(&overlay_view);
+    ref_sub_id = reference.Register(&sub_view);
+    ref_overlay_id = reference.Register(&ref_overlay_view);
+  }
+
+  InferenceEngine engine;
+  InferenceEngine reference;
+  EdgeSubsetView sub_view;
+  OverlayView overlay_view;
+  OverlayView ref_overlay_view;
+  InferenceEngine::ViewId sub_id = -1;
+  InferenceEngine::ViewId overlay_id = -1;
+  InferenceEngine::ViewId ref_sub_id = -1;
+  InferenceEngine::ViewId ref_overlay_id = -1;
+};
+
+TEST(BatchScheduler, SingleSubmitMatchesSynchronousLogits) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.deadline_us = 1000;
+  BatchScheduler scheduler(&rig.engine, opts);
+  auto ticket = scheduler.Submit(InferenceEngine::kFullView, {1, 2, 3});
+  ticket.Wait();
+  for (NodeId v : {1, 2, 3}) {
+    EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, v),
+              rig.reference.Logits(InferenceEngine::kFullView, v));
+  }
+  // The demand was served by one flush, not three queries.
+  EXPECT_EQ(rig.engine.stats().model_invocations, 1);
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.submitted, 1);
+  EXPECT_EQ(s.flushes, 1);
+  EXPECT_EQ(s.flushed_nodes, 3);
+}
+
+TEST(BatchScheduler, EmptyAndDefaultTicketsAreComplete) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  BatchScheduler scheduler(&engine);
+  BatchScheduler::Ticket empty;
+  EXPECT_FALSE(empty.valid());
+  empty.Wait();  // no-op
+  auto t = scheduler.Submit(InferenceEngine::kFullView, {});
+  EXPECT_FALSE(t.valid());
+  t.Wait();  // no-op
+  EXPECT_EQ(scheduler.stats().submitted, 0);
+}
+
+TEST(BatchScheduler, SizeTriggerFlushesWithoutWaitingForDeadline) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.max_batch_nodes = 4;
+  opts.deadline_us = 60'000'000;  // a minute: the deadline must not matter
+  BatchScheduler scheduler(&rig.engine, opts);
+  scheduler.Submit(InferenceEngine::kFullView, {1, 2, 3, 4}).Wait();
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.size_flushes, 1);
+  EXPECT_EQ(s.deadline_flushes, 0);
+  EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, 4),
+            rig.reference.Logits(InferenceEngine::kFullView, 4));
+}
+
+TEST(BatchScheduler, DeadlineTriggerFlushesSmallBatches) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.max_batch_nodes = 1 << 20;
+  opts.deadline_us = 500;
+  BatchScheduler scheduler(&rig.engine, opts);
+  scheduler.Submit(InferenceEngine::kFullView, {5}).Wait();
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.deadline_flushes, 1);
+  EXPECT_EQ(s.size_flushes, 0);
+  EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, 5),
+            rig.reference.Logits(InferenceEngine::kFullView, 5));
+}
+
+TEST(BatchScheduler, DestructorDrainsUnwaitedTickets) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  {
+    BatchSchedulerOptions opts;
+    opts.deadline_us = 60'000'000;
+    BatchScheduler scheduler(&rig.engine, opts);
+    scheduler.Submit(InferenceEngine::kFullView, {1, 2});  // never waited
+    scheduler.Submit(rig.sub_id, {3});
+  }
+  // The destructor flushed the pending demand; the cache must be warm.
+  const EngineStats before = rig.engine.stats();
+  rig.engine.Logits(InferenceEngine::kFullView, 1);
+  rig.engine.Logits(rig.sub_id, 3);
+  EXPECT_EQ((rig.engine.stats() - before).cache_hits, 2);
+}
+
+TEST(BatchScheduler, CoalescesConcurrentRequestsIntoFewerFlushes) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.max_batch_nodes = 1 << 20;
+  opts.deadline_us = 300'000;  // wide window: all submits land in one wave
+  BatchScheduler scheduler(&rig.engine, opts);
+  constexpr int kThreads = 6;
+  std::latch start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      scheduler.Submit(InferenceEngine::kFullView, {NodeId(t)}).Wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.submitted, kThreads);
+  // All six requesters released together against a 300ms window; even on a
+  // heavily oversubscribed CI core the demand must coalesce below one flush
+  // per request, and at least one flush must have served several requests.
+  EXPECT_LT(s.flushes, kThreads);
+  EXPECT_GE(s.coalesced_flushes, 1);
+  EXPECT_LT(rig.engine.stats().model_invocations, kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, NodeId(t)),
+              rig.reference.Logits(InferenceEngine::kFullView, NodeId(t)));
+  }
+}
+
+TEST(BatchScheduler, OverlayDemandCoalescesByCanonicalFlipSet) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.deadline_us = 200'000;
+  BatchScheduler scheduler(&rig.engine, opts);
+  // The same disturbance written two ways (order + duplicate): one batch.
+  const std::vector<Edge> flips_a = {Edge(0, 2), Edge(1, 3)};
+  const std::vector<Edge> flips_b = {Edge(1, 3), Edge(0, 2), Edge(1, 3)};
+  auto t1 = scheduler.SubmitOverlay(flips_a, {1});
+  auto t2 = scheduler.SubmitOverlay(flips_b, {2, 3});
+  t1.Wait();
+  t2.Wait();
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.flushes, 1);
+  EXPECT_EQ(s.coalesced_flushes, 1);
+  EXPECT_EQ(s.flushed_nodes, 3);
+  for (NodeId v : {1, 2, 3}) {
+    EXPECT_EQ(rig.engine.LogitsOverlay(flips_a, v),
+              rig.reference.LogitsOverlay(flips_a, v));
+  }
+}
+
+TEST(BatchScheduler, WarmAllPipelinesMultipleViews) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.max_batch_nodes = 1;  // dispatch each complete request immediately
+  opts.deadline_us = 0;
+  BatchScheduler scheduler(&rig.engine, opts);
+  const std::vector<NodeId> nodes = {1, 2, 3};
+  scheduler.WarmAll({{InferenceEngine::kFullView, nodes},
+                     {rig.sub_id, nodes},
+                     {rig.overlay_id, nodes}});
+  EXPECT_EQ(scheduler.stats().flushes, 3);
+  for (NodeId v : nodes) {
+    EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, v),
+              rig.reference.Logits(InferenceEngine::kFullView, v));
+    EXPECT_EQ(rig.engine.Logits(rig.sub_id, v),
+              rig.reference.Logits(rig.ref_sub_id, v));
+    EXPECT_EQ(rig.engine.Logits(rig.overlay_id, v),
+              rig.reference.Logits(rig.ref_overlay_id, v));
+  }
+}
+
+// The stress test of the concurrency contract: many threads x many views x
+// overlay flip sets, against schedulers with randomized deadlines and size
+// triggers. Every returned logit vector must be bit-identical to the
+// reference engine's synchronous answer.
+TEST(BatchScheduler, StressManyThreadsManyViewsBitIdenticalLogits) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  const std::vector<Edge> flip_pool[] = {
+      {Edge(0, 2)}, {Edge(1, 3), Edge(4, 5)}, {Edge(2, 8)}};
+  struct Config {
+    int64_t deadline_us;
+    int max_batch_nodes;
+  };
+  const Config configs[] = {{0, 1}, {300, 4}, {2000, 7}, {50'000, 1 << 20}};
+  const NodeId n = rig.engine.graph().num_nodes();
+  for (const Config& config : configs) {
+    BatchSchedulerOptions opts;
+    opts.deadline_us = config.deadline_us;
+    opts.max_batch_nodes = config.max_batch_nodes;
+    BatchScheduler scheduler(&rig.engine, opts);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 12;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(static_cast<uint64_t>(1000 * config.deadline_us + t + 1));
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          std::vector<NodeId> nodes;
+          const int count = 1 + static_cast<int>(rng.UniformInt(3));
+          for (int i = 0; i < count; ++i) {
+            nodes.push_back(
+                static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n))));
+          }
+          const int kind = static_cast<int>(rng.UniformInt(4));
+          if (kind == 3) {
+            const auto& flips = flip_pool[rng.UniformInt(3)];
+            scheduler.SubmitOverlay(flips, nodes).Wait();
+            for (NodeId v : nodes) {
+              if (rig.engine.LogitsOverlay(flips, v) !=
+                  rig.reference.LogitsOverlay(flips, v)) {
+                mismatches.fetch_add(1);
+              }
+            }
+          } else {
+            const InferenceEngine::ViewId ids[] = {InferenceEngine::kFullView,
+                                                   rig.sub_id, rig.overlay_id};
+            const InferenceEngine::ViewId ref_ids[] = {
+                InferenceEngine::kFullView, rig.ref_sub_id,
+                rig.ref_overlay_id};
+            scheduler.Submit(ids[kind], nodes).Wait();
+            for (NodeId v : nodes) {
+              if (rig.engine.Logits(ids[kind], v) !=
+                  rig.reference.Logits(ref_ids[kind], v)) {
+                mismatches.fetch_add(1);
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0)
+        << "deadline_us=" << config.deadline_us
+        << " max_batch_nodes=" << config.max_batch_nodes;
+    const SchedulerStats s = scheduler.stats();
+    EXPECT_EQ(s.submitted, kThreads * kOpsPerThread);
+  }
+}
+
+// Regression for the deadlock the claim-based flush design exists to
+// prevent: every pool worker blocks inside Ticket::Wait() while the flushes
+// they are waiting for sit behind them in the pool queue. The timer thread
+// detaches the batches at their deadline and the waiters run the flushes
+// themselves.
+TEST(BatchScheduler, NestedParallelForUnderFlushDoesNotDeadlock) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.max_batch_nodes = 1 << 20;  // only the deadline can detach
+  opts.deadline_us = 5000;
+  BatchScheduler scheduler(&rig.engine, opts);
+  const int64_t iterations = 4 * (DefaultPool()->num_threads() + 1);
+  std::atomic<int> mismatches{0};
+  ParallelFor(DefaultPool(), iterations, [&](int64_t i) {
+    const NodeId v =
+        static_cast<NodeId>(i % rig.engine.graph().num_nodes());
+    scheduler.Submit(InferenceEngine::kFullView, {v}).Wait();
+    if (rig.engine.Logits(InferenceEngine::kFullView, v) !=
+        rig.reference.Logits(InferenceEngine::kFullView, v)) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(scheduler.stats().submitted, iterations);
+}
+
+// Size-triggered flushes submitted from inside a pool worker run inline
+// (ThreadPool::InWorkerThread()), so a saturated queue cannot stall them.
+TEST(BatchScheduler, SizeTriggeredFlushFromPoolWorkerRunsInline) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.max_batch_nodes = 2;
+  opts.deadline_us = 60'000'000;
+  BatchScheduler scheduler(&rig.engine, opts);
+  std::atomic<int> mismatches{0};
+  ParallelFor(DefaultPool(), 2 * (DefaultPool()->num_threads() + 1),
+              [&](int64_t i) {
+                const NodeId a = static_cast<NodeId>(2 * i % 10);
+                const NodeId b = static_cast<NodeId>((2 * i + 1) % 10);
+                scheduler.Submit(InferenceEngine::kFullView, {a, b}).Wait();
+                if (rig.engine.Logits(InferenceEngine::kFullView, a) !=
+                    rig.reference.Logits(InferenceEngine::kFullView, a)) {
+                  mismatches.fetch_add(1);
+                }
+              });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(scheduler.stats().size_flushes, 1);
+}
+
+}  // namespace
+}  // namespace robogexp

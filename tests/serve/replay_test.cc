@@ -1,0 +1,130 @@
+// Request-trace IO round trips, truncation guards, and the replay driver's
+// two modes (per-caller synchronous vs batched through the scheduler)
+// producing identical engine caches from the same trace.
+#include "src/serve/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  f << content;
+}
+
+TEST(RequestTraceIo, RoundTripsRequests) {
+  const std::vector<TraceRequest> trace = {
+      {"full", {1, 2, 3}}, {"sub", {4}}, {"removed", {5, 6}}};
+  const std::string path = TempPath("roundtrip.rrt");
+  ASSERT_TRUE(SaveRequestTrace(trace, path).ok());
+  const auto loaded = LoadRequestTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].view, trace[i].view);
+    EXPECT_EQ(loaded.value()[i].nodes, trace[i].nodes);
+  }
+}
+
+TEST(RequestTraceIo, RejectsMalformedFiles) {
+  const std::string path = TempPath("bad.rrt");
+  WriteFile(path, "r full 1,2\n");  // data before header
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 2\nr full 1,2\n");  // truncated
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\nr full 1\nr sub 2\n");  // longer than declared
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\nr full\n");  // request without nodes
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\nr full 1,x\n");  // bad node id
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\nq full 1\n");  // unknown tag
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  EXPECT_FALSE(LoadRequestTrace(TempPath("missing.rrt")).ok());
+}
+
+TEST(RequestTraceIo, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.rrt");
+  WriteFile(path, "# a serving trace\n\ntrace 1\n# one request\nr full 7\n");
+  const auto loaded = LoadRequestTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].view, "full");
+  EXPECT_EQ(loaded.value()[0].nodes, std::vector<NodeId>({7}));
+}
+
+TEST(ReplayTrace, RejectsOutOfRangeNodeIdsUpFront) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  const std::vector<TraceRequest> trace = {
+      {"full", {1}}, {"full", {f.graph->num_nodes()}}};
+  const auto r = ReplayTrace(&engine, views, trace, {});
+  EXPECT_FALSE(r.ok());
+  // Nothing ran: a malformed trace fails before any request fires.
+  EXPECT_EQ(engine.stats().node_queries, 0);
+}
+
+TEST(ReplayTrace, RejectsUnknownViewNamesUpFront) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  const std::vector<TraceRequest> trace = {{"full", {1}}, {"mystery", {2}}};
+  const auto r = ReplayTrace(&engine, views, trace, {});
+  EXPECT_FALSE(r.ok());
+  // Nothing ran: the engine saw no demand.
+  EXPECT_EQ(engine.stats().node_queries, 0);
+}
+
+TEST(ReplayTrace, BatchedAndPerCallerModesServeIdenticalLogits) {
+  const auto& f = testing::TwoCommunityGcn();
+  const std::vector<TraceRequest> trace = {
+      {"full", {0, 1, 2}}, {"full", {3, 4}},  {"full", {5, 6}},
+      {"full", {7, 8}},    {"full", {9, 10}}, {"full", {11, 0}}};
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+
+  InferenceEngine sync_engine(f.model.get(), f.graph.get());
+  ReplayOptions sync_opts;
+  sync_opts.num_threads = 4;
+  sync_opts.use_scheduler = false;
+  const auto sync = ReplayTrace(&sync_engine, views, trace, sync_opts);
+  ASSERT_TRUE(sync.ok());
+
+  InferenceEngine batched_engine(f.model.get(), f.graph.get());
+  ReplayOptions batched_opts;
+  batched_opts.num_threads = 4;
+  batched_opts.use_scheduler = true;
+  batched_opts.scheduler.deadline_us = 100'000;
+  const auto batched = ReplayTrace(&batched_engine, views, trace, batched_opts);
+  ASSERT_TRUE(batched.ok());
+
+  EXPECT_EQ(sync.value().requests, 6);
+  EXPECT_EQ(batched.value().requests, 6);
+  EXPECT_GE(batched.value().scheduler_stats.submitted, 6);
+  // Coalescing may only ever reduce model work, never change results.
+  EXPECT_LE(batched.value().engine_delta.model_invocations,
+            sync.value().engine_delta.model_invocations);
+  for (const TraceRequest& r : trace) {
+    for (NodeId v : r.nodes) {
+      EXPECT_EQ(batched_engine.Logits(InferenceEngine::kFullView, v),
+                sync_engine.Logits(InferenceEngine::kFullView, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

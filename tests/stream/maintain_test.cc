@@ -263,5 +263,48 @@ TEST(Maintain, ParallelResecureKeepsVerdicts) {
   }
 }
 
+TEST(Maintain, AsyncBatchingKeepsWitnessesAndActionsIdentical) {
+  // The async batching front reroutes the maintainer's warms and the
+  // verifier's per-contrast checks through a scheduler; every decision is
+  // value-driven on bit-identical logits, so the maintained witness and the
+  // per-batch actions must match the plain path exactly.
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph plain_graph = *f.graph;
+  Graph async_graph = *f.graph;
+  const std::vector<NodeId> nodes = {1, 2, 7, 8};
+
+  StreamSampleOptions sopts;
+  sopts.num_batches = 8;
+  sopts.ops_per_batch = 2;
+  sopts.insert_fraction = 0.3;
+  sopts.focus_nodes = nodes;
+  sopts.hop_radius = 2;
+  Rng rng(43);
+  const auto stream = SampleUpdateStream(plain_graph, sopts, &rng);
+
+  MaintainOptions plain_opts;
+  MaintainOptions async_opts;
+  async_opts.async_batching = true;
+  async_opts.scheduler.deadline_us = 300;
+  const WitnessConfig plain_cfg = Config(&plain_graph, f.model.get(), nodes);
+  const WitnessConfig async_cfg = Config(&async_graph, f.model.get(), nodes);
+  WitnessMaintainer plain(&plain_graph, plain_cfg, plain_opts);
+  WitnessMaintainer async_m(&async_graph, async_cfg, async_opts);
+  ASSERT_EQ(async_m.scheduler() != nullptr, true);
+  plain.Initialize();
+  async_m.Initialize();
+  EXPECT_TRUE(plain.witness() == async_m.witness());
+  for (size_t b = 0; b < stream.size(); ++b) {
+    const auto pr = plain.Apply(stream[b]);
+    const auto ar = async_m.Apply(stream[b]);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(ar.ok());
+    EXPECT_EQ(pr.value().action, ar.value().action) << "batch " << b;
+    EXPECT_EQ(pr.value().resecured, ar.value().resecured) << "batch " << b;
+    EXPECT_EQ(pr.value().unsecured, ar.value().unsecured) << "batch " << b;
+    EXPECT_TRUE(plain.witness() == async_m.witness()) << "batch " << b;
+  }
+}
+
 }  // namespace
 }  // namespace robogexp

@@ -104,6 +104,20 @@ TEST(ParallelFor, CallerParticipatesWhenPoolIsBusy) {
   pool.Wait();
 }
 
+TEST(ThreadPool, InWorkerThreadDistinguishesWorkersFromCallers) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<int> in_worker(0);
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      if (ThreadPool::InWorkerThread()) in_worker.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(in_worker.load(), 4);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
 TEST(DefaultPool, SingletonIsUsable) {
   std::atomic<int> c(0);
   ParallelFor(DefaultPool(), 32, [&](int64_t) { c.fetch_add(1); });

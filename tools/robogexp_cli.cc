@@ -14,14 +14,21 @@
 //   robogexp sample-stream --graph g.rgx --out u.rsu [--batches N] [--ops M]
 //                     [--insert-frac F] [--focus 1,2,3] [--hop-radius R]
 //                     [--seed S] [--avoid-witness w.rcw]
+//   robogexp serve    --graph g.rgx --model m.gnn --replay t.rrt
+//                     [--witness w.rcw] [--threads N] [--deadline-us D]
+//                     [--batch-nodes B] [--sync] [--compare]
 //
 // `stream` replays an update stream against the graph, maintaining the
 // witness incrementally (see src/stream/maintain.h) and printing per-batch
 // maintenance stats; `sample-stream` synthesizes a replayable stream file.
+// `serve --replay` fires the requests of a trace file from many concurrent
+// requester threads through the async BatchScheduler, demonstrating
+// cross-request coalescing (`--compare` also runs the per-caller synchronous
+// baseline and checks bit-identical logits).
 //
-// Graphs use the text format of src/graph/io.h; models, witnesses, and
-// update streams round trip through src/gnn/serialize.h,
-// src/explain/witness_io.h, and src/stream/update_io.h.
+// Graphs use the text format of src/graph/io.h; models, witnesses, update
+// streams, and request traces round trip through src/gnn/serialize.h,
+// src/explain/witness_io.h, src/stream/update_io.h, and src/serve/replay.h.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +46,7 @@
 #include "src/gnn/serialize.h"
 #include "src/gnn/trainer.h"
 #include "src/graph/io.h"
+#include "src/serve/replay.h"
 #include "src/stream/maintain.h"
 #include "src/stream/update_io.h"
 #include "src/util/timer.h"
@@ -54,7 +62,9 @@ class Flags {
       const char* key = argv[i] + 2;
       // Boolean flags take no value; everything else consumes the next arg.
       if (std::strcmp(key, "minimize") == 0 ||
-          std::strcmp(key, "ppr-localizer") == 0) {
+          std::strcmp(key, "ppr-localizer") == 0 ||
+          std::strcmp(key, "async-batching") == 0 ||
+          std::strcmp(key, "sync") == 0 || std::strcmp(key, "compare") == 0) {
         values_[key] = "1";
       } else if (i + 1 < argc) {
         values_[key] = argv[++i];
@@ -264,6 +274,7 @@ int CmdStream(const Flags& flags) {
   MaintainOptions mopts;
   mopts.num_threads = flags.GetInt("threads", 1);
   mopts.ppr_localizer = flags.Has("ppr-localizer");
+  mopts.async_batching = flags.Has("async-batching");
   WitnessMaintainer maintainer(&graph, cfg, mopts);
 
   Timer total;
@@ -350,6 +361,91 @@ int CmdStream(const Flags& flags) {
   return ok ? 0 : 2;
 }
 
+// One replay pass on a fresh engine with the conventional witness views.
+StatusOr<ReplayRun> RunServeReplay(const Graph& graph, const GnnModel& model,
+                                   const Witness* witness,
+                                   const std::vector<TraceRequest>& trace,
+                                   const ReplayOptions& ropts) {
+  InferenceEngine engine(&model, &graph);
+  const WitnessServeViews views(&engine, witness);
+  return ReplayAndCollect(&engine, views.views(), trace, ropts);
+}
+
+int CmdServe(const Flags& flags) {
+  auto g = LoadGraph(flags.Get("graph"));
+  if (!g.ok()) return Fail(g.status().ToString());
+  auto m = LoadModel(flags.Get("model"));
+  if (!m.ok()) return Fail(m.status().ToString());
+  if (!flags.Has("replay")) return Fail("--replay is required (trace file)");
+  auto trace = LoadRequestTrace(flags.Get("replay"));
+  if (!trace.ok()) return Fail(trace.status().ToString());
+  std::unique_ptr<Witness> witness;
+  if (flags.Has("witness")) {
+    auto w = LoadWitness(flags.Get("witness"));
+    if (!w.ok()) return Fail(w.status().ToString());
+    witness = std::make_unique<Witness>(std::move(w.value()));
+  }
+
+  ReplayOptions ropts;
+  ropts.num_threads = flags.GetInt("threads", 8);
+  ropts.use_scheduler = !flags.Has("sync");
+  ropts.scheduler.deadline_us = flags.GetInt("deadline-us", 200);
+  ropts.scheduler.max_batch_nodes = flags.GetInt("batch-nodes", 64);
+
+  auto run = RunServeReplay(g.value(), *m.value(), witness.get(),
+                            trace.value(), ropts);
+  if (!run.ok()) return Fail(run.status().ToString());
+  const ReplayResult& rr = run.value().result;
+  std::printf("replayed %lld requests (%lld nodes) from %d threads in %.3fs "
+              "(%s)\n",
+              static_cast<long long>(rr.requests),
+              static_cast<long long>(rr.nodes), ropts.num_threads, rr.seconds,
+              ropts.use_scheduler ? "batched" : "per-caller");
+  std::printf("engine: %lld node queries, %lld cache hits, "
+              "%lld model invocations, %lld nodes served batched\n",
+              static_cast<long long>(rr.engine_delta.node_queries),
+              static_cast<long long>(rr.engine_delta.cache_hits),
+              static_cast<long long>(rr.engine_delta.model_invocations),
+              static_cast<long long>(rr.engine_delta.batched_nodes));
+  if (ropts.use_scheduler) {
+    const SchedulerStats& ss = rr.scheduler_stats;
+    std::printf("scheduler: %lld submitted, %lld flushes (%lld coalesced, "
+                "%lld size, %lld deadline), occupancy %.1f nodes/flush\n",
+                static_cast<long long>(ss.submitted),
+                static_cast<long long>(ss.flushes),
+                static_cast<long long>(ss.coalesced_flushes),
+                static_cast<long long>(ss.size_flushes),
+                static_cast<long long>(ss.deadline_flushes),
+                ss.batch_occupancy());
+  }
+
+  if (!flags.Has("compare")) return 0;
+  // Per-caller baseline on a fresh engine: same trace, every requester
+  // issuing its own synchronous warms.
+  ReplayOptions sopts = ropts;
+  sopts.use_scheduler = false;
+  auto base = RunServeReplay(g.value(), *m.value(), witness.get(),
+                             trace.value(), sopts);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const ReplayResult& br = base.value().result;
+  const double reduction =
+      rr.engine_delta.model_invocations > 0
+          ? static_cast<double>(br.engine_delta.model_invocations) /
+                static_cast<double>(rr.engine_delta.model_invocations)
+          : 0.0;
+  std::printf("per-caller baseline: %lld model invocations in %.3fs -> "
+              "%.2fx reduction\n",
+              static_cast<long long>(br.engine_delta.model_invocations),
+              br.seconds, reduction);
+  if (run.value().logits != base.value().logits) {
+    std::printf("FAIL: batched and per-caller logits differ\n");
+    return 1;
+  }
+  std::printf("logits bit-identical across %zu served vectors\n",
+              run.value().logits.size());
+  return 0;
+}
+
 int CmdSampleStream(const Flags& flags) {
   auto g = LoadGraph(flags.Get("graph"));
   if (!g.ok()) return Fail(g.status().ToString());
@@ -381,7 +477,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: robogexp "
-                 "<info|train|generate|verify|stream|sample-stream> [--flags]\n"
+                 "<info|train|generate|verify|stream|sample-stream|serve> "
+                 "[--flags]\n"
                  "see the header of tools/robogexp_cli.cc for details\n");
     return 1;
   }
@@ -393,6 +490,7 @@ int Main(int argc, char** argv) {
   if (cmd == "verify") return CmdVerify(flags);
   if (cmd == "stream") return CmdStream(flags);
   if (cmd == "sample-stream") return CmdSampleStream(flags);
+  if (cmd == "serve") return CmdServe(flags);
   return Fail("unknown command " + cmd);
 }
 
