@@ -1,0 +1,171 @@
+// Sharded serving benchmark — the acceptance gate for the GraphShard
+// registry + ShardRouter: a serving workload of concurrent logit requests
+// fanned out over TWO registered graphs (each split into two fragments of
+// the Sec. VI inference-preserving partition, each fragment with its own
+// engine + async batching front) must need at least 2x fewer model
+// invocations than per-caller unsharded serving — with bit-identical logits
+// for every served node.
+//
+// The workload shape mirrors bench_async_batching: requests carry distinct
+// nodes (the per-caller path genuinely pays one union-ball invocation per
+// request), 16 requesters release together, and the scheduler deadline is
+// wide enough that one wave of demand lands in one flush per (shard, view)
+// regardless of CI scheduling jitter.
+//
+// Exits non-zero when either property fails, so it doubles as the CI smoke
+// check for the sharded serving path; stats land in BENCH_sharded_serve.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/serve/replay.h"
+#include "src/serve/shard_registry.h"
+
+namespace robogexp::bench {
+namespace {
+
+int Run(const BenchEnv& env) {
+  const int kRequesters = 16;
+  const int kShardsPerGraph = 2;
+  Table table({"mode", "graphs", "shards", "requests", "model invocations",
+               "flushes", "occupancy", "time (s)", "reduction"});
+  BenchJson json("sharded_serve");
+  int failures = 0;
+
+  Workload w0 = PrepareWorkload("BAHouse", env.scale, env.faithful);
+  Workload w1 = PrepareWorkload("CiteSeer", env.scale, env.faithful);
+  const Workload* workloads[2] = {&w0, &w1};
+
+  // 16 concurrent requests, alternating between the two graphs, each
+  // carrying nodes no other request asks for.
+  std::vector<TraceRequest> trace(kRequesters);
+  for (int i = 0; i < kRequesters; ++i) {
+    trace[static_cast<size_t>(i)].graph_id = i % 2;
+    trace[static_cast<size_t>(i)].view = "full";
+  }
+  for (int gid = 0; gid < 2; ++gid) {
+    const auto pool = TestNodes(*workloads[gid], 32);
+    RCW_CHECK_MSG(static_cast<int>(pool.size()) >= 16,
+                  "test pool too small for the request trace");
+    for (size_t i = 0; i < pool.size(); ++i) {
+      trace[static_cast<size_t>(2 * (i % 8) + gid)].nodes.push_back(pool[i]);
+    }
+  }
+
+  // Sharded + batched: two fragments per graph, one scheduler per shard,
+  // one coalescing wave.
+  ShardRegistry sharded;
+  ShardOptions sopts;
+  sopts.async_batching = true;
+  sopts.scheduler.max_batch_nodes = 1 << 20;
+  sopts.scheduler.deadline_us = 400000;
+  for (int gid = 0; gid < 2; ++gid) {
+    auto r = sharded.RegisterPartitionedGraph(
+        gid, workloads[gid]->graph.get(), workloads[gid]->model.get(),
+        kShardsPerGraph, sopts);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  }
+  ShardRouter sharded_router(&sharded);
+
+  // Per-caller unsharded baseline: whole graphs, no schedulers, every
+  // requester issuing its own synchronous warm.
+  ShardRegistry unsharded;
+  ShardOptions bopts;
+  bopts.async_batching = false;
+  for (int gid = 0; gid < 2; ++gid) {
+    auto r = unsharded.RegisterGraph(gid, workloads[gid]->graph.get(),
+                                     workloads[gid]->model.get(), bopts);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  }
+  ShardRouter unsharded_router(&unsharded);
+
+  ReplayOptions ropts;
+  ropts.num_threads = kRequesters;
+  ropts.use_scheduler = true;
+  ropts.scheduler = sopts.scheduler;
+  ReplayOptions base_opts = ropts;
+  base_opts.use_scheduler = false;
+
+  const auto baseline =
+      ReplayAndCollectSharded(&unsharded_router, trace, base_opts);
+  RCW_CHECK_MSG(baseline.ok(), baseline.status().ToString().c_str());
+  const auto run = ReplayAndCollectSharded(&sharded_router, trace, ropts);
+  RCW_CHECK_MSG(run.ok(), run.status().ToString().c_str());
+
+  const int64_t base_calls =
+      baseline.value().result.engine_delta.model_invocations;
+  const int64_t sharded_calls =
+      run.value().result.engine_delta.model_invocations;
+  const double reduction =
+      sharded_calls > 0 ? static_cast<double>(base_calls) /
+                              static_cast<double>(sharded_calls)
+                        : 0.0;
+  const SchedulerStats& ss = run.value().result.scheduler_stats;
+
+  table.AddRow({"per-caller unsharded", "2", "1",
+                std::to_string(baseline.value().result.requests),
+                std::to_string(base_calls), "", "",
+                Table::Num(baseline.value().result.seconds, 2), ""});
+  table.AddRow({"sharded batched", "2", std::to_string(kShardsPerGraph),
+                std::to_string(run.value().result.requests),
+                std::to_string(sharded_calls), std::to_string(ss.flushes),
+                Table::Num(ss.batch_occupancy(), 1),
+                Table::Num(run.value().result.seconds, 2),
+                Table::Num(reduction, 2)});
+  std::printf("schedulers: %lld submitted, %lld flushes (%lld coalesced, "
+              "%lld size, %lld deadline)\n",
+              static_cast<long long>(ss.submitted),
+              static_cast<long long>(ss.flushes),
+              static_cast<long long>(ss.coalesced_flushes),
+              static_cast<long long>(ss.size_flushes),
+              static_cast<long long>(ss.deadline_flushes));
+
+  json.Add("graphs", static_cast<int64_t>(2));
+  json.Add("shards_per_graph", static_cast<int64_t>(kShardsPerGraph));
+  json.Add("requesters", static_cast<int64_t>(kRequesters));
+  json.Add("per_caller_calls", base_calls);
+  json.Add("sharded_calls", sharded_calls);
+  json.Add("reduction", reduction);
+  json.Add("flushes", ss.flushes);
+  json.Add("coalesced_flushes", ss.coalesced_flushes);
+  json.Add("batch_occupancy", ss.batch_occupancy());
+  json.Add("per_caller_seconds", baseline.value().result.seconds);
+  json.Add("sharded_seconds", run.value().result.seconds);
+
+  if (run.value().logits != baseline.value().logits) {
+    std::printf("FAIL: sharded and per-caller logits differ\n");
+    ++failures;
+  }
+  if (reduction < 2.0) {
+    std::printf("FAIL: model-invocation reduction %.2fx < 2x "
+                "(%lld per-caller vs %lld sharded)\n",
+                reduction, static_cast<long long>(base_calls),
+                static_cast<long long>(sharded_calls));
+    ++failures;
+  }
+  if (ss.coalesced_flushes < 1) {
+    std::printf("FAIL: no flush served more than one request\n");
+    ++failures;
+  }
+
+  table.Print("Sharded serving: model invocations under 16 concurrent "
+              "requesters over 2 graphs, per-caller unsharded vs sharded");
+  table.MaybeWriteCsv(BenchCsvDir(), "sharded_serve");
+  json.Write();
+  if (failures == 0) {
+    std::printf("OK: >=2x fewer model invocations across 2 graphs x %d "
+                "shards, bit-identical logits\n",
+                kShardsPerGraph);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  std::printf("Sharded serving benchmark (scale=%.2f)\n", env.scale);
+  return robogexp::bench::Run(env);
+}

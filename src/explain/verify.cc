@@ -181,7 +181,7 @@ VerifyResult VerifyCounterfactual(const WitnessConfig& cfg,
   RCW_CHECK(cfg.Valid());
   const EngineStats before = engine->stats();
   const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
-  const OverlayView removed = witness.RemovedView(&engine->full_view());
+  const OverlayView removed = witness.RemovedView(&engine->base_view());
   InferenceEngine::ScopedView sub_slot(engine, &sub);
   InferenceEngine::ScopedView removed_slot(engine, &removed);
   VerifyResult r = CwImpl(cfg, witness, engine, scheduler, sub_slot.id(),
@@ -202,7 +202,9 @@ VerifyResult VerifyRcw(const WitnessConfig& cfg, const Witness& witness,
   const EngineStats before = engine->stats();
   const FullView& full = engine->full_view();
   const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
-  const OverlayView removed = witness.RemovedView(&full);
+  // Over the engine's base view (== full_view() on ordinary engines), so
+  // the removed slot stays consistent with kFullView on shard engines.
+  const OverlayView removed = witness.RemovedView(&engine->base_view());
   InferenceEngine::ScopedView sub_slot(engine, &sub);
   InferenceEngine::ScopedView removed_slot(engine, &removed);
 
@@ -387,9 +389,9 @@ struct ExhaustiveState {
       const bool counter_ok = engine->Predict(dm_slot.id(), v) != l;
       if (!factual_ok || !counter_ok) {
         result->ok = false;
-        result->reason = factual_ok
-                             ? "exhaustive: counterfactual broken by disturbance"
-                             : "exhaustive: label flipped by disturbance";
+        result->reason =
+            factual_ok ? "exhaustive: counterfactual broken by disturbance"
+                       : "exhaustive: label flipped by disturbance";
         result->failed_node = v;
         result->counterexample = chosen;
         return true;
@@ -437,7 +439,9 @@ VerifyResult VerifyRcwExhaustive(const WitnessConfig& cfg,
   const EngineStats before = engine->stats();
   const FullView& full = engine->full_view();
   const EdgeSubsetView sub = witness.SubgraphView(cfg.graph->num_nodes());
-  const OverlayView removed = witness.RemovedView(&full);
+  // Over the engine's base view (== full_view() on ordinary engines), so
+  // the removed slot stays consistent with kFullView on shard engines.
+  const OverlayView removed = witness.RemovedView(&engine->base_view());
   InferenceEngine::ScopedView sub_slot(engine, &sub);
   InferenceEngine::ScopedView removed_slot(engine, &removed);
   VerifyResult cw = CwImpl(cfg, witness, engine, /*scheduler=*/nullptr,
@@ -517,8 +521,12 @@ WitnessServeViews::WitnessServeViews(InferenceEngine* engine,
   if (witness == nullptr) return;
   sub_ = std::make_unique<EdgeSubsetView>(
       witness->SubgraphView(engine->graph().num_nodes()));
+  // G ∖ Gs over the engine's base view: the whole graph on an ordinary
+  // engine, the replicated fragment on a shard engine (fragment-local
+  // witness serving — bit-identical, since G ∖ Gs only removes edges and
+  // so never reaches outside the replicated halo).
   removed_ =
-      std::make_unique<OverlayView>(witness->RemovedView(&engine->full_view()));
+      std::make_unique<OverlayView>(witness->RemovedView(&engine->base_view()));
   views_["sub"] = engine->Register(sub_.get());
   views_["removed"] = engine->Register(removed_.get());
 }
@@ -537,8 +545,10 @@ void WitnessEngineViews::Sync(const Witness& witness) {
   // is the explicit cache invalidation on witness edge-set mutation.
   auto sub = std::make_unique<EdgeSubsetView>(
       witness.SubgraphView(engine_->graph().num_nodes()));
+  // Over the engine's base view, like WitnessServeViews: whole graph on an
+  // ordinary engine, the replicated fragment on a shard engine.
   auto removed =
-      std::make_unique<OverlayView>(witness.RemovedView(&engine_->full_view()));
+      std::make_unique<OverlayView>(witness.RemovedView(&engine_->base_view()));
   if (!synced_) {
     sub_id_ = engine_->Register(sub.get());
     removed_id_ = engine_->Register(removed.get());

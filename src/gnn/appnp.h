@@ -28,6 +28,11 @@ class AppnpModel final : public GnnModel {
   /// range used here.
   int receptive_hops() const override { return 3; }
 
+  /// PPR push truncates by residual tolerance, not by hop count, so a
+  /// finite-halo fragment cannot guarantee bit-identical logits; APPNP is
+  /// served from whole-graph shards only.
+  bool InferenceIsReceptiveLocal() const override { return false; }
+
   Matrix InferSubset(const GraphView& view, const Matrix& features,
                      const std::vector<NodeId>& nodes) const override;
 

@@ -21,9 +21,20 @@ std::shared_ptr<const std::vector<double>> PackRow(const Matrix& rows,
 
 InferenceEngine::InferenceEngine(const GnnModel* model, const Graph* graph,
                                  const EngineOptions& opts)
-    : model_(model), graph_(graph), full_(graph), opts_(opts) {
+    : model_(model), graph_(graph), full_(graph), base_(&full_), opts_(opts) {
   RCW_CHECK(model != nullptr && graph != nullptr);
-  slots_[kFullView].view = &full_;
+  slots_[kFullView].view = base_;
+}
+
+InferenceEngine::InferenceEngine(const GnnModel* model, const Graph* graph,
+                                 const GraphView* base_view,
+                                 const EngineOptions& opts)
+    : model_(model), graph_(graph), full_(graph), base_(base_view),
+      opts_(opts) {
+  RCW_CHECK(model != nullptr && graph != nullptr && base_view != nullptr);
+  RCW_CHECK_MSG(base_view->num_nodes() == graph->num_nodes(),
+                "InferenceEngine: base view must share the graph's id space");
+  slots_[kFullView].view = base_;
 }
 
 std::vector<uint64_t> InferenceEngine::CanonicalFlipKeys(
@@ -188,7 +199,9 @@ void InferenceEngine::Warm(ViewId id, const std::vector<NodeId>& nodes) {
   const Matrix rows = model_->InferNodes(*view, graph_->features(), missing);
   std::vector<LogitsPtr> packed;
   packed.reserve(missing.size());
-  for (size_t i = 0; i < missing.size(); ++i) packed.push_back(PackRow(rows, i));
+  for (size_t i = 0; i < missing.size(); ++i) {
+    packed.push_back(PackRow(rows, i));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.model_invocations;
   stats_.batched_nodes += static_cast<int64_t>(missing.size());
@@ -222,11 +235,13 @@ void InferenceEngine::WarmOverlay(const std::vector<Edge>& flips,
     for (NodeId v : missing) LogitsOverlay(flips, v);
     return;
   }
-  const OverlayView overlay(&full_, EdgesOfKeys(canon));
+  const OverlayView overlay(base_, EdgesOfKeys(canon));
   const Matrix rows = model_->InferNodes(overlay, graph_->features(), missing);
   std::vector<LogitsPtr> packed;
   packed.reserve(missing.size());
-  for (size_t i = 0; i < missing.size(); ++i) packed.push_back(PackRow(rows, i));
+  for (size_t i = 0; i < missing.size(); ++i) {
+    packed.push_back(PackRow(rows, i));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.model_invocations;
   stats_.batched_nodes += static_cast<int64_t>(missing.size());
@@ -263,7 +278,7 @@ std::vector<double> InferenceEngine::LogitsOverlay(
     }
   }
 
-  const OverlayView overlay(&full_, EdgesOfKeys(canon));
+  const OverlayView overlay(base_, EdgesOfKeys(canon));
   auto logits = std::make_shared<const std::vector<double>>(
       model_->InferNode(overlay, graph_->features(), v));
 

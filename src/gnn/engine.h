@@ -71,6 +71,15 @@ struct EngineStats {
   int64_t batched_nodes = 0;
 };
 
+/// Accumulation — the unit sharded serving aggregates per-shard work in.
+inline EngineStats& operator+=(EngineStats& a, const EngineStats& b) {
+  a.node_queries += b.node_queries;
+  a.cache_hits += b.cache_hits;
+  a.model_invocations += b.model_invocations;
+  a.batched_nodes += b.batched_nodes;
+  return a;
+}
+
 /// Work delta (after - before), the unit every cost report is built from.
 inline EngineStats operator-(const EngineStats& after,
                              const EngineStats& before) {
@@ -94,7 +103,8 @@ class InferenceEngine {
   /// matches building an OverlayView from the flips directly. Shared with
   /// the async batching front, which coalesces overlay demand by the same
   /// key.
-  static std::vector<uint64_t> CanonicalFlipKeys(const std::vector<Edge>& flips);
+  static std::vector<uint64_t> CanonicalFlipKeys(
+      const std::vector<Edge>& flips);
 
   /// Hash for canonical flip-key vectors (FNV-1a over the keys).
   struct FlipKeyHash {
@@ -113,8 +123,20 @@ class InferenceEngine {
   InferenceEngine(const GnnModel* model, const Graph* graph,
                   const EngineOptions& opts = {});
 
+  /// Fragment-shard variant: slot kFullView (and the base of every
+  /// content-addressed overlay) is `base_view` instead of the whole graph.
+  /// `graph` still supplies features and the global id space; `base_view`
+  /// must outlive the engine. This is how a GraphShard serves a partition
+  /// fragment: its engine sees only the replicated fragment data, yet — for
+  /// receptive-field-local models with a sufficient halo — computes logits
+  /// bit-identical to a whole-graph engine (see FragmentView).
+  InferenceEngine(const GnnModel* model, const Graph* graph,
+                  const GraphView* base_view, const EngineOptions& opts = {});
+
   const GnnModel& model() const { return *model_; }
   const Graph& graph() const { return *graph_; }
+  /// The kFullView binding: the whole graph, or the shard's base view.
+  const GraphView& base_view() const { return *base_; }
   const FullView& full_view() const { return full_; }
   const EngineOptions& options() const { return opts_; }
 
@@ -221,6 +243,9 @@ class InferenceEngine {
   const GnnModel* model_;
   const Graph* graph_;
   FullView full_;
+  /// Base view bound to kFullView and used as every overlay's base: &full_
+  /// for whole-graph engines, the caller's view for fragment shards.
+  const GraphView* base_;
   EngineOptions opts_;
 
   /// One content-addressed overlay entry set. The stamp is drawn fresh each

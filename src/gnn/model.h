@@ -37,6 +37,15 @@ class GnnModel {
   /// message-passing models; APPNP overrides node inference with PPR push).
   virtual int receptive_hops() const { return num_layers(); }
 
+  /// True when single-node inference provably reads nothing outside the
+  /// receptive_hops() ball — the property the Sec. VI inference-preserving
+  /// partition relies on: a fragment replicating a receptive_hops halo can
+  /// serve its owned nodes bit-identically to the whole graph. Models whose
+  /// localized inference is adaptive rather than hop-bounded (APPNP's PPR
+  /// push runs to tolerance, not to a radius) return false and must be
+  /// served from whole-graph shards.
+  virtual bool InferenceIsReceptiveLocal() const { return true; }
+
   /// Full-graph logits (|V| x C).
   Matrix Infer(const GraphView& view, const Matrix& features) const;
 

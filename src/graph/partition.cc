@@ -3,27 +3,47 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/util/rng.h"
+
 namespace robogexp {
 
 std::vector<Fragment> EdgeCutPartition(const Graph& graph, int num_fragments,
-                                       int halo_hops) {
+                                       int halo_hops, uint64_t seed) {
   RCW_CHECK(num_fragments >= 1);
   const NodeId n = graph.num_nodes();
   std::vector<int> owner(static_cast<size_t>(n), -1);
 
-  // BFS-grown regions: repeatedly grow a region from the lowest-id unassigned
-  // node until it reaches the target size. Deterministic and locality-aware.
+  // BFS-grown regions: repeatedly grow a region from an unassigned seed node
+  // until it reaches the target size. Deterministic (for a fixed `seed`) and
+  // locality-aware.
   const NodeId target =
       std::max<NodeId>(1, (n + num_fragments - 1) / num_fragments);
+  Rng rng(seed);
   int frag = 0;
   NodeId assigned = 0;
   NodeId scan = 0;
   while (assigned < n) {
-    // Find the next unassigned seed.
-    while (scan < n && owner[static_cast<size_t>(scan)] != -1) ++scan;
-    if (scan >= n) break;
-    std::deque<NodeId> q{scan};
-    owner[static_cast<size_t>(scan)] = frag;
+    // Find the next unassigned region seed: the lowest-id one in the
+    // historical seed==0 mode, a pseudo-random one otherwise (bounded draws,
+    // falling back to the scan so termination never depends on luck).
+    NodeId start = kInvalidNode;
+    if (seed != 0) {
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const NodeId cand =
+            static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+        if (owner[static_cast<size_t>(cand)] == -1) {
+          start = cand;
+          break;
+        }
+      }
+    }
+    if (start == kInvalidNode) {
+      while (scan < n && owner[static_cast<size_t>(scan)] != -1) ++scan;
+      if (scan >= n) break;
+      start = scan;
+    }
+    std::deque<NodeId> q{start};
+    owner[static_cast<size_t>(start)] = frag;
     ++assigned;
     NodeId in_frag = 1;
     while (!q.empty() && in_frag < target) {
@@ -50,7 +70,8 @@ std::vector<Fragment> EdgeCutPartition(const Graph& graph, int num_fragments,
     fragments[static_cast<size_t>(f)].owned = Bitmap(static_cast<size_t>(n));
   }
   for (NodeId u = 0; u < n; ++u) {
-    Fragment& fr = fragments[static_cast<size_t>(owner[static_cast<size_t>(u)])];
+    Fragment& fr =
+        fragments[static_cast<size_t>(owner[static_cast<size_t>(u)])];
     fr.owned_nodes.push_back(u);
     fr.owned.Set(static_cast<size_t>(u));
   }
@@ -67,15 +88,50 @@ std::vector<Fragment> EdgeCutPartition(const Graph& graph, int num_fragments,
 }
 
 int64_t CutSize(const Graph& graph, const std::vector<Fragment>& fragments) {
-  std::vector<int> owner(static_cast<size_t>(graph.num_nodes()), -1);
+  const std::vector<int> owner = FragmentOwners(graph.num_nodes(), fragments);
+  int64_t cut = 0;
+  for (const Edge& e : graph.Edges()) {
+    if (owner[static_cast<size_t>(e.u)] != owner[static_cast<size_t>(e.v)]) {
+      ++cut;
+    }
+  }
+  return cut;
+}
+
+std::vector<int> FragmentOwners(NodeId num_nodes,
+                                const std::vector<Fragment>& fragments) {
+  std::vector<int> owner(static_cast<size_t>(num_nodes), -1);
   for (const auto& fr : fragments) {
     for (NodeId u : fr.owned_nodes) owner[static_cast<size_t>(u)] = fr.id;
   }
-  int64_t cut = 0;
-  for (const Edge& e : graph.Edges()) {
-    if (owner[static_cast<size_t>(e.u)] != owner[static_cast<size_t>(e.v)]) ++cut;
+  return owner;
+}
+
+FragmentView::FragmentView(const Graph* graph, const Fragment& fragment)
+    : graph_(graph), member_(static_cast<size_t>(graph->num_nodes())) {
+  RCW_CHECK(graph != nullptr);
+  for (NodeId u : fragment.nodes_with_halo) {
+    RCW_CHECK(graph_->ValidNode(u));
+    member_.Set(static_cast<size_t>(u));
   }
-  return cut;
+}
+
+void FragmentView::AppendNeighbors(NodeId u, std::vector<NodeId>* out) const {
+  if (!Member(u)) return;
+  for (NodeId w : graph_->Neighbors(u)) {
+    if (member_.Test(static_cast<size_t>(w))) out->push_back(w);
+  }
+}
+
+int64_t FragmentView::CountEdges() const {
+  int64_t count = 0;
+  for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
+    if (!member_.Test(static_cast<size_t>(u))) continue;
+    for (NodeId w : graph_->Neighbors(u)) {
+      if (w > u && member_.Test(static_cast<size_t>(w))) ++count;
+    }
+  }
+  return count;
 }
 
 }  // namespace robogexp

@@ -97,10 +97,40 @@ struct SchedulerStats {
   /// Average distinct nodes per flush.
   double batch_occupancy() const {
     return flushes > 0
-               ? static_cast<double>(flushed_nodes) / static_cast<double>(flushes)
+               ? static_cast<double>(flushed_nodes) /
+                     static_cast<double>(flushes)
                : 0.0;
   }
 };
+
+/// Accumulation — the unit sharded serving aggregates per-shard batching in.
+inline SchedulerStats& operator+=(SchedulerStats& a, const SchedulerStats& b) {
+  a.submitted += b.submitted;
+  a.submitted_nodes += b.submitted_nodes;
+  a.flushes += b.flushes;
+  a.coalesced_flushes += b.coalesced_flushes;
+  a.size_flushes += b.size_flushes;
+  a.deadline_flushes += b.deadline_flushes;
+  a.drain_flushes += b.drain_flushes;
+  a.flushed_nodes += b.flushed_nodes;
+  return a;
+}
+
+/// Work delta (after - before), mirroring EngineStats — the unit sharded
+/// serving reports aggregate per-replay batching in.
+inline SchedulerStats operator-(const SchedulerStats& after,
+                                const SchedulerStats& before) {
+  SchedulerStats d;
+  d.submitted = after.submitted - before.submitted;
+  d.submitted_nodes = after.submitted_nodes - before.submitted_nodes;
+  d.flushes = after.flushes - before.flushes;
+  d.coalesced_flushes = after.coalesced_flushes - before.coalesced_flushes;
+  d.size_flushes = after.size_flushes - before.size_flushes;
+  d.deadline_flushes = after.deadline_flushes - before.deadline_flushes;
+  d.drain_flushes = after.drain_flushes - before.drain_flushes;
+  d.flushed_nodes = after.flushed_nodes - before.flushed_nodes;
+  return d;
+}
 
 class BatchScheduler {
  public:

@@ -11,13 +11,48 @@
 
 namespace robogexp {
 
+namespace {
+
+/// Parses the `<node,node,...>` tail shared by `r` and `g` lines.
+Status ParseNodeCsv(const std::string& csv, std::vector<NodeId>* out) {
+  std::istringstream nodes(csv);
+  std::string item;
+  while (std::getline(nodes, item, ',')) {
+    if (item.empty()) continue;
+    NodeId v = 0;
+    std::istringstream is(item);
+    if (!(is >> v) || v < 0) {
+      return Status::InvalidArgument("LoadRequestTrace: bad node id " + item);
+    }
+    out->push_back(v);
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("LoadRequestTrace: request without nodes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
                         const std::string& path) {
+  for (const TraceRequest& r : trace) {
+    if (r.graph_id < 0) {
+      return Status::InvalidArgument("SaveRequestTrace: negative graph id " +
+                                     std::to_string(r.graph_id));
+    }
+  }
   std::ofstream f(path);
   if (!f) return Status::Internal("SaveRequestTrace: cannot open " + path);
   f << "trace " << trace.size() << "\n";
   for (const TraceRequest& r : trace) {
-    f << "r " << r.view << " ";
+    // Graph-0 requests keep the v1 `r` form so single-graph traces stay
+    // readable by v1 parsers; only explicit other graphs need `g` lines.
+    if (r.graph_id == 0) {
+      f << "r " << r.view << " ";
+    } else {
+      f << "g " << r.graph_id << " " << r.view << " ";
+    }
     for (size_t i = 0; i < r.nodes.size(); ++i) {
       if (i > 0) f << ",";
       f << r.nodes[i];
@@ -51,32 +86,22 @@ StatusOr<std::vector<TraceRequest>> LoadRequestTrace(const std::string& path) {
       header_seen = true;
     } else if (!header_seen) {
       return Status::InvalidArgument("LoadRequestTrace: data before header");
-    } else if (tag == "r") {
+    } else if (tag == "r" || tag == "g") {
       if (trace.size() >= declared) {
         return Status::InvalidArgument(
             "LoadRequestTrace: more requests than declared");
       }
       TraceRequest r;
+      if (tag == "g") {
+        if (!(ss >> r.graph_id) || r.graph_id < 0) {
+          return Status::InvalidArgument("LoadRequestTrace: bad graph id");
+        }
+      }
       std::string csv;
       if (!(ss >> r.view >> csv)) {
         return Status::InvalidArgument("LoadRequestTrace: bad request line");
       }
-      std::istringstream nodes(csv);
-      std::string item;
-      while (std::getline(nodes, item, ',')) {
-        if (item.empty()) continue;
-        NodeId v = 0;
-        std::istringstream is(item);
-        if (!(is >> v) || v < 0) {
-          return Status::InvalidArgument(
-              "LoadRequestTrace: bad node id " + item);
-        }
-        r.nodes.push_back(v);
-      }
-      if (r.nodes.empty()) {
-        return Status::InvalidArgument(
-            "LoadRequestTrace: request without nodes");
-      }
+      RCW_RETURN_IF_ERROR(ParseNodeCsv(csv, &r.nodes));
       trace.push_back(std::move(r));
     } else {
       return Status::InvalidArgument("LoadRequestTrace: unknown tag " + tag);
@@ -104,6 +129,12 @@ StatusOr<ReplayResult> ReplayTrace(
   std::vector<InferenceEngine::ViewId> resolved;
   resolved.reserve(trace.size());
   for (const TraceRequest& r : trace) {
+    if (r.graph_id != 0) {
+      return Status::InvalidArgument(
+          "ReplayTrace: multi-graph trace (graph id " +
+          std::to_string(r.graph_id) +
+          ") needs the sharded driver, ReplayShardedTrace");
+    }
     auto it = views.find(r.view);
     if (it == views.end()) {
       return Status::InvalidArgument("ReplayTrace: unknown view " + r.view);
@@ -189,6 +220,95 @@ StatusOr<ReplayRun> ReplayAndCollect(
   ReplayRun run;
   run.result = r.value();
   run.logits = CollectServedLogits(engine, views, trace);
+  return run;
+}
+
+StatusOr<ShardedReplayResult> ReplayShardedTrace(
+    ShardRouter* router, const std::vector<TraceRequest>& trace,
+    const ReplayOptions& opts) {
+  RCW_CHECK(router != nullptr);
+  ShardRegistry* registry = router->registry();
+  // Validate the whole trace before the first request fires, mirroring the
+  // single-engine driver: unknown graphs, out-of-range nodes, and view
+  // names an owning shard does not serve all fail up front.
+  for (const TraceRequest& r : trace) {
+    for (NodeId v : r.nodes) {
+      auto shard = router->Route(r.graph_id, v);
+      RCW_RETURN_IF_ERROR(shard.status());
+      RCW_RETURN_IF_ERROR(shard.value()->ResolveView(r.view).status());
+    }
+  }
+
+  ShardedReplayResult result;
+  result.requests = static_cast<int64_t>(trace.size());
+  for (const TraceRequest& r : trace) {
+    result.nodes += static_cast<int64_t>(r.nodes.size());
+  }
+
+  const EngineStats engines_before = registry->AggregateEngineStats();
+  const SchedulerStats sched_before = registry->AggregateSchedulerStats();
+
+  const int num_threads =
+      std::max(1, std::min<int>(opts.num_threads,
+                                static_cast<int>(trace.size() > 0
+                                                     ? trace.size()
+                                                     : 1)));
+  Timer timer;
+  std::atomic<size_t> next{0};
+  std::latch start(num_threads);
+  auto worker = [&] {
+    start.arrive_and_wait();
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= trace.size()) break;
+      const TraceRequest& r = trace[i];
+      auto ticket =
+          router->Submit(r.graph_id, r.view, r.nodes, opts.use_scheduler);
+      // Validation above makes submission infallible here.
+      RCW_CHECK_MSG(ticket.ok(), ticket.status().ToString().c_str());
+      ticket.value().Wait();
+      // Serve the demand from the owning shards' caches.
+      for (NodeId v : r.nodes) {
+        GraphShard* shard = registry->Owner(r.graph_id, v);
+        shard->engine()->Logits(shard->ResolveView(r.view).value(), v);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  result.seconds = timer.Seconds();
+
+  result.scheduler_stats =
+      registry->AggregateSchedulerStats() - sched_before;
+  result.engine_delta = registry->AggregateEngineStats() - engines_before;
+  return result;
+}
+
+std::vector<std::vector<double>> CollectShardedLogits(
+    ShardRouter* router, const std::vector<TraceRequest>& trace) {
+  RCW_CHECK(router != nullptr);
+  std::vector<std::vector<double>> out;
+  for (const TraceRequest& r : trace) {
+    for (NodeId v : r.nodes) {
+      GraphShard* shard = router->registry()->Owner(r.graph_id, v);
+      RCW_CHECK(shard != nullptr);
+      out.push_back(
+          shard->engine()->Logits(shard->ResolveView(r.view).value(), v));
+    }
+  }
+  return out;
+}
+
+StatusOr<ShardedReplayRun> ReplayAndCollectSharded(
+    ShardRouter* router, const std::vector<TraceRequest>& trace,
+    const ReplayOptions& opts) {
+  auto r = ReplayShardedTrace(router, trace, opts);
+  RCW_RETURN_IF_ERROR(r.status());
+  ShardedReplayRun run;
+  run.result = r.value();
+  run.logits = CollectShardedLogits(router, trace);
   return run;
 }
 

@@ -4,14 +4,21 @@
 ///
 /// A trace is a list of logit requests against named engine view slots,
 /// replayed by many concurrent requester threads to exercise (and measure)
-/// the BatchScheduler's cross-request coalescing. The on-disk `.rrt` format
+/// the BatchScheduler's cross-request coalescing — single-engine, or fanned
+/// out across a ShardRegistry's graphs and shards. The on-disk `.rrt` format
 /// is line-oriented plain text like every other robogexp artifact (see
 /// docs/FILE_FORMATS.md):
 ///
 /// \verbatim
 ///   trace <num_requests>
 ///   r <view-name> <node,node,...>
+///   g <graph-id> <view-name> <node,node,...>
 /// \endverbatim
+///
+/// `r` lines are the v1 single-graph form and mean graph 0; `g` lines (v2)
+/// carry an explicit graph id for multi-graph serving. The two line forms
+/// mix freely, and SaveRequestTrace writes graph-0 requests as `r` lines so
+/// single-graph traces stay readable by v1 parsers.
 ///
 /// View names are resolved by the caller (the CLI maps "full", "sub" and
 /// "removed" to the base graph and the witness-derived slots); the format
@@ -24,21 +31,25 @@
 #include <vector>
 
 #include "src/serve/batch_scheduler.h"
+#include "src/serve/shard_registry.h"
 #include "src/util/status.h"
 
 namespace robogexp {
 
-/// One trace line: logit demand for `nodes` on the slot named `view`.
+/// One trace line: logit demand for `nodes` on the slot named `view` of
+/// graph `graph_id` (0 = the single-graph default).
 struct TraceRequest {
   std::string view;
   std::vector<NodeId> nodes;
+  int graph_id = 0;
 };
 
 Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
                         const std::string& path);
 
-/// Loads a `.rrt` file. The declared request count is a truncation guard: a
-/// partially-written trace fails loudly instead of replaying short.
+/// Loads a `.rrt` file (v1 `r` lines, v2 `g` lines, or a mix). The declared
+/// request count is a truncation guard: a partially-written trace fails
+/// loudly instead of replaying short.
 StatusOr<std::vector<TraceRequest>> LoadRequestTrace(const std::string& path);
 
 struct ReplayOptions {
@@ -63,10 +74,11 @@ struct ReplayResult {
 
 /// Replays `trace` against `engine` with opts.num_threads concurrent
 /// requesters. `views` maps trace view names to registered engine slots;
-/// an unknown name fails the whole replay before any request runs. Each
-/// requester submits (or, per-caller mode, warms) its request and then reads
-/// every requested node's logits back through the engine cache, so the
-/// demand is genuinely served, not just queued.
+/// an unknown name — or a non-zero graph id, this is the single-graph
+/// driver — fails the whole replay before any request runs. Each requester
+/// submits (or, per-caller mode, warms) its request and then reads every
+/// requested node's logits back through the engine cache, so the demand is
+/// genuinely served, not just queued.
 StatusOr<ReplayResult> ReplayTrace(
     InferenceEngine* engine,
     const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
@@ -95,6 +107,51 @@ StatusOr<ReplayRun> ReplayAndCollect(
     InferenceEngine* engine,
     const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
     const std::vector<TraceRequest>& trace, const ReplayOptions& opts);
+
+/// Multi-graph replay outcome: per-process aggregates across every shard
+/// the trace touched.
+struct ShardedReplayResult {
+  int64_t requests = 0;
+  int64_t nodes = 0;
+  double seconds = 0.0;
+  /// Engine work summed across all shard engines (after - before).
+  EngineStats engine_delta;
+  /// Batching summed across all shard schedulers (after - before).
+  SchedulerStats scheduler_stats;
+};
+
+/// Replays `trace` through `router` with opts.num_threads concurrent
+/// requesters fanning demand out across graphs and shards. Every request is
+/// validated up front — graph id registered, node ids in range, view name
+/// served by each owning shard — so a malformed trace fails before any
+/// demand reaches an engine. opts.use_scheduler = false bypasses the shard
+/// schedulers (the per-caller baseline). As in the single-engine driver,
+/// each requester reads its nodes' logits back after the submit, so the
+/// demand is genuinely served from the owning shards' caches.
+StatusOr<ShardedReplayResult> ReplayShardedTrace(
+    ShardRouter* router, const std::vector<TraceRequest>& trace,
+    const ReplayOptions& opts);
+
+/// Cached logit read-back in trace order from the owning shards — the
+/// sharded comparison payload. Bit-identity against a single-engine
+/// reference replay of the same trace is the sharding contract.
+/// Precondition (mirroring CollectServedLogits): the trace must already
+/// have passed a ReplayShardedTrace on the same router — unknown graph ids
+/// or view names here are a programming error (CHECK), not a Status.
+std::vector<std::vector<double>> CollectShardedLogits(
+    ShardRouter* router, const std::vector<TraceRequest>& trace);
+
+/// A sharded replay plus its comparison payload.
+struct ShardedReplayRun {
+  ShardedReplayResult result;
+  std::vector<std::vector<double>> logits;
+};
+
+/// ReplayShardedTrace followed by CollectShardedLogits — the routine behind
+/// `robogexp serve --shards/--graph ...` and bench_sharded_serve.
+StatusOr<ShardedReplayRun> ReplayAndCollectSharded(
+    ShardRouter* router, const std::vector<TraceRequest>& trace,
+    const ReplayOptions& opts);
 
 }  // namespace robogexp
 

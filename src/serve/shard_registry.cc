@@ -1,0 +1,293 @@
+#include "src/serve/shard_registry.h"
+
+#include <algorithm>
+
+namespace robogexp {
+
+bool GraphShard::Owns(NodeId v) const {
+  if (!graph_->ValidNode(v)) return false;
+  if (fragment_view_ == nullptr) return true;
+  return owned_.Test(static_cast<size_t>(v));
+}
+
+void GraphShard::RegisterView(const std::string& name,
+                              InferenceEngine::ViewId id) {
+  views_[name] = id;
+}
+
+StatusOr<InferenceEngine::ViewId> GraphShard::ResolveView(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::InvalidArgument("GraphShard: graph " +
+                                   std::to_string(graph_id_) + " shard " +
+                                   std::to_string(index_) +
+                                   " serves no view named " + name);
+  }
+  return it->second;
+}
+
+BatchScheduler::Ticket GraphShard::Submit(InferenceEngine::ViewId view,
+                                          const std::vector<NodeId>& nodes,
+                                          bool use_scheduler) {
+  if (scheduler_ != nullptr && use_scheduler) {
+    return scheduler_->Submit(view, nodes);
+  }
+  // Per-caller path: a synchronous warm, ticket already complete.
+  engine_->Warm(view, nodes);
+  return BatchScheduler::Ticket();
+}
+
+Status ShardRegistry::ValidateRegistration(int graph_id, const Graph* graph,
+                                           const GnnModel* model) const {
+  if (graph == nullptr || model == nullptr) {
+    return Status::InvalidArgument("ShardRegistry: null graph or model");
+  }
+  if (graphs_.count(graph_id) > 0) {
+    return Status::InvalidArgument("ShardRegistry: graph id " +
+                                   std::to_string(graph_id) +
+                                   " already registered");
+  }
+  if (model->num_features() != graph->num_features()) {
+    return Status::InvalidArgument(
+        "ShardRegistry: model expects " +
+        std::to_string(model->num_features()) + " features, graph " +
+        std::to_string(graph_id) + " has " +
+        std::to_string(graph->num_features()));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<GraphShard> ShardRegistry::MakeWholeGraphShard(
+    int graph_id, const Graph* graph, const GnnModel* model) {
+  auto shard = std::unique_ptr<GraphShard>(new GraphShard());
+  shard->graph_id_ = graph_id;
+  shard->index_ = 0;
+  shard->graph_ = graph;
+  shard->model_ = model;
+  shard->owned_nodes_.resize(static_cast<size_t>(graph->num_nodes()));
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    shard->owned_nodes_[static_cast<size_t>(v)] = v;
+  }
+  shard->views_["full"] = InferenceEngine::kFullView;
+  return shard;
+}
+
+GraphShard* ShardRegistry::InstallSingleShardEntry(
+    int graph_id, std::unique_ptr<GraphShard> shard) {
+  GraphEntry entry;
+  entry.graph = shard->graph_;
+  entry.model = shard->model_;
+  entry.owner.assign(static_cast<size_t>(shard->graph_->num_nodes()), 0);
+  GraphShard* out = shard.get();
+  entry.shards.push_back(std::move(shard));
+  graphs_.emplace(graph_id, std::move(entry));
+  return out;
+}
+
+StatusOr<GraphShard*> ShardRegistry::RegisterGraph(int graph_id,
+                                                   const Graph* graph,
+                                                   const GnnModel* model,
+                                                   const ShardOptions& opts) {
+  RCW_RETURN_IF_ERROR(ValidateRegistration(graph_id, graph, model));
+  auto shard = MakeWholeGraphShard(graph_id, graph, model);
+  shard->engine_storage_ =
+      std::make_unique<InferenceEngine>(model, graph, opts.engine);
+  shard->engine_ = shard->engine_storage_.get();
+  if (opts.async_batching) {
+    shard->scheduler_storage_ =
+        std::make_unique<BatchScheduler>(shard->engine_, opts.scheduler);
+    shard->scheduler_ = shard->scheduler_storage_.get();
+  }
+  return InstallSingleShardEntry(graph_id, std::move(shard));
+}
+
+StatusOr<std::vector<GraphShard*>> ShardRegistry::RegisterPartitionedGraph(
+    int graph_id, const Graph* graph, const GnnModel* model, int num_shards,
+    const ShardOptions& opts, int halo_hops, uint64_t partition_seed) {
+  RCW_RETURN_IF_ERROR(ValidateRegistration(graph_id, graph, model));
+  if (num_shards < 1) {
+    return Status::InvalidArgument("ShardRegistry: num_shards must be >= 1");
+  }
+  if (!model->InferenceIsReceptiveLocal()) {
+    return Status::InvalidArgument(
+        "ShardRegistry: " + model->name() +
+        " inference is not receptive-field-local; a finite halo cannot "
+        "preserve its logits — register the graph whole instead");
+  }
+  // The halo must cover the model's receptive field, or fragment-local
+  // inference would read truncated neighborhoods.
+  const int halo = std::max(halo_hops, model->receptive_hops());
+  const std::vector<Fragment> fragments =
+      EdgeCutPartition(*graph, num_shards, halo, partition_seed);
+
+  GraphEntry entry;
+  entry.graph = graph;
+  entry.model = model;
+  entry.owner = FragmentOwners(graph->num_nodes(), fragments);
+
+  std::vector<GraphShard*> out;
+  out.reserve(fragments.size());
+  for (const Fragment& fr : fragments) {
+    auto shard = std::unique_ptr<GraphShard>(new GraphShard());
+    shard->graph_id_ = graph_id;
+    shard->index_ = fr.id;
+    shard->graph_ = graph;
+    shard->model_ = model;
+    shard->owned_ = fr.owned;
+    shard->owned_nodes_ = fr.owned_nodes;
+    shard->fragment_view_ = std::make_unique<FragmentView>(graph, fr);
+    shard->engine_storage_ = std::make_unique<InferenceEngine>(
+        model, graph, shard->fragment_view_.get(), opts.engine);
+    shard->engine_ = shard->engine_storage_.get();
+    if (opts.async_batching) {
+      shard->scheduler_storage_ =
+          std::make_unique<BatchScheduler>(shard->engine_, opts.scheduler);
+      shard->scheduler_ = shard->scheduler_storage_.get();
+    }
+    shard->views_["full"] = InferenceEngine::kFullView;
+    out.push_back(shard.get());
+    entry.shards.push_back(std::move(shard));
+  }
+  graphs_.emplace(graph_id, std::move(entry));
+  return out;
+}
+
+StatusOr<GraphShard*> ShardRegistry::RegisterExternal(
+    int graph_id, const Graph* graph, const GnnModel* model,
+    InferenceEngine* engine, BatchScheduler* scheduler) {
+  RCW_RETURN_IF_ERROR(ValidateRegistration(graph_id, graph, model));
+  if (engine == nullptr) {
+    return Status::InvalidArgument("ShardRegistry: null external engine");
+  }
+  if (&engine->graph() != graph) {
+    return Status::InvalidArgument(
+        "ShardRegistry: external engine serves a different graph object");
+  }
+  if (scheduler != nullptr && scheduler->engine() != engine) {
+    return Status::InvalidArgument(
+        "ShardRegistry: external scheduler fronts a different engine");
+  }
+  auto shard = MakeWholeGraphShard(graph_id, graph, model);
+  shard->engine_ = engine;
+  shard->scheduler_ = scheduler;
+  return InstallSingleShardEntry(graph_id, std::move(shard));
+}
+
+std::vector<int> ShardRegistry::graph_ids() const {
+  std::vector<int> ids;
+  ids.reserve(graphs_.size());
+  for (const auto& [id, entry] : graphs_) ids.push_back(id);
+  return ids;
+}
+
+const Graph* ShardRegistry::graph(int graph_id) const {
+  auto it = graphs_.find(graph_id);
+  return it == graphs_.end() ? nullptr : it->second.graph;
+}
+
+int ShardRegistry::num_shards(int graph_id) const {
+  auto it = graphs_.find(graph_id);
+  return it == graphs_.end() ? 0 : static_cast<int>(it->second.shards.size());
+}
+
+GraphShard* ShardRegistry::Owner(int graph_id, NodeId v) const {
+  auto it = graphs_.find(graph_id);
+  if (it == graphs_.end()) return nullptr;
+  const GraphEntry& entry = it->second;
+  if (v < 0 || static_cast<size_t>(v) >= entry.owner.size()) return nullptr;
+  return entry.shards[static_cast<size_t>(entry.owner[static_cast<size_t>(v)])]
+      .get();
+}
+
+std::vector<GraphShard*> ShardRegistry::AllShards() const {
+  std::vector<GraphShard*> out;
+  for (const auto& [id, entry] : graphs_) {
+    for (const auto& shard : entry.shards) out.push_back(shard.get());
+  }
+  return out;
+}
+
+EngineStats ShardRegistry::AggregateEngineStats() const {
+  EngineStats total;
+  for (const GraphShard* shard : AllShards()) {
+    total += shard->engine()->stats();
+  }
+  return total;
+}
+
+SchedulerStats ShardRegistry::AggregateSchedulerStats() const {
+  SchedulerStats total;
+  for (const GraphShard* shard : AllShards()) {
+    if (shard->scheduler() != nullptr) total += shard->scheduler()->stats();
+  }
+  return total;
+}
+
+ShardRouter::ShardRouter(ShardRegistry* registry) : registry_(registry) {
+  RCW_CHECK(registry != nullptr);
+}
+
+StatusOr<GraphShard*> ShardRouter::Route(int graph_id, NodeId v) const {
+  if (!registry_->HasGraph(graph_id)) {
+    return Status::InvalidArgument("ShardRouter: unknown graph id " +
+                                   std::to_string(graph_id));
+  }
+  GraphShard* shard = registry_->Owner(graph_id, v);
+  if (shard == nullptr) {
+    return Status::InvalidArgument(
+        "ShardRouter: node " + std::to_string(v) +
+        " out of range for graph " + std::to_string(graph_id));
+  }
+  return shard;
+}
+
+StatusOr<ShardRouter::MultiTicket> ShardRouter::Submit(
+    int graph_id, const std::string& view, const std::vector<NodeId>& nodes,
+    bool use_scheduler) {
+  // Resolve everything before any demand reaches an engine: a bad request
+  // must fail whole, not half-warm some shards.
+  std::vector<GraphShard*> order;  // first-touch order, deterministic
+  std::unordered_map<GraphShard*, std::vector<NodeId>> groups;
+  for (NodeId v : nodes) {
+    auto shard = Route(graph_id, v);
+    RCW_RETURN_IF_ERROR(shard.status());
+    auto [it, fresh] = groups.try_emplace(shard.value());
+    if (fresh) order.push_back(shard.value());
+    it->second.push_back(v);
+  }
+  std::vector<InferenceEngine::ViewId> resolved;
+  resolved.reserve(order.size());
+  for (GraphShard* shard : order) {
+    auto id = shard->ResolveView(view);
+    RCW_RETURN_IF_ERROR(id.status());
+    resolved.push_back(id.value());
+  }
+  MultiTicket ticket;
+  ticket.tickets_.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    ticket.tickets_.push_back(
+        order[i]->Submit(resolved[i], groups[order[i]], use_scheduler));
+  }
+  return ticket;
+}
+
+StatusOr<std::vector<double>> ShardRouter::Logits(int graph_id,
+                                                  const std::string& view,
+                                                  NodeId v) {
+  auto shard = Route(graph_id, v);
+  RCW_RETURN_IF_ERROR(shard.status());
+  auto id = shard.value()->ResolveView(view);
+  RCW_RETURN_IF_ERROR(id.status());
+  shard.value()->Submit(id.value(), {v}).Wait();
+  return shard.value()->engine()->Logits(id.value(), v);
+}
+
+StatusOr<Label> ShardRouter::Predict(int graph_id, const std::string& view,
+                                     NodeId v) {
+  auto logits = Logits(graph_id, view, v);
+  RCW_RETURN_IF_ERROR(logits.status());
+  return ArgmaxLabel(logits.value());
+}
+
+}  // namespace robogexp

@@ -1,0 +1,260 @@
+/// \file
+/// Sharded multi-graph serving: GraphShard, ShardRegistry, ShardRouter.
+///
+/// PRs 2–4 built a serving stack — engine cache, async batching front,
+/// request-trace replay — that assumed one process serves one graph. This
+/// layer removes that assumption: a ShardRegistry holds many graphs (the
+/// production shape is heavy traffic over many molecule / provenance
+/// graphs), each served by one or more GraphShards, and a thin ShardRouter
+/// maps `(graph_id, node)` demand to the owning shard.
+///
+/// A shard owns either
+///
+///  - a whole standalone graph (one shard serves all of it),
+///  - one fragment of the Sec. VI inference-preserving edge-cut partition
+///    (src/graph/partition.h): the shard's engine runs over a FragmentView —
+///    the fragment's owned nodes plus the replicated receptive-hops halo —
+///    so every owned node, border nodes included, is served locally and
+///    bit-identically to a whole-graph engine, or
+///  - an externally owned engine (+ optional scheduler), e.g. a
+///    WitnessMaintainer's (see ServeMaintained in src/stream/maintain.h), so
+///    serving traffic and maintenance demand coalesce on one engine.
+///
+/// Each shard runs its own InferenceEngine and (optionally) its own
+/// BatchScheduler, so concurrent requests against different shards batch
+/// independently, and requests against the same shard coalesce exactly as in
+/// single-graph serving. The router splits a multi-node request by owner,
+/// submits one coalescable unit per shard, and aggregates per-shard
+/// SchedulerStats/EngineStats for honest whole-process accounting.
+///
+/// Registration (RegisterGraph / RegisterPartitionedGraph / RegisterExternal
+/// / RegisterView) is a setup-phase API: finish it before serving traffic.
+/// Serving itself (Route / Submit / Logits / Predict) is thread-safe — it
+/// only reads registry structure and drives the shards' thread-safe engines
+/// and schedulers.
+#ifndef ROBOGEXP_SERVE_SHARD_REGISTRY_H_
+#define ROBOGEXP_SERVE_SHARD_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/partition.h"
+#include "src/serve/batch_scheduler.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// Per-shard serving knobs.
+struct ShardOptions {
+  EngineOptions engine;
+  /// Attach a per-shard BatchScheduler (the async cross-request batching
+  /// front). Off = every Submit is a synchronous engine warm.
+  bool async_batching = true;
+  BatchSchedulerOptions scheduler;
+};
+
+/// One serving shard: a slice of one graph plus the engine (and optional
+/// async batching front) that serves it. Built by ShardRegistry.
+class GraphShard {
+ public:
+  GraphShard(const GraphShard&) = delete;
+  GraphShard& operator=(const GraphShard&) = delete;
+
+  int graph_id() const { return graph_id_; }
+  /// Shard index within its graph (0 for whole-graph/external shards).
+  int index() const { return index_; }
+  const Graph& graph() const { return *graph_; }
+  const GnnModel& model() const { return *model_; }
+
+  /// True when this shard serves a partition fragment (vs the whole graph).
+  bool partitioned() const { return fragment_view_ != nullptr; }
+  /// The fragment view a partitioned shard's engine runs over.
+  const FragmentView* fragment_view() const { return fragment_view_.get(); }
+
+  /// True when this shard is responsible for serving node `v`.
+  bool Owns(NodeId v) const;
+  const std::vector<NodeId>& owned_nodes() const { return owned_nodes_; }
+
+  InferenceEngine* engine() const { return engine_; }
+  /// The shard's async batching front; null when serving synchronously.
+  BatchScheduler* scheduler() const { return scheduler_; }
+
+  /// Maps serving view name `name` onto engine slot `id` (e.g. the
+  /// witness-derived "sub"/"removed" slots of WitnessServeViews, or a
+  /// maintainer's live witness slots). "full" is pre-registered to the
+  /// engine's base view. Setup-phase only. Re-registering a name rebinds it.
+  void RegisterView(const std::string& name, InferenceEngine::ViewId id);
+
+  /// Resolves a serving view name; error for unknown names.
+  StatusOr<InferenceEngine::ViewId> ResolveView(const std::string& name) const;
+  const std::unordered_map<std::string, InferenceEngine::ViewId>& views()
+      const {
+    return views_;
+  }
+
+  /// Coalescable demand: joins `nodes` onto the shard's pending batch of
+  /// `view` and returns a ticket (complete after the flush). When the shard
+  /// has no scheduler — or `use_scheduler` is false (the per-caller baseline
+  /// mode) — the warm runs synchronously and the returned ticket is already
+  /// complete. Either way the nodes' logits are afterwards served from this
+  /// shard's engine cache.
+  BatchScheduler::Ticket Submit(InferenceEngine::ViewId view,
+                                const std::vector<NodeId>& nodes,
+                                bool use_scheduler = true);
+
+ private:
+  friend class ShardRegistry;
+  GraphShard() = default;
+
+  int graph_id_ = 0;
+  int index_ = 0;
+  const Graph* graph_ = nullptr;
+  const GnnModel* model_ = nullptr;
+  /// Partitioned shards: owned-node bitmap + the replicated fragment view.
+  /// Declared before the engine storage — the engine reads the view until
+  /// destruction.
+  Bitmap owned_;
+  std::vector<NodeId> owned_nodes_;
+  std::unique_ptr<FragmentView> fragment_view_;
+  /// Owned engine/scheduler (null when borrowed from an external owner).
+  /// Scheduler storage is declared after engine storage so the scheduler —
+  /// which drains through the engine — is destroyed first.
+  std::unique_ptr<InferenceEngine> engine_storage_;
+  std::unique_ptr<BatchScheduler> scheduler_storage_;
+  InferenceEngine* engine_ = nullptr;
+  BatchScheduler* scheduler_ = nullptr;
+  std::unordered_map<std::string, InferenceEngine::ViewId> views_;
+};
+
+/// The process-wide shard table: graph id -> shards.
+class ShardRegistry {
+ public:
+  ShardRegistry() = default;
+  ShardRegistry(const ShardRegistry&) = delete;
+  ShardRegistry& operator=(const ShardRegistry&) = delete;
+
+  /// Registers `graph` as graph `graph_id`, served whole by ONE shard.
+  /// `graph` and `model` must outlive the registry. Duplicate ids, null
+  /// inputs, and model/graph feature mismatches are errors.
+  StatusOr<GraphShard*> RegisterGraph(int graph_id, const Graph* graph,
+                                      const GnnModel* model,
+                                      const ShardOptions& opts = {});
+
+  /// Registers `graph` split into `num_shards` fragments of an edge-cut
+  /// partition with an inference-preserving halo of
+  /// max(halo_hops, model->receptive_hops()) hops (halo_hops < 0 = use the
+  /// model's receptive radius), one shard per fragment. Requires
+  /// model->InferenceIsReceptiveLocal() — adaptive-locality models (APPNP)
+  /// must be served whole — and num_shards >= 1. `partition_seed` selects
+  /// among equally valid partitions (0 = deterministic lowest-id growth).
+  StatusOr<std::vector<GraphShard*>> RegisterPartitionedGraph(
+      int graph_id, const Graph* graph, const GnnModel* model, int num_shards,
+      const ShardOptions& opts = {}, int halo_hops = -1,
+      uint64_t partition_seed = 0);
+
+  /// Registers a shard serving `graph` whole on an engine (and optional
+  /// scheduler) owned elsewhere — the hookup a WitnessMaintainer uses so one
+  /// engine carries both serving and maintenance demand. `engine` must be an
+  /// engine over `graph`/`model`; everything must outlive the registry.
+  StatusOr<GraphShard*> RegisterExternal(int graph_id, const Graph* graph,
+                                         const GnnModel* model,
+                                         InferenceEngine* engine,
+                                         BatchScheduler* scheduler);
+
+  bool HasGraph(int graph_id) const { return graphs_.count(graph_id) > 0; }
+  /// Registered graph ids, ascending.
+  std::vector<int> graph_ids() const;
+  const Graph* graph(int graph_id) const;
+  int num_shards(int graph_id) const;
+
+  /// The shard responsible for (graph_id, v); null for unknown graph ids or
+  /// out-of-range nodes.
+  GraphShard* Owner(int graph_id, NodeId v) const;
+
+  /// Every registered shard, graphs ascending, shard index ascending.
+  std::vector<GraphShard*> AllShards() const;
+
+  /// Work across every shard engine (summed) — the whole-process analogue
+  /// of EngineStats deltas in single-graph serving.
+  EngineStats AggregateEngineStats() const;
+  /// Batching across every shard scheduler (summed; external shards without
+  /// a scheduler contribute nothing).
+  SchedulerStats AggregateSchedulerStats() const;
+
+ private:
+  struct GraphEntry {
+    const Graph* graph = nullptr;
+    const GnnModel* model = nullptr;
+    /// node -> owning shard index (all zero for single-shard graphs).
+    std::vector<int> owner;
+    std::vector<std::unique_ptr<GraphShard>> shards;
+  };
+
+  Status ValidateRegistration(int graph_id, const Graph* graph,
+                              const GnnModel* model) const;
+
+  /// Shared skeleton of RegisterGraph/RegisterExternal: a shard owning
+  /// every node of `graph`, with the "full" view bound, but no engine yet.
+  static std::unique_ptr<GraphShard> MakeWholeGraphShard(int graph_id,
+                                                         const Graph* graph,
+                                                         const GnnModel* model);
+
+  /// Installs a single-shard GraphEntry (all nodes owned by shard 0).
+  GraphShard* InstallSingleShardEntry(int graph_id,
+                                      std::unique_ptr<GraphShard> shard);
+
+  std::map<int, GraphEntry> graphs_;
+};
+
+/// Thin request router over a ShardRegistry: name-addressed, halo-aware
+/// (border nodes resolve to their owning fragment shard, which serves them
+/// locally), and aggregation-friendly.
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRegistry* registry);
+
+  ShardRegistry* registry() const { return registry_; }
+
+  /// The shard owning (graph_id, v); errors carry why.
+  StatusOr<GraphShard*> Route(int graph_id, NodeId v) const;
+
+  /// Completion handle spanning the per-shard tickets of one Submit.
+  class MultiTicket {
+   public:
+    MultiTicket() = default;
+    /// Blocks until every per-shard batch has been flushed.
+    void Wait() {
+      for (auto& t : tickets_) t.Wait();
+    }
+
+   private:
+    friend class ShardRouter;
+    std::vector<BatchScheduler::Ticket> tickets_;
+  };
+
+  /// Splits `nodes` by owning shard (order-preserving within each shard)
+  /// and submits one coalescable unit per shard on the view named `view`.
+  /// Fails up front — before any demand reaches an engine — on unknown
+  /// graph ids, out-of-range nodes, or a view name some owning shard does
+  /// not serve. After Wait(), every node's logits are cached on its owner.
+  StatusOr<MultiTicket> Submit(int graph_id, const std::string& view,
+                               const std::vector<NodeId>& nodes,
+                               bool use_scheduler = true);
+
+  /// Submit + wait + cached read of one node — the sharded analogue of
+  /// BatchScheduler::Logits, bit-identical to querying an unsharded engine.
+  StatusOr<std::vector<double>> Logits(int graph_id, const std::string& view,
+                                       NodeId v);
+  /// Argmax label of Logits().
+  StatusOr<Label> Predict(int graph_id, const std::string& view, NodeId v);
+
+ private:
+  ShardRegistry* registry_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_SERVE_SHARD_REGISTRY_H_

@@ -51,6 +51,9 @@ MaintainReport WitnessMaintainer::Initialize() {
   base_logits_fresh_ = false;
   known_graph_version_ = graph_->mutation_version();
   initialized_ = true;
+  // Bind the witness-view slots now rather than lazily: a serving front
+  // (ServeMaintained) may register them before the first maintenance round.
+  views_.Sync(witness_);
 
   MaintainReport report;
   report.action = MaintainAction::kInitialized;
@@ -101,6 +104,8 @@ MaintainReport WitnessMaintainer::Adopt(const Witness& witness) {
   report.unsecured.assign(unsecured_.begin(), unsecured_.end());
   std::sort(report.unsecured.begin(), report.unsecured.end());
   report.ok = unsecured_.empty();
+  // As in Initialize(): bind the serve-able witness-view slots eagerly.
+  views_.Sync(witness_);
   const EngineStats d = engine_.stats() - before;
   report.inference_calls += static_cast<int>(d.model_invocations);
   report.cache_hits += d.cache_hits;
@@ -117,7 +122,8 @@ std::vector<NodeId> WitnessMaintainer::unsecured() const {
 int WitnessMaintainer::RemainingBudget(NodeId v) const {
   if (!WithinCertificate(v, witness_.ProtectedKeys())) return 0;
   auto it = outstanding_.find(v);
-  const int spent = it == outstanding_.end() ? 0 : static_cast<int>(it->second.size());
+  const int spent =
+      it == outstanding_.end() ? 0 : static_cast<int>(it->second.size());
   return std::max(0, cfg_.k - spent);
 }
 
@@ -171,7 +177,8 @@ void WitnessMaintainer::RefreshBaseLogits() {
   if (base_logits_fresh_) return;
   // Mirrors the per-call BaseLogits computation of GenerateRcw (and like
   // there, it is direct model work, not engine-counted inference).
-  base_logits_ = cfg_.model->BaseLogits(engine_.full_view(), graph_->features());
+  base_logits_ =
+      cfg_.model->BaseLogits(engine_.full_view(), graph_->features());
   base_logits_fresh_ = true;
 }
 
@@ -208,10 +215,16 @@ void WitnessMaintainer::ResecureWithGrowthProbes(
       recovered->insert(v);
     }
     round.clear();
-    // Which covered nodes can the newly added witness edges perturb? Only
-    // those whose receptive ball sees one: witness growth does not change
-    // the graph, so the hazard radius is the model's receptive field, not
-    // the full maintenance radius.
+    // Which covered nodes can the newly added witness edges perturb?
+    // Witness growth does not change the graph, but it changes every
+    // landscape a verdict is built from — the factual/counterfactual views
+    // AND the adversary's candidate space (grown edges and protected pairs
+    // are excluded from disturbances) — so the hazard radius is the full
+    // maintenance radius, and the probe must re-verify ROBUSTNESS, not just
+    // the CW conditions: in flip mode especially, growing the witness for
+    // one node can hand the insertion adversary a counterexample against
+    // another node whose CW probe still passes (caught by the randomized
+    // flip-stream equivalence suite).
     std::vector<Edge> grown;
     for (uint64_t key : witness_.edge_keys()) {
       if (edges_before.count(key) == 0) {
@@ -227,19 +240,13 @@ void WitnessMaintainer::ResecureWithGrowthProbes(
       }
     }
     LocalizeOptions popts;
-    popts.radius = cfg_.model->receptive_hops();
+    popts.radius = MaintenanceRadius(cfg_);
     const AffectedSet touched =
         LocalizeFlips(engine_.full_view(), grown, covered, popts);
     if (touched.test_nodes.empty()) break;
     views_.Sync(witness_);
     WarmProbeViews(touched.test_nodes);
-    for (NodeId v : touched.test_nodes) {
-      const Label l = engine_.Predict(InferenceEngine::kFullView, v);
-      if (engine_.Predict(views_.sub_id(), v) != l ||
-          engine_.Predict(views_.removed_id(), v) == l) {
-        round.push_back(v);
-      }
-    }
+    round = VerifyNodesAtFullBudget(touched.test_nodes);
   }
   // Nodes still demoted when the pass cap ran out count as lost coverage.
   for (NodeId v : round) {
@@ -305,6 +312,11 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   const std::vector<Edge> flips = apply.value().Flips();
   auto finish = [&](MaintainAction action) {
     report.action = action;
+    // Leave the witness-view slots pointing at the *final* witness of this
+    // batch: re-securing can mutate the witness after the last mid-batch
+    // sync, and a serving front (ServeMaintained) reads the slots between
+    // batches. Version-checked — a no-op unless the edge set changed.
+    views_.Sync(witness_);
     const EngineStats d = engine_.stats() - before;
     report.inference_calls += static_cast<int>(d.model_invocations);
     report.cache_hits += d.cache_hits;
@@ -404,18 +416,17 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
                 recovered_set.size(), failed_set.size());
   }
 
-  // A node that was already uncovered and stays unsecurable is not a reason
-  // to regenerate — nothing was lost. Only failing a previously-covered
-  // node escalates to the last resort.
-  std::vector<NodeId> lost;
-  for (NodeId v : failed) {
-    if (unsecured_.count(v) == 0) lost.push_back(v);
-    outstanding_.erase(v);
-  }
-  if (lost.empty()) {
-    // Everything that was covered is covered again; `failed` holds only
-    // retried nodes that were already unsecurable before the batch, so per
-    // MaintainReport::ok's contract this batch is healthy.
+  // Any node the warm-started re-secure could not cover escalates to the
+  // scratch last resort — previously-covered (lost coverage) and retried
+  // previously-uncovered nodes alike. The warm start can be boxed in by
+  // inherited witness structure where a fresh search is not (the randomized
+  // flip-stream suite catches exactly this on insertion-heavy streams), and
+  // regeneration IS the from-scratch baseline, so after this escalation the
+  // maintained portfolio never covers less than regenerating the snapshot.
+  // Regeneration only fires on batches whose flips actually touched a
+  // failing node: untouched unsecurable nodes are never retried.
+  for (NodeId v : failed) outstanding_.erase(v);
+  if (failed.empty()) {
     report.unsecured = failed;
     return finish(MaintainAction::kResecured);
   }
@@ -429,6 +440,26 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   report.unsecured = gen.unsecured;
   report.ok = report.unsecured.empty();
   return finish(MaintainAction::kRegenerated);
+}
+
+StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
+                                      WitnessMaintainer* maintainer) {
+  if (registry == nullptr || maintainer == nullptr) {
+    return Status::InvalidArgument("ServeMaintained: null registry/maintainer");
+  }
+  const WitnessConfig& cfg = maintainer->config();
+  if (maintainer->views().sub_id() < 0) {
+    return Status::FailedPrecondition(
+        "ServeMaintained: maintainer has no witness views yet — call "
+        "Initialize() or Adopt() first");
+  }
+  auto shard = registry->RegisterExternal(graph_id, cfg.graph, cfg.model,
+                                          &maintainer->engine(),
+                                          maintainer->scheduler());
+  RCW_RETURN_IF_ERROR(shard.status());
+  shard.value()->RegisterView("sub", maintainer->views().sub_id());
+  shard.value()->RegisterView("removed", maintainer->views().removed_id());
+  return shard.value();
 }
 
 }  // namespace robogexp

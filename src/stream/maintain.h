@@ -39,6 +39,7 @@
 #include "src/explain/robogexp.h"
 #include "src/explain/verify.h"
 #include "src/serve/batch_scheduler.h"
+#include "src/serve/shard_registry.h"
 #include "src/stream/localize.h"
 #include "src/stream/update.h"
 
@@ -136,10 +137,16 @@ class WitnessMaintainer {
   /// MaintainOptions::async_batching is off.
   BatchScheduler* scheduler() { return scheduler_.get(); }
 
+  /// The maintainer's live witness-view slots (Gs as "sub", G ∖ Gs as
+  /// "removed"). The slot ids are stable across maintenance syncs — Sync()
+  /// rebinds the same ids — so a serving front can hold them for the
+  /// maintainer's lifetime. Valid after Initialize()/Adopt().
+  const WitnessEngineViews& views() const { return views_; }
+
  private:
   /// True when v's outstanding flips are inside the k-RCW certificate.
-  bool WithinCertificate(NodeId v,
-                         const std::unordered_set<uint64_t>& protected_keys) const;
+  bool WithinCertificate(
+      NodeId v, const std::unordered_set<uint64_t>& protected_keys) const;
 
   /// Rebuilds the witness without edges the stream deleted from the graph
   /// (protected pairs and nodes survive).
@@ -193,6 +200,25 @@ class WitnessMaintainer {
   uint64_t known_graph_version_ = 0;
   bool initialized_ = false;
 };
+
+/// Registers `maintainer`'s graph as graph `graph_id` in `registry`, served
+/// by the maintainer's own engine (and scheduler, when async batching is
+/// on): serving traffic and maintenance demand coalesce on ONE engine, and
+/// the maintained witness's Gs / G ∖ Gs slots are served under the
+/// conventional trace view names "sub" / "removed" (the slot ids stay
+/// stable across maintenance syncs, so the serving binding survives witness
+/// mutation). The maintainer must be initialized (Initialize()/Adopt())
+/// first and must outlive the registry. Maintenance is the single writer:
+/// serve between Apply() calls, not during one.
+///
+/// Bit-identity caveat: the maintainer invalidates caches per localized
+/// ball. For receptive-field-local models (GCN & co.) that is exact, so
+/// served logits equal a fresh engine's bit for bit; for adaptive-locality
+/// models (APPNP's PPR push) cached logits outside the maintenance radius
+/// may retain tolerance-level staleness — maintenance-grade, as the
+/// localizer documents, but not bitwise-fresh serving.
+StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
+                                      WitnessMaintainer* maintainer);
 
 }  // namespace robogexp
 

@@ -89,5 +89,100 @@ TEST(Partition, FragmentSizesAreBalanced) {
   }
 }
 
+TEST(Partition, SeededPartitionsKeepInvariantsAndDiffer) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto base = EdgeCutPartition(g, 4, 2);
+  bool any_differs = false;
+  for (const uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const auto frags = EdgeCutPartition(g, 4, 2, seed);
+    // Same run, same seed -> identical partition (replayable randomness).
+    const auto again = EdgeCutPartition(g, 4, 2, seed);
+    std::set<NodeId> seen;
+    int64_t edges = 0;
+    for (size_t f = 0; f < frags.size(); ++f) {
+      EXPECT_EQ(frags[f].owned_nodes, again[f].owned_nodes) << "seed " << seed;
+      for (NodeId u : frags[f].owned_nodes) {
+        EXPECT_TRUE(seen.insert(u).second) << "seed " << seed;
+      }
+      edges += static_cast<int64_t>(frags[f].owned_edges.size());
+      if (frags[f].owned_nodes != base[f].owned_nodes) any_differs = true;
+    }
+    EXPECT_EQ(static_cast<NodeId>(seen.size()), g.num_nodes());
+    EXPECT_EQ(edges, g.num_edges());
+  }
+  EXPECT_TRUE(any_differs)
+      << "five random seeds all reproduced the deterministic partition";
+}
+
+/// The Sec. VI halo-correctness property, brute-forced across random
+/// edge-cut seeds: for EVERY owned node — border nodes included — the L-hop
+/// ball computed inside the fragment (on FragmentView, i.e. only replicated
+/// data) must equal the whole-graph L-hop ball, node for node in BFS order,
+/// with every ball node keeping its true whole-graph degree. This is
+/// exactly what makes per-fragment inference bit-identical.
+TEST(Partition, FragmentBallsMatchWholeGraphBallsAcrossRandomSeeds) {
+  const Graph g = testing::MakeSmallSbm();
+  const FullView full(&g);
+  const int hops = 2;
+  for (const uint64_t seed : {0ull, 13ull, 77ull, 901ull}) {
+    for (const int num_fragments : {2, 5}) {
+      const auto frags = EdgeCutPartition(g, num_fragments, hops, seed);
+      for (const auto& fr : frags) {
+        const FragmentView view(&g, fr);
+        for (NodeId v : fr.owned_nodes) {
+          const auto local = KHopBall(view, v, hops);
+          const auto global = KHopBall(full, v, hops);
+          ASSERT_EQ(local, global)
+              << "seed " << seed << " fragments " << num_fragments
+              << " fragment " << fr.id << " node " << v;
+          for (NodeId u : local) {
+            EXPECT_EQ(view.Degree(u), g.Degree(u))
+                << "ball node " << u << " of owned node " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, FragmentViewExposesOnlyReplicatedData) {
+  const Graph g = testing::MakeTwoCommunityGraph();
+  const auto frags = EdgeCutPartition(g, 2, 1);
+  const FragmentView view(&g, frags[0]);
+  std::set<NodeId> halo(frags[0].nodes_with_halo.begin(),
+                        frags[0].nodes_with_halo.end());
+  int64_t member_count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(view.Member(v), halo.count(v) > 0);
+    if (!view.Member(v)) {
+      // No replicated data: degree 0, no edges, no neighbors.
+      EXPECT_EQ(view.Degree(v), 0);
+      EXPECT_TRUE(view.Neighbors(v).empty());
+    } else {
+      ++member_count;
+      for (NodeId w : view.Neighbors(v)) {
+        EXPECT_TRUE(halo.count(w) > 0);
+        EXPECT_TRUE(g.HasEdge(v, w));
+        EXPECT_TRUE(view.HasEdge(v, w));
+      }
+    }
+  }
+  EXPECT_EQ(member_count, static_cast<int64_t>(halo.size()));
+  EXPECT_LE(view.CountEdges(), g.num_edges());
+  EXPECT_EQ(view.num_nodes(), g.num_nodes()) << "ids stay global";
+}
+
+TEST(Partition, FragmentOwnersInvertsOwnedNodeLists) {
+  const Graph g = testing::MakeSmallSbm();
+  const auto frags = EdgeCutPartition(g, 3, 1, 42);
+  const auto owner = FragmentOwners(g.num_nodes(), frags);
+  ASSERT_EQ(owner.size(), static_cast<size_t>(g.num_nodes()));
+  for (const auto& fr : frags) {
+    for (NodeId u : fr.owned_nodes) {
+      EXPECT_EQ(owner[static_cast<size_t>(u)], fr.id);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace robogexp

@@ -110,6 +110,27 @@ run_cli(serve serve --graph "${GRAPH}" --model "${MODEL}"
         --witness "${WITNESS}" --replay "${TRACE}" --threads 5
         --deadline-us 50000 --compare)
 
+# Sharded multi-graph serving: register the graph twice (graph ids 0 and 1),
+# split each into two fragment shards with a seeded partition, and replay a
+# mixed v1/v2 trace through the router. The model is a GCN (trained here) so
+# fragment-local inference is receptive-field-local; --compare checks the
+# sharded logits bit-identical to the per-caller unsharded baseline.
+set(GCN_MODEL "${WORK_DIR}/toy_gcn.gnn")
+run_cli(train-gcn train --graph "${GRAPH}" --model-out "${GCN_MODEL}"
+        --arch gcn --epochs 120 --hidden 16 --seed 7)
+set(MULTI_TRACE "${WORK_DIR}/multi.rrt")
+file(WRITE "${MULTI_TRACE}" "trace 6
+r full 1,2,3
+g 1 full 4,5
+g 0 full 6,7
+g 1 full 8,9,10
+r full 11
+g 1 full 0
+")
+run_cli(serve-sharded serve --graph "${GRAPH}" --model "${GCN_MODEL}"
+        --graph "${GRAPH}" --shards 2 --partition-seed 3
+        --replay "${MULTI_TRACE}" --threads 6 --deadline-us 50000 --compare)
+
 foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}" "${STREAM}" "${MAINTAINED}")
   if(NOT EXISTS "${_artifact}")
     message(FATAL_ERROR "expected output file missing: ${_artifact}")

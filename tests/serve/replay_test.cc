@@ -54,6 +54,118 @@ TEST(RequestTraceIo, RejectsMalformedFiles) {
   EXPECT_FALSE(LoadRequestTrace(TempPath("missing.rrt")).ok());
 }
 
+TEST(RequestTraceIo, RoundTripsGraphIdsInV2Lines) {
+  // Multi-graph requests round trip through `g` lines; graph-0 requests are
+  // written as v1 `r` lines so single-graph traces stay v1-readable.
+  const std::vector<TraceRequest> trace = {{"full", {1, 2}, 0},
+                                           {"full", {3}, 2},
+                                           {"sub", {4, 5}, 1},
+                                           {"removed", {6}, 0}};
+  const std::string path = TempPath("v2roundtrip.rrt");
+  ASSERT_TRUE(SaveRequestTrace(trace, path).ok());
+  const auto loaded = LoadRequestTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].graph_id, trace[i].graph_id);
+    EXPECT_EQ(loaded.value()[i].view, trace[i].view);
+    EXPECT_EQ(loaded.value()[i].nodes, trace[i].nodes);
+  }
+  // On-disk: graph-0 lines carry the v1 tag.
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);  // header
+  std::getline(f, line);
+  EXPECT_EQ(line.rfind("r ", 0), 0u) << line;
+  std::getline(f, line);
+  EXPECT_EQ(line.rfind("g 2 ", 0), 0u) << line;
+}
+
+TEST(RequestTraceIo, MixedV1AndV2LinesLoadTogether) {
+  const std::string path = TempPath("mixed.rrt");
+  WriteFile(path, "trace 3\nr full 1,2\ng 1 full 3\nr sub 4\n");
+  const auto loaded = LoadRequestTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 3u);
+  EXPECT_EQ(loaded.value()[0].graph_id, 0);
+  EXPECT_EQ(loaded.value()[1].graph_id, 1);
+  EXPECT_EQ(loaded.value()[1].nodes, std::vector<NodeId>({3}));
+  EXPECT_EQ(loaded.value()[2].graph_id, 0);
+}
+
+TEST(RequestTraceIo, RejectsMalformedV2Lines) {
+  const std::string path = TempPath("badv2.rrt");
+  WriteFile(path, "trace 1\ng full 1\n");  // missing graph id
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\ng -1 full 1\n");  // negative graph id
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\ng 1 full\n");  // request without nodes
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 2\ng 1 full 1\n");  // truncated v2 trace
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  WriteFile(path, "trace 1\ng 1 full 1\ng 2 full 2\n");  // over-declared
+  EXPECT_FALSE(LoadRequestTrace(path).ok());
+  // Negative ids are a save-time error too, not silently written.
+  EXPECT_FALSE(SaveRequestTrace({{"full", {1}, -3}}, path).ok());
+}
+
+TEST(ReplayTrace, SingleEngineDriverRejectsMultiGraphTraces) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  const std::vector<TraceRequest> trace = {{"full", {1}, 0}, {"full", {2}, 1}};
+  const auto r = ReplayTrace(&engine, views, trace, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(engine.stats().node_queries, 0);
+}
+
+TEST(ReplayShardedTrace, RejectsUnknownGraphIdsUpFront) {
+  const auto& f = testing::TwoCommunityGcn();
+  ShardRegistry registry;
+  ASSERT_TRUE(registry.RegisterGraph(0, f.graph.get(), f.model.get()).ok());
+  ShardRouter router(&registry);
+  const std::vector<TraceRequest> trace = {{"full", {1}, 0}, {"full", {2}, 5}};
+  const auto r = ReplayShardedTrace(&router, trace, {});
+  EXPECT_FALSE(r.ok());
+  // Nothing ran: the bad graph id failed the whole replay up front.
+  EXPECT_EQ(registry.AggregateEngineStats().node_queries, 0);
+}
+
+TEST(ReplayShardedTrace, MatchesSingleEngineReplayOnAMixedTrace) {
+  const auto& g0 = testing::TwoCommunityGcn();
+  const auto& g1 = testing::SmallSbmGcn();
+  ShardRegistry registry;
+  ASSERT_TRUE(registry.RegisterGraph(0, g0.graph.get(), g0.model.get()).ok());
+  ASSERT_TRUE(registry
+                  .RegisterPartitionedGraph(1, g1.graph.get(), g1.model.get(),
+                                            2)
+                  .ok());
+  ShardRouter router(&registry);
+  const std::vector<TraceRequest> trace = {{"full", {0, 1, 2}, 0},
+                                           {"full", {5, 6}, 1},
+                                           {"full", {3}, 0},
+                                           {"full", {100, 200}, 1}};
+  ReplayOptions opts;
+  opts.num_threads = 4;
+  const auto run = ReplayAndCollectSharded(&router, trace, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().result.requests, 4);
+  EXPECT_EQ(run.value().result.nodes, 8);
+
+  InferenceEngine ref0(g0.model.get(), g0.graph.get());
+  InferenceEngine ref1(g1.model.get(), g1.graph.get());
+  InferenceEngine* refs[2] = {&ref0, &ref1};
+  size_t row = 0;
+  for (const TraceRequest& r : trace) {
+    for (NodeId v : r.nodes) {
+      EXPECT_EQ(run.value().logits[row++],
+                refs[static_cast<size_t>(r.graph_id)]->Logits(
+                    InferenceEngine::kFullView, v));
+    }
+  }
+}
+
 TEST(RequestTraceIo, SkipsCommentsAndBlankLines) {
   const std::string path = TempPath("comments.rrt");
   WriteFile(path, "# a serving trace\n\ntrace 1\n# one request\nr full 7\n");

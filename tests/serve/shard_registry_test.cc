@@ -1,0 +1,353 @@
+// Sharded multi-graph serving: registry/router invariants, halo-aware
+// border-node locality, and the randomized cross-shard equivalence suite —
+// sharded logits, verdicts, and maintained-witness serving must be
+// bit-identical to a single-engine reference, under concurrent mixed-graph
+// request load.
+#include "src/serve/shard_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/explain/robogexp.h"
+#include "src/explain/verify.h"
+#include "src/serve/replay.h"
+#include "src/stream/maintain.h"
+#include "src/stream/update.h"
+#include "src/util/rng.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+ShardOptions SyncShards() {
+  ShardOptions opts;
+  opts.async_batching = false;
+  return opts;
+}
+
+TEST(ShardRegistry, ValidatesRegistration) {
+  const auto& f = testing::TwoCommunityGcn();
+  ShardRegistry registry;
+  ASSERT_TRUE(registry.RegisterGraph(0, f.graph.get(), f.model.get()).ok());
+  // Duplicate ids and null inputs are setup errors.
+  EXPECT_FALSE(registry.RegisterGraph(0, f.graph.get(), f.model.get()).ok());
+  EXPECT_FALSE(registry.RegisterGraph(1, nullptr, f.model.get()).ok());
+  EXPECT_FALSE(registry.RegisterGraph(1, f.graph.get(), nullptr).ok());
+
+  // APPNP's PPR push is not receptive-field-local: partitioned registration
+  // must refuse (a finite halo cannot preserve its logits) while whole-graph
+  // registration accepts.
+  const auto& appnp = testing::TwoCommunityAppnp();
+  const auto part = registry.RegisterPartitionedGraph(
+      1, appnp.graph.get(), appnp.model.get(), 2, SyncShards());
+  EXPECT_FALSE(part.ok());
+  EXPECT_TRUE(
+      registry.RegisterGraph(1, appnp.graph.get(), appnp.model.get()).ok());
+  EXPECT_EQ(registry.graph_ids(), (std::vector<int>{0, 1}));
+}
+
+TEST(ShardRegistry, EveryNodeHasExactlyOneOwningShard) {
+  const auto& f = testing::SmallSbmGcn();
+  ShardRegistry registry;
+  const auto shards = registry.RegisterPartitionedGraph(
+      0, f.graph.get(), f.model.get(), 3, SyncShards());
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  ASSERT_EQ(shards.value().size(), 3u);
+  for (NodeId v = 0; v < f.graph->num_nodes(); ++v) {
+    int owners = 0;
+    for (GraphShard* shard : shards.value()) {
+      if (shard->Owns(v)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "node " << v;
+    GraphShard* owner = registry.Owner(0, v);
+    ASSERT_NE(owner, nullptr);
+    EXPECT_TRUE(owner->Owns(v));
+  }
+  // Unknown graphs and out-of-range nodes do not resolve.
+  EXPECT_EQ(registry.Owner(7, 0), nullptr);
+  EXPECT_EQ(registry.Owner(0, f.graph->num_nodes()), nullptr);
+  EXPECT_EQ(registry.Owner(0, -1), nullptr);
+}
+
+TEST(ShardRouter, RejectsUnknownGraphsViewsAndNodes) {
+  const auto& f = testing::TwoCommunityGcn();
+  ShardRegistry registry;
+  ASSERT_TRUE(
+      registry.RegisterGraph(0, f.graph.get(), f.model.get(), SyncShards())
+          .ok());
+  ShardRouter router(&registry);
+  EXPECT_FALSE(router.Route(3, 0).ok());
+  EXPECT_FALSE(router.Route(0, f.graph->num_nodes()).ok());
+  EXPECT_FALSE(router.Submit(0, "mystery", {0, 1}).ok());
+  EXPECT_TRUE(router.Submit(0, "full", {0, 1}).ok());
+}
+
+TEST(ShardRouter, BorderNodesAreServedLocallyAndBitIdentically) {
+  // The inference-preserving property in serving form: a border node —
+  // owned here, neighbors owned elsewhere — is served by its owning shard
+  // alone (no other shard's engine runs), and the logits equal the
+  // unsharded engine's bit for bit.
+  const auto& f = testing::SmallSbmGcn();
+  ShardRegistry registry;
+  const auto shards = registry.RegisterPartitionedGraph(
+      0, f.graph.get(), f.model.get(), 3, SyncShards());
+  ASSERT_TRUE(shards.ok());
+  ShardRouter router(&registry);
+  InferenceEngine reference(f.model.get(), f.graph.get());
+
+  // Collect one border node per fragment (if it has one).
+  std::vector<NodeId> borders;
+  for (GraphShard* shard : shards.value()) {
+    for (NodeId v : shard->owned_nodes()) {
+      bool border = false;
+      for (NodeId w : f.graph->Neighbors(v)) {
+        if (!shard->Owns(w)) border = true;
+      }
+      if (border) {
+        borders.push_back(v);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(borders.size(), 2u) << "partition produced no border nodes";
+
+  for (NodeId v : borders) {
+    GraphShard* owner = registry.Owner(0, v);
+    ASSERT_NE(owner, nullptr);
+    std::vector<int64_t> before;
+    for (GraphShard* shard : shards.value()) {
+      before.push_back(shard->engine()->stats().model_invocations);
+    }
+    const auto logits = router.Logits(0, "full", v);
+    ASSERT_TRUE(logits.ok());
+    EXPECT_EQ(logits.value(),
+              reference.Logits(InferenceEngine::kFullView, v))
+        << "border node " << v;
+    for (size_t s = 0; s < shards.value().size(); ++s) {
+      const int64_t delta =
+          shards.value()[s]->engine()->stats().model_invocations - before[s];
+      if (shards.value()[s] == owner) {
+        EXPECT_EQ(delta, 1) << "owner must serve border node " << v;
+      } else {
+        EXPECT_EQ(delta, 0) << "non-owner shard ran for border node " << v;
+      }
+    }
+  }
+}
+
+/// The headline randomized equivalence suite: random partitions, random
+/// partition seeds, random mixed-graph request traces, random scheduler
+/// deadlines, 8 concurrent requester threads over 2 registered graphs —
+/// and every served logit and verdict must be bit-identical to unsharded
+/// single-engine serving.
+TEST(ShardedServing, RandomizedCrossShardEquivalence) {
+  const auto& g0 = testing::TwoCommunityGcn();
+  const auto& g1 = testing::SmallSbmGcn();
+  const testing::TrainedFixture* fixtures[2] = {&g0, &g1};
+
+  for (const uint64_t seed : {11ull, 47ull, 101ull}) {
+    Rng rng(seed);
+    ShardRegistry registry;
+    ShardOptions opts;
+    opts.async_batching = true;
+    opts.scheduler.deadline_us =
+        static_cast<int64_t>(rng.UniformInt(3)) * 400;  // 0 / 400 / 800 us
+    const int shards0 = 1 + static_cast<int>(rng.UniformInt(3));
+    const int shards1 = 2 + static_cast<int>(rng.UniformInt(3));
+    ASSERT_TRUE(registry
+                    .RegisterPartitionedGraph(0, g0.graph.get(),
+                                              g0.model.get(), shards0, opts,
+                                              /*halo_hops=*/-1, rng.Next())
+                    .ok());
+    ASSERT_TRUE(registry
+                    .RegisterPartitionedGraph(1, g1.graph.get(),
+                                              g1.model.get(), shards1, opts,
+                                              /*halo_hops=*/-1, rng.Next())
+                    .ok());
+    ShardRouter router(&registry);
+
+    // Random concurrent request mix across both graphs.
+    std::vector<TraceRequest> trace(40);
+    for (TraceRequest& r : trace) {
+      r.graph_id = static_cast<int>(rng.UniformInt(2));
+      r.view = "full";
+      const NodeId n =
+          fixtures[static_cast<size_t>(r.graph_id)]->graph->num_nodes();
+      const int count = 1 + static_cast<int>(rng.UniformInt(4));
+      for (int i = 0; i < count; ++i) {
+        r.nodes.push_back(
+            static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n))));
+      }
+    }
+
+    ReplayOptions ropts;
+    ropts.num_threads = 8;
+    ropts.use_scheduler = true;
+    ropts.scheduler = opts.scheduler;
+    const auto run = ReplayAndCollectSharded(&router, trace, ropts);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run.value().result.requests, 40);
+
+    // Single-engine references, one per graph.
+    InferenceEngine ref0(g0.model.get(), g0.graph.get());
+    InferenceEngine ref1(g1.model.get(), g1.graph.get());
+    InferenceEngine* refs[2] = {&ref0, &ref1};
+    size_t row = 0;
+    for (const TraceRequest& r : trace) {
+      for (NodeId v : r.nodes) {
+        EXPECT_EQ(run.value().logits[row],
+                  refs[static_cast<size_t>(r.graph_id)]->Logits(
+                      InferenceEngine::kFullView, v))
+            << "seed " << seed << " graph " << r.graph_id << " node " << v;
+        ++row;
+      }
+    }
+    ASSERT_EQ(row, run.value().logits.size());
+
+    // Verdict identity on a random sample of nodes per graph.
+    for (int gid = 0; gid < 2; ++gid) {
+      const NodeId n = fixtures[static_cast<size_t>(gid)]->graph->num_nodes();
+      for (int i = 0; i < 10; ++i) {
+        const NodeId v =
+            static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n)));
+        const auto label = router.Predict(gid, "full", v);
+        ASSERT_TRUE(label.ok());
+        EXPECT_EQ(label.value(),
+                  ArgmaxLabel(refs[static_cast<size_t>(gid)]->Logits(
+                      InferenceEngine::kFullView, v)))
+            << "seed " << seed << " graph " << gid << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(ShardedServing, WitnessViewsServeBitIdenticallyFromFragmentShards) {
+  // Witness-derived serving views registered per fragment shard (the CLI's
+  // multi-shard --witness path): "sub" and "removed" must serve logits
+  // bit-identical to a single engine with the same witness views.
+  const auto& f = testing::TwoCommunityGcn();
+  WitnessConfig cfg;
+  cfg.graph = f.graph.get();
+  cfg.model = f.model.get();
+  cfg.test_nodes = {1, 2};
+  cfg.k = 2;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  const Witness witness = GenerateRcw(cfg).witness;
+  ASSERT_GE(witness.num_edges(), 1u);
+
+  ShardRegistry registry;
+  const auto shards = registry.RegisterPartitionedGraph(
+      0, f.graph.get(), f.model.get(), 2, SyncShards());
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::unique_ptr<WitnessServeViews>> shard_views;
+  for (GraphShard* shard : shards.value()) {
+    shard_views.push_back(
+        std::make_unique<WitnessServeViews>(shard->engine(), &witness));
+    for (const auto& [name, id] : shard_views.back()->views()) {
+      shard->RegisterView(name, id);
+    }
+  }
+  ShardRouter router(&registry);
+
+  InferenceEngine reference(f.model.get(), f.graph.get());
+  const WitnessServeViews ref_views(&reference, &witness);
+  for (const std::string view : {"full", "sub", "removed"}) {
+    for (NodeId v = 0; v < f.graph->num_nodes(); ++v) {
+      const auto logits = router.Logits(0, view, v);
+      ASSERT_TRUE(logits.ok());
+      EXPECT_EQ(logits.value(),
+                reference.Logits(ref_views.views().at(view), v))
+          << view << " node " << v;
+    }
+  }
+}
+
+TEST(ShardedServing, MaintainedShardStaysBitIdenticalAcrossAStream) {
+  // The per-shard WitnessMaintainer hookup: ServeMaintained registers the
+  // maintainer's engine + scheduler as a serving shard. Across a seeded
+  // update stream, serving "full"/"sub"/"removed" between batches must stay
+  // bit-identical to a fresh single-engine reference over the current graph
+  // and the maintained witness. GCN fixture: bitwise-fresh maintained
+  // serving needs a receptive-field-local model (see ServeMaintained's
+  // caveat — APPNP's per-ball invalidation is maintenance-grade only).
+  const auto& f = testing::TwoCommunityGcn();
+  Graph graph = *f.graph;
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = f.model.get();
+  cfg.test_nodes = {1, 2, 7};
+  cfg.k = 2;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+
+  StreamSampleOptions sopts;
+  sopts.num_batches = 6;
+  sopts.ops_per_batch = 2;
+  sopts.insert_fraction = 0.3;
+  sopts.focus_nodes = cfg.test_nodes;
+  sopts.hop_radius = 2;
+  Rng rng(29);
+  const auto stream = SampleUpdateStream(graph, sopts, &rng);
+
+  MaintainOptions mopts;
+  mopts.async_batching = true;
+  mopts.scheduler.deadline_us = 200;
+  WitnessMaintainer maintainer(&graph, cfg, mopts);
+
+  ShardRegistry early;
+  EXPECT_FALSE(ServeMaintained(&early, 0, &maintainer).ok())
+      << "serving before Initialize() must be refused";
+
+  ASSERT_TRUE(maintainer.Initialize().ok);
+  ShardRegistry registry;
+  const auto shard = ServeMaintained(&registry, 0, &maintainer);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(shard.value()->engine(), &maintainer.engine());
+  EXPECT_EQ(shard.value()->scheduler(), maintainer.scheduler());
+  ShardRouter router(&registry);
+
+  const auto check = [&](const std::string& where) {
+    InferenceEngine reference(f.model.get(), &graph);
+    const WitnessServeViews ref_views(&reference, &maintainer.witness());
+    for (const std::string view : {"full", "sub", "removed"}) {
+      for (NodeId v : {1, 2, 7, 0, 6, 11}) {
+        const auto logits = router.Logits(0, view, v);
+        ASSERT_TRUE(logits.ok());
+        EXPECT_EQ(logits.value(),
+                  reference.Logits(ref_views.views().at(view), v))
+            << where << " view " << view << " node " << v;
+      }
+    }
+  };
+  check("after init");
+  for (size_t b = 0; b < stream.size(); ++b) {
+    ASSERT_TRUE(maintainer.Apply(stream[b]).ok());
+    check("batch " + std::to_string(b));
+  }
+}
+
+TEST(ShardedServing, AggregateStatsSumAcrossShards) {
+  const auto& f = testing::TwoCommunityGcn();
+  ShardRegistry registry;
+  ASSERT_TRUE(registry
+                  .RegisterPartitionedGraph(0, f.graph.get(), f.model.get(),
+                                            2, SyncShards())
+                  .ok());
+  ShardRouter router(&registry);
+  ASSERT_TRUE(router.Submit(0, "full", {0, 1, 2, 3, 4, 5, 6, 7}).ok());
+  const EngineStats total = registry.AggregateEngineStats();
+  int64_t per_shard = 0;
+  for (GraphShard* shard : registry.AllShards()) {
+    per_shard += shard->engine()->stats().model_invocations;
+  }
+  EXPECT_EQ(total.model_invocations, per_shard);
+  EXPECT_GT(total.model_invocations, 0);
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -1,0 +1,201 @@
+// Flip-mode streaming hardening: randomized equivalence suites for
+// insertion-bearing update streams under DisturbanceModel::kFlip — the PRI
+// adversary's insertion proposals flowing through the localizer's
+// +receptive slack, and maintained-vs-regenerated verdict identity over
+// seeded insertion-heavy streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "src/explain/robogexp.h"
+#include "src/explain/verify.h"
+#include "src/stream/localize.h"
+#include "src/stream/maintain.h"
+#include "src/stream/update.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+WitnessConfig FlipConfig(const Graph* graph, const GnnModel* model,
+                         std::vector<NodeId> nodes, int k = 2, int b = 1) {
+  WitnessConfig cfg;
+  cfg.graph = graph;
+  cfg.model = model;
+  cfg.test_nodes = std::move(nodes);
+  cfg.k = k;
+  cfg.local_budget = b;
+  cfg.hop_radius = 2;
+  cfg.disturbance = DisturbanceModel::kFlip;
+  return cfg;
+}
+
+/// Per-test-node RCW verdict of `witness` on cfg's (current) graph.
+std::vector<std::string> Verdicts(const WitnessConfig& cfg,
+                                  const Witness& witness) {
+  std::vector<std::string> out;
+  for (NodeId v : cfg.test_nodes) {
+    WitnessConfig one = cfg;
+    one.test_nodes = {v};
+    out.push_back(VerifyRcw(one, witness).ok ? "ok" : "fail");
+  }
+  return out;
+}
+
+TEST(FlipStream, MaintenanceRadiusPaysInsertionSlackOnlyInFlipMode) {
+  const auto& f = testing::TwoCommunityAppnp();
+  WitnessConfig cfg = FlipConfig(f.graph.get(), f.model.get(), {1});
+  const int flip_radius = MaintenanceRadius(cfg);
+  cfg.disturbance = DisturbanceModel::kRemovalOnly;
+  const int removal_radius = MaintenanceRadius(cfg);
+  // An inserted pair can shortcut up to hop_radius of distance into the
+  // receptive field; removals only ever increase distances.
+  EXPECT_EQ(flip_radius, cfg.hop_radius + f.model->receptive_hops());
+  EXPECT_GT(flip_radius, removal_radius);
+}
+
+/// Soundness of the insertion slack, brute-forced: over seeded random
+/// insertion batches, every test node whose RCW verdict the insertions
+/// actually changed must be in the localizer's affected set (computed with
+/// MaintenanceRadius in flip mode). If the +receptive slack were too small,
+/// a PRI-reachable insertion could flip a verdict while maintenance treats
+/// the node as untouched.
+TEST(FlipStream, LocalizerCoversEveryVerdictChangeUnderRandomInsertions) {
+  const auto& f = testing::TwoCommunityAppnp();
+  const std::vector<NodeId> test_nodes = {1, 2, 7};
+
+  for (const uint64_t seed : {3ull, 19ull, 57ull}) {
+    Graph graph = *f.graph;
+    WitnessConfig cfg = FlipConfig(&graph, f.model.get(), test_nodes);
+    const GenerateResult gen = GenerateRcw(cfg);
+    const auto before = Verdicts(cfg, gen.witness);
+
+    // Insertion-only batches (insert_fraction 1.0): the PRI adversary's
+    // favorite disturbance shape in flip mode.
+    StreamSampleOptions sopts;
+    sopts.num_batches = 6;
+    sopts.ops_per_batch = 2;
+    sopts.insert_fraction = 1.0;
+    sopts.focus_nodes = test_nodes;
+    sopts.hop_radius = 3;
+    Rng rng(seed);
+    const auto stream = SampleUpdateStream(graph, sopts, &rng);
+
+    for (size_t b = 0; b < stream.size(); ++b) {
+      const auto applied = ApplyUpdateBatch(&graph, stream[b]);
+      ASSERT_TRUE(applied.ok());
+      const std::vector<Edge> flips = applied.value().Flips();
+      if (flips.empty()) continue;
+
+      // Insertions only: the union graph (post-update + deleted edges) is
+      // the post-update graph itself.
+      const FullView union_view(&graph);
+      LocalizeOptions lopts;
+      lopts.radius = MaintenanceRadius(cfg);
+      const AffectedSet affected =
+          LocalizeFlips(union_view, flips, test_nodes, lopts);
+      const std::unordered_set<NodeId> flagged(affected.test_nodes.begin(),
+                                               affected.test_nodes.end());
+
+      const auto after = Verdicts(cfg, gen.witness);
+      for (size_t i = 0; i < test_nodes.size(); ++i) {
+        if (after[i] != before[i]) {
+          EXPECT_TRUE(flagged.count(test_nodes[i]) > 0)
+              << "seed " << seed << " batch " << b << ": verdict of node "
+              << test_nodes[i] << " changed (" << before[i] << " -> "
+              << after[i] << ") but the localizer did not flag it";
+        }
+      }
+    }
+  }
+}
+
+/// The flip-mode analogue of the maintain suite's headline property, over
+/// insertion-heavy seeded streams: every node the maintainer claims covered
+/// must verify under flip-mode RCW (insertions included), and maintenance
+/// must never verify worse than regenerating from scratch on the same
+/// snapshot.
+TEST(FlipStream, MaintainedVsRegeneratedVerdictIdentityOnInsertionStreams) {
+  const auto& f = testing::TwoCommunityAppnp();
+  for (const uint64_t seed : {5ull, 31ull}) {
+    Graph graph = *f.graph;
+    const WitnessConfig cfg =
+        FlipConfig(&graph, f.model.get(), {1, 2, 7}, /*k=*/2);
+
+    StreamSampleOptions sopts;
+    sopts.num_batches = 15;
+    sopts.ops_per_batch = 1;
+    sopts.insert_fraction = 0.7;
+    sopts.focus_nodes = cfg.test_nodes;
+    sopts.hop_radius = 2;
+    Rng rng(seed);
+    const auto stream = SampleUpdateStream(graph, sopts, &rng);
+
+    WitnessMaintainer m(&graph, cfg, {});
+    m.Initialize();
+    for (size_t b = 0; b < stream.size(); ++b) {
+      const auto r = m.Apply(stream[b]);
+      ASSERT_TRUE(r.ok()) << "seed " << seed << " batch " << b << ": "
+                          << r.status().ToString();
+      const GenerateResult scratch = GenerateRcw(cfg);
+      const auto maintained = Verdicts(cfg, m.witness());
+      const auto regenerated = Verdicts(cfg, scratch.witness);
+      const auto uncovered = m.unsecured();
+      for (size_t i = 0; i < cfg.test_nodes.size(); ++i) {
+        const NodeId v = cfg.test_nodes[i];
+        const bool covered = std::find(uncovered.begin(), uncovered.end(),
+                                       v) == uncovered.end();
+        if (covered) {
+          EXPECT_EQ(maintained[i], "ok")
+              << "seed " << seed << " batch " << b << " node " << v << " ("
+              << MaintainActionName(r.value().action)
+              << "): claimed flip-mode coverage must verify";
+        }
+        EXPECT_TRUE(maintained[i] == "ok" || regenerated[i] == "fail")
+            << "seed " << seed << " batch " << b << " node " << v
+            << ": flip-mode maintenance verified worse than regeneration";
+      }
+    }
+  }
+}
+
+/// Toggle identity: inserting and then deleting the same pair is a no-op
+/// for the certificate — outstanding budget returns to full and verdicts
+/// are unchanged. This is the insertion-side mirror of the removal-refund
+/// test in maintain_test.cc.
+TEST(FlipStream, InsertThenDeleteRefundsTheCertificate) {
+  const auto& f = testing::TwoCommunityAppnp();
+  Graph graph = *f.graph;
+  const WitnessConfig cfg =
+      FlipConfig(&graph, f.model.get(), {1}, /*k=*/3);
+  WitnessMaintainer m(&graph, cfg, {});
+  ASSERT_TRUE(m.Initialize().ok);
+  const int budget = m.RemainingBudget(1);
+  const auto before = Verdicts(cfg, m.witness());
+
+  // A fresh pair adjacent to the test node's ball that is not an edge.
+  Edge pair(kInvalidNode, kInvalidNode);
+  for (NodeId w = 0; w < graph.num_nodes(); ++w) {
+    if (w != 1 && !graph.HasEdge(1, w) &&
+        m.witness().protected_pair_keys().count(PairKey(1, w)) == 0) {
+      pair = Edge(1, w);
+      break;
+    }
+  }
+  ASSERT_NE(pair.u, kInvalidNode);
+
+  UpdateBatch ins;
+  ins.Insert(pair.u, pair.v);
+  ASSERT_TRUE(m.Apply(ins).ok());
+  UpdateBatch del;
+  del.Delete(pair.u, pair.v);
+  ASSERT_TRUE(m.Apply(del).ok());
+  EXPECT_EQ(m.RemainingBudget(1), budget)
+      << "a toggled pair must refund the consumed budget";
+  EXPECT_EQ(Verdicts(cfg, m.witness()), before);
+}
+
+}  // namespace
+}  // namespace robogexp

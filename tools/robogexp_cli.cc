@@ -1,7 +1,8 @@
 // robogexp — command-line front end over the library:
 //
 //   robogexp info     --graph g.rgx
-//   robogexp train    --graph g.rgx --model-out m.gnn [--arch gcn|appnp|sage|gin]
+//   robogexp train    --graph g.rgx --model-out m.gnn
+//                     [--arch gcn|appnp|sage|gin]
 //                     [--epochs N] [--hidden H] [--seed S]
 //   robogexp generate --graph g.rgx --model m.gnn --nodes 1,2,3 --k K [--b B]
 //                     [--threads N] [--minimize] [--witness-out w.rcw]
@@ -14,17 +15,24 @@
 //   robogexp sample-stream --graph g.rgx --out u.rsu [--batches N] [--ops M]
 //                     [--insert-frac F] [--focus 1,2,3] [--hop-radius R]
 //                     [--seed S] [--avoid-witness w.rcw]
-//   robogexp serve    --graph g.rgx --model m.gnn --replay t.rrt
-//                     [--witness w.rcw] [--threads N] [--deadline-us D]
-//                     [--batch-nodes B] [--sync] [--compare]
+//   robogexp serve    --graph g.rgx [--graph g2.rgx ...] --model m.gnn
+//                     [--model m2.gnn ...] --replay t.rrt
+//                     [--witness w.rcw ...] [--shards N] [--partition-seed S]
+//                     [--threads N] [--deadline-us D] [--batch-nodes B]
+//                     [--sync] [--compare]
 //
 // `stream` replays an update stream against the graph, maintaining the
 // witness incrementally (see src/stream/maintain.h) and printing per-batch
 // maintenance stats; `sample-stream` synthesizes a replayable stream file.
 // `serve --replay` fires the requests of a trace file from many concurrent
-// requester threads through the async BatchScheduler, demonstrating
-// cross-request coalescing (`--compare` also runs the per-caller synchronous
-// baseline and checks bit-identical logits).
+// requester threads through the sharded serving stack (a ShardRegistry +
+// ShardRouter over per-shard async BatchSchedulers). `--graph` may repeat to
+// register several graphs (trace `g <id> ...` lines address them by
+// position, starting at 0); `--model` and `--witness` pair with graphs
+// positionally (a single model serves all graphs it fits). `--shards N`
+// splits each graph into N fragments of the Sec. VI inference-preserving
+// partition, each served by its own engine + scheduler. `--compare` also
+// runs the per-caller unsharded baseline and checks bit-identical logits.
 //
 // Graphs use the text format of src/graph/io.h; models, witnesses, update
 // streams, and request traces round trip through src/gnn/serialize.h,
@@ -65,25 +73,31 @@ class Flags {
           std::strcmp(key, "ppr-localizer") == 0 ||
           std::strcmp(key, "async-batching") == 0 ||
           std::strcmp(key, "sync") == 0 || std::strcmp(key, "compare") == 0) {
-        values_[key] = "1";
+        values_[key] = {"1"};
       } else if (i + 1 < argc) {
-        values_[key] = argv[++i];
+        values_[key].push_back(argv[++i]);
       }
     }
   }
 
+  /// Last occurrence wins (the historical single-value semantics).
   std::string Get(const std::string& key, const std::string& def = "") const {
     auto it = values_.find(key);
-    return it == values_.end() ? def : it->second;
+    return it == values_.end() ? def : it->second.back();
+  }
+  /// Every occurrence, in command-line order (repeatable flags: --graph).
+  std::vector<std::string> GetAll(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>() : it->second;
   }
   int GetInt(const std::string& key, int def) const {
     auto it = values_.find(key);
-    return it == values_.end() ? def : std::atoi(it->second.c_str());
+    return it == values_.end() ? def : std::atoi(it->second.back().c_str());
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 std::vector<NodeId> ParseNodes(const std::string& csv) {
@@ -91,7 +105,9 @@ std::vector<NodeId> ParseNodes(const std::string& csv) {
   std::istringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(static_cast<NodeId>(std::atoi(item.c_str())));
+    if (!item.empty()) {
+      out.push_back(static_cast<NodeId>(std::atoi(item.c_str())));
+    }
   }
   return out;
 }
@@ -361,29 +377,102 @@ int CmdStream(const Flags& flags) {
   return ok ? 0 : 2;
 }
 
-// One replay pass on a fresh engine with the conventional witness views.
-StatusOr<ReplayRun> RunServeReplay(const Graph& graph, const GnnModel& model,
-                                   const Witness* witness,
-                                   const std::vector<TraceRequest>& trace,
-                                   const ReplayOptions& ropts) {
-  InferenceEngine engine(&model, &graph);
-  const WitnessServeViews views(&engine, witness);
-  return ReplayAndCollect(&engine, views.views(), trace, ropts);
+/// One registered serving graph: the loaded artifacts.
+struct ServeGraph {
+  Graph graph;
+  std::shared_ptr<GnnModel> model;  // may be shared across graphs
+  std::unique_ptr<Witness> witness;
+};
+
+/// Builds a registry over `graphs` (graph id = position) and attaches any
+/// witness views. `num_shards` > 1 partitions each graph whose model
+/// supports fragment-local inference; others are served whole with a note.
+/// The created WitnessServeViews (one per shard of a witnessed graph) are
+/// appended to *views; the caller must declare that vector AFTER the
+/// registry so the views — which release slots on the registry's shard
+/// engines — are destroyed first.
+using ServeViewList = std::vector<std::unique_ptr<WitnessServeViews>>;
+
+Status BuildServeRegistry(const std::vector<ServeGraph>& graphs,
+                          int num_shards, uint64_t partition_seed,
+                          bool async_batching,
+                          const BatchSchedulerOptions& sched,
+                          ShardRegistry* registry, ServeViewList* views) {
+  for (size_t gid = 0; gid < graphs.size(); ++gid) {
+    const ServeGraph& sg = graphs[gid];
+    ShardOptions sopts;
+    sopts.async_batching = async_batching;
+    sopts.scheduler = sched;
+    std::vector<GraphShard*> shards;
+    if (num_shards > 1 && sg.model->InferenceIsReceptiveLocal()) {
+      auto r = registry->RegisterPartitionedGraph(
+          static_cast<int>(gid), &sg.graph, sg.model.get(), num_shards, sopts,
+          /*halo_hops=*/-1, partition_seed);
+      RCW_RETURN_IF_ERROR(r.status());
+      shards = r.value();
+    } else {
+      if (num_shards > 1) {
+        std::printf("note: graph %zu served whole (%s inference is not "
+                    "receptive-field-local)\n",
+                    gid, sg.model->name().c_str());
+      }
+      auto r = registry->RegisterGraph(static_cast<int>(gid), &sg.graph,
+                                       sg.model.get(), sopts);
+      RCW_RETURN_IF_ERROR(r.status());
+      shards = {r.value()};
+    }
+    if (sg.witness != nullptr) {
+      // Witness-derived serving views per shard: every shard of the graph
+      // serves "sub"/"removed" from its own engine.
+      for (GraphShard* shard : shards) {
+        views->push_back(std::make_unique<WitnessServeViews>(
+            shard->engine(), sg.witness.get()));
+        for (const auto& [name, id] : views->back()->views()) {
+          shard->RegisterView(name, id);
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 int CmdServe(const Flags& flags) {
-  auto g = LoadGraph(flags.Get("graph"));
-  if (!g.ok()) return Fail(g.status().ToString());
-  auto m = LoadModel(flags.Get("model"));
-  if (!m.ok()) return Fail(m.status().ToString());
+  const std::vector<std::string> graph_paths = flags.GetAll("graph");
+  const std::vector<std::string> model_paths = flags.GetAll("model");
+  const std::vector<std::string> witness_paths = flags.GetAll("witness");
+  if (graph_paths.empty()) return Fail("--graph is required");
+  if (model_paths.empty()) return Fail("--model is required");
   if (!flags.Has("replay")) return Fail("--replay is required (trace file)");
   auto trace = LoadRequestTrace(flags.Get("replay"));
   if (!trace.ok()) return Fail(trace.status().ToString());
-  std::unique_ptr<Witness> witness;
-  if (flags.Has("witness")) {
-    auto w = LoadWitness(flags.Get("witness"));
-    if (!w.ok()) return Fail(w.status().ToString());
-    witness = std::make_unique<Witness>(std::move(w.value()));
+
+  // Load graph i, its positional model (last model repeats: one shared
+  // model can serve many graphs), and its positional witness (if any).
+  // Surplus artifacts are a wiring mistake (usually a forgotten --graph),
+  // not something to drop silently.
+  if (model_paths.size() > graph_paths.size()) {
+    return Fail("more --model flags than --graph flags");
+  }
+  if (witness_paths.size() > graph_paths.size()) {
+    return Fail("more --witness flags than --graph flags");
+  }
+  std::vector<ServeGraph> graphs(graph_paths.size());
+  std::shared_ptr<GnnModel> last_model;
+  for (size_t i = 0; i < graph_paths.size(); ++i) {
+    auto g = LoadGraph(graph_paths[i]);
+    if (!g.ok()) return Fail(g.status().ToString());
+    graphs[i].graph = std::move(g.value());
+    if (i < model_paths.size()) {
+      auto m = LoadModel(model_paths[i]);
+      if (!m.ok()) return Fail(m.status().ToString());
+      last_model = std::shared_ptr<GnnModel>(std::move(m.value()));
+    }
+    graphs[i].model = last_model;
+    if (i < witness_paths.size()) {
+      auto w = LoadWitness(witness_paths[i]);
+      if (!w.ok()) return Fail(w.status().ToString());
+      graphs[i].witness = std::make_unique<Witness>(std::move(w.value()));
+    }
   }
 
   ReplayOptions ropts;
@@ -391,17 +480,41 @@ int CmdServe(const Flags& flags) {
   ropts.use_scheduler = !flags.Has("sync");
   ropts.scheduler.deadline_us = flags.GetInt("deadline-us", 200);
   ropts.scheduler.max_batch_nodes = flags.GetInt("batch-nodes", 64);
+  const int num_shards = flags.GetInt("shards", 1);
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.GetInt("partition-seed", 0));
 
-  auto run = RunServeReplay(g.value(), *m.value(), witness.get(),
-                            trace.value(), ropts);
+  // Declaration order is the lifetime contract: the views release engine
+  // slots on destruction, so they must die before the registry's shards.
+  ShardRegistry registry;
+  ServeViewList serve_views;
+  const Status built =
+      BuildServeRegistry(graphs, num_shards, seed, ropts.use_scheduler,
+                         ropts.scheduler, &registry, &serve_views);
+  if (!built.ok()) return Fail(built.ToString());
+  ShardRouter router(&registry);
+
+  auto run = ReplayAndCollectSharded(&router, trace.value(), ropts);
   if (!run.ok()) return Fail(run.status().ToString());
-  const ReplayResult& rr = run.value().result;
-  std::printf("replayed %lld requests (%lld nodes) from %d threads in %.3fs "
-              "(%s)\n",
+  const ShardedReplayResult& rr = run.value().result;
+  std::printf("replayed %lld requests (%lld nodes) from %d threads over "
+              "%zu graph(s) in %.3fs (%s)\n",
               static_cast<long long>(rr.requests),
-              static_cast<long long>(rr.nodes), ropts.num_threads, rr.seconds,
+              static_cast<long long>(rr.nodes), ropts.num_threads,
+              graphs.size(), rr.seconds,
               ropts.use_scheduler ? "batched" : "per-caller");
-  std::printf("engine: %lld node queries, %lld cache hits, "
+  for (const GraphShard* shard : registry.AllShards()) {
+    const EngineStats es = shard->engine()->stats();
+    std::printf("shard g%d/%d: %zu owned nodes%s, %lld queries, "
+                "%lld hits, %lld model invocations\n",
+                shard->graph_id(), shard->index(),
+                shard->owned_nodes().size(),
+                shard->partitioned() ? " (fragment)" : "",
+                static_cast<long long>(es.node_queries),
+                static_cast<long long>(es.cache_hits),
+                static_cast<long long>(es.model_invocations));
+  }
+  std::printf("engines: %lld node queries, %lld cache hits, "
               "%lld model invocations, %lld nodes served batched\n",
               static_cast<long long>(rr.engine_delta.node_queries),
               static_cast<long long>(rr.engine_delta.cache_hits),
@@ -409,7 +522,7 @@ int CmdServe(const Flags& flags) {
               static_cast<long long>(rr.engine_delta.batched_nodes));
   if (ropts.use_scheduler) {
     const SchedulerStats& ss = rr.scheduler_stats;
-    std::printf("scheduler: %lld submitted, %lld flushes (%lld coalesced, "
+    std::printf("schedulers: %lld submitted, %lld flushes (%lld coalesced, "
                 "%lld size, %lld deadline), occupancy %.1f nodes/flush\n",
                 static_cast<long long>(ss.submitted),
                 static_cast<long long>(ss.flushes),
@@ -420,25 +533,34 @@ int CmdServe(const Flags& flags) {
   }
 
   if (!flags.Has("compare")) return 0;
-  // Per-caller baseline on a fresh engine: same trace, every requester
-  // issuing its own synchronous warms.
-  ReplayOptions sopts = ropts;
-  sopts.use_scheduler = false;
-  auto base = RunServeReplay(g.value(), *m.value(), witness.get(),
-                             trace.value(), sopts);
+  // Per-caller unsharded baseline: the same loaded graphs served whole on
+  // fresh engines (registries only hold const pointers — no copies), every
+  // requester issuing its own synchronous warms. The serving contract is
+  // bit-identical logits at fewer model invocations.
+  ReplayOptions bopts = ropts;
+  bopts.use_scheduler = false;
+  ShardRegistry base_registry;
+  ServeViewList base_views;
+  const Status base_built =
+      BuildServeRegistry(graphs, /*num_shards=*/1, 0,
+                         /*async_batching=*/false, bopts.scheduler,
+                         &base_registry, &base_views);
+  if (!base_built.ok()) return Fail(base_built.ToString());
+  ShardRouter base_router(&base_registry);
+  auto base = ReplayAndCollectSharded(&base_router, trace.value(), bopts);
   if (!base.ok()) return Fail(base.status().ToString());
-  const ReplayResult& br = base.value().result;
+  const ShardedReplayResult& br = base.value().result;
   const double reduction =
       rr.engine_delta.model_invocations > 0
           ? static_cast<double>(br.engine_delta.model_invocations) /
                 static_cast<double>(rr.engine_delta.model_invocations)
           : 0.0;
-  std::printf("per-caller baseline: %lld model invocations in %.3fs -> "
-              "%.2fx reduction\n",
+  std::printf("per-caller unsharded baseline: %lld model invocations in "
+              "%.3fs -> %.2fx reduction\n",
               static_cast<long long>(br.engine_delta.model_invocations),
               br.seconds, reduction);
   if (run.value().logits != base.value().logits) {
-    std::printf("FAIL: batched and per-caller logits differ\n");
+    std::printf("FAIL: sharded and per-caller logits differ\n");
     return 1;
   }
   std::printf("logits bit-identical across %zu served vectors\n",
