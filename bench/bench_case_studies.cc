@@ -96,7 +96,8 @@ void TopicChangeCase() {
   }
   const Graph changed = ApplyDisturbance(*w.graph, new_citations);
   const FullView changed_view(&changed);
-  const Label after = w.model->Predict(changed_view, w.graph->features(), paper);
+  const Label after =
+      w.model->Predict(changed_view, w.graph->features(), paper);
   std::printf("label before: %d, after %zu new cross-topic citations: %d\n",
               before, new_citations.size(), after);
 

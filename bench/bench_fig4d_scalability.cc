@@ -48,7 +48,8 @@ void Run() {
       table.AddRow({std::to_string(threads), std::to_string(k),
                     Table::Num(stats.gen.seconds, 2),
                     std::to_string(stats.cut_edges),
-                    Table::Num(static_cast<double>(stats.bitmap_bytes) / 1024.0, 1),
+                    Table::Num(
+                        static_cast<double>(stats.bitmap_bytes) / 1024.0, 1),
                     std::to_string(stats.coordinator_reverified)});
       if (threads == 10) {
         std::printf("k=%d: 2->10 threads improves generation time by %.1f%% "

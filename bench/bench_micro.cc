@@ -35,8 +35,9 @@ void BM_SparseMultiply(benchmark::State& state) {
   std::vector<SparseMatrix::Triplet> trips;
   for (int64_t i = 0; i < n; ++i) {
     for (int rep = 0; rep < 6; ++rep) {
-      trips.push_back({i, static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n))),
-                       rng.Uniform()});
+      trips.push_back(
+          {i, static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n))),
+           rng.Uniform()});
     }
   }
   const auto s = SparseMatrix::Build(n, n, trips);

@@ -78,7 +78,9 @@ double LabelMargin(const GnnModel& model, const GraphView& view,
   const std::vector<double> logits = model.InferNode(view, features, v);
   double best_other = -1e300;
   for (int c = 0; c < model.num_classes(); ++c) {
-    if (c != l) best_other = std::max(best_other, logits[static_cast<size_t>(c)]);
+    if (c != l) {
+      best_other = std::max(best_other, logits[static_cast<size_t>(c)]);
+    }
   }
   return logits[static_cast<size_t>(l)] - best_other;
 }

@@ -25,8 +25,10 @@ class MoleculeBuilder {
   std::vector<NodeId> AddRing(int size, Label label) {
     std::vector<NodeId> ring;
     for (int i = 0; i < size; ++i) ring.push_back(AddAtom(kCarbon, label));
-    for (int i = 0; i < size; ++i) Bond(ring[static_cast<size_t>(i)],
-                                        ring[static_cast<size_t>((i + 1) % size)]);
+    for (int i = 0; i < size; ++i) {
+      Bond(ring[static_cast<size_t>(i)],
+           ring[static_cast<size_t>((i + 1) % size)]);
+    }
     for (int i = 0; i < size; i += 2) {
       const NodeId h = AddAtom(kHydrogen, label);
       Bond(ring[static_cast<size_t>(i)], h);

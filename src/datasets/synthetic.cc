@@ -72,8 +72,8 @@ Graph MakeBaHouse(const BaHouseOptions& opts) {
     RCW_CHECK(g.AddEdge(m1, g1).ok());
     RCW_CHECK(g.AddEdge(m2, g2).ok());
     RCW_CHECK(g.AddEdge(g1, g2).ok());
-    const NodeId anchor =
-        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(opts.base_nodes)));
+    const NodeId anchor = static_cast<NodeId>(
+        rng.UniformInt(static_cast<uint64_t>(opts.base_nodes)));
     (void)g.AddEdge(roof, anchor);
   }
 
@@ -90,8 +90,8 @@ Graph MakeSbmGraph(const SbmOptions& opts) {
 
   std::vector<Label> labels(static_cast<size_t>(opts.num_nodes));
   for (NodeId u = 0; u < opts.num_nodes; ++u) {
-    labels[static_cast<size_t>(u)] =
-        static_cast<Label>(rng.UniformInt(static_cast<uint64_t>(opts.num_classes)));
+    labels[static_cast<size_t>(u)] = static_cast<Label>(
+        rng.UniformInt(static_cast<uint64_t>(opts.num_classes)));
   }
   std::vector<std::vector<NodeId>> by_class(
       static_cast<size_t>(opts.num_classes));
@@ -107,17 +107,18 @@ Graph MakeSbmGraph(const SbmOptions& opts) {
   int64_t attempts = 0;
   const int64_t max_attempts = num_edges * 50;
   while (added < intra && attempts++ < max_attempts) {
-    const auto& bucket = by_class[rng.UniformInt(static_cast<uint64_t>(opts.num_classes))];
+    const auto& bucket =
+        by_class[rng.UniformInt(static_cast<uint64_t>(opts.num_classes))];
     if (bucket.size() < 2) continue;
     const NodeId u = bucket[rng.UniformInt(bucket.size())];
     const NodeId v = bucket[rng.UniformInt(bucket.size())];
     if (u != v && g.AddEdge(u, v).ok()) ++added;
   }
   while (added < num_edges && attempts++ < max_attempts) {
-    const NodeId u =
-        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(opts.num_nodes)));
-    const NodeId v =
-        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(opts.num_nodes)));
+    const NodeId u = static_cast<NodeId>(
+        rng.UniformInt(static_cast<uint64_t>(opts.num_nodes)));
+    const NodeId v = static_cast<NodeId>(
+        rng.UniformInt(static_cast<uint64_t>(opts.num_nodes)));
     if (u != v && g.AddEdge(u, v).ok()) ++added;
   }
 

@@ -144,7 +144,9 @@ GenerateResult ParaGenerateRcw(const WitnessConfig& cfg,
   const std::vector<Edge> all_edges = cfg.graph->Edges();
   std::unordered_map<uint64_t, size_t> edge_index;
   edge_index.reserve(all_edges.size() * 2);
-  for (size_t i = 0; i < all_edges.size(); ++i) edge_index[all_edges[i].Key()] = i;
+  for (size_t i = 0; i < all_edges.size(); ++i) {
+    edge_index[all_edges[i].Key()] = i;
+  }
 
   // Assign test nodes to their owning fragment.
   std::vector<std::vector<NodeId>> nodes_per_fragment(fragments.size());

@@ -265,8 +265,8 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
         // disturbance by adversarial impact): removals become witness
         // edges, insertions become protected pairs. Blocking the top few
         // usually neutralizes the disturbance; the loop re-verifies.
-        const int take = std::min<int>(opts.secure_batch,
-                                       static_cast<int>(pri.disturbance.size()));
+        const int take = std::min<int>(
+            opts.secure_batch, static_cast<int>(pri.disturbance.size()));
         for (int i = 0; i < take; ++i) {
           const Edge& e = pri.disturbance[static_cast<size_t>(i)];
           if (cfg.graph->HasEdge(e.u, e.v)) {
@@ -302,8 +302,8 @@ bool SecureNode(const WitnessConfig& cfg, NodeId v, const Matrix& base_logits,
       combined.insert(combined.end(), back.disturbance.begin(),
                       back.disturbance.end());
       if (engine->PredictOverlay(combined, v) == l) {
-        const int take = std::min<int>(opts.secure_batch,
-                                       static_cast<int>(back.disturbance.size()));
+        const int take = std::min<int>(
+            opts.secure_batch, static_cast<int>(back.disturbance.size()));
         for (int i = 0; i < take; ++i) {
           const Edge& e = back.disturbance[static_cast<size_t>(i)];
           if (cfg.graph->HasEdge(e.u, e.v)) {

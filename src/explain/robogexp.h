@@ -145,7 +145,8 @@ std::vector<NodeId> PrioritizeTestNodes(const WitnessConfig& cfg,
 }  // namespace detail
 
 /// The trivial witness: all of G (fallback of Algorithm 2).
-Witness TrivialWitness(const Graph& graph, const std::vector<NodeId>& test_nodes);
+Witness TrivialWitness(const Graph& graph,
+                       const std::vector<NodeId>& test_nodes);
 
 }  // namespace robogexp
 

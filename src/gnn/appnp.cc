@@ -26,7 +26,9 @@ Matrix AppnpModel::InferSubset(const GraphView& view, const Matrix& features,
   Matrix z(h.rows(), h.cols());
   std::vector<double> r(nodes.size());
   for (int64_t c = 0; c < h.cols(); ++c) {
-    for (size_t i = 0; i < nodes.size(); ++i) r[i] = h.at(static_cast<int64_t>(i), c);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      r[i] = h.at(static_cast<int64_t>(i), c);
+    }
     const std::vector<double> col = SolveIMinusAlphaP(view, nodes, r, ppr_);
     for (size_t i = 0; i < nodes.size(); ++i) {
       z.at(static_cast<int64_t>(i), c) = (1.0 - alpha_) * col[i];

@@ -82,7 +82,9 @@ Matrix GatModel::InferSubset(const GraphView& view, const Matrix& features,
       for (int64_t c = 0; c < t.cols(); ++c) out[c] = weights[0] * self_row[c];
       for (size_t p = 0; p < nbrs_local[i].size(); ++p) {
         const double* row = t.Row(static_cast<int64_t>(nbrs_local[i][p]));
-        for (int64_t c = 0; c < t.cols(); ++c) out[c] += weights[p + 1] * row[c];
+        for (int64_t c = 0; c < t.cols(); ++c) {
+          out[c] += weights[p + 1] * row[c];
+        }
       }
     }
     z.AddRowVectorInPlace(L.bias);

@@ -20,7 +20,9 @@ std::vector<double> GnnModel::InferNode(const GraphView& view,
                 "InferNode: KHopBall must place the center first");
   const Matrix logits = InferSubset(view, features, ball);
   std::vector<double> out(static_cast<size_t>(num_classes()));
-  for (int c = 0; c < num_classes(); ++c) out[static_cast<size_t>(c)] = logits.at(0, c);
+  for (int c = 0; c < num_classes(); ++c) {
+    out[static_cast<size_t>(c)] = logits.at(0, c);
+  }
   return out;
 }
 
@@ -30,14 +32,18 @@ Matrix GnnModel::InferNodes(const GraphView& view, const Matrix& features,
   if (nodes.empty()) return out;
   if (nodes.size() == 1) {
     const std::vector<double> logits = InferNode(view, features, nodes[0]);
-    for (int c = 0; c < num_classes(); ++c) out.at(0, c) = logits[static_cast<size_t>(c)];
+    for (int c = 0; c < num_classes(); ++c) {
+      out.at(0, c) = logits[static_cast<size_t>(c)];
+    }
     return out;
   }
   const std::vector<NodeId> ball = KHopBall(view, nodes, receptive_hops());
   const Matrix logits = InferSubset(view, features, ball);
   std::unordered_map<NodeId, int64_t> row;
   row.reserve(ball.size() * 2);
-  for (size_t i = 0; i < ball.size(); ++i) row[ball[i]] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < ball.size(); ++i) {
+    row[ball[i]] = static_cast<int64_t>(i);
+  }
   for (size_t i = 0; i < nodes.size(); ++i) {
     const int64_t r = row.at(nodes[i]);
     for (int c = 0; c < num_classes(); ++c) {
@@ -61,7 +67,9 @@ Label ArgmaxLabel(const std::vector<double>& logits) {
   RCW_CHECK(!logits.empty());
   Label best = 0;
   for (size_t c = 1; c < logits.size(); ++c) {
-    if (logits[c] > logits[static_cast<size_t>(best)]) best = static_cast<Label>(c);
+    if (logits[c] > logits[static_cast<size_t>(best)]) {
+      best = static_cast<Label>(c);
+    }
   }
   return best;
 }

@@ -26,7 +26,9 @@ class SageModel final : public GnnModel {
   int num_classes() const override {
     return static_cast<int>(layers_.back().w_self.cols());
   }
-  int64_t num_features() const override { return layers_.front().w_self.rows(); }
+  int64_t num_features() const override {
+    return layers_.front().w_self.rows();
+  }
 
   Matrix InferSubset(const GraphView& view, const Matrix& features,
                      const std::vector<NodeId>& nodes) const override;

@@ -50,9 +50,11 @@ SparseMatrix SymNormAdjacency(const Graph& graph) {
         1.0 / std::sqrt(static_cast<double>(graph.Degree(u) + 1));
   }
   for (NodeId u = 0; u < n; ++u) {
-    trips.push_back({u, u, isd[static_cast<size_t>(u)] * isd[static_cast<size_t>(u)]});
+    trips.push_back(
+        {u, u, isd[static_cast<size_t>(u)] * isd[static_cast<size_t>(u)]});
     for (NodeId w : graph.Neighbors(u)) {
-      trips.push_back({u, w, isd[static_cast<size_t>(u)] * isd[static_cast<size_t>(w)]});
+      trips.push_back(
+          {u, w, isd[static_cast<size_t>(u)] * isd[static_cast<size_t>(w)]});
     }
   }
   return SparseMatrix::Build(n, n, std::move(trips));
@@ -350,7 +352,8 @@ std::unique_ptr<GinModel> TrainGin(const Graph& graph,
     for (NodeId w : graph.Neighbors(u)) trips.push_back({u, w, 1.0});
   }
   const SparseMatrix s =
-      SparseMatrix::Build(graph.num_nodes(), graph.num_nodes(), std::move(trips));
+      SparseMatrix::Build(graph.num_nodes(), graph.num_nodes(),
+                          std::move(trips));
   const auto targets = Targets(graph, train_nodes);
 
   std::vector<Adam> opt_w, opt_b;

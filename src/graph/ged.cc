@@ -91,7 +91,8 @@ struct GedSearch {
       }
       cost += unmatched;
       for (const Edge& e : b->edges) {
-        if (!used_b[static_cast<size_t>(e.u)] || !used_b[static_cast<size_t>(e.v)]) {
+        if (!used_b[static_cast<size_t>(e.u)] ||
+            !used_b[static_cast<size_t>(e.v)]) {
           ++cost;
         }
       }

@@ -53,13 +53,16 @@ std::vector<Edge> Graph::Edges() const {
 
 int Graph::MaxDegree() const {
   int dm = 0;
-  for (const auto& nbrs : adj_) dm = std::max(dm, static_cast<int>(nbrs.size()));
+  for (const auto& nbrs : adj_) {
+    dm = std::max(dm, static_cast<int>(nbrs.size()));
+  }
   return dm;
 }
 
 double Graph::AverageDegree() const {
   if (adj_.empty()) return 0.0;
-  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes());
 }
 
 void Graph::SetFeatures(Matrix features) {

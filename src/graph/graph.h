@@ -56,7 +56,9 @@ class Graph {
 
   bool ValidNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
 
-  int Degree(NodeId u) const { return static_cast<int>(adj_[static_cast<size_t>(u)].size()); }
+  int Degree(NodeId u) const {
+    return static_cast<int>(adj_[static_cast<size_t>(u)].size());
+  }
 
   const std::vector<NodeId>& Neighbors(NodeId u) const {
     return adj_[static_cast<size_t>(u)];

@@ -94,7 +94,9 @@ int EdgeSubsetView::Degree(NodeId u) const {
 
 void EdgeSubsetView::AppendNeighbors(NodeId u, std::vector<NodeId>* out) const {
   auto it = adj_.find(u);
-  if (it != adj_.end()) out->insert(out->end(), it->second.begin(), it->second.end());
+  if (it != adj_.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
 }
 
 std::vector<NodeId> KHopBall(const GraphView& view, NodeId center, int hops) {

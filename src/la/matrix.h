@@ -24,8 +24,12 @@ class Matrix {
   int64_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  double& at(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * cols_ + c)]; }
-  double at(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * cols_ + c)]; }
+  double& at(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double at(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
 
   double* Row(int64_t r) { return data_.data() + r * cols_; }
   const double* Row(int64_t r) const { return data_.data() + r * cols_; }

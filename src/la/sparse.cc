@@ -32,7 +32,8 @@ SparseMatrix SparseMatrix::Build(int64_t rows, int64_t cols,
     i = j;
   }
   for (int64_t r = 0; r < rows; ++r) {
-    s.row_ptr_[static_cast<size_t>(r) + 1] += s.row_ptr_[static_cast<size_t>(r)];
+    s.row_ptr_[static_cast<size_t>(r) + 1] +=
+        s.row_ptr_[static_cast<size_t>(r)];
   }
 
   // Column-bucketed (CSC) copy for TransposeMultiply: stable counting sort,
@@ -41,7 +42,8 @@ SparseMatrix SparseMatrix::Build(int64_t rows, int64_t cols,
   s.col_ptr_.assign(static_cast<size_t>(cols) + 1, 0);
   for (int64_t c : s.col_idx_) ++s.col_ptr_[static_cast<size_t>(c) + 1];
   for (int64_t c = 0; c < cols; ++c) {
-    s.col_ptr_[static_cast<size_t>(c) + 1] += s.col_ptr_[static_cast<size_t>(c)];
+    s.col_ptr_[static_cast<size_t>(c) + 1] +=
+        s.col_ptr_[static_cast<size_t>(c)];
   }
   s.csc_row_.resize(nnz);
   s.csc_val_.resize(nnz);

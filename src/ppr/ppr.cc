@@ -65,7 +65,8 @@ std::vector<double> PprPowerIteration(const GraphView& view, NodeId source,
   local.reserve(n * 2);
   for (size_t i = 0; i < n; ++i) local[subset[i]] = i;
   auto src_it = local.find(source);
-  RCW_CHECK_MSG(src_it != local.end(), "PprPowerIteration: source not in subset");
+  RCW_CHECK_MSG(src_it != local.end(),
+                "PprPowerIteration: source not in subset");
 
   std::vector<std::vector<size_t>> nbrs_local(n);
   std::vector<double> inv_deg(n);

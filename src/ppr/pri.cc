@@ -88,8 +88,10 @@ PriResult Pri(const GraphView& base,
         for (size_t j = 0; j < ball.size(); ++j) order[j] = j;
         std::partial_sort(
             order.begin(),
-            order.begin() + std::min<size_t>(order.size(),
-                                             static_cast<size_t>(opts.insertion_fanout) + 2),
+            order.begin() +
+                std::min<size_t>(
+                    order.size(),
+                    static_cast<size_t>(opts.insertion_fanout) + 2),
             order.end(), [&](size_t a, size_t b2) { return x[a] > x[b2]; });
         int taken = 0;
         for (size_t j : order) {

@@ -111,7 +111,9 @@ BatchScheduler::Ticket BatchScheduler::JoinLocked(
 void BatchScheduler::WarmAll(const std::vector<LogitRequest>& requests) {
   std::vector<Ticket> tickets;
   tickets.reserve(requests.size());
-  for (const LogitRequest& r : requests) tickets.push_back(Submit(r.view, r.nodes));
+  for (const LogitRequest& r : requests) {
+    tickets.push_back(Submit(r.view, r.nodes));
+  }
   for (Ticket& t : tickets) t.Wait();
 }
 

@@ -79,7 +79,9 @@ StatusOr<std::vector<UpdateBatch>> LoadUpdateStream(const std::string& path) {
       return Status::InvalidArgument("LoadUpdateStream: unknown tag " + tag);
     }
   }
-  if (!header_seen) return Status::InvalidArgument("LoadUpdateStream: empty file");
+  if (!header_seen) {
+    return Status::InvalidArgument("LoadUpdateStream: empty file");
+  }
   if (!check_batch_complete()) {
     return Status::InvalidArgument(
         "LoadUpdateStream: batch shorter than declared");

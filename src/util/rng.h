@@ -62,7 +62,8 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformInt(int64_t lo, int64_t hi) {
     RCW_CHECK(hi >= lo);
-    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+    return lo +
+           static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
   }
 
   /// Bernoulli draw with success probability p.

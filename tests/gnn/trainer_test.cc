@@ -86,7 +86,9 @@ TEST(SampleTrainNodes, StratifiedAndDeterministic) {
   EXPECT_EQ(a, b);
   // Every class represented.
   std::vector<int> per_class(static_cast<size_t>(g.num_classes()), 0);
-  for (NodeId u : a) per_class[static_cast<size_t>(g.labels()[static_cast<size_t>(u)])]++;
+  for (NodeId u : a) {
+    per_class[static_cast<size_t>(g.labels()[static_cast<size_t>(u)])]++;
+  }
   for (int c : per_class) EXPECT_GT(c, 0);
 }
 

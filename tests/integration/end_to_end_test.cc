@@ -102,7 +102,8 @@ TEST(EndToEnd, GcnWitnessGeneratesAndVerifies) {
 
 TEST(EndToEnd, SbmScaleGenerationVerifies) {
   const auto& f = SmallSbmAppnp();
-  const auto test_nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
+  const auto test_nodes =
+      SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
   ASSERT_GE(test_nodes.size(), 2u);
   WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/4, /*b=*/2);
   const GenerateResult result = GenerateRcw(cfg);
@@ -117,7 +118,8 @@ TEST(EndToEnd, SbmScaleGenerationVerifies) {
 
 TEST(EndToEnd, ParallelMatchesSequentialContract) {
   const auto& f = SmallSbmAppnp();
-  const auto test_nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
+  const auto test_nodes =
+      SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
   WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/3, /*b=*/2);
   ParallelOptions popts;
   popts.num_threads = 3;
@@ -133,7 +135,8 @@ TEST(EndToEnd, ParallelMatchesSequentialContract) {
 
 TEST(EndToEnd, FidelityOfGeneratedWitness) {
   const auto& f = SmallSbmAppnp();
-  const auto test_nodes = SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
+  const auto test_nodes =
+      SelectExplainableTestNodes(*f.model, *f.graph, 4, {}, 9);
   WitnessConfig cfg = MakeConfig(f, test_nodes, /*k=*/2, /*b=*/1);
   const GenerateResult result = GenerateRcw(cfg);
   ASSERT_FALSE(result.trivial);

@@ -93,7 +93,8 @@ TEST(SolveIMinusAlphaP, ZeroRhsGivesZero) {
   const Graph g = testing::MakePathGraph(6);
   const FullView full(&g);
   const auto nodes = AllNodes(full);
-  const auto x = SolveIMinusAlphaP(full, nodes, std::vector<double>(6, 0.0), {});
+  const auto x =
+      SolveIMinusAlphaP(full, nodes, std::vector<double>(6, 0.0), {});
   for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 

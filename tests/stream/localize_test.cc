@@ -39,7 +39,8 @@ TEST(Localize, MatchesBruteForceBallIntersection) {
   std::vector<NodeId> test_nodes;
   for (int i = 0; i < 12; ++i) {
     test_nodes.push_back(
-        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(g.num_nodes()))));
+        static_cast<NodeId>(
+            rng.UniformInt(static_cast<uint64_t>(g.num_nodes()))));
   }
   const std::vector<Edge> all_edges = g.Edges();
   for (int trial = 0; trial < 20; ++trial) {

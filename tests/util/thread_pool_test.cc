@@ -40,7 +40,8 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
 TEST(ParallelFor, MatchesSerialSum) {
   ThreadPool pool(8);
   std::vector<int64_t> out(5000);
-  ParallelFor(&pool, 5000, [&](int64_t i) { out[static_cast<size_t>(i)] = i * i; });
+  ParallelFor(&pool, 5000,
+              [&](int64_t i) { out[static_cast<size_t>(i)] = i * i; });
   int64_t sum = std::accumulate(out.begin(), out.end(), int64_t{0});
   int64_t expect = 0;
   for (int64_t i = 0; i < 5000; ++i) expect += i * i;
@@ -49,7 +50,8 @@ TEST(ParallelFor, MatchesSerialSum) {
 
 TEST(ParallelFor, NullPoolRunsInline) {
   std::vector<int> hits(10, 0);
-  ParallelFor(nullptr, 10, [&](int64_t i) { hits[static_cast<size_t>(i)] = 1; });
+  ParallelFor(nullptr, 10,
+              [&](int64_t i) { hits[static_cast<size_t>(i)] = 1; });
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
