@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Formats (or with --check, verifies) every tracked C++ source with the SAME
+# clang-format the CI lint job pins, so "formatted locally" and "green in CI"
+# cannot drift apart. Usage:
+#
+#   tools/format.sh           # rewrite files in place
+#   tools/format.sh --check   # exit non-zero if anything is mis-formatted
+#
+# The version pin lives here once; .github/workflows/ci.yml calls this
+# script instead of duplicating the invocation.
+set -eu
+
+# Prefer the pinned major version; fall back to a bare clang-format only if
+# it reports the same major (formatting output differs across majors).
+PINNED_MAJOR=18
+FMT=""
+if command -v "clang-format-${PINNED_MAJOR}" >/dev/null 2>&1; then
+  FMT="clang-format-${PINNED_MAJOR}"
+elif command -v clang-format >/dev/null 2>&1 &&
+    clang-format --version | grep -q "version ${PINNED_MAJOR}\."; then
+  FMT=clang-format
+else
+  echo "error: clang-format-${PINNED_MAJOR} not found" \
+       "(the CI lint job pins this version; install it to match)" >&2
+  exit 2
+fi
+
+cd "$(dirname "$0")/.."
+if [ "${1:-}" = "--check" ]; then
+  git ls-files '*.cc' '*.h' '*.cpp' | xargs "${FMT}" --dry-run --Werror
+else
+  git ls-files '*.cc' '*.h' '*.cpp' | xargs "${FMT}" -i
+fi
