@@ -128,6 +128,8 @@ int Run(const BenchEnv& env) {
     json.Add(ds + ".batch_occupancy", ss.batch_occupancy());
     json.Add(ds + ".per_caller_seconds", per_caller.result.seconds);
     json.Add(ds + ".batched_seconds", batched.result.seconds);
+    json.Add(ds + ".per_caller.latency", per_caller.result.latency);
+    json.Add(ds + ".batched.latency", batched.result.latency);
 
     if (batched.logits != per_caller.logits) {
       std::printf("FAIL[%s]: batched and per-caller logits differ\n",

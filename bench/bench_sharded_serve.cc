@@ -132,6 +132,8 @@ int Run(const BenchEnv& env) {
   json.Add("batch_occupancy", ss.batch_occupancy());
   json.Add("per_caller_seconds", baseline.value().result.seconds);
   json.Add("sharded_seconds", run.value().result.seconds);
+  json.Add("per_caller.latency", baseline.value().result.latency);
+  json.Add("sharded.latency", run.value().result.latency);
 
   if (run.value().logits != baseline.value().logits) {
     std::printf("FAIL: sharded and per-caller logits differ\n");

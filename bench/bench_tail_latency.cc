@@ -1,0 +1,219 @@
+// Tail-latency benchmark — the acceptance gate for the adaptive batching
+// front (BatchSchedulerOptions::adaptive):
+//
+//  - Light traffic (one lone client, paced requests): the fixed-deadline
+//    scheduler parks every request on the timer for the full deadline, so
+//    its p99 is ~deadline. Adaptive mode must serve the same trace with a
+//    p99 at least 10x lower (the idle fast-path answers a lone caller
+//    synchronously; quiescence deadlines cover everything else).
+//  - Heavy traffic (16 requesters released together): the tail machinery
+//    must not cost the throughput win — model-invocation reduction vs the
+//    per-caller baseline must stay >= 2x.
+//  - Both phases: logits bit-identical to the non-adaptive reference run,
+//    the contract every scheduler mode shares (flushes only warm the cache).
+//
+// Shape notes for slow single-core CI runners: the light client's 25ms
+// pacing sits far above the 10ms fast-path idle threshold (every request
+// deterministically fast-paths) and far below the 250ms fixed deadline
+// (~10x p99 headroom even if one warm hiccups to 25ms); the heavy phase's
+// 50ms patience window keeps one wave coalesced across scheduling jitter,
+// and every join extends it, so a straggling requester widens the window
+// instead of splitting the batch.
+//
+// Exits non-zero when any property fails; latency percentiles and scheduler
+// stats land in BENCH_tail_latency.json (schema: docs/BENCHMARKS.md).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/serve/replay.h"
+
+namespace robogexp::bench {
+namespace {
+
+constexpr int kLightRequests = 30;
+constexpr int64_t kLightInterarrivalUs = 25'000;
+constexpr int64_t kFixedDeadlineUs = 250'000;
+constexpr int kHeavyRequesters = 16;
+constexpr int kHeavyNodesPerRequest = 3;
+
+/// One replay on a fresh engine (full view only), logits collected for the
+/// bit-identity checks. A fresh engine per mode keeps the comparison fair:
+/// no mode inherits the other's warm cache.
+ReplayRun RunMode(const Workload& w, const std::vector<TraceRequest>& trace,
+                  const ReplayOptions& ropts) {
+  InferenceEngine engine(w.model.get(), w.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  auto r = ReplayAndCollect(&engine, views, trace, ropts);
+  RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  return r.value();
+}
+
+int Run(const BenchEnv& env) {
+  (void)env;  // fixed-size serving traces; dataset scale does not apply
+  Workload w = PrepareWorkload("BAHouse", /*scale=*/1.0, /*faithful=*/false);
+  // The heavy wave needs distinct nodes per request so the per-caller
+  // baseline cannot ride the cache; the light client only measures waiting,
+  // so it cycles over whatever explainable nodes remain.
+  constexpr int kHeavyPool = kHeavyRequesters * kHeavyNodesPerRequest;
+  const auto pool = TestNodes(w, kHeavyPool + kLightRequests);
+  RCW_CHECK_MSG(static_cast<int>(pool.size()) > kHeavyPool,
+                "test pool too small for the request traces");
+  const size_t light_pool = pool.size() - static_cast<size_t>(kHeavyPool);
+
+  Table table({"phase", "mode", "requests", "p50 (us)", "p99 (us)",
+               "model invocations", "fastpath", "time (s)"});
+  BenchJson json("tail_latency");
+  int failures = 0;
+
+  // ---- Light traffic: one paced client, single-node requests. ----
+  std::vector<TraceRequest> light(kLightRequests);
+  for (int i = 0; i < kLightRequests; ++i) {
+    light[static_cast<size_t>(i)].view = "full";
+    light[static_cast<size_t>(i)].nodes = {
+        pool[static_cast<size_t>(kHeavyPool) +
+             static_cast<size_t>(i) % light_pool]};
+  }
+  ReplayOptions light_opts;
+  light_opts.num_threads = 1;
+  light_opts.interarrival_us = kLightInterarrivalUs;
+  light_opts.scheduler.max_batch_nodes = 1 << 20;
+  light_opts.scheduler.deadline_us = kFixedDeadlineUs;
+
+  ReplayOptions light_adaptive = light_opts;
+  light_adaptive.scheduler.adaptive = true;
+  light_adaptive.scheduler.fastpath_idle_us = 10'000;
+
+  const ReplayRun light_fixed_run = RunMode(w, light, light_opts);
+  const ReplayRun light_adaptive_run = RunMode(w, light, light_adaptive);
+
+  const LatencySummary& lf = light_fixed_run.result.latency;
+  const LatencySummary& la = light_adaptive_run.result.latency;
+  const double p99_ratio = la.p99_us > 0.0 ? lf.p99_us / la.p99_us : 0.0;
+  const SchedulerStats& las = light_adaptive_run.result.scheduler_stats;
+
+  table.AddRow({"light", "fixed", std::to_string(kLightRequests),
+                Table::Num(lf.p50_us, 0), Table::Num(lf.p99_us, 0),
+                std::to_string(
+                    light_fixed_run.result.engine_delta.model_invocations),
+                "0", Table::Num(light_fixed_run.result.seconds, 2)});
+  table.AddRow({"light", "adaptive", std::to_string(kLightRequests),
+                Table::Num(la.p50_us, 0), Table::Num(la.p99_us, 0),
+                std::to_string(
+                    light_adaptive_run.result.engine_delta.model_invocations),
+                std::to_string(las.fastpath_flushes),
+                Table::Num(light_adaptive_run.result.seconds, 2)});
+
+  json.Add("light.requests", static_cast<int64_t>(kLightRequests));
+  json.Add("light.fixed.latency", lf);
+  json.Add("light.adaptive.latency", la);
+  json.Add("light.p99_ratio", p99_ratio);
+  json.Add("light.adaptive.fastpath_flushes", las.fastpath_flushes);
+  json.Add("light.fixed.seconds", light_fixed_run.result.seconds);
+  json.Add("light.adaptive.seconds", light_adaptive_run.result.seconds);
+
+  if (light_adaptive_run.logits != light_fixed_run.logits) {
+    std::printf("FAIL[light]: adaptive and fixed-deadline logits differ\n");
+    ++failures;
+  }
+  if (p99_ratio < 10.0) {
+    std::printf("FAIL[light]: adaptive p99 %.0fus is only %.1fx better than "
+                "fixed-deadline p99 %.0fus (< 10x)\n",
+                la.p99_us, p99_ratio, lf.p99_us);
+    ++failures;
+  }
+  if (las.fastpath_flushes < 1) {
+    std::printf("FAIL[light]: idle fast-path never fired\n");
+    ++failures;
+  }
+
+  // ---- Heavy traffic: 16 requesters, distinct nodes per request. ----
+  std::vector<TraceRequest> heavy(kHeavyRequesters);
+  for (int i = 0; i < kHeavyRequesters; ++i) {
+    heavy[static_cast<size_t>(i)].view = "full";
+    for (int j = 0; j < kHeavyNodesPerRequest; ++j) {
+      heavy[static_cast<size_t>(i)].nodes.push_back(
+          pool[static_cast<size_t>(i * kHeavyNodesPerRequest + j)]);
+    }
+  }
+  ReplayOptions heavy_base;
+  heavy_base.num_threads = kHeavyRequesters;
+  heavy_base.scheduler.max_batch_nodes = 1 << 20;
+  heavy_base.scheduler.deadline_us = 400'000;
+
+  ReplayOptions heavy_adaptive = heavy_base;
+  heavy_adaptive.scheduler.adaptive = true;
+  heavy_adaptive.scheduler.adaptive_patience_us = 50'000;
+
+  ReplayOptions heavy_per_caller = heavy_base;
+  heavy_per_caller.use_scheduler = false;
+
+  const ReplayRun heavy_sync = RunMode(w, heavy, heavy_per_caller);
+  const ReplayRun heavy_batched = RunMode(w, heavy, heavy_adaptive);
+
+  const int64_t sync_calls = heavy_sync.result.engine_delta.model_invocations;
+  const int64_t adaptive_calls =
+      heavy_batched.result.engine_delta.model_invocations;
+  const double reduction =
+      adaptive_calls > 0 ? static_cast<double>(sync_calls) /
+                               static_cast<double>(adaptive_calls)
+                         : 0.0;
+  const SchedulerStats& hs = heavy_batched.result.scheduler_stats;
+  const LatencySummary& hl = heavy_batched.result.latency;
+
+  table.AddRow({"heavy", "per-caller", std::to_string(kHeavyRequesters),
+                Table::Num(heavy_sync.result.latency.p50_us, 0),
+                Table::Num(heavy_sync.result.latency.p99_us, 0),
+                std::to_string(sync_calls), "0",
+                Table::Num(heavy_sync.result.seconds, 2)});
+  table.AddRow({"heavy", "adaptive", std::to_string(kHeavyRequesters),
+                Table::Num(hl.p50_us, 0), Table::Num(hl.p99_us, 0),
+                std::to_string(adaptive_calls),
+                std::to_string(hs.fastpath_flushes),
+                Table::Num(heavy_batched.result.seconds, 2)});
+
+  json.Add("heavy.requests", static_cast<int64_t>(kHeavyRequesters));
+  json.Add("heavy.per_caller_calls", sync_calls);
+  json.Add("heavy.adaptive_calls", adaptive_calls);
+  json.Add("heavy.reduction", reduction);
+  json.Add("heavy.adaptive.latency", hl);
+  json.Add("heavy.adaptive.flushes", hs.flushes);
+  json.Add("heavy.adaptive.coalesced_flushes", hs.coalesced_flushes);
+  json.Add("heavy.adaptive.fastpath_flushes", hs.fastpath_flushes);
+  json.Add("heavy.adaptive.batch_occupancy", hs.batch_occupancy());
+
+  if (heavy_batched.logits != heavy_sync.logits) {
+    std::printf("FAIL[heavy]: adaptive and per-caller logits differ\n");
+    ++failures;
+  }
+  if (reduction < 2.0) {
+    std::printf("FAIL[heavy]: model-invocation reduction %.2fx < 2x "
+                "(%lld per-caller vs %lld adaptive)\n",
+                reduction, static_cast<long long>(sync_calls),
+                static_cast<long long>(adaptive_calls));
+    ++failures;
+  }
+
+  table.Print("Tail latency: fixed vs adaptive deadlines (light) and the "
+              "preserved coalescing win (heavy)");
+  table.MaybeWriteCsv(BenchCsvDir(), "tail_latency");
+  json.Write();
+  if (failures == 0) {
+    std::printf("OK: adaptive p99 %.1fx better under light traffic, "
+                "%.2fx invocation reduction under heavy traffic, "
+                "bit-identical logits\n",
+                p99_ratio, reduction);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main() {
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  std::printf("Tail-latency benchmark (scale=%.2f)\n", env.scale);
+  return robogexp::bench::Run(env);
+}

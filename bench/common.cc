@@ -92,6 +92,16 @@ void BenchJson::Add(const std::string& key, const std::string& value) {
   fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
 }
 
+void BenchJson::Add(const std::string& key, const LatencySummary& summary) {
+  Add(key + ".count", summary.count);
+  Add(key + ".mean_us", summary.mean_us);
+  Add(key + ".p50_us", summary.p50_us);
+  Add(key + ".p90_us", summary.p90_us);
+  Add(key + ".p99_us", summary.p99_us);
+  Add(key + ".p999_us", summary.p999_us);
+  Add(key + ".max_us", summary.max_us);
+}
+
 bool BenchJson::Write() const {
   const char* dir = std::getenv("ROBOGEXP_BENCH_JSON_DIR");
   const std::string path =

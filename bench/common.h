@@ -22,6 +22,7 @@
 #include "src/explain/explainer.h"
 #include "src/gnn/trainer.h"
 #include "src/metrics/metrics.h"
+#include "src/util/latency.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
 
@@ -83,6 +84,11 @@ class BenchJson {
   void Add(const std::string& key, int64_t value);
   void Add(const std::string& key, double value);
   void Add(const std::string& key, const std::string& value);
+  /// Expands a latency summary into the flat fields `<key>.count`,
+  /// `<key>.mean_us`, `<key>.p50_us`, `<key>.p90_us`, `<key>.p99_us`,
+  /// `<key>.p999_us`, and `<key>.max_us` — the schema documented in
+  /// docs/BENCHMARKS.md.
+  void Add(const std::string& key, const LatencySummary& summary);
 
   /// Writes the report; returns false (after printing a warning) on IO
   /// failure so benches never fail their self-checks over a read-only dir.

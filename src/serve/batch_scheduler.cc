@@ -5,6 +5,20 @@
 
 namespace robogexp {
 
+namespace {
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+// EWMA smoothing for the arrival-process estimates: recent arrivals
+// dominate (alpha 0.2 halves the memory roughly every three samples), so
+// the scheduler re-adapts within a handful of requests when load shifts.
+constexpr double kEwmaAlpha = 0.2;
+
+}  // namespace
+
 BatchScheduler::BatchScheduler(InferenceEngine* engine,
                                const BatchSchedulerOptions& opts)
     : engine_(engine),
@@ -13,6 +27,15 @@ BatchScheduler::BatchScheduler(InferenceEngine* engine,
   RCW_CHECK(engine != nullptr);
   if (opts_.max_batch_nodes < 1) opts_.max_batch_nodes = 1;
   if (opts_.deadline_us < 0) opts_.deadline_us = 0;
+  if (opts_.adaptive_patience_us < 0) {
+    opts_.adaptive_patience_us = std::max<int64_t>(opts_.deadline_us / 8, 100);
+  }
+  opts_.adaptive_patience_us =
+      std::min(opts_.adaptive_patience_us,
+               std::max<int64_t>(opts_.deadline_us, 1));
+  if (opts_.fastpath_idle_us < 0) {
+    opts_.fastpath_idle_us = std::max<int64_t>(opts_.deadline_us / 4, 100);
+  }
   timer_ = std::thread([this] { TimerLoop(); });
 }
 
@@ -58,6 +81,15 @@ BatchScheduler::Ticket BatchScheduler::Submit(
   if (nodes.empty()) return Ticket();
   std::unique_lock<std::mutex> lock(mu_);
   RCW_CHECK_MSG(!stop_, "BatchScheduler: Submit during shutdown");
+  if (opts_.adaptive) {
+    const auto now = std::chrono::steady_clock::now();
+    const bool fastpath = FastPathEligibleLocked(now);
+    UpdateArrivalLocked(now, nodes.size());
+    if (fastpath) {
+      return FastPathLocked(std::move(lock), /*overlay=*/false, view, {},
+                            nodes, now);
+    }
+  }
   std::shared_ptr<Batch>& slot = pending_[view];
   const bool fresh = slot == nullptr;
   if (fresh) {
@@ -73,6 +105,15 @@ BatchScheduler::Ticket BatchScheduler::SubmitOverlay(
   std::vector<uint64_t> key = InferenceEngine::CanonicalFlipKeys(flips);
   std::unique_lock<std::mutex> lock(mu_);
   RCW_CHECK_MSG(!stop_, "BatchScheduler: SubmitOverlay during shutdown");
+  if (opts_.adaptive) {
+    const auto now = std::chrono::steady_clock::now();
+    const bool fastpath = FastPathEligibleLocked(now);
+    UpdateArrivalLocked(now, nodes.size());
+    if (fastpath) {
+      return FastPathLocked(std::move(lock), /*overlay=*/true,
+                            InferenceEngine::kFullView, flips, nodes, now);
+    }
+  }
   std::shared_ptr<Batch>& slot = pending_overlay_[key];
   const bool fresh = slot == nullptr;
   if (fresh) {
@@ -84,12 +125,106 @@ BatchScheduler::Ticket BatchScheduler::SubmitOverlay(
   return JoinLocked(std::move(lock), slot, fresh, nodes);
 }
 
+bool BatchScheduler::FastPathEligibleLocked(
+    std::chrono::steady_clock::time_point now) const {
+  if (!pending_.empty() || !pending_overlay_.empty()) return false;
+  if (running_flushes_ > 0) return false;
+  if (!has_activity_) return true;
+  return MicrosBetween(last_activity_, now) >=
+         static_cast<double>(opts_.fastpath_idle_us);
+}
+
+void BatchScheduler::UpdateArrivalLocked(
+    std::chrono::steady_clock::time_point now, size_t num_nodes) {
+  if (has_activity_) {
+    const double gap_us = MicrosBetween(last_activity_, now);
+    ewma_interarrival_us_ =
+        ewma_interarrival_us_ < 0.0
+            ? gap_us
+            : (1.0 - kEwmaAlpha) * ewma_interarrival_us_ + kEwmaAlpha * gap_us;
+  }
+  const auto n = static_cast<double>(num_nodes);
+  ewma_nodes_per_request_ =
+      ewma_nodes_per_request_ < 0.0
+          ? n
+          : (1.0 - kEwmaAlpha) * ewma_nodes_per_request_ + kEwmaAlpha * n;
+  last_activity_ = now;
+  has_activity_ = true;
+}
+
+int BatchScheduler::AdaptiveMaxNodesLocked() const {
+  if (ewma_interarrival_us_ <= 0.0) return opts_.max_batch_nodes;
+  // Distinct-node demand the observed rate delivers within one patience
+  // window. If the wave cannot fill max_batch_nodes before the deadline
+  // would fire anyway, stop holding the batch open for stragglers that
+  // statistically will not arrive.
+  const double expected =
+      static_cast<double>(opts_.adaptive_patience_us) /
+      std::max(ewma_interarrival_us_, 1e-3) *
+      std::max(ewma_nodes_per_request_, 1.0);
+  if (expected >= static_cast<double>(opts_.max_batch_nodes)) {
+    return opts_.max_batch_nodes;
+  }
+  return std::max(1, static_cast<int>(expected));
+}
+
+BatchScheduler::Ticket BatchScheduler::FastPathLocked(
+    std::unique_lock<std::mutex> lock, bool overlay,
+    InferenceEngine::ViewId view, const std::vector<Edge>& flips,
+    const std::vector<NodeId>& nodes,
+    std::chrono::steady_clock::time_point start) {
+  std::vector<NodeId> distinct = nodes;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  ++stats_.submitted;
+  stats_.submitted_nodes += static_cast<int64_t>(nodes.size());
+  ++stats_.flushes;
+  ++stats_.fastpath_flushes;
+  stats_.flushed_nodes += static_cast<int64_t>(distinct.size());
+  ++running_flushes_;
+  lock.unlock();
+  // Same flush semantics as a batch: warm the shared cache, nothing else —
+  // the caller reads logits back through the engine, bit-identical to sync.
+  if (overlay) {
+    engine_->WarmOverlay(flips, distinct);
+  } else {
+    engine_->Warm(view, distinct);
+  }
+  const auto done = std::chrono::steady_clock::now();
+  wait_latency_.Record(0.0);
+  ticket_latency_.Record(MicrosBetween(start, done));
+  lock.lock();
+  --running_flushes_;
+  // Anti-cascade stamp: a burst that queued up behind this inline warm must
+  // see a recent arrival and coalesce, not fast-path one by one.
+  last_activity_ = done;
+  has_activity_ = true;
+  lock.unlock();
+  cv_done_.notify_all();
+  return Ticket();
+}
+
 BatchScheduler::Ticket BatchScheduler::JoinLocked(
     std::unique_lock<std::mutex> lock, std::shared_ptr<Batch> batch,
     bool fresh, const std::vector<NodeId>& nodes) {
+  const auto now = std::chrono::steady_clock::now();
   if (fresh) {
-    batch->deadline = std::chrono::steady_clock::now() +
-                      std::chrono::microseconds(opts_.deadline_us);
+    batch->hard_deadline =
+        now + std::chrono::microseconds(opts_.deadline_us);
+    batch->deadline =
+        opts_.adaptive
+            ? std::min(batch->hard_deadline,
+                       now + std::chrono::microseconds(
+                                 opts_.adaptive_patience_us))
+            : batch->hard_deadline;
+  } else if (opts_.adaptive) {
+    // Quiescence rule: each join pushes the flush out one patience window
+    // (never past the hard deadline); the batch fires when the wave dries
+    // up instead of a fixed interval after it began.
+    batch->deadline =
+        std::min(batch->hard_deadline,
+                 now + std::chrono::microseconds(opts_.adaptive_patience_us));
   }
   ++stats_.submitted;
   stats_.submitted_nodes += static_cast<int64_t>(nodes.size());
@@ -97,8 +232,11 @@ BatchScheduler::Ticket BatchScheduler::JoinLocked(
     if (batch->node_set.insert(v).second) batch->nodes.push_back(v);
   }
   ++batch->requests;
+  batch->join_times.push_back(now);
   std::shared_ptr<Batch> flush;
-  if (static_cast<int>(batch->node_set.size()) >= opts_.max_batch_nodes) {
+  const int max_nodes =
+      opts_.adaptive ? AdaptiveMaxNodesLocked() : opts_.max_batch_nodes;
+  if (static_cast<int>(batch->node_set.size()) >= max_nodes) {
     DetachLocked(batch, FlushTrigger::kSize);
     flush = batch;
   }
@@ -178,15 +316,18 @@ void BatchScheduler::RunBatch(const std::shared_ptr<Batch>& batch) {
     std::unique_lock<std::mutex> lock(mu_);
     if (batch->state != BatchState::kDetached) return;  // claimed elsewhere
     batch->state = BatchState::kRunning;
+    batch->flush_start = std::chrono::steady_clock::now();
     ++running_flushes_;
   }
   Flush(*batch);
+  const auto done = std::chrono::steady_clock::now();
   {
     std::unique_lock<std::mutex> lock(mu_);
     batch->state = BatchState::kDone;
     --running_flushes_;
   }
   cv_done_.notify_all();
+  RecordBatchLatency(*batch, done);
 }
 
 void BatchScheduler::Flush(const Batch& batch) {
@@ -202,6 +343,14 @@ void BatchScheduler::Flush(const Batch& batch) {
   }
 }
 
+void BatchScheduler::RecordBatchLatency(
+    const Batch& batch, std::chrono::steady_clock::time_point done) {
+  for (const auto& joined : batch.join_times) {
+    wait_latency_.Record(MicrosBetween(joined, batch.flush_start));
+    ticket_latency_.Record(MicrosBetween(joined, done));
+  }
+}
+
 void BatchScheduler::WaitFor(const std::shared_ptr<Batch>& batch) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -211,13 +360,17 @@ void BatchScheduler::WaitFor(const std::shared_ptr<Batch>& batch) {
       // (the dispatched task may be stuck behind blocked pool workers).
       // Claim it and run the flush on this thread.
       batch->state = BatchState::kRunning;
+      batch->flush_start = std::chrono::steady_clock::now();
       ++running_flushes_;
       lock.unlock();
       Flush(*batch);
+      const auto done = std::chrono::steady_clock::now();
       lock.lock();
       batch->state = BatchState::kDone;
       --running_flushes_;
       cv_done_.notify_all();
+      lock.unlock();
+      RecordBatchLatency(*batch, done);
       return;
     }
     cv_done_.wait(lock);

@@ -20,6 +20,32 @@
 /// the engine cache (the same union-ball floating-point contract as Warm),
 /// and callers read their logits back through the ordinary engine API.
 ///
+/// Adaptive mode (opt-in, BatchSchedulerOptions::adaptive) engineers the
+/// latency tail that a fixed deadline leaves on the table: a lone request
+/// under light traffic otherwise parks on the timer for the full deadline.
+/// Three mechanisms, none of which change flush semantics (a flush is still
+/// only a cache warm, so logits stay bit-identical):
+///
+///  - Idle fast-path: when nothing is pending or running and no other
+///    arrival happened within fastpath_idle_us, the caller is served
+///    synchronously on its own thread — a lone caller never waits on the
+///    timer at all.
+///  - Adaptive deadlines: a pending batch flushes adaptive_patience_us after
+///    its *latest* join (quiescence — the arrival wave has dried up), capped
+///    by the hard deadline deadline_us after its first join. Heavy waves
+///    keep extending the window and coalesce as before; light traffic
+///    flushes as soon as the observed arrival rate drops below what would
+///    fill the batch before the deadline.
+///  - Load-proportional size threshold: the effective size trigger is
+///    lowered to the node demand the observed arrival rate could deliver
+///    within one patience window, so a moderately-loaded batch does not wait
+///    for a max_batch_nodes fill that statistically cannot arrive in time.
+///
+/// Latency observability: every request's lifetime is recorded into two
+/// LatencyRecorders — wait_latency() (submit → flush-start) and
+/// ticket_latency() (submit → complete) — which benches, the CLI `serve`
+/// stats, and sharded aggregation summarize into p50/p99/p999.
+///
 /// Nest-safety: flushes are claim-based. A detached batch may be executed by
 /// the pool task dispatched for it, by the timer's dispatch, or by any
 /// waiter inside Ticket::Wait() — whoever claims it first runs the flush
@@ -27,7 +53,8 @@
 /// is blocked in Wait() under a ParallelFor, the timer thread still detaches
 /// batches at their deadline and the waiters themselves execute the flush,
 /// so the scheduler cannot deadlock on a saturated pool. Size-triggered
-/// flushes submitted from a pool worker run inline for the same reason.
+/// flushes submitted from a pool worker run inline for the same reason, and
+/// the idle fast-path always runs on the submitting thread.
 ///
 /// Lifetime contract: the engine, its bound view slots with pending demand,
 /// and the pool must outlive the scheduler; tickets must not be waited on
@@ -49,6 +76,7 @@
 #include <vector>
 
 #include "src/gnn/engine.h"
+#include "src/util/latency.h"
 #include "src/util/thread_pool.h"
 
 namespace robogexp {
@@ -67,6 +95,19 @@ struct BatchSchedulerOptions {
   /// request joined, even if the size trigger never fires. 0 = flush on the
   /// timer's next wake-up (immediate dispatch, no coalescing window).
   int64_t deadline_us = 200;
+  /// Opt into tail-latency engineering: idle fast-path, quiescence-based
+  /// adaptive deadlines, and load-proportional size thresholds (see the
+  /// file comment). Off by default so fixed-deadline behaviour — and every
+  /// test and bench built on it — is unchanged.
+  bool adaptive = false;
+  /// Adaptive mode: flush a pending batch this long after its latest join
+  /// (bounded by deadline_us after the first join). -1 = deadline_us / 8,
+  /// floored at 100us.
+  int64_t adaptive_patience_us = -1;
+  /// Adaptive mode: serve a submit synchronously when nothing is pending or
+  /// running and the previous arrival (or fast-path completion) is at least
+  /// this far in the past. -1 = deadline_us / 4, floored at 100us.
+  int64_t fastpath_idle_us = -1;
   /// Pool the flushes run on (nullptr = DefaultPool()).
   ThreadPool* pool = nullptr;
 };
@@ -80,17 +121,20 @@ struct SchedulerStats {
   int64_t submitted = 0;
   /// Nodes across all requests, before per-batch deduplication.
   int64_t submitted_nodes = 0;
-  /// Batches flushed (each at most one engine warm).
+  /// Batches flushed (each at most one engine warm), fast-path serves
+  /// included.
   int64_t flushes = 0;
   /// Flushes that served two or more requests — actual cross-request
   /// coalescing, the scheduler's reason to exist.
   int64_t coalesced_flushes = 0;
   /// Flushes fired by the size trigger.
   int64_t size_flushes = 0;
-  /// Flushes fired by the deadline timer.
+  /// Flushes fired by the deadline timer (fixed or adaptive deadline).
   int64_t deadline_flushes = 0;
   /// Flushes forced by the destructor draining un-waited batches.
   int64_t drain_flushes = 0;
+  /// Lone requests served synchronously by the adaptive idle fast-path.
+  int64_t fastpath_flushes = 0;
   /// Distinct nodes across all flushed batches.
   int64_t flushed_nodes = 0;
 
@@ -112,6 +156,7 @@ inline SchedulerStats& operator+=(SchedulerStats& a, const SchedulerStats& b) {
   a.size_flushes += b.size_flushes;
   a.deadline_flushes += b.deadline_flushes;
   a.drain_flushes += b.drain_flushes;
+  a.fastpath_flushes += b.fastpath_flushes;
   a.flushed_nodes += b.flushed_nodes;
   return a;
 }
@@ -128,6 +173,7 @@ inline SchedulerStats operator-(const SchedulerStats& after,
   d.size_flushes = after.size_flushes - before.size_flushes;
   d.deadline_flushes = after.deadline_flushes - before.deadline_flushes;
   d.drain_flushes = after.drain_flushes - before.drain_flushes;
+  d.fastpath_flushes = after.fastpath_flushes - before.fastpath_flushes;
   d.flushed_nodes = after.flushed_nodes - before.flushed_nodes;
   return d;
 }
@@ -146,7 +192,9 @@ class BatchScheduler {
   /// Joins `nodes` onto the pending batch of view slot `view` (creating one
   /// if none is pending). Returns a ticket that completes when the batch has
   /// been flushed; after Wait() the logits of every submitted node are
-  /// served from the engine cache.
+  /// served from the engine cache. In adaptive mode an idle-fast-path
+  /// submit is served before returning and yields an already-complete
+  /// ticket.
   Ticket Submit(InferenceEngine::ViewId view, const std::vector<NodeId>& nodes);
 
   /// Overlay sibling: joins `nodes` onto the pending batch of the
@@ -167,8 +215,16 @@ class BatchScheduler {
   std::vector<double> Logits(InferenceEngine::ViewId view, NodeId v);
 
   InferenceEngine* engine() const { return engine_; }
+  /// Options with adaptive_patience_us / fastpath_idle_us defaults resolved.
   const BatchSchedulerOptions& options() const { return opts_; }
   SchedulerStats stats() const;
+
+  /// Ticket lifetimes, submit → flush-start: how long requests queued
+  /// before their batch began executing (0 for fast-path serves).
+  const LatencyRecorder& wait_latency() const { return wait_latency_; }
+  /// Ticket lifetimes, submit → complete: the latency a waiting caller
+  /// observes.
+  const LatencyRecorder& ticket_latency() const { return ticket_latency_; }
 
  private:
   enum class BatchState { kPending, kDetached, kRunning, kDone };
@@ -183,13 +239,22 @@ class BatchScheduler {
     std::vector<NodeId> nodes;       // distinct, in join order
     std::unordered_set<NodeId> node_set;
     int requests = 0;
+    /// When the timer fires this batch; in adaptive mode pushed out to
+    /// latest-join + patience on every join, never past hard_deadline.
     std::chrono::steady_clock::time_point deadline;
+    /// first-join + deadline_us: the adaptive extension cap.
+    std::chrono::steady_clock::time_point hard_deadline;
+    /// One entry per request, stamped at join — the submit ends of the
+    /// wait/ticket latency samples recorded when the flush completes.
+    std::vector<std::chrono::steady_clock::time_point> join_times;
+    /// Stamped by whichever executor claims the flush.
+    std::chrono::steady_clock::time_point flush_start;
     BatchState state = BatchState::kPending;
   };
 
  public:
   /// Completion handle for one submitted request. Default-constructed (or
-  /// empty-request) tickets are already complete.
+  /// empty-request, or fast-path-served) tickets are already complete.
   class Ticket {
    public:
     Ticket() = default;
@@ -209,13 +274,41 @@ class BatchScheduler {
 
  private:
   /// The shared tail of Submit/SubmitOverlay: stamps a fresh batch's
-  /// deadline, joins `nodes`, fires the size trigger, and (after releasing
-  /// the taken-over `lock`) wakes the timer / dispatches the flush. `batch`
+  /// deadline (or extends a pending one in adaptive mode), joins `nodes`,
+  /// fires the (load-proportional) size trigger, and (after releasing the
+  /// taken-over `lock`) wakes the timer / dispatches the flush. `batch`
   /// is passed by value because a size-detach erases the map slot the caller
   /// found it in.
   Ticket JoinLocked(std::unique_lock<std::mutex> lock,
                     std::shared_ptr<Batch> batch, bool fresh,
                     const std::vector<NodeId>& nodes);
+
+  /// True when an adaptive submit arriving at `now` should be served
+  /// synchronously: nothing pending anywhere, no flush running, and the
+  /// previous arrival (or fast-path completion) is at least fastpath_idle_us
+  /// old — i.e. a lone caller with no coalescing partner in sight. Caller
+  /// holds mu_.
+  bool FastPathEligibleLocked(std::chrono::steady_clock::time_point now) const;
+
+  /// Serves one request synchronously on the calling thread (takes over the
+  /// held `lock`, drops it around the engine warm). The returned ticket is
+  /// already complete.
+  Ticket FastPathLocked(std::unique_lock<std::mutex> lock, bool overlay,
+                        InferenceEngine::ViewId view,
+                        const std::vector<Edge>& flips,
+                        const std::vector<NodeId>& nodes,
+                        std::chrono::steady_clock::time_point start);
+
+  /// EWMA bookkeeping of the arrival process (adaptive mode): inter-arrival
+  /// gap and nodes-per-request, stamped on every submit. Caller holds mu_.
+  void UpdateArrivalLocked(std::chrono::steady_clock::time_point now,
+                           size_t num_nodes);
+
+  /// Load-proportional size trigger: the distinct-node demand the observed
+  /// arrival rate delivers within one patience window, clamped to
+  /// [1, max_batch_nodes]; max_batch_nodes until a rate estimate exists.
+  /// Caller holds mu_.
+  int AdaptiveMaxNodesLocked() const;
 
   /// Moves a pending batch out of its map and into kDetached, recording the
   /// trigger. Caller holds mu_.
@@ -232,6 +325,11 @@ class BatchScheduler {
 
   /// The actual engine warm. No scheduler lock held.
   void Flush(const Batch& batch);
+
+  /// Records one wait/ticket latency sample per joined request of a
+  /// just-completed batch. No scheduler lock held.
+  void RecordBatchLatency(const Batch& batch,
+                          std::chrono::steady_clock::time_point done);
 
   /// Blocks until `batch` completes, claiming the flush when possible.
   void WaitFor(const std::shared_ptr<Batch>& batch);
@@ -252,10 +350,24 @@ class BatchScheduler {
   SchedulerStats stats_;
   int inflight_pool_tasks_ = 0;
   /// Flushes some thread is executing right now (pool worker, timer
-  /// dispatch, or a claiming waiter); the destructor blocks until zero so a
-  /// client-claimed flush can never outlive the scheduler.
+  /// dispatch, a claiming waiter, or a fast-path submit); the destructor
+  /// blocks until zero so a client-claimed flush can never outlive the
+  /// scheduler.
   int running_flushes_ = 0;
   bool stop_ = false;
+
+  /// Arrival-process state (adaptive mode, guarded by mu_). last_activity_
+  /// is stamped on every submit AND on fast-path completion — the latter so
+  /// a burst arriving while one fast-path warm runs inline sees a recent
+  /// stamp and batches instead of cascading into per-caller serves.
+  bool has_activity_ = false;
+  std::chrono::steady_clock::time_point last_activity_;
+  double ewma_interarrival_us_ = -1.0;
+  double ewma_nodes_per_request_ = -1.0;
+
+  LatencyRecorder wait_latency_;
+  LatencyRecorder ticket_latency_;
+
   std::thread timer_;
 };
 

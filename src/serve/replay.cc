@@ -1,6 +1,7 @@
 #include "src/serve/replay.h"
 
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <latch>
 #include <memory>
@@ -165,6 +166,7 @@ StatusOr<ReplayResult> ReplayTrace(
                                                      ? trace.size()
                                                      : 1)));
   const EngineStats before = engine->stats();
+  LatencyRecorder latency;
   Timer timer;
   std::atomic<size_t> next{0};
   // All requesters release together so concurrent demand actually overlaps
@@ -175,8 +177,13 @@ StatusOr<ReplayResult> ReplayTrace(
     for (;;) {
       const size_t i = next.fetch_add(1);
       if (i >= trace.size()) break;
+      if (opts.interarrival_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opts.interarrival_us));
+      }
       const TraceRequest& r = trace[i];
       const InferenceEngine::ViewId view = resolved[i];
+      Timer request_timer;
       if (scheduler != nullptr) {
         scheduler->Submit(view, r.nodes).Wait();
       } else {
@@ -185,6 +192,7 @@ StatusOr<ReplayResult> ReplayTrace(
       // Serve the demand: every node's logits must be readable. In both
       // modes these are cache reads after the warm.
       for (NodeId v : r.nodes) engine->Logits(view, v);
+      latency.RecordSeconds(request_timer.Seconds());
     }
   };
   std::vector<std::thread> threads;
@@ -192,6 +200,7 @@ StatusOr<ReplayResult> ReplayTrace(
   for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
   result.seconds = timer.Seconds();
+  result.latency = latency.Summarize();
   if (scheduler != nullptr) result.scheduler_stats = scheduler->stats();
   scheduler.reset();  // drain before reading the engine delta
   result.engine_delta = engine->stats() - before;
@@ -253,6 +262,7 @@ StatusOr<ShardedReplayResult> ReplayShardedTrace(
                                 static_cast<int>(trace.size() > 0
                                                      ? trace.size()
                                                      : 1)));
+  LatencyRecorder latency;
   Timer timer;
   std::atomic<size_t> next{0};
   std::latch start(num_threads);
@@ -261,7 +271,12 @@ StatusOr<ShardedReplayResult> ReplayShardedTrace(
     for (;;) {
       const size_t i = next.fetch_add(1);
       if (i >= trace.size()) break;
+      if (opts.interarrival_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opts.interarrival_us));
+      }
       const TraceRequest& r = trace[i];
+      Timer request_timer;
       auto ticket =
           router->Submit(r.graph_id, r.view, r.nodes, opts.use_scheduler);
       // Validation above makes submission infallible here.
@@ -272,6 +287,7 @@ StatusOr<ShardedReplayResult> ReplayShardedTrace(
         GraphShard* shard = registry->Owner(r.graph_id, v);
         shard->engine()->Logits(shard->ResolveView(r.view).value(), v);
       }
+      latency.RecordSeconds(request_timer.Seconds());
     }
   };
   std::vector<std::thread> threads;
@@ -279,6 +295,7 @@ StatusOr<ShardedReplayResult> ReplayShardedTrace(
   for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
   result.seconds = timer.Seconds();
+  result.latency = latency.Summarize();
 
   result.scheduler_stats =
       registry->AggregateSchedulerStats() - sched_before;

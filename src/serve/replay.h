@@ -58,6 +58,10 @@ struct ReplayOptions {
   /// true: requests go through a BatchScheduler (cross-request coalescing);
   /// false: the per-caller baseline, each request its own synchronous Warm.
   bool use_scheduler = true;
+  /// Open-loop pacing: each requester sleeps this long before dispatching
+  /// each request it claims. 0 = fire as fast as possible (the heavy-wave
+  /// shape); with num_threads = 1 this models a lone light-traffic client.
+  int64_t interarrival_us = 0;
   BatchSchedulerOptions scheduler;
 };
 
@@ -70,6 +74,10 @@ struct ReplayResult {
   EngineStats engine_delta;
   /// Zero-valued when the replay ran in per-caller mode.
   SchedulerStats scheduler_stats;
+  /// Per-request service latency (dispatch → logits readable), measured by
+  /// the requester threads in both scheduler and per-caller modes — the
+  /// number whose tail the adaptive scheduler engineers.
+  LatencySummary latency;
 };
 
 /// Replays `trace` against `engine` with opts.num_threads concurrent
@@ -118,6 +126,9 @@ struct ShardedReplayResult {
   EngineStats engine_delta;
   /// Batching summed across all shard schedulers (after - before).
   SchedulerStats scheduler_stats;
+  /// Per-request service latency (dispatch → logits readable), measured by
+  /// the requester threads.
+  LatencySummary latency;
 };
 
 /// Replays `trace` through `router` with opts.num_threads concurrent

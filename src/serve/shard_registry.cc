@@ -1,6 +1,7 @@
 #include "src/serve/shard_registry.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace robogexp {
 
@@ -224,6 +225,26 @@ SchedulerStats ShardRegistry::AggregateSchedulerStats() const {
   return total;
 }
 
+LatencySummary ShardRegistry::AggregateTicketLatency() const {
+  std::vector<const LatencyRecorder*> recorders;
+  for (const GraphShard* shard : AllShards()) {
+    if (shard->scheduler() != nullptr) {
+      recorders.push_back(&shard->scheduler()->ticket_latency());
+    }
+  }
+  return LatencyRecorder::SummarizeAll(recorders);
+}
+
+LatencySummary ShardRegistry::AggregateWaitLatency() const {
+  std::vector<const LatencyRecorder*> recorders;
+  for (const GraphShard* shard : AllShards()) {
+    if (shard->scheduler() != nullptr) {
+      recorders.push_back(&shard->scheduler()->wait_latency());
+    }
+  }
+  return LatencyRecorder::SummarizeAll(recorders);
+}
+
 ShardRouter::ShardRouter(ShardRegistry* registry) : registry_(registry) {
   RCW_CHECK(registry != nullptr);
 }
@@ -245,6 +266,7 @@ StatusOr<GraphShard*> ShardRouter::Route(int graph_id, NodeId v) const {
 StatusOr<ShardRouter::MultiTicket> ShardRouter::Submit(
     int graph_id, const std::string& view, const std::vector<NodeId>& nodes,
     bool use_scheduler) {
+  const auto start = std::chrono::steady_clock::now();
   // Resolve everything before any demand reaches an engine: a bad request
   // must fail whole, not half-warm some shards.
   std::vector<GraphShard*> order;  // first-touch order, deterministic
@@ -264,6 +286,8 @@ StatusOr<ShardRouter::MultiTicket> ShardRouter::Submit(
     resolved.push_back(id.value());
   }
   MultiTicket ticket;
+  ticket.recorder_ = &request_latency_;
+  ticket.start_ = start;
   ticket.tickets_.reserve(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     ticket.tickets_.push_back(
@@ -275,12 +299,17 @@ StatusOr<ShardRouter::MultiTicket> ShardRouter::Submit(
 StatusOr<std::vector<double>> ShardRouter::Logits(int graph_id,
                                                   const std::string& view,
                                                   NodeId v) {
+  const auto start = std::chrono::steady_clock::now();
   auto shard = Route(graph_id, v);
   RCW_RETURN_IF_ERROR(shard.status());
   auto id = shard.value()->ResolveView(view);
   RCW_RETURN_IF_ERROR(id.status());
   shard.value()->Submit(id.value(), {v}).Wait();
-  return shard.value()->engine()->Logits(id.value(), v);
+  std::vector<double> logits = shard.value()->engine()->Logits(id.value(), v);
+  request_latency_.Record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+  return logits;
 }
 
 StatusOr<Label> ShardRouter::Predict(int graph_id, const std::string& view,

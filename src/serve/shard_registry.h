@@ -25,7 +25,11 @@
 /// independently, and requests against the same shard coalesce exactly as in
 /// single-graph serving. The router splits a multi-node request by owner,
 /// submits one coalescable unit per shard, and aggregates per-shard
-/// SchedulerStats/EngineStats for honest whole-process accounting.
+/// SchedulerStats/EngineStats for honest whole-process accounting. The
+/// same aggregation exists for latency: AggregateTicketLatency /
+/// AggregateWaitLatency merge every shard scheduler's raw samples into
+/// one exact percentile summary (src/util/latency.h), and the router's
+/// request_latency() times the full route→submit→wait round trip.
 ///
 /// Registration (RegisterGraph / RegisterPartitionedGraph / RegisterExternal
 /// / RegisterView) is a setup-phase API: finish it before serving traffic.
@@ -183,6 +187,12 @@ class ShardRegistry {
   /// Batching across every shard scheduler (summed; external shards without
   /// a scheduler contribute nothing).
   SchedulerStats AggregateSchedulerStats() const;
+  /// Process-wide ticket-lifetime percentiles (submit → complete), merged
+  /// exactly across every shard scheduler's recorder — not a merge of
+  /// per-shard percentiles.
+  LatencySummary AggregateTicketLatency() const;
+  /// Process-wide queue-wait percentiles (submit → flush-start).
+  LatencySummary AggregateWaitLatency() const;
 
  private:
   struct GraphEntry {
@@ -225,14 +235,24 @@ class ShardRouter {
   class MultiTicket {
    public:
     MultiTicket() = default;
-    /// Blocks until every per-shard batch has been flushed.
+    /// Blocks until every per-shard batch has been flushed, then records
+    /// the request's end-to-end latency (submit-entry → all flushes done)
+    /// into the router's recorder — once, on the first Wait.
     void Wait() {
       for (auto& t : tickets_) t.Wait();
+      if (recorder_ != nullptr) {
+        recorder_->Record(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+        recorder_ = nullptr;
+      }
     }
 
    private:
     friend class ShardRouter;
     std::vector<BatchScheduler::Ticket> tickets_;
+    LatencyRecorder* recorder_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
   };
 
   /// Splits `nodes` by owning shard (order-preserving within each shard)
@@ -251,8 +271,14 @@ class ShardRouter {
   /// Argmax label of Logits().
   StatusOr<Label> Predict(int graph_id, const std::string& view, NodeId v);
 
+  /// End-to-end request latency (Submit entry → MultiTicket::Wait return,
+  /// and the whole of Logits/Predict), across every request routed through
+  /// this router.
+  const LatencyRecorder& request_latency() const { return request_latency_; }
+
  private:
   ShardRegistry* registry_;
+  LatencyRecorder request_latency_;
 };
 
 }  // namespace robogexp

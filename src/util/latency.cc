@@ -1,0 +1,166 @@
+#include "src/util/latency.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace robogexp {
+namespace {
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Nearest-rank percentile over a sorted sample vector: the smallest sample
+// whose rank is >= q * n. Exact, and trivially mirrored by test oracles.
+double NearestRank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<size_t>(std::ceil(q * n));
+  rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(size_t max_samples_per_thread)
+    : id_(NextRecorderId()),
+      max_samples_per_thread_(std::max<size_t>(max_samples_per_thread, 1)) {}
+
+LatencyRecorder::Buffer* LatencyRecorder::LocalBuffer() {
+  thread_local std::unordered_map<uint64_t, Buffer*> tls;
+  auto it = tls.find(id_);
+  if (it != tls.end()) return it->second;
+  auto owned = std::make_unique<Buffer>();
+  Buffer* buf = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  tls.emplace(id_, buf);
+  return buf;
+}
+
+void LatencyRecorder::Record(double micros) {
+  if (!(micros > 0.0)) micros = 0.0;  // clamp negatives and NaN
+  Buffer* buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->samples.size() < max_samples_per_thread_) {
+    buf->samples.push_back(micros);
+  }
+  ++buf->hist[static_cast<size_t>(BucketIndex(micros))];
+  if (buf->count == 0 || micros < buf->min) buf->min = micros;
+  if (micros > buf->max) buf->max = micros;
+  buf->sum += micros;
+  ++buf->count;
+}
+
+int64_t LatencyRecorder::count() const {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->count;
+  }
+  return total;
+}
+
+int LatencyRecorder::BucketIndex(double micros) {
+  if (micros < 1.0) return 0;
+  const int b = static_cast<int>(std::floor(std::log2(micros)));
+  return std::min(std::max(b, 0), kNumBuckets - 1);
+}
+
+double LatencyRecorder::BucketLowerUs(int b) {
+  return b <= 0 ? 0.0 : std::exp2(static_cast<double>(b));
+}
+
+std::array<int64_t, LatencyRecorder::kNumBuckets>
+LatencyRecorder::HistogramCounts() const {
+  std::array<int64_t, kNumBuckets> merged{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (int b = 0; b < kNumBuckets; ++b) merged[b] += buf->hist[b];
+  }
+  return merged;
+}
+
+std::vector<double> LatencyRecorder::Samples() const {
+  std::vector<double> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->samples.begin(), buf->samples.end());
+  }
+  return out;
+}
+
+LatencySummary LatencyRecorder::SummarizeAll(
+    const std::vector<const LatencyRecorder*>& recorders) {
+  LatencySummary s;
+  std::vector<double> samples;
+  std::array<int64_t, kNumBuckets> hist{};
+  double sum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = 0.0;
+  for (const LatencyRecorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    std::lock_guard<std::mutex> lock(rec->mu_);
+    for (const auto& buf : rec->buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      if (buf->count == 0) continue;
+      s.count += buf->count;
+      sum += buf->sum;
+      mn = std::min(mn, buf->min);
+      mx = std::max(mx, buf->max);
+      samples.insert(samples.end(), buf->samples.begin(), buf->samples.end());
+      for (int b = 0; b < kNumBuckets; ++b) hist[b] += buf->hist[b];
+    }
+  }
+  if (s.count == 0) return s;
+  s.min_us = mn;
+  s.max_us = mx;
+  s.mean_us = sum / static_cast<double>(s.count);
+  if (static_cast<int64_t>(samples.size()) == s.count) {
+    // Every sample was retained: exact nearest-rank percentiles.
+    std::sort(samples.begin(), samples.end());
+    s.p50_us = NearestRank(samples, 0.50);
+    s.p90_us = NearestRank(samples, 0.90);
+    s.p99_us = NearestRank(samples, 0.99);
+    s.p999_us = NearestRank(samples, 0.999);
+    return s;
+  }
+  // Some buffer hit its raw-sample cap: estimate percentiles from the exact
+  // histogram by linear interpolation within the covering bucket, clamped to
+  // the observed min/max.
+  auto estimate = [&](double q) {
+    const auto rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(s.count)));
+    int64_t cumulative = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (hist[b] == 0) continue;
+      if (cumulative + hist[b] >= rank) {
+        const double lo = BucketLowerUs(b);
+        const double hi = b + 1 < kNumBuckets
+                              ? BucketLowerUs(b + 1)
+                              : std::max(mx, BucketLowerUs(b));
+        const double frac = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(hist[b]);
+        return std::min(std::max(lo + frac * (hi - lo), mn), mx);
+      }
+      cumulative += hist[b];
+    }
+    return mx;
+  };
+  s.p50_us = estimate(0.50);
+  s.p90_us = estimate(0.90);
+  s.p99_us = estimate(0.99);
+  s.p999_us = estimate(0.999);
+  return s;
+}
+
+}  // namespace robogexp

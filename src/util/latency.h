@@ -1,0 +1,128 @@
+/// \file
+/// LatencyRecorder — the repo-wide latency-observability primitive.
+///
+/// Serving latency is a tail statistic: the mean hides exactly the requests
+/// that matter, so every latency number reported by the serving path
+/// (BatchScheduler ticket lifetimes, ShardRouter end-to-end requests, the
+/// replay drivers) flows through a LatencyRecorder and is summarized as
+/// percentiles (p50/p90/p99/p999) plus a fixed-bucket histogram.
+///
+/// The recording hot path must not serialize concurrent requesters, so the
+/// recorder keeps one sample buffer per recording thread (registered on
+/// first use): Record() locks only the calling thread's own buffer — an
+/// uncontended mutex except while a reader is merging — making recording
+/// lock-cheap rather than lock-free, which is all a sub-microsecond,
+/// few-million-samples-per-run harness needs.
+///
+/// Reads merge: Summarize() (and the cross-recorder SummarizeAll(), the unit
+/// sharded serving aggregates per-shard recorders in) walks every buffer
+/// under its buffer lock and computes exact nearest-rank percentiles over
+/// the union of raw samples. Buffers cap raw-sample retention at
+/// `max_samples_per_thread`; beyond the cap, counts/min/max/mean and the
+/// histogram stay exact and percentiles degrade gracefully to
+/// histogram-interpolated estimates (each bucket spans one power of two of
+/// microseconds, so an estimate is off by at most its bucket width).
+#ifndef ROBOGEXP_UTIL_LATENCY_H_
+#define ROBOGEXP_UTIL_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace robogexp {
+
+/// Merged view of one (or several) LatencyRecorders. All values are
+/// microseconds; zero-valued when `count` is 0.
+struct LatencySummary {
+  int64_t count = 0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  double mean_us = 0.0;
+  /// Nearest-rank percentiles over the recorded samples (exact while every
+  /// buffer is within its raw-sample cap; histogram-interpolated after).
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+/// Concurrent latency accumulator: per-thread sample buffers, merged on
+/// read. See the file comment for the locking and exactness contract.
+class LatencyRecorder {
+ public:
+  /// Histogram buckets: bucket b counts samples in [2^b, 2^(b+1))
+  /// microseconds (bucket 0 additionally holds everything below 1us), so
+  /// bucket 29 tops out around nine minutes — far beyond any deadline the
+  /// scheduler can express.
+  static constexpr int kNumBuckets = 30;
+
+  explicit LatencyRecorder(size_t max_samples_per_thread = size_t{1} << 20);
+  ~LatencyRecorder() = default;
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  /// Records one latency sample, in microseconds. Negative samples (clock
+  /// adjustments on a non-steady source) clamp to zero. Thread-safe and
+  /// lock-cheap: only the calling thread's own buffer is locked.
+  void Record(double micros);
+
+  /// Convenience for Timer::Seconds() readings.
+  void RecordSeconds(double seconds) { Record(seconds * 1e6); }
+
+  /// Total samples recorded so far (exact, independent of the raw cap).
+  int64_t count() const;
+
+  /// Merged summary of this recorder.
+  LatencySummary Summarize() const { return SummarizeAll({this}); }
+
+  /// Merged summary across several recorders — how sharded serving reports
+  /// one process-wide ticket-latency number over per-shard schedulers.
+  /// Percentiles are computed over the union of all samples, so the merge is
+  /// exact (not a merge of per-recorder percentiles).
+  static LatencySummary SummarizeAll(
+      const std::vector<const LatencyRecorder*>& recorders);
+
+  /// Merged fixed-bucket histogram counts (always exact).
+  std::array<int64_t, kNumBuckets> HistogramCounts() const;
+
+  /// Lower edge of histogram bucket `b`, in microseconds.
+  static double BucketLowerUs(int b);
+
+  /// The bucket a sample of `micros` lands in.
+  static int BucketIndex(double micros);
+
+  /// Merged raw samples, in no particular order. Samples beyond a buffer's
+  /// cap were dropped; tests use this as the percentile oracle input.
+  std::vector<double> Samples() const;
+
+ private:
+  /// One recording thread's slice: raw samples (capped) plus always-exact
+  /// aggregates. The mutex is uncontended on the record path — only the
+  /// owning thread writes; readers lock it briefly while merging.
+  struct Buffer {
+    mutable std::mutex mu;
+    std::vector<double> samples;
+    std::array<int64_t, kNumBuckets> hist{};
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// The calling thread's buffer for this recorder, registered on first
+  /// use. Keyed by a process-unique recorder id (never reused), so a stale
+  /// thread-local entry for a destroyed recorder is never dereferenced.
+  Buffer* LocalBuffer();
+
+  const uint64_t id_;
+  const size_t max_samples_per_thread_;
+  mutable std::mutex mu_;  // guards buffers_ registration
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_UTIL_LATENCY_H_

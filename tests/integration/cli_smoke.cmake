@@ -110,6 +110,14 @@ run_cli(serve serve --graph "${GRAPH}" --model "${MODEL}"
         --witness "${WITNESS}" --replay "${TRACE}" --threads 5
         --deadline-us 50000 --compare)
 
+# Adaptive tail-latency mode: the same trace replayed with adaptive
+# deadlines and a paced lone requester (so the idle fast-path fires) must
+# still pass the per-caller logit comparison — the bit-identity contract is
+# scheduler-mode-independent.
+run_cli(serve-adaptive serve --graph "${GRAPH}" --model "${MODEL}"
+        --witness "${WITNESS}" --replay "${TRACE}" --threads 1
+        --deadline-us 50000 --adaptive --interarrival-us 2000 --compare)
+
 # Sharded multi-graph serving: register the graph twice (graph ids 0 and 1),
 # split each into two fragment shards with a seeded partition, and replay a
 # mixed v1/v2 trace through the router. The model is a GCN (trained here) so

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 #include "tests/testing/fixtures.h"
 
 namespace robogexp {
@@ -297,6 +298,186 @@ TEST(BatchScheduler, NestedParallelForUnderFlushDoesNotDeadlock) {
   });
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(scheduler.stats().submitted, iterations);
+}
+
+// Every flush records one wait (submit -> flush-start) and one ticket
+// (submit -> complete) latency sample per joined request.
+TEST(BatchScheduler, RecordsTicketLatencyPerRequest) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.deadline_us = 500;
+  BatchScheduler scheduler(&rig.engine, opts);
+  scheduler.Submit(InferenceEngine::kFullView, {1, 2}).Wait();
+  scheduler.Submit(rig.sub_id, {3}).Wait();
+  EXPECT_EQ(scheduler.wait_latency().count(), 2);
+  EXPECT_EQ(scheduler.ticket_latency().count(), 2);
+  const LatencySummary s = scheduler.ticket_latency().Summarize();
+  // A deadline flush cannot complete before the deadline elapses.
+  EXPECT_GE(s.min_us, 500.0);
+  // Complete >= flush-start for every request.
+  EXPECT_GE(s.mean_us, scheduler.wait_latency().Summarize().mean_us);
+}
+
+// Adaptive mode: a lone caller is served synchronously by the idle
+// fast-path instead of parking on the timer for the (here absurdly long)
+// deadline — and the logits stay bit-identical to the reference engine.
+TEST(BatchScheduler, AdaptiveFastPathServesLoneCallerImmediately) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.adaptive = true;
+  opts.max_batch_nodes = 1 << 20;
+  opts.deadline_us = 60'000'000;  // a fixed deadline would park for a minute
+  BatchScheduler scheduler(&rig.engine, opts);
+  Timer t;
+  scheduler.Submit(InferenceEngine::kFullView, {1, 2, 7}).Wait();
+  EXPECT_LT(t.Seconds(), 10.0);  // generous CI slack, far below the minute
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.fastpath_flushes, 1);
+  EXPECT_EQ(s.flushes, 1);
+  EXPECT_EQ(s.flushed_nodes, 3);
+  EXPECT_EQ(scheduler.ticket_latency().count(), 1);
+  for (NodeId v : {1, 2, 7}) {
+    EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, v),
+              rig.reference.Logits(InferenceEngine::kFullView, v));
+  }
+}
+
+TEST(BatchScheduler, AdaptiveFastPathServesOverlayDemand) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.adaptive = true;
+  opts.deadline_us = 60'000'000;
+  BatchScheduler scheduler(&rig.engine, opts);
+  const std::vector<Edge> flips = {Edge(0, 2), Edge(1, 3)};
+  Timer t;
+  scheduler.SubmitOverlay(flips, {1, 2, 2}).Wait();  // dup node: dedup to 2
+  EXPECT_LT(t.Seconds(), 10.0);
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.fastpath_flushes, 1);
+  EXPECT_EQ(s.flushed_nodes, 2);
+  for (NodeId v : {1, 2}) {
+    EXPECT_EQ(rig.engine.LogitsOverlay(flips, v),
+              rig.reference.LogitsOverlay(flips, v));
+  }
+}
+
+// Adaptive deadlines flush on quiescence (patience after the latest join),
+// never waiting out a distant hard deadline.
+TEST(BatchScheduler, AdaptiveQuiescenceFlushesBeforeHardDeadline) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  BatchSchedulerOptions opts;
+  opts.adaptive = true;
+  opts.max_batch_nodes = 1 << 20;
+  opts.deadline_us = 60'000'000;
+  opts.adaptive_patience_us = 2000;
+  opts.fastpath_idle_us = 60'000'000;  // first submit fast-paths regardless
+  BatchScheduler scheduler(&rig.engine, opts);
+  scheduler.Submit(InferenceEngine::kFullView, {0}).Wait();  // fast path
+  // Back-to-back submits: gap far below fastpath_idle_us, so they form a
+  // pending batch that must flush ~patience after the last join.
+  Timer t;
+  auto t1 = scheduler.Submit(InferenceEngine::kFullView, {1, 2});
+  auto t2 = scheduler.Submit(InferenceEngine::kFullView, {3});
+  t1.Wait();
+  t2.Wait();
+  EXPECT_LT(t.Seconds(), 10.0);  // generous slack, far below the minute
+  const SchedulerStats s = scheduler.stats();
+  EXPECT_EQ(s.fastpath_flushes, 1);
+  EXPECT_EQ(s.deadline_flushes, 1);
+  EXPECT_GE(s.coalesced_flushes, 1);
+  for (NodeId v : {0, 1, 2, 3}) {
+    EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, v),
+              rig.reference.Logits(InferenceEngine::kFullView, v));
+  }
+}
+
+// The adaptive regression demanded by the bit-identical-logits contract:
+// randomized multi-thread traffic through adaptive schedulers (fast paths,
+// quiescence deadlines, load-proportional size triggers all firing) must
+// produce logits equal to the untouched reference engine's sync answers.
+TEST(BatchScheduler, AdaptiveStressBitIdenticalLogitsVsSyncMode) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  const std::vector<Edge> flip_pool[] = {
+      {Edge(0, 2)}, {Edge(1, 3), Edge(4, 5)}, {Edge(2, 8)}};
+  struct Config {
+    int64_t deadline_us;
+    int64_t patience_us;
+    int64_t fastpath_idle_us;
+    int max_batch_nodes;
+  };
+  const Config configs[] = {{2000, -1, -1, 4},
+                            {50'000, 500, 100, 1 << 20},
+                            {300, 100, 60'000'000, 2}};
+  const NodeId n = rig.engine.graph().num_nodes();
+  for (const Config& config : configs) {
+    BatchSchedulerOptions opts;
+    opts.adaptive = true;
+    opts.deadline_us = config.deadline_us;
+    opts.adaptive_patience_us = config.patience_us;
+    opts.fastpath_idle_us = config.fastpath_idle_us;
+    opts.max_batch_nodes = config.max_batch_nodes;
+    BatchScheduler scheduler(&rig.engine, opts);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 12;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(static_cast<uint64_t>(1000 * config.deadline_us + t + 1));
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          std::vector<NodeId> nodes;
+          const int count = 1 + static_cast<int>(rng.UniformInt(3));
+          for (int i = 0; i < count; ++i) {
+            nodes.push_back(
+                static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(n))));
+          }
+          const int kind = static_cast<int>(rng.UniformInt(4));
+          if (kind == 3) {
+            const auto& flips = flip_pool[rng.UniformInt(3)];
+            scheduler.SubmitOverlay(flips, nodes).Wait();
+            for (NodeId v : nodes) {
+              if (rig.engine.LogitsOverlay(flips, v) !=
+                  rig.reference.LogitsOverlay(flips, v)) {
+                mismatches.fetch_add(1);
+              }
+            }
+          } else {
+            const InferenceEngine::ViewId ids[] = {InferenceEngine::kFullView,
+                                                   rig.sub_id, rig.overlay_id};
+            const InferenceEngine::ViewId ref_ids[] = {
+                InferenceEngine::kFullView, rig.ref_sub_id,
+                rig.ref_overlay_id};
+            scheduler.Submit(ids[kind], nodes).Wait();
+            for (NodeId v : nodes) {
+              if (rig.engine.Logits(ids[kind], v) !=
+                  rig.reference.Logits(ref_ids[kind], v)) {
+                mismatches.fetch_add(1);
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0)
+        << "adaptive deadline_us=" << config.deadline_us
+        << " patience_us=" << config.patience_us
+        << " fastpath_idle_us=" << config.fastpath_idle_us
+        << " max_batch_nodes=" << config.max_batch_nodes;
+    const SchedulerStats s = scheduler.stats();
+    EXPECT_EQ(s.submitted, kThreads * kOpsPerThread);
+    // Trigger accounting stays a partition of all flushes.
+    EXPECT_EQ(s.flushes, s.size_flushes + s.deadline_flushes +
+                             s.drain_flushes + s.fastpath_flushes);
+    // One latency sample pair per request, whatever path served it.
+    EXPECT_EQ(scheduler.ticket_latency().count(), s.submitted);
+    EXPECT_EQ(scheduler.wait_latency().count(), s.submitted);
+  }
 }
 
 // Size-triggered flushes submitted from inside a pool worker run inline

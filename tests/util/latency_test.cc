@@ -1,0 +1,201 @@
+#include "src/util/latency.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/util/rng.h"
+
+namespace robogexp {
+namespace {
+
+// Independent nearest-rank oracle: the smallest sample whose rank is
+// >= q * n in the sorted order.
+double OraclePercentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  rank = std::min(std::max<size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+TEST(LatencyRecorderTest, EmptySummaryIsZero) {
+  LatencyRecorder rec;
+  const LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.min_us, 0.0);
+  EXPECT_EQ(s.max_us, 0.0);
+  EXPECT_EQ(s.mean_us, 0.0);
+  EXPECT_EQ(s.p50_us, 0.0);
+  EXPECT_EQ(s.p999_us, 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder rec;
+  rec.Record(42.0);
+  const LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.min_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.p999_us, 42.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesMatchSortedVectorOracle) {
+  Rng rng(7);
+  LatencyRecorder rec;
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed shape, like real serving latency.
+    const double us = std::exp(10.0 * rng.Uniform());
+    samples.push_back(us);
+    rec.Record(us);
+  }
+  const LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, 5000);
+  EXPECT_DOUBLE_EQ(s.p50_us, OraclePercentile(samples, 0.50));
+  EXPECT_DOUBLE_EQ(s.p90_us, OraclePercentile(samples, 0.90));
+  EXPECT_DOUBLE_EQ(s.p99_us, OraclePercentile(samples, 0.99));
+  EXPECT_DOUBLE_EQ(s.p999_us, OraclePercentile(samples, 0.999));
+  EXPECT_DOUBLE_EQ(s.min_us, *std::min_element(samples.begin(), samples.end()));
+  EXPECT_DOUBLE_EQ(s.max_us, *std::max_element(samples.begin(), samples.end()));
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  EXPECT_NEAR(s.mean_us, sum / 5000.0, 1e-6 * sum);
+}
+
+TEST(LatencyRecorderTest, NegativeSamplesClampToZero) {
+  LatencyRecorder rec;
+  rec.Record(-5.0);
+  rec.Record(10.0);
+  const LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.min_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 10.0);
+}
+
+TEST(LatencyRecorderTest, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(LatencyRecorder::BucketIndex(0.0), 0);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(0.5), 0);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(1.0), 0);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(1.9), 0);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(2.0), 1);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(3.9), 1);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(4.0), 2);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(1024.0), 10);
+  EXPECT_EQ(LatencyRecorder::BucketIndex(1e18),
+            LatencyRecorder::kNumBuckets - 1);
+  EXPECT_DOUBLE_EQ(LatencyRecorder::BucketLowerUs(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyRecorder::BucketLowerUs(10), 1024.0);
+}
+
+TEST(LatencyRecorderTest, HistogramCountsEverySample) {
+  Rng rng(11);
+  LatencyRecorder rec;
+  for (int i = 0; i < 1000; ++i) {
+    rec.Record(1e4 * rng.Uniform());
+  }
+  const auto hist = rec.HistogramCounts();
+  int64_t total = 0;
+  for (int64_t c : hist) total += c;
+  EXPECT_EQ(total, 1000);
+  // 1e4 * U(0,1) never exceeds bucket 13 ([8192, 16384)).
+  for (int b = 14; b < LatencyRecorder::kNumBuckets; ++b) {
+    EXPECT_EQ(hist[static_cast<size_t>(b)], 0);
+  }
+}
+
+TEST(LatencyRecorderTest, CappedBufferFallsBackToHistogramEstimates) {
+  LatencyRecorder rec(/*max_samples_per_thread=*/10);
+  for (int i = 0; i < 1000; ++i) {
+    rec.Record(100.0);  // bucket [64, 128)
+  }
+  EXPECT_EQ(rec.count(), 1000);
+  EXPECT_EQ(rec.Samples().size(), 10u);  // raw retention capped
+  const LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, 1000);
+  // Exact aggregates survive the cap...
+  EXPECT_DOUBLE_EQ(s.min_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 100.0);
+  // ...and percentile estimates stay within the covering bucket (clamped to
+  // observed min/max, which pins them here).
+  EXPECT_DOUBLE_EQ(s.p50_us, 100.0);
+  EXPECT_DOUBLE_EQ(s.p999_us, 100.0);
+}
+
+TEST(LatencyRecorderTest, SummarizeAllMergesAcrossRecorders) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  std::vector<double> all;
+  for (int i = 1; i <= 100; ++i) {
+    const double us = static_cast<double>(i);
+    (i % 2 == 0 ? a : b).Record(us);
+    all.push_back(us);
+  }
+  const LatencySummary s = LatencyRecorder::SummarizeAll({&a, &b});
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+  // Exact merge: percentiles over the union, not a merge of percentiles.
+  EXPECT_DOUBLE_EQ(s.p50_us, OraclePercentile(all, 0.50));
+  EXPECT_DOUBLE_EQ(s.p99_us, OraclePercentile(all, 0.99));
+}
+
+TEST(LatencyRecorderTest, ConcurrentRecordingStress) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  LatencyRecorder rec;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.Record(1.0 + 999.0 * rng.Uniform());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const LatencySummary s = rec.Summarize();
+  EXPECT_EQ(s.count, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(rec.Samples().size(), size_t{kThreads} * kPerThread);
+  EXPECT_GE(s.min_us, 1.0);
+  EXPECT_LE(s.max_us, 1000.0);
+  EXPECT_LE(s.p50_us, s.p90_us);
+  EXPECT_LE(s.p90_us, s.p99_us);
+  EXPECT_LE(s.p99_us, s.p999_us);
+  EXPECT_LE(s.p999_us, s.max_us);
+  const auto hist = rec.HistogramCounts();
+  int64_t total = 0;
+  for (int64_t c : hist) total += c;
+  EXPECT_EQ(total, int64_t{kThreads} * kPerThread);
+}
+
+TEST(LatencyRecorderTest, SummarizeWhileRecordingDoesNotTear) {
+  LatencyRecorder rec;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; !stop.load(); ++i) {
+      rec.Record(static_cast<double>(i % 100));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const LatencySummary s = rec.Summarize();
+    EXPECT_GE(s.count, 0);
+    if (s.count > 0) {
+      EXPECT_LE(s.p50_us, s.p999_us);
+      EXPECT_LE(s.p999_us, s.max_us);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace robogexp

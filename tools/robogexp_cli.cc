@@ -19,7 +19,8 @@
 //                     [--model m2.gnn ...] --replay t.rrt
 //                     [--witness w.rcw ...] [--shards N] [--partition-seed S]
 //                     [--threads N] [--deadline-us D] [--batch-nodes B]
-//                     [--sync] [--compare]
+//                     [--adaptive] [--interarrival-us I] [--sync]
+//                     [--compare]
 //
 // `stream` replays an update stream against the graph, maintaining the
 // witness incrementally (see src/stream/maintain.h) and printing per-batch
@@ -72,6 +73,7 @@ class Flags {
       if (std::strcmp(key, "minimize") == 0 ||
           std::strcmp(key, "ppr-localizer") == 0 ||
           std::strcmp(key, "async-batching") == 0 ||
+          std::strcmp(key, "adaptive") == 0 ||
           std::strcmp(key, "sync") == 0 || std::strcmp(key, "compare") == 0) {
         values_[key] = {"1"};
       } else if (i + 1 < argc) {
@@ -436,6 +438,17 @@ Status BuildServeRegistry(const std::vector<ServeGraph>& graphs,
   return Status::OK();
 }
 
+/// One `<label>: N samples, p50 ... max ...us` stats line (format documented
+/// in docs/FILE_FORMATS.md). Silent when nothing was recorded, so per-caller
+/// runs don't print empty scheduler summaries.
+void PrintLatencyLine(const char* label, const LatencySummary& s) {
+  if (s.count == 0) return;
+  std::printf("%s: %lld samples, p50 %.0fus, p90 %.0fus, p99 %.0fus, "
+              "p99.9 %.0fus, max %.0fus\n",
+              label, static_cast<long long>(s.count), s.p50_us, s.p90_us,
+              s.p99_us, s.p999_us, s.max_us);
+}
+
 int CmdServe(const Flags& flags) {
   const std::vector<std::string> graph_paths = flags.GetAll("graph");
   const std::vector<std::string> model_paths = flags.GetAll("model");
@@ -480,6 +493,8 @@ int CmdServe(const Flags& flags) {
   ropts.use_scheduler = !flags.Has("sync");
   ropts.scheduler.deadline_us = flags.GetInt("deadline-us", 200);
   ropts.scheduler.max_batch_nodes = flags.GetInt("batch-nodes", 64);
+  ropts.scheduler.adaptive = flags.Has("adaptive");
+  ropts.interarrival_us = flags.GetInt("interarrival-us", 0);
   const int num_shards = flags.GetInt("shards", 1);
   const uint64_t seed =
       static_cast<uint64_t>(flags.GetInt("partition-seed", 0));
@@ -523,14 +538,19 @@ int CmdServe(const Flags& flags) {
   if (ropts.use_scheduler) {
     const SchedulerStats& ss = rr.scheduler_stats;
     std::printf("schedulers: %lld submitted, %lld flushes (%lld coalesced, "
-                "%lld size, %lld deadline), occupancy %.1f nodes/flush\n",
+                "%lld size, %lld deadline, %lld fastpath), occupancy %.1f "
+                "nodes/flush\n",
                 static_cast<long long>(ss.submitted),
                 static_cast<long long>(ss.flushes),
                 static_cast<long long>(ss.coalesced_flushes),
                 static_cast<long long>(ss.size_flushes),
                 static_cast<long long>(ss.deadline_flushes),
+                static_cast<long long>(ss.fastpath_flushes),
                 ss.batch_occupancy());
+    PrintLatencyLine("ticket latency", registry.AggregateTicketLatency());
+    PrintLatencyLine("wait latency", registry.AggregateWaitLatency());
   }
+  PrintLatencyLine("request latency", rr.latency);
 
   if (!flags.Has("compare")) return 0;
   // Per-caller unsharded baseline: the same loaded graphs served whole on
