@@ -62,7 +62,17 @@ Workload PrepareWorkload(const std::string& dataset_name, double scale,
   return w;
 }
 
-BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+#ifndef ROBOGEXP_GIT_SHA
+#define ROBOGEXP_GIT_SHA "unknown"
+#endif
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  // Every report leads with its schema version and source revision, so CI
+  // artifact consumers can diff reports across commits without guessing
+  // which field layout (or code) produced them.
+  Add("schema_version", static_cast<int64_t>(kSchemaVersion));
+  Add("git_sha", std::string(ROBOGEXP_GIT_SHA));
+}
 
 namespace {
 

@@ -76,9 +76,15 @@ std::vector<NodeId> TestNodes(const Workload& w, int n);
 /// writes them as BENCH_<name>.json into $ROBOGEXP_BENCH_JSON_DIR (default:
 /// the current directory). CI uploads these as artifacts so the perf
 /// trajectory — inference calls, batch occupancy, wall time — is tracked
-/// across commits.
+/// across commits. Every report is stamped with `schema_version` (bump
+/// kSchemaVersion on layout changes) and `git_sha` (the configure-time
+/// revision, "unknown" outside a git checkout) as its first two fields.
 class BenchJson {
  public:
+  /// Version of the report layout; bump when field semantics change so
+  /// artifact consumers can dispatch on it.
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchJson(std::string name);
 
   void Add(const std::string& key, int64_t value);

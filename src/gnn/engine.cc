@@ -108,6 +108,13 @@ void InferenceEngine::InvalidateOverlayNodes(const std::vector<NodeId>& nodes) {
   });
 }
 
+void InferenceEngine::InvalidateOverlays() {
+  std::unique_lock<std::mutex> lock(mu_);
+  overlay_cache_.clear();
+  overlay_fifo_.clear();
+  overlay_entries_ = 0;
+}
+
 void InferenceEngine::Release(ViewId id) {
   RCW_CHECK_MSG(id != kFullView, "InferenceEngine: cannot release full view");
   std::unique_lock<std::mutex> lock(mu_);

@@ -166,6 +166,12 @@ class InferenceEngine {
   /// every cached disturbance).
   void InvalidateOverlayNodes(const std::vector<NodeId>& nodes);
 
+  /// Drops the entire content-addressed overlay cache. The full-invalidation
+  /// escalation for models whose inference is NOT receptive-field-local
+  /// (APPNP's PPR push): a base-graph update can move their logits anywhere,
+  /// so no per-ball subset of the overlay entries is provably fresh.
+  void InvalidateOverlays();
+
   /// Unbinds the slot (safe to call before the view's lifetime ends; the
   /// slot id is not reused).
   void Release(ViewId id);

@@ -78,7 +78,16 @@ void BatchScheduler::Ticket::Wait() {
 
 BatchScheduler::Ticket BatchScheduler::Submit(
     InferenceEngine::ViewId view, const std::vector<NodeId>& nodes) {
-  if (nodes.empty()) return Ticket();
+  return Submit(view, nodes, nullptr);
+}
+
+BatchScheduler::Ticket BatchScheduler::Submit(
+    InferenceEngine::ViewId view, const std::vector<NodeId>& nodes,
+    std::function<void()> on_complete) {
+  if (nodes.empty()) {
+    if (on_complete != nullptr) on_complete();
+    return Ticket();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   RCW_CHECK_MSG(!stop_, "BatchScheduler: Submit during shutdown");
   if (opts_.adaptive) {
@@ -87,7 +96,7 @@ BatchScheduler::Ticket BatchScheduler::Submit(
     UpdateArrivalLocked(now, nodes.size());
     if (fastpath) {
       return FastPathLocked(std::move(lock), /*overlay=*/false, view, {},
-                            nodes, now);
+                            nodes, now, std::move(on_complete));
     }
   }
   std::shared_ptr<Batch>& slot = pending_[view];
@@ -96,7 +105,8 @@ BatchScheduler::Ticket BatchScheduler::Submit(
     slot = std::make_shared<Batch>();
     slot->view = view;
   }
-  return JoinLocked(std::move(lock), slot, fresh, nodes);
+  return JoinLocked(std::move(lock), slot, fresh, nodes,
+                    std::move(on_complete));
 }
 
 BatchScheduler::Ticket BatchScheduler::SubmitOverlay(
@@ -111,7 +121,8 @@ BatchScheduler::Ticket BatchScheduler::SubmitOverlay(
     UpdateArrivalLocked(now, nodes.size());
     if (fastpath) {
       return FastPathLocked(std::move(lock), /*overlay=*/true,
-                            InferenceEngine::kFullView, flips, nodes, now);
+                            InferenceEngine::kFullView, flips, nodes, now,
+                            nullptr);
     }
   }
   std::shared_ptr<Batch>& slot = pending_overlay_[key];
@@ -122,7 +133,7 @@ BatchScheduler::Ticket BatchScheduler::SubmitOverlay(
     slot->flips = flips;
     slot->flip_key = std::move(key);
   }
-  return JoinLocked(std::move(lock), slot, fresh, nodes);
+  return JoinLocked(std::move(lock), slot, fresh, nodes, nullptr);
 }
 
 bool BatchScheduler::FastPathEligibleLocked(
@@ -172,7 +183,8 @@ BatchScheduler::Ticket BatchScheduler::FastPathLocked(
     std::unique_lock<std::mutex> lock, bool overlay,
     InferenceEngine::ViewId view, const std::vector<Edge>& flips,
     const std::vector<NodeId>& nodes,
-    std::chrono::steady_clock::time_point start) {
+    std::chrono::steady_clock::time_point start,
+    std::function<void()> on_complete) {
   std::vector<NodeId> distinct = nodes;
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
@@ -200,14 +212,16 @@ BatchScheduler::Ticket BatchScheduler::FastPathLocked(
   // see a recent arrival and coalesce, not fast-path one by one.
   last_activity_ = done;
   has_activity_ = true;
+  cv_done_.notify_all();  // under the lock; see RunBatch
   lock.unlock();
-  cv_done_.notify_all();
+  if (on_complete != nullptr) on_complete();
   return Ticket();
 }
 
 BatchScheduler::Ticket BatchScheduler::JoinLocked(
     std::unique_lock<std::mutex> lock, std::shared_ptr<Batch> batch,
-    bool fresh, const std::vector<NodeId>& nodes) {
+    bool fresh, const std::vector<NodeId>& nodes,
+    std::function<void()> on_complete) {
   const auto now = std::chrono::steady_clock::now();
   if (fresh) {
     batch->hard_deadline =
@@ -233,6 +247,9 @@ BatchScheduler::Ticket BatchScheduler::JoinLocked(
   }
   ++batch->requests;
   batch->join_times.push_back(now);
+  if (on_complete != nullptr) {
+    batch->callbacks.push_back(std::move(on_complete));
+  }
   std::shared_ptr<Batch> flush;
   const int max_nodes =
       opts_.adaptive ? AdaptiveMaxNodesLocked() : opts_.max_batch_nodes;
@@ -321,13 +338,20 @@ void BatchScheduler::RunBatch(const std::shared_ptr<Batch>& batch) {
   }
   Flush(*batch);
   const auto done = std::chrono::steady_clock::now();
+  // Record (and run callbacks) BEFORE dropping running_flushes_: the
+  // destructor's drain predicate treats this flush as live until the
+  // recorders and callbacks are no longer being touched — decrementing
+  // first would let the scheduler be destroyed under our feet the moment
+  // a waiter observed kDone.
+  RecordBatchLatency(*batch, done);
   {
     std::unique_lock<std::mutex> lock(mu_);
     batch->state = BatchState::kDone;
     --running_flushes_;
+    // Notify under the lock: once the predicate is satisfiable the
+    // destructor may finish, so an unlocked notify could hit a dead cv.
+    cv_done_.notify_all();
   }
-  cv_done_.notify_all();
-  RecordBatchLatency(*batch, done);
 }
 
 void BatchScheduler::Flush(const Batch& batch) {
@@ -349,6 +373,9 @@ void BatchScheduler::RecordBatchLatency(
     wait_latency_.Record(MicrosBetween(joined, batch.flush_start));
     ticket_latency_.Record(MicrosBetween(joined, done));
   }
+  // Unlocked reads are safe: callbacks are appended under mu_ before the
+  // batch detaches, and the claimant that set kDone synchronized on mu_.
+  for (const auto& cb : batch.callbacks) cb();
 }
 
 void BatchScheduler::WaitFor(const std::shared_ptr<Batch>& batch) {
@@ -365,12 +392,13 @@ void BatchScheduler::WaitFor(const std::shared_ptr<Batch>& batch) {
       lock.unlock();
       Flush(*batch);
       const auto done = std::chrono::steady_clock::now();
+      // Same ordering as RunBatch: record while the flush still counts as
+      // running, then publish kDone and notify under the lock.
+      RecordBatchLatency(*batch, done);
       lock.lock();
       batch->state = BatchState::kDone;
       --running_flushes_;
       cv_done_.notify_all();
-      lock.unlock();
-      RecordBatchLatency(*batch, done);
       return;
     }
     cv_done_.wait(lock);

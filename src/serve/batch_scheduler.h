@@ -68,6 +68,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -137,6 +138,13 @@ struct SchedulerStats {
   int64_t fastpath_flushes = 0;
   /// Distinct nodes across all flushed batches.
   int64_t flushed_nodes = 0;
+  /// Maintained-serving admission control (filled in by the WaitBuffer of a
+  /// ServeMaintained shard during aggregation, never by the scheduler
+  /// itself): requests parked because their node set intersected an
+  /// in-flight maintenance epoch, and parked requests woken — submitted to
+  /// the scheduler after all — by the epoch's completion events.
+  int64_t parked = 0;
+  int64_t woken = 0;
 
   /// Average distinct nodes per flush.
   double batch_occupancy() const {
@@ -158,6 +166,8 @@ inline SchedulerStats& operator+=(SchedulerStats& a, const SchedulerStats& b) {
   a.drain_flushes += b.drain_flushes;
   a.fastpath_flushes += b.fastpath_flushes;
   a.flushed_nodes += b.flushed_nodes;
+  a.parked += b.parked;
+  a.woken += b.woken;
   return a;
 }
 
@@ -175,6 +185,8 @@ inline SchedulerStats operator-(const SchedulerStats& after,
   d.drain_flushes = after.drain_flushes - before.drain_flushes;
   d.fastpath_flushes = after.fastpath_flushes - before.fastpath_flushes;
   d.flushed_nodes = after.flushed_nodes - before.flushed_nodes;
+  d.parked = after.parked - before.parked;
+  d.woken = after.woken - before.woken;
   return d;
 }
 
@@ -196,6 +208,16 @@ class BatchScheduler {
   /// submit is served before returning and yields an already-complete
   /// ticket.
   Ticket Submit(InferenceEngine::ViewId view, const std::vector<NodeId>& nodes);
+
+  /// As Submit, additionally invoking `on_complete` exactly once after the
+  /// request's batch has been flushed (from whichever thread completed it —
+  /// a pool worker, the timer's dispatch, a claiming waiter, the destructor
+  /// drain, or, for fast-path/empty submits, the submitting thread before
+  /// Submit returns). The in-flight tracking hook of the maintained-serving
+  /// WaitBuffer: the callback must be cheap and must not submit back into
+  /// the scheduler.
+  Ticket Submit(InferenceEngine::ViewId view, const std::vector<NodeId>& nodes,
+                std::function<void()> on_complete);
 
   /// Overlay sibling: joins `nodes` onto the pending batch of the
   /// disturbance overlay G ⊕ `flips`, coalesced by the canonical flip set
@@ -247,6 +269,10 @@ class BatchScheduler {
     /// One entry per request, stamped at join — the submit ends of the
     /// wait/ticket latency samples recorded when the flush completes.
     std::vector<std::chrono::steady_clock::time_point> join_times;
+    /// Completion callbacks of the requests that registered one, appended
+    /// under the scheduler lock at join and run exactly once — by the one
+    /// thread that moved the batch to kDone — after the flush.
+    std::vector<std::function<void()>> callbacks;
     /// Stamped by whichever executor claims the flush.
     std::chrono::steady_clock::time_point flush_start;
     BatchState state = BatchState::kPending;
@@ -281,7 +307,8 @@ class BatchScheduler {
   /// found it in.
   Ticket JoinLocked(std::unique_lock<std::mutex> lock,
                     std::shared_ptr<Batch> batch, bool fresh,
-                    const std::vector<NodeId>& nodes);
+                    const std::vector<NodeId>& nodes,
+                    std::function<void()> on_complete);
 
   /// True when an adaptive submit arriving at `now` should be served
   /// synchronously: nothing pending anywhere, no flush running, and the
@@ -297,7 +324,8 @@ class BatchScheduler {
                         InferenceEngine::ViewId view,
                         const std::vector<Edge>& flips,
                         const std::vector<NodeId>& nodes,
-                        std::chrono::steady_clock::time_point start);
+                        std::chrono::steady_clock::time_point start,
+                        std::function<void()> on_complete);
 
   /// EWMA bookkeeping of the arrival process (adaptive mode): inter-arrival
   /// gap and nodes-per-request, stamped on every submit. Caller holds mu_.
@@ -327,7 +355,9 @@ class BatchScheduler {
   void Flush(const Batch& batch);
 
   /// Records one wait/ticket latency sample per joined request of a
-  /// just-completed batch. No scheduler lock held.
+  /// just-completed batch, then runs the batch's completion callbacks.
+  /// Called exactly once per batch, by the thread that moved it to kDone.
+  /// No scheduler lock held.
   void RecordBatchLatency(const Batch& batch,
                           std::chrono::steady_clock::time_point done);
 

@@ -28,15 +28,26 @@ StatusOr<InferenceEngine::ViewId> GraphShard::ResolveView(
   return it->second;
 }
 
-BatchScheduler::Ticket GraphShard::Submit(InferenceEngine::ViewId view,
-                                          const std::vector<NodeId>& nodes,
-                                          bool use_scheduler) {
+ServeTicket GraphShard::Submit(InferenceEngine::ViewId view,
+                               const std::vector<NodeId>& nodes,
+                               bool use_scheduler) {
+  if (wait_buffer_ != nullptr) {
+    // Maintained shard: admission control first. Anything that is not the
+    // engine's base view is a witness-derived slot the maintainer may
+    // rebuild mid-epoch.
+    return wait_buffer_->Submit(view, view != InferenceEngine::kFullView,
+                                nodes, use_scheduler);
+  }
   if (scheduler_ != nullptr && use_scheduler) {
-    return scheduler_->Submit(view, nodes);
+    return ServeTicket(scheduler_->Submit(view, nodes));
   }
   // Per-caller path: a synchronous warm, ticket already complete.
   engine_->Warm(view, nodes);
-  return BatchScheduler::Ticket();
+  return ServeTicket();
+}
+
+void GraphShard::AttachWaitBuffer(std::unique_ptr<WaitBuffer> buffer) {
+  wait_buffer_ = std::move(buffer);
 }
 
 Status ShardRegistry::ValidateRegistration(int graph_id, const Graph* graph,
@@ -221,6 +232,11 @@ SchedulerStats ShardRegistry::AggregateSchedulerStats() const {
   SchedulerStats total;
   for (const GraphShard* shard : AllShards()) {
     if (shard->scheduler() != nullptr) total += shard->scheduler()->stats();
+    if (shard->wait_buffer() != nullptr) {
+      const WaitBufferStats wb = shard->wait_buffer()->stats();
+      total.parked += wb.parked;
+      total.woken += wb.woken;
+    }
   }
   return total;
 }

@@ -47,6 +47,7 @@
 
 #include "src/graph/partition.h"
 #include "src/serve/batch_scheduler.h"
+#include "src/serve/wait_buffer.h"
 #include "src/util/status.h"
 
 namespace robogexp {
@@ -104,10 +105,24 @@ class GraphShard {
   /// has no scheduler — or `use_scheduler` is false (the per-caller baseline
   /// mode) — the warm runs synchronously and the returned ticket is already
   /// complete. Either way the nodes' logits are afterwards served from this
-  /// shard's engine cache.
-  BatchScheduler::Ticket Submit(InferenceEngine::ViewId view,
-                                const std::vector<NodeId>& nodes,
-                                bool use_scheduler = true);
+  /// shard's engine cache. On a maintained shard (wait_buffer() != nullptr)
+  /// the request first passes admission control: it parks when its node set
+  /// conflicts with an in-flight maintenance epoch, and the returned ticket
+  /// completes after the epoch's wake relaunched it.
+  ServeTicket Submit(InferenceEngine::ViewId view,
+                     const std::vector<NodeId>& nodes,
+                     bool use_scheduler = true);
+
+  /// Routes this shard's Submit() through `buffer` (maintained-serving
+  /// admission control; see ServeMaintained in src/stream/maintain.h).
+  /// Setup-phase only. The buffer's executor must target this shard's
+  /// engine/scheduler; requests on any view other than the engine's base
+  /// view are treated as witness-view requests.
+  void AttachWaitBuffer(std::unique_ptr<WaitBuffer> buffer);
+
+  /// The maintained-serving admission buffer, or nullptr on ordinary
+  /// shards.
+  WaitBuffer* wait_buffer() const { return wait_buffer_.get(); }
 
  private:
   friend class ShardRegistry;
@@ -128,6 +143,10 @@ class GraphShard {
   /// which drains through the engine — is destroyed first.
   std::unique_ptr<InferenceEngine> engine_storage_;
   std::unique_ptr<BatchScheduler> scheduler_storage_;
+  /// Declared after the scheduler storage: the buffer's destructor drains
+  /// still-parked requests through the executor (scheduler/engine), so it
+  /// must be destroyed first.
+  std::unique_ptr<WaitBuffer> wait_buffer_;
   InferenceEngine* engine_ = nullptr;
   BatchScheduler* scheduler_ = nullptr;
   std::unordered_map<std::string, InferenceEngine::ViewId> views_;
@@ -185,7 +204,8 @@ class ShardRegistry {
   /// of EngineStats deltas in single-graph serving.
   EngineStats AggregateEngineStats() const;
   /// Batching across every shard scheduler (summed; external shards without
-  /// a scheduler contribute nothing).
+  /// a scheduler contribute nothing). Maintained shards additionally fold
+  /// their WaitBuffer's parked/woken counters into the total.
   SchedulerStats AggregateSchedulerStats() const;
   /// Process-wide ticket-lifetime percentiles (submit → complete), merged
   /// exactly across every shard scheduler's recorder — not a merge of
@@ -250,7 +270,7 @@ class ShardRouter {
 
    private:
     friend class ShardRouter;
-    std::vector<BatchScheduler::Ticket> tickets_;
+    std::vector<ServeTicket> tickets_;
     LatencyRecorder* recorder_ = nullptr;
     std::chrono::steady_clock::time_point start_{};
   };

@@ -1,0 +1,225 @@
+#include "src/serve/wait_buffer.h"
+
+#include <utility>
+
+namespace robogexp {
+
+void ServeTicket::Wait() {
+  if (state_ != nullptr) {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->released; });
+    // The inner ticket was stored before `released` flipped under the same
+    // lock; copy it out so the wait runs without holding the park mutex.
+    BatchScheduler::Ticket inner = state_->inner;
+    lock.unlock();
+    inner.Wait();
+    return;
+  }
+  inner_.Wait();
+}
+
+WaitBuffer::WaitBuffer(Executor executor) : executor_(std::move(executor)) {
+  RCW_CHECK(executor_ != nullptr);
+}
+
+WaitBuffer::~WaitBuffer() {
+  // Detach from the maintainer first: after this, no epoch event can
+  // arrive, so the parked set is final and draining it is race-free.
+  if (detach_ != nullptr) detach_();
+  std::vector<std::shared_ptr<ParkedRequest>> launch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& req : parked_) {
+      RecordInflightLocked(*req);
+      ++stats_.drained;
+      launch.push_back(std::move(req));
+    }
+    parked_.clear();
+  }
+  for (auto& req : launch) {
+    BatchScheduler::Ticket inner = Launch(*req);
+    {
+      std::unique_lock<std::mutex> slock(req->state->mu);
+      req->state->inner = std::move(inner);
+      req->state->released = true;
+    }
+    req->state->cv.notify_all();
+  }
+  // Un-waited tickets stay valid (they hold the scheduler's batch), but
+  // every launched request must have completed before the executor's
+  // targets can be torn down behind us.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_inflight_.wait(lock, [&] { return inflight_total_ == 0; });
+}
+
+void WaitBuffer::SetDetach(std::function<void()> fn) {
+  detach_ = std::move(fn);
+}
+
+WaitBufferStats WaitBuffer::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ServeTicket WaitBuffer::Submit(InferenceEngine::ViewId view,
+                               bool witness_view,
+                               const std::vector<NodeId>& nodes,
+                               bool use_scheduler) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  std::unordered_set<uint64_t> blockers;
+  for (const auto& [id, ep] : epochs_) {
+    if (witness_view) {
+      // Witness views conflict with every open epoch: the maintainer may
+      // rebuild the view objects at any point before Closed.
+      blockers.insert(id);
+      continue;
+    }
+    if (ep.base_secured) continue;  // full-view reads are bit-fresh now
+    if (ep.info.whole_graph) {
+      blockers.insert(id);
+      continue;
+    }
+    for (NodeId v : nodes) {
+      if (ep.ball.count(v) > 0) {
+        blockers.insert(id);
+        break;
+      }
+    }
+  }
+  if (blockers.empty()) {
+    ++stats_.admitted;
+    ParkedRequest req;
+    req.view = view;
+    req.witness_view = witness_view;
+    req.nodes = nodes;
+    req.use_scheduler = use_scheduler;
+    // In-flight is recorded under the lock BEFORE the executor runs: an
+    // EpochOpened racing this submit either sees the request here and
+    // waits it out, or registered its epoch first — in which case the
+    // conflict test above already parked us.
+    RecordInflightLocked(req);
+    lock.unlock();
+    return ServeTicket(Launch(req));
+  }
+  ++stats_.parked;
+  auto req = std::make_shared<ParkedRequest>();
+  req->view = view;
+  req->witness_view = witness_view;
+  req->nodes = nodes;
+  req->use_scheduler = use_scheduler;
+  req->blockers = std::move(blockers);
+  req->state = std::make_shared<ServeTicket::Parked>();
+  parked_.push_back(req);
+  return ServeTicket(req->state);
+}
+
+void WaitBuffer::RecordInflightLocked(const ParkedRequest& req) {
+  ++inflight_total_;
+  if (req.witness_view) {
+    ++inflight_witness_;
+    return;
+  }
+  for (NodeId v : req.nodes) ++inflight_nodes_[v];
+}
+
+BatchScheduler::Ticket WaitBuffer::Launch(const ParkedRequest& req) {
+  // The completion must not touch `req` (the parked entry dies before the
+  // flush completes); capture the decrement data by value.
+  const bool witness = req.witness_view;
+  std::vector<NodeId> nodes =
+      req.witness_view ? std::vector<NodeId>() : req.nodes;
+  CompletionFn done = [this, witness, nodes = std::move(nodes)] {
+    std::unique_lock<std::mutex> lock(mu_);
+    --inflight_total_;
+    if (witness) --inflight_witness_;
+    for (NodeId v : nodes) {
+      auto it = inflight_nodes_.find(v);
+      if (--(it->second) == 0) inflight_nodes_.erase(it);
+    }
+    cv_inflight_.notify_all();
+  };
+  return executor_(req.view, req.nodes, req.use_scheduler, std::move(done));
+}
+
+void WaitBuffer::EpochOpened(const MaintenanceEpoch& epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RCW_CHECK_MSG(epoch.id != 0 && epochs_.count(epoch.id) == 0,
+                "WaitBuffer: zero or duplicate epoch id");
+  ++stats_.epochs;
+  Epoch ep;
+  ep.info = epoch;
+  ep.ball.insert(epoch.ball.begin(), epoch.ball.end());
+  const Epoch& stored = epochs_.emplace(epoch.id, std::move(ep)).first->second;
+  // Reverse barrier: the epoch is registered, so new conflicting
+  // submissions park and the conflicting in-flight population can only
+  // shrink — the wait terminates once admitted readers drain.
+  cv_inflight_.wait(lock, [&] {
+    if (inflight_witness_ > 0) return false;
+    if (stored.info.whole_graph) return inflight_total_ == 0;
+    for (NodeId v : stored.info.ball) {
+      if (inflight_nodes_.count(v) > 0) return false;
+    }
+    return true;
+  });
+}
+
+void WaitBuffer::EpochBaseSecured(uint64_t id) {
+  ReleaseEpoch(id, /*closed=*/false);
+}
+
+void WaitBuffer::EpochRoundSecured(uint64_t id,
+                                   const std::vector<NodeId>& nodes) {
+  (void)id;
+  (void)nodes;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.rounds;
+}
+
+void WaitBuffer::EpochClosed(uint64_t id) {
+  ReleaseEpoch(id, /*closed=*/true);
+}
+
+void WaitBuffer::ReleaseEpoch(uint64_t id, bool closed) {
+  std::vector<std::shared_ptr<ParkedRequest>> launch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = epochs_.find(id);
+    RCW_CHECK_MSG(it != epochs_.end(), "WaitBuffer: unknown epoch id");
+    if (closed) {
+      epochs_.erase(it);
+    } else {
+      it->second.base_secured = true;
+    }
+    std::vector<std::shared_ptr<ParkedRequest>> remaining;
+    remaining.reserve(parked_.size());
+    for (auto& req : parked_) {
+      // Base-secured wakes only full-view waiters; witness waiters keep
+      // this epoch as a blocker until it closes.
+      if (closed || !req->witness_view) req->blockers.erase(id);
+      if (req->blockers.empty()) {
+        RecordInflightLocked(*req);
+        ++stats_.woken;
+        launch.push_back(std::move(req));
+      } else {
+        remaining.push_back(std::move(req));
+      }
+    }
+    parked_.swap(remaining);
+  }
+  // Launch outside the buffer lock (the executor may warm inline), but
+  // note the ordering either way: the caller — the maintainer — already
+  // committed and invalidated before emitting base-secured, so woken
+  // replies are bit-identical to a serialized serve-after-apply.
+  for (auto& req : launch) {
+    BatchScheduler::Ticket inner = Launch(*req);
+    {
+      std::unique_lock<std::mutex> slock(req->state->mu);
+      req->state->inner = std::move(inner);
+      req->state->released = true;
+    }
+    req->state->cv.notify_all();
+  }
+}
+
+}  // namespace robogexp

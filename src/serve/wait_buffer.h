@@ -1,0 +1,253 @@
+/// \file
+/// WaitBuffer — admission control that lets a shard serve THROUGH witness
+/// maintenance instead of around it.
+///
+/// Before this layer, maintained serving was serialized at batch
+/// granularity: WitnessMaintainer::Apply() owned the graph, the engine and
+/// the views for its whole duration, and every serving request — even one
+/// whose receptive ball is nowhere near the update — had to wait it out.
+/// The refactored Apply() is an *event source* instead: it publishes a
+/// MaintenanceEpoch naming the affected set (the localizer's
+/// MaintenanceRadius balls around the flipped pairs) BEFORE mutating
+/// anything, and emits completion events as the shard re-secures.
+///
+/// The WaitBuffer is the serving-side consumer of those events, borrowing
+/// the wait-instruction-buffer idiom of out-of-order CPUs: an instruction
+/// whose operands are owned by an in-flight store parks in a wait buffer
+/// keyed by the dependence, independent instructions issue around it, and
+/// the store's completion broadcast wakes exactly the parked set. Here the
+/// "store" is a maintenance epoch, the "operands" are request node sets,
+/// and the broadcast is the epoch's event sequence:
+///
+///  - EpochOpened(epoch): published before the first edge flips. New
+///    full-view requests that touch epoch.ball (or anything, when
+///    whole_graph) park; witness-view requests park unconditionally (the
+///    maintainer rebuilds witness views mid-epoch). Opened also BLOCKS the
+///    maintainer — the reverse barrier — until every already-admitted
+///    conflicting request has completed, so in-flight readers never observe
+///    a half-applied batch.
+///  - EpochBaseSecured(id): the base-graph commit and its cache
+///    invalidation are done. Full-view logits depend only on the base
+///    graph, so parked full-view requests wake here — the
+///    invalidate-before-wake invariant that keeps woken replies
+///    bit-identical to a serialized serve-after-apply.
+///  - EpochRoundSecured(id, nodes): one re-secure pass finished for
+///    `nodes`; observability only (stats and progress), no wakes.
+///  - EpochClosed(id): the final view Sync is done; parked witness-view
+///    requests wake.
+///
+/// Untouched traffic — full-view requests disjoint from every in-flight
+/// ball — is admitted concurrently with Apply(), which is the point: the
+/// idle fast-path and batching behaviour of the underlying BatchScheduler
+/// are unchanged, the buffer only adds one lock acquisition and a ball
+/// intersection on the submit path.
+///
+/// Lifetime contract: Submit() and the listener callbacks may race freely;
+/// destruction must not. Destroy the buffer (via its owning GraphShard)
+/// only while no Apply() is in flight, and detach it from the maintainer
+/// first (SetDetach's hook runs at the top of the destructor). The
+/// destructor then launches every still-parked request (its tickets stay
+/// waitable) and blocks until all launched work has completed, so the
+/// executor's targets — engine and scheduler — must outlive the buffer.
+#ifndef ROBOGEXP_SERVE_WAIT_BUFFER_H_
+#define ROBOGEXP_SERVE_WAIT_BUFFER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/serve/batch_scheduler.h"
+
+namespace robogexp {
+
+/// One maintenance unit in flight, as published by
+/// WitnessMaintainer::Apply() before it mutates anything.
+struct MaintenanceEpoch {
+  /// Monotonic per-maintainer id; 0 is never a valid epoch.
+  uint64_t id = 0;
+  /// The affected set: union of the MaintenanceRadius balls around the
+  /// batch's flipped pairs, sorted. Requests disjoint from it stay
+  /// bit-fresh through the whole epoch.
+  std::vector<NodeId> ball;
+  /// True when no per-node affected set is sound — the model's inference
+  /// is not receptive-field-local (APPNP), so every full-view request
+  /// conflicts regardless of its nodes.
+  bool whole_graph = false;
+};
+
+/// The event-source interface Apply() publishes through. Callbacks run on
+/// the maintainer's Apply thread, strictly in the order Opened →
+/// BaseSecured → RoundSecured* → Closed per epoch; epochs from one
+/// maintainer never nest.
+class MaintenanceListener {
+ public:
+  virtual ~MaintenanceListener() = default;
+  /// Published before the first edge flips. May block (the WaitBuffer's
+  /// reverse barrier drains conflicting in-flight requests here).
+  virtual void EpochOpened(const MaintenanceEpoch& epoch) = 0;
+  /// Base-graph commit + cache invalidation done; full-view reads are
+  /// bit-fresh from here on.
+  virtual void EpochBaseSecured(uint64_t id) = 0;
+  /// One re-secure pass completed for `nodes` (observability).
+  virtual void EpochRoundSecured(uint64_t id,
+                                 const std::vector<NodeId>& nodes) = 0;
+  /// Witness repaired and views synced; the epoch is no longer in flight.
+  virtual void EpochClosed(uint64_t id) = 0;
+};
+
+/// Completion handle for one maintained-serving request. Default-constructed
+/// tickets are already complete. A parked ticket becomes waitable
+/// immediately and completes after the epoch's wake launched (and the
+/// underlying flush finished); Wait() therefore has the same meaning on
+/// every path — "my logits are in the engine cache".
+class ServeTicket {
+ public:
+  ServeTicket() = default;
+
+  /// Blocks until the request's work has been flushed: for an admitted
+  /// request, the inner scheduler ticket; for a parked one, release by a
+  /// completion event (or the destructor drain) and then the inner ticket.
+  void Wait();
+
+  /// True when this request was parked by an in-flight epoch (set at
+  /// submit; a bench/oracle classification aid, not a liveness signal).
+  bool parked() const { return state_ != nullptr; }
+
+ private:
+  friend class WaitBuffer;
+  friend class GraphShard;
+
+  /// Shared park state: `released` flips once the wake (or drain) has
+  /// launched the request and stored its inner ticket.
+  struct Parked {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool released = false;
+    BatchScheduler::Ticket inner;
+  };
+
+  explicit ServeTicket(BatchScheduler::Ticket inner)
+      : inner_(std::move(inner)) {}
+  explicit ServeTicket(std::shared_ptr<Parked> state)
+      : state_(std::move(state)) {}
+
+  BatchScheduler::Ticket inner_;
+  std::shared_ptr<Parked> state_;
+};
+
+/// Counters of the admission-control layer, folded into the per-shard
+/// SchedulerStats (parked/woken) by registry aggregation.
+struct WaitBufferStats {
+  /// Requests submitted through the buffer.
+  int64_t submitted = 0;
+  /// Requests admitted immediately (no conflicting in-flight epoch).
+  int64_t admitted = 0;
+  /// Requests parked on at least one in-flight epoch.
+  int64_t parked = 0;
+  /// Parked requests launched by a completion event.
+  int64_t woken = 0;
+  /// Parked requests launched by the destructor drain instead of an event.
+  int64_t drained = 0;
+  /// Epochs opened / re-secure rounds observed.
+  int64_t epochs = 0;
+  int64_t rounds = 0;
+};
+
+class WaitBuffer final : public MaintenanceListener {
+ public:
+  /// Invoked exactly once when the launched request's flush has completed
+  /// (possibly inline, before the executor returns).
+  using CompletionFn = std::function<void()>;
+  /// Launches one admitted (or woken) request: submit to the shard's
+  /// scheduler when `use_scheduler`, else warm the engine synchronously.
+  /// Must arrange for `done` to run exactly once — via the scheduler's
+  /// completion callback, or inline after a synchronous warm.
+  using Executor = std::function<BatchScheduler::Ticket(
+      InferenceEngine::ViewId view, const std::vector<NodeId>& nodes,
+      bool use_scheduler, CompletionFn done)>;
+
+  explicit WaitBuffer(Executor executor);
+  ~WaitBuffer() override;
+
+  WaitBuffer(const WaitBuffer&) = delete;
+  WaitBuffer& operator=(const WaitBuffer&) = delete;
+
+  /// Admits or parks one serving request. `witness_view` marks requests on
+  /// any slot other than the full view — they conflict with every open
+  /// epoch (the maintainer may rebuild witness views mid-epoch), while
+  /// full-view requests conflict only when `nodes` intersects an epoch's
+  /// ball (or the epoch is whole_graph) and only until base-secured.
+  ServeTicket Submit(InferenceEngine::ViewId view, bool witness_view,
+                     const std::vector<NodeId>& nodes, bool use_scheduler);
+
+  /// Hook run first thing in the destructor, before the parked drain —
+  /// unregister this buffer from its maintainer here so no event can
+  /// arrive mid-teardown.
+  void SetDetach(std::function<void()> fn);
+
+  WaitBufferStats stats() const;
+
+  // MaintenanceListener: the maintainer-facing half.
+  void EpochOpened(const MaintenanceEpoch& epoch) override;
+  void EpochBaseSecured(uint64_t id) override;
+  void EpochRoundSecured(uint64_t id,
+                         const std::vector<NodeId>& nodes) override;
+  void EpochClosed(uint64_t id) override;
+
+ private:
+  struct Epoch {
+    MaintenanceEpoch info;
+    bool base_secured = false;
+    /// info.ball as a set, for O(|nodes|) conflict tests on submit.
+    std::unordered_set<NodeId> ball;
+  };
+
+  struct ParkedRequest {
+    InferenceEngine::ViewId view = InferenceEngine::kFullView;
+    bool witness_view = false;
+    std::vector<NodeId> nodes;
+    bool use_scheduler = false;
+    /// Epoch ids still blocking this request; launched when it empties.
+    std::unordered_set<uint64_t> blockers;
+    std::shared_ptr<ServeTicket::Parked> state;
+  };
+
+  /// Records `req` as in flight (counters + per-node map for full-view
+  /// requests) so a later EpochOpened can quiesce against it. Caller
+  /// holds mu_.
+  void RecordInflightLocked(const ParkedRequest& req);
+
+  /// The executor call + in-flight completion plumbing shared by the
+  /// admit, wake and drain paths. No lock held.
+  BatchScheduler::Ticket Launch(const ParkedRequest& req);
+
+  /// Removes epoch id `id` from parked blockers ( base-secured wakes only
+  /// full-view waiters; closed wakes the rest), launching every request
+  /// whose blocker set drains. `closed` also erases the epoch.
+  void ReleaseEpoch(uint64_t id, bool closed);
+
+  Executor executor_;
+  std::function<void()> detach_;
+
+  mutable std::mutex mu_;
+  /// Signalled when an in-flight request completes (EpochOpened's reverse
+  /// barrier and the destructor wait on it).
+  std::condition_variable cv_inflight_;
+  std::unordered_map<uint64_t, Epoch> epochs_;
+  std::vector<std::shared_ptr<ParkedRequest>> parked_;
+  int64_t inflight_total_ = 0;
+  int64_t inflight_witness_ = 0;
+  /// In-flight full-view request count per requested node — the data the
+  /// quiesce predicate intersects an opening epoch's ball against.
+  std::unordered_map<NodeId, int> inflight_nodes_;
+  WaitBufferStats stats_;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_SERVE_WAIT_BUFFER_H_

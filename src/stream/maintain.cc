@@ -208,11 +208,18 @@ void WitnessMaintainer::ResecureWithGrowthProbes(
   for (int pass = 0; pass < 4 && !round.empty(); ++pass) {
     const std::unordered_set<uint64_t> edges_before = witness_.edge_keys();
     for (NodeId v : Resecure(round, stats)) failed->insert(v);
+    std::vector<NodeId> secured_this_pass;
     for (NodeId v : round) {
       if (failed->count(v) > 0) continue;
       outstanding_.erase(v);  // secured against the current graph
       unsecured_.erase(v);
       recovered->insert(v);
+      secured_this_pass.push_back(v);
+    }
+    if (!secured_this_pass.empty()) {
+      // One completion event per re-secure pass (a no-op outside an
+      // epoch, e.g. on the Adopt() path).
+      EmitRoundSecured(open_epoch_id_, secured_this_pass);
     }
     round.clear();
     // Which covered nodes can the newly added witness edges perturb?
@@ -269,6 +276,58 @@ void WitnessMaintainer::WarmProbeViews(const std::vector<NodeId>& nodes) {
   engine_.Warm(views_.removed_id(), nodes);
 }
 
+void WitnessMaintainer::AddListener(MaintenanceListener* listener) {
+  RCW_CHECK(listener != nullptr);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.push_back(listener);
+}
+
+void WitnessMaintainer::RemoveListener(MaintenanceListener* listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  std::erase(listeners_, listener);
+}
+
+void WitnessMaintainer::EmitOpened(const MaintenanceEpoch& epoch) {
+  std::vector<MaintenanceListener*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    snapshot = listeners_;
+  }
+  // Outside listeners_mu_: Opened blocks inside the WaitBuffer until the
+  // conflicting in-flight requests drain, and holding the registration
+  // lock through that would deadlock any concurrent (un)subscribe.
+  for (MaintenanceListener* l : snapshot) l->EpochOpened(epoch);
+}
+
+void WitnessMaintainer::EmitBaseSecured(uint64_t id) {
+  std::vector<MaintenanceListener*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    snapshot = listeners_;
+  }
+  for (MaintenanceListener* l : snapshot) l->EpochBaseSecured(id);
+}
+
+void WitnessMaintainer::EmitRoundSecured(uint64_t id,
+                                         const std::vector<NodeId>& nodes) {
+  if (id == 0) return;  // not inside an epoch (Initialize/Adopt paths)
+  std::vector<MaintenanceListener*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    snapshot = listeners_;
+  }
+  for (MaintenanceListener* l : snapshot) l->EpochRoundSecured(id, nodes);
+}
+
+void WitnessMaintainer::EmitClosed(uint64_t id) {
+  std::vector<MaintenanceListener*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    snapshot = listeners_;
+  }
+  for (MaintenanceListener* l : snapshot) l->EpochClosed(id);
+}
+
 std::vector<NodeId> WitnessMaintainer::VerifyNodesAtFullBudget(
     std::vector<NodeId> nodes) {
   std::vector<NodeId> failed;
@@ -303,13 +362,15 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   const EngineStats before = engine_.stats();
   MaintainReport report;
 
-  auto apply = ApplyUpdateBatch(graph_, batch);
-  RCW_RETURN_IF_ERROR(apply.status());
-  known_graph_version_ = apply.value().graph_version;
-  report.applied = static_cast<int>(batch.size()) - apply.value().rejected;
-  report.rejected = apply.value().rejected;
+  // Phase 1 — plan: validate and compute the batch's net effect WITHOUT
+  // touching the graph, so the epoch below can be published before any
+  // reader-visible mutation.
+  auto plan = PlanUpdateBatch(*graph_, batch);
+  RCW_RETURN_IF_ERROR(plan.status());
+  report.applied = static_cast<int>(batch.size()) - plan.value().rejected;
+  report.rejected = plan.value().rejected;
 
-  const std::vector<Edge> flips = apply.value().Flips();
+  const std::vector<Edge> flips = plan.value().Flips();
   auto finish = [&](MaintainAction action) {
     report.action = action;
     // Leave the witness-view slots pointing at the *final* witness of this
@@ -317,6 +378,12 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
     // sync, and a serving front (ServeMaintained) reads the slots between
     // batches. Version-checked — a no-op unless the edge set changed.
     views_.Sync(witness_);
+    // Close the epoch AFTER the final sync, so witness-view requests woken
+    // by Closed read the rebuilt view slots.
+    if (open_epoch_id_ != 0) {
+      EmitClosed(open_epoch_id_);
+      open_epoch_id_ = 0;
+    }
     const EngineStats d = engine_.stats() - before;
     report.inference_calls += static_cast<int>(d.model_invocations);
     report.cache_hits += d.cache_hits;
@@ -326,10 +393,12 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   if (flips.empty()) return finish(MaintainAction::kUntouched);
   base_logits_fresh_ = false;
 
-  // Localize: which receptive balls did the batch touch? Distances are
-  // measured on the union graph (deleted edges re-added), so a deletion
-  // still reaches everything it used to be close to.
-  const OverlayView union_view(&engine_.full_view(), apply.value().deleted);
+  // Phase 2 — localize, still pre-commit: which receptive balls will the
+  // batch touch? Distances are measured on the union graph (pre-update
+  // base, which still holds every to-be-deleted edge, overlaid with the
+  // to-be-inserted ones), so a deletion still reaches everything it used
+  // to be close to and an insertion everything it is about to reach.
+  const OverlayView union_view(&engine_.full_view(), plan.value().inserted);
   LocalizeOptions lopts;
   lopts.radius = MaintenanceRadius(cfg_);
   lopts.use_ppr = opts_.ppr_localizer;
@@ -340,11 +409,40 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   report.affected_tests = static_cast<int>(affected.test_nodes.size());
   report.ball_nodes = static_cast<int>(affected.ball.size());
 
-  // Targeted invalidation: only the touched balls go cold. The witness
-  // subgraph view reads no base-graph edges, so it stays warm entirely.
-  engine_.InvalidateNodes(InferenceEngine::kFullView, affected.ball);
-  engine_.InvalidateNodes(views_.removed_id(), affected.ball);
-  engine_.InvalidateOverlayNodes(affected.ball);
+  // Phase 3 — publish the epoch BEFORE mutating. EmitOpened may block (a
+  // WaitBuffer drains conflicting in-flight serving requests); once it
+  // returns, conflicting traffic is parked and the commit is invisible to
+  // every admitted reader. Non-receptive-local models (APPNP) get a
+  // whole-graph epoch: a base update can move their logits anywhere.
+  const bool receptive_local = cfg_.model->InferenceIsReceptiveLocal();
+  MaintenanceEpoch epoch;
+  epoch.id = ++next_epoch_id_;
+  epoch.ball = affected.ball;
+  epoch.whole_graph = !receptive_local;
+  open_epoch_id_ = epoch.id;
+  EmitOpened(epoch);
+
+  // Phase 4 — commit and invalidate, then announce base-secured. The
+  // ordering is the serving-correctness invariant: caches are invalidated
+  // BEFORE EmitBaseSecured wakes parked full-view requests, so woken reads
+  // can only miss into post-update inference.
+  known_graph_version_ = CommitUpdatePlan(graph_, plan.value());
+  if (receptive_local) {
+    // Targeted invalidation: only the touched balls go cold. The witness
+    // subgraph view reads no base-graph edges, so it stays warm entirely.
+    engine_.InvalidateNodes(InferenceEngine::kFullView, affected.ball);
+    engine_.InvalidateNodes(views_.removed_id(), affected.ball);
+    engine_.InvalidateOverlayNodes(affected.ball);
+  } else {
+    // Full-view escalation: no per-ball subset of an adaptive-locality
+    // model's cache is provably fresh after a base update, so drop the
+    // base-reading slots and every content-addressed overlay. The witness
+    // subgraph slot still reads no base edges and stays warm.
+    engine_.Invalidate(InferenceEngine::kFullView);
+    engine_.Invalidate(views_.removed_id());
+    engine_.InvalidateOverlays();
+  }
+  EmitBaseSecured(epoch.id);
 
   // The certificate is judged against the protected pairs as of when the
   // nodes were secured — captured before any pruning below.
@@ -354,7 +452,7 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   // lies outside every test node's ball (then it influenced no verdict, so
   // pruning alone — without re-securing — is sound; in-ball deletions hit
   // the protected-pair check and escalate to re-secure regardless).
-  for (const Edge& e : apply.value().deleted) {
+  for (const Edge& e : plan.value().deleted) {
     if (witness_.HasEdge(e.u, e.v)) {
       PruneDeletedWitnessEdges();
       break;
@@ -392,7 +490,15 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   // Certified tier: the k-RCW certificate guarantees the witness is still a
   // CW here; revalidate at full budget on the warm engine, escalating any
   // node the (heuristic, for non-APPNP) adversary can now break.
-  for (NodeId v : VerifyNodesAtFullBudget(certified)) escalate.push_back(v);
+  const std::vector<NodeId> demoted = VerifyNodesAtFullBudget(certified);
+  for (NodeId v : demoted) escalate.push_back(v);
+  if (!certified.empty()) {
+    std::vector<NodeId> revalidated = certified;
+    for (NodeId v : demoted) std::erase(revalidated, v);
+    if (!revalidated.empty()) {
+      EmitRoundSecured(open_epoch_id_, revalidated);
+    }
+  }
 
   if (escalate.empty()) return finish(MaintainAction::kCertified);
 
@@ -459,6 +565,29 @@ StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
   RCW_RETURN_IF_ERROR(shard.status());
   shard.value()->RegisterView("sub", maintainer->views().sub_id());
   shard.value()->RegisterView("removed", maintainer->views().removed_id());
+
+  // Admission control: route the shard's Submit() through a WaitBuffer
+  // subscribed to the maintainer's epoch events, so serving is legal
+  // concurrently with Apply(). The executor targets the maintainer's
+  // engine/scheduler, which outlive both shard and buffer.
+  InferenceEngine* engine = &maintainer->engine();
+  BatchScheduler* scheduler = maintainer->scheduler();
+  auto buffer = std::make_unique<WaitBuffer>(
+      [engine, scheduler](InferenceEngine::ViewId view,
+                          const std::vector<NodeId>& nodes, bool use_scheduler,
+                          WaitBuffer::CompletionFn done) {
+        if (scheduler != nullptr && use_scheduler) {
+          return scheduler->Submit(view, nodes, std::move(done));
+        }
+        engine->Warm(view, nodes);
+        done();
+        return BatchScheduler::Ticket();
+      });
+  maintainer->AddListener(buffer.get());
+  buffer->SetDetach([maintainer, listener = buffer.get()]() {
+    maintainer->RemoveListener(listener);
+  });
+  shard.value()->AttachWaitBuffer(std::move(buffer));
   return shard.value();
 }
 

@@ -28,7 +28,18 @@
 // Inference flows through one long-lived InferenceEngine whose caches
 // survive updates: after a batch only the (view, node) entries inside the
 // touched receptive balls are invalidated (per-ball, not whole-view), so
-// untouched test nodes stay warm across the whole stream.
+// untouched test nodes stay warm across the whole stream. For models whose
+// inference is NOT receptive-field-local (APPNP's PPR push) no per-ball
+// subset is provably fresh, so Apply() escalates to full-view invalidation
+// instead — served logits are bitwise-fresh for every model.
+//
+// Apply() is additionally an EVENT SOURCE for concurrent serving
+// (src/serve/wait_buffer.h): before mutating anything it publishes a
+// MaintenanceEpoch naming the affected set (the localizer's
+// MaintenanceRadius balls, computed on the pre-update union graph), and it
+// emits base-secured / round-secured / closed events as the shard
+// re-secures, so a WaitBuffer can park exactly the conflicting requests and
+// serve everything else THROUGH the maintenance step.
 #ifndef ROBOGEXP_STREAM_MAINTAIN_H_
 #define ROBOGEXP_STREAM_MAINTAIN_H_
 
@@ -40,6 +51,7 @@
 #include "src/explain/verify.h"
 #include "src/serve/batch_scheduler.h"
 #include "src/serve/shard_registry.h"
+#include "src/serve/wait_buffer.h"
 #include "src/stream/localize.h"
 #include "src/stream/update.h"
 
@@ -143,6 +155,13 @@ class WitnessMaintainer {
   /// maintainer's lifetime. Valid after Initialize()/Adopt().
   const WitnessEngineViews& views() const { return views_; }
 
+  /// Subscribes `listener` to Apply()'s epoch events (Opened →
+  /// BaseSecured → RoundSecured* → Closed, emitted on the Apply thread).
+  /// The listener must stay registered for complete epochs only: add and
+  /// remove it while no Apply() is in flight.
+  void AddListener(MaintenanceListener* listener);
+  void RemoveListener(MaintenanceListener* listener);
+
  private:
   /// True when v's outstanding flips are inside the k-RCW certificate.
   bool WithinCertificate(
@@ -181,6 +200,14 @@ class WitnessMaintainer {
   /// node does not condemn the others).
   std::vector<NodeId> VerifyNodesAtFullBudget(std::vector<NodeId> nodes);
 
+  /// Event emission to the registered listeners (snapshot under
+  /// listeners_mu_, callbacks invoked outside it). Opened may block inside
+  /// a listener (the WaitBuffer's reverse barrier); the others are cheap.
+  void EmitOpened(const MaintenanceEpoch& epoch);
+  void EmitBaseSecured(uint64_t id);
+  void EmitRoundSecured(uint64_t id, const std::vector<NodeId>& nodes);
+  void EmitClosed(uint64_t id);
+
   Graph* graph_;
   WitnessConfig cfg_;
   MaintainOptions opts_;
@@ -199,6 +226,12 @@ class WitnessMaintainer {
   bool base_logits_fresh_ = false;
   uint64_t known_graph_version_ = 0;
   bool initialized_ = false;
+  /// Epoch plumbing: monotonic ids, the id of the epoch the current
+  /// Apply() opened (0 outside an epoch), and the subscribed listeners.
+  uint64_t next_epoch_id_ = 0;
+  uint64_t open_epoch_id_ = 0;
+  std::mutex listeners_mu_;
+  std::vector<MaintenanceListener*> listeners_;
 };
 
 /// Registers `maintainer`'s graph as graph `graph_id` in `registry`, served
@@ -208,15 +241,20 @@ class WitnessMaintainer {
 /// conventional trace view names "sub" / "removed" (the slot ids stay
 /// stable across maintenance syncs, so the serving binding survives witness
 /// mutation). The maintainer must be initialized (Initialize()/Adopt())
-/// first and must outlive the registry. Maintenance is the single writer:
-/// serve between Apply() calls, not during one.
+/// first and must outlive the registry.
 ///
-/// Bit-identity caveat: the maintainer invalidates caches per localized
-/// ball. For receptive-field-local models (GCN & co.) that is exact, so
-/// served logits equal a fresh engine's bit for bit; for adaptive-locality
-/// models (APPNP's PPR push) cached logits outside the maintenance radius
-/// may retain tolerance-level staleness — maintenance-grade, as the
-/// localizer documents, but not bitwise-fresh serving.
+/// Serving is legal CONCURRENTLY with Apply(): the shard is wired with a
+/// WaitBuffer subscribed to the maintainer's epoch events, so requests
+/// whose node set intersects an in-flight maintenance epoch park and are
+/// woken by the epoch's completion events (full-view requests at
+/// base-secured, witness-view requests at closed), while untouched traffic
+/// proceeds through the scheduler as if no maintenance were running. The
+/// invalidate-before-wake ordering makes every served reply — parked or
+/// not — bitwise-identical to a serialized serve-after-apply, for
+/// receptive-field-local models via per-ball invalidation and for
+/// adaptive-locality models (APPNP) via the full-view escalation.
+/// Teardown: destroy the registry while no Apply() is in flight; the shard
+/// detaches its buffer from the maintainer on destruction.
 StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
                                       WitnessMaintainer* maintainer);
 

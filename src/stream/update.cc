@@ -14,45 +14,79 @@ std::vector<Edge> ApplyReport::Flips() const {
   return flips;
 }
 
-StatusOr<ApplyReport> ApplyUpdateBatch(Graph* graph, const UpdateBatch& batch) {
-  RCW_CHECK(graph != nullptr);
+std::vector<Edge> UpdatePlan::Flips() const {
+  std::vector<Edge> flips = inserted;
+  flips.insert(flips.end(), deleted.begin(), deleted.end());
+  std::sort(flips.begin(), flips.end());
+  return flips;
+}
+
+StatusOr<UpdatePlan> PlanUpdateBatch(const Graph& graph,
+                                     const UpdateBatch& batch) {
   for (const EdgeUpdate& up : batch.updates) {
-    if (!graph->ValidNode(up.u) || !graph->ValidNode(up.v)) {
-      return Status::InvalidArgument("ApplyUpdateBatch: node id out of range");
+    if (!graph.ValidNode(up.u) || !graph.ValidNode(up.v)) {
+      return Status::InvalidArgument("PlanUpdateBatch: node id out of range");
     }
     if (up.u == up.v) {
-      return Status::InvalidArgument("ApplyUpdateBatch: self-loop update");
+      return Status::InvalidArgument("PlanUpdateBatch: self-loop update");
     }
   }
 
-  ApplyReport report;
+  UpdatePlan plan;
   // Net effect per pair; an insert+delete of the same pair inside one batch
   // cancels (toggle semantics, matching the flip-involution of OverlayView).
+  // Presence is judged against the graph plus the pending toggles, so the
+  // simulation matches applying the batch in order without mutating.
   std::unordered_map<uint64_t, Edge> net_inserted, net_deleted;
   for (const EdgeUpdate& up : batch.updates) {
     const Edge e = up.edge();
     const uint64_t key = e.Key();
+    const bool toggled =
+        net_inserted.count(key) > 0 || net_deleted.count(key) > 0;
+    const bool present = graph.HasEdge(e.u, e.v) != toggled;
     if (up.kind == UpdateKind::kInsert) {
-      if (graph->HasEdge(e.u, e.v)) {
-        ++report.rejected;
+      if (present) {
+        ++plan.rejected;
         continue;
       }
-      RCW_CHECK(graph->AddEdge(e.u, e.v).ok());
       if (net_deleted.erase(key) == 0) net_inserted.emplace(key, e);
     } else {
-      if (!graph->HasEdge(e.u, e.v)) {
-        ++report.rejected;
+      if (!present) {
+        ++plan.rejected;
         continue;
       }
-      RCW_CHECK(graph->RemoveEdge(e.u, e.v).ok());
       if (net_inserted.erase(key) == 0) net_deleted.emplace(key, e);
     }
   }
-  for (const auto& [key, e] : net_inserted) report.inserted.push_back(e);
-  for (const auto& [key, e] : net_deleted) report.deleted.push_back(e);
-  std::sort(report.inserted.begin(), report.inserted.end());
-  std::sort(report.deleted.begin(), report.deleted.end());
-  report.graph_version = graph->mutation_version();
+  for (const auto& [key, e] : net_inserted) plan.inserted.push_back(e);
+  for (const auto& [key, e] : net_deleted) plan.deleted.push_back(e);
+  std::sort(plan.inserted.begin(), plan.inserted.end());
+  std::sort(plan.deleted.begin(), plan.deleted.end());
+  return plan;
+}
+
+uint64_t CommitUpdatePlan(Graph* graph, const UpdatePlan& plan) {
+  RCW_CHECK(graph != nullptr);
+  for (const Edge& e : plan.inserted) {
+    RCW_CHECK_MSG(graph->AddEdge(e.u, e.v).ok(),
+                  "CommitUpdatePlan: planned insert already present");
+  }
+  for (const Edge& e : plan.deleted) {
+    RCW_CHECK_MSG(graph->RemoveEdge(e.u, e.v).ok(),
+                  "CommitUpdatePlan: planned delete already absent");
+  }
+  return graph->mutation_version();
+}
+
+StatusOr<ApplyReport> ApplyUpdateBatch(Graph* graph, const UpdateBatch& batch) {
+  RCW_CHECK(graph != nullptr);
+  auto plan = PlanUpdateBatch(*graph, batch);
+  RCW_RETURN_IF_ERROR(plan.status());
+  ApplyReport report;
+  report.graph_version = CommitUpdatePlan(graph, plan.value());
+  report.inserted = std::move(plan.value().inserted);
+  report.deleted = std::move(plan.value().deleted);
+  report.rejected = plan.value().rejected;
   return report;
 }
 

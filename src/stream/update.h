@@ -57,6 +57,38 @@ struct UpdateBatch {
   bool operator==(const UpdateBatch& o) const { return updates == o.updates; }
 };
 
+/// The validated net effect of an UpdateBatch against a graph state,
+/// computed WITHOUT mutating the graph. The plan/commit split exists for the
+/// serve-during-maintenance protocol: the maintainer localizes the plan's
+/// flips on the pre-update union graph and publishes the maintenance epoch
+/// (parking conflicting serving requests) BEFORE any edge actually changes.
+struct UpdatePlan {
+  /// Edges the commit will insert / remove (net of the batch's own internal
+  /// cancellations), sorted.
+  std::vector<Edge> inserted;
+  std::vector<Edge> deleted;
+  /// Redundant updates skipped (insert of a present edge, delete of an
+  /// absent one, judged against the batch-so-far state).
+  int rejected = 0;
+
+  bool Touches() const { return !inserted.empty() || !deleted.empty(); }
+  /// All flipped pairs (insertions + deletions, sorted) — the
+  /// disturbance-shaped delta the localizer and certificate consume.
+  std::vector<Edge> Flips() const;
+};
+
+/// Validates `batch` against `graph` and computes its net effect without
+/// applying anything. Self-loops and out-of-range node ids fail with
+/// InvalidArgument; the graph is never touched.
+StatusOr<UpdatePlan> PlanUpdateBatch(const Graph& graph,
+                                     const UpdateBatch& batch);
+
+/// Applies a plan's net effect in place. The plan must have been computed
+/// by PlanUpdateBatch against the graph's CURRENT state (every inserted edge
+/// absent, every deleted edge present — checked). Returns the post-commit
+/// mutation version.
+uint64_t CommitUpdatePlan(Graph* graph, const UpdatePlan& plan);
+
 /// What ApplyUpdateBatch actually did to the graph.
 struct ApplyReport {
   /// Edges newly inserted / removed by this batch (net of the batch's own

@@ -118,6 +118,17 @@ run_cli(serve-adaptive serve --graph "${GRAPH}" --model "${MODEL}"
         --witness "${WITNESS}" --replay "${TRACE}" --threads 1
         --deadline-us 50000 --adaptive --interarrival-us 2000 --compare)
 
+# Serve during maintenance: replay the trace concurrently with the update
+# stream through a maintained shard (wait-buffer scheduling; conflicting
+# requests park on epochs and wake on completion events). The APPNP model
+# exercises the non-receptive-local escalation (whole-graph epochs), and
+# --compare read-backs every served vector against a fresh engine over the
+# final graph + witness (exit 1 on any stale cache line).
+run_cli(serve-stream serve --graph "${GRAPH}" --model "${MODEL}"
+        --witness "${WITNESS}" --replay "${TRACE}" --stream "${STREAM}"
+        --nodes 1,2,3 --k 2 --b 1 --threads 4 --deadline-us 50000
+        --adaptive --compare)
+
 # Sharded multi-graph serving: register the graph twice (graph ids 0 and 1),
 # split each into two fragment shards with a seeded partition, and replay a
 # mixed v1/v2 trace through the router. The model is a GCN (trained here) so

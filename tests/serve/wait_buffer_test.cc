@@ -1,0 +1,290 @@
+// WaitBuffer contract tests: admission control around maintenance epochs —
+// empty affected sets park nothing, a request spanning several in-flight
+// epochs wakes on the last completion, destruction drains the parked set,
+// a wake racing a new EpochOpened is quiesced by the reverse barrier, and
+// randomized concurrent serving against a live WitnessMaintainer stays
+// bit-identical to a serialized serve-after-apply oracle.
+#include "src/serve/wait_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/explain/verify.h"
+#include "src/stream/maintain.h"
+#include "src/stream/update.h"
+#include "src/util/rng.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+/// A scheduler-free executor that records every launch and (optionally)
+/// defers the completion callbacks so a test can hold requests in flight.
+struct FakeExecutor {
+  std::mutex mu;
+  std::vector<std::vector<NodeId>> launched;
+  std::vector<WaitBuffer::CompletionFn> deferred;
+  bool defer = false;
+
+  WaitBuffer::Executor fn() {
+    return [this](InferenceEngine::ViewId, const std::vector<NodeId>& nodes,
+                  bool, WaitBuffer::CompletionFn done) {
+      bool run_inline = false;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        launched.push_back(nodes);
+        if (defer) {
+          deferred.push_back(std::move(done));
+        } else {
+          run_inline = true;
+        }
+      }
+      if (run_inline) done();
+      return BatchScheduler::Ticket();
+    };
+  }
+
+  size_t num_launched() {
+    std::unique_lock<std::mutex> lock(mu);
+    return launched.size();
+  }
+
+  void RunDeferred() {
+    std::vector<WaitBuffer::CompletionFn> fns;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      fns.swap(deferred);
+    }
+    for (auto& fn : fns) fn();
+  }
+};
+
+MaintenanceEpoch Epoch(uint64_t id, std::vector<NodeId> ball,
+                       bool whole_graph = false) {
+  MaintenanceEpoch e;
+  e.id = id;
+  e.ball = std::move(ball);
+  e.whole_graph = whole_graph;
+  return e;
+}
+
+TEST(WaitBuffer, EmptyAffectedSetParksNothing) {
+  FakeExecutor exec;
+  WaitBuffer wb(exec.fn());
+  // A batch whose flips land near no test node localizes to an empty ball;
+  // its epoch must not slow full-view traffic at all.
+  wb.EpochOpened(Epoch(1, {}));
+  ServeTicket t =
+      wb.Submit(InferenceEngine::kFullView, /*witness_view=*/false, {1, 2},
+                /*use_scheduler=*/true);
+  EXPECT_FALSE(t.parked());
+  t.Wait();
+  EXPECT_EQ(exec.num_launched(), 1u);
+  // Witness views still conflict: the maintainer may rebuild them any time
+  // before Closed, affected set or not.
+  ServeTicket tw = wb.Submit(7, /*witness_view=*/true, {1},
+                             /*use_scheduler=*/true);
+  EXPECT_TRUE(tw.parked());
+  wb.EpochBaseSecured(1);
+  EXPECT_EQ(exec.num_launched(), 1u);  // witness waiters need Closed
+  wb.EpochClosed(1);
+  tw.Wait();
+  EXPECT_EQ(exec.num_launched(), 2u);
+  const WaitBufferStats s = wb.stats();
+  EXPECT_EQ(s.submitted, 2);
+  EXPECT_EQ(s.admitted, 1);
+  EXPECT_EQ(s.parked, 1);
+  EXPECT_EQ(s.woken, 1);
+  EXPECT_EQ(s.drained, 0);
+}
+
+TEST(WaitBuffer, RequestSpanningTwoEpochsWakesOnTheLast) {
+  FakeExecutor exec;
+  WaitBuffer wb(exec.fn());
+  wb.EpochOpened(Epoch(1, {1}));
+  wb.EpochOpened(Epoch(2, {2}));
+  // One full-view request touching both balls: it must stay parked until
+  // BOTH epochs have base-secured, not wake on the first.
+  ServeTicket t =
+      wb.Submit(InferenceEngine::kFullView, /*witness_view=*/false, {1, 2},
+                /*use_scheduler=*/true);
+  EXPECT_TRUE(t.parked());
+  wb.EpochBaseSecured(1);
+  EXPECT_EQ(exec.num_launched(), 0u);
+  wb.EpochBaseSecured(2);
+  t.Wait();
+  EXPECT_EQ(exec.num_launched(), 1u);
+  wb.EpochClosed(1);
+  wb.EpochClosed(2);
+  const WaitBufferStats s = wb.stats();
+  EXPECT_EQ(s.parked, 1);
+  EXPECT_EQ(s.woken, 1);
+  EXPECT_EQ(s.epochs, 2);
+}
+
+TEST(WaitBuffer, DestructorDrainsParkedRequests) {
+  FakeExecutor exec;
+  bool detached = false;
+  ServeTicket t;
+  {
+    WaitBuffer wb(exec.fn());
+    wb.SetDetach([&] { detached = true; });
+    wb.EpochOpened(Epoch(1, {3}));
+    t = wb.Submit(InferenceEngine::kFullView, /*witness_view=*/false, {3},
+                  /*use_scheduler=*/true);
+    EXPECT_TRUE(t.parked());
+    EXPECT_EQ(exec.num_launched(), 0u);
+    // No completion event ever arrives — the buffer dies mid-epoch.
+  }
+  EXPECT_TRUE(detached);
+  EXPECT_EQ(exec.num_launched(), 1u);
+  t.Wait();  // the drained ticket stays waitable after the buffer is gone
+}
+
+TEST(WaitBuffer, WakeRacingANewEpochBlocksUntilTheFlushCompletes) {
+  FakeExecutor exec;
+  exec.defer = true;  // hold completions so launched requests stay in flight
+  WaitBuffer wb(exec.fn());
+  wb.EpochOpened(Epoch(1, {5}));
+  ServeTicket t =
+      wb.Submit(InferenceEngine::kFullView, /*witness_view=*/false, {5},
+                /*use_scheduler=*/true);
+  EXPECT_TRUE(t.parked());
+  wb.EpochBaseSecured(1);  // wakes the request; its flush has NOT completed
+  ASSERT_EQ(exec.num_launched(), 1u);
+  wb.EpochClosed(1);
+
+  // A new Apply() opening a conflicting epoch must wait out the woken
+  // request's in-flight flush — the reverse barrier.
+  std::atomic<bool> opened{false};
+  std::thread applier([&] {
+    wb.EpochOpened(Epoch(2, {5}));
+    opened.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(opened.load());
+  exec.RunDeferred();  // the flush completes; the barrier lifts
+  applier.join();
+  EXPECT_TRUE(opened.load());
+  wb.EpochBaseSecured(2);
+  wb.EpochClosed(2);
+  t.Wait();
+}
+
+TEST(WaitBuffer, RandomizedConcurrentServeMatchesSerializedOracle) {
+  const auto& f = testing::SmallSbmGcn();
+  Graph graph = *f.graph;
+  Graph oracle_graph = *f.graph;
+  const std::vector<NodeId> tests =
+      SelectExplainableTestNodes(*f.model, *f.graph, 3, {}, 17);
+  ASSERT_EQ(tests.size(), 3u);
+
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = f.model.get();
+  cfg.test_nodes = tests;
+  cfg.k = 2;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  WitnessConfig oracle_cfg = cfg;
+  oracle_cfg.graph = &oracle_graph;
+
+  MaintainOptions mopts;
+  mopts.async_batching = true;
+  WitnessMaintainer maintainer(&graph, cfg, mopts);
+  maintainer.Initialize();
+  WitnessMaintainer oracle(&oracle_graph, oracle_cfg, {});
+  oracle.Initialize();
+
+  ShardRegistry registry;
+  auto shard = ServeMaintained(&registry, 0, &maintainer);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  ShardRouter router(&registry);
+
+  StreamSampleOptions sopts;
+  sopts.num_batches = 6;
+  sopts.ops_per_batch = 3;
+  sopts.insert_fraction = 0.3;
+  sopts.focus_nodes = tests;
+  sopts.hop_radius = 2;
+  Rng stream_rng(99);
+  const std::vector<UpdateBatch> stream =
+      SampleUpdateStream(graph, sopts, &stream_rng);
+
+  // Updates and serving race on purpose: the applier drives Apply() batch
+  // by batch while requester threads fire randomized traffic on all three
+  // views through the maintained shard's WaitBuffer.
+  std::atomic<bool> apply_ok{true};
+  std::thread applier([&] {
+    for (const UpdateBatch& batch : stream) {
+      if (!maintainer.Apply(batch).ok()) {
+        apply_ok.store(false);
+        return;
+      }
+    }
+  });
+  const char* kViews[] = {"full", "sub", "removed"};
+  std::atomic<bool> serve_ok{true};
+  std::vector<std::thread> requesters;
+  for (int r = 0; r < 4; ++r) {
+    requesters.emplace_back([&, r] {
+      Rng rng(1000 + static_cast<uint64_t>(r));
+      for (int i = 0; i < 40; ++i) {
+        const char* view = kViews[rng.Next() % 3];
+        std::vector<NodeId> nodes;
+        const int n = 1 + static_cast<int>(rng.Next() % 3);
+        for (int j = 0; j < n; ++j) {
+          nodes.push_back(
+              static_cast<NodeId>(rng.Next() % graph.num_nodes()));
+        }
+        auto ticket = router.Submit(0, view, nodes);
+        if (!ticket.ok()) {
+          serve_ok.store(false);
+          return;
+        }
+        ticket.value().Wait();
+      }
+    });
+  }
+  applier.join();
+  for (auto& th : requesters) th.join();
+  ASSERT_TRUE(apply_ok.load());
+  ASSERT_TRUE(serve_ok.load());
+
+  // The serialized oracle applies the same stream with no serving traffic:
+  // maintenance decisions must be identical — concurrent serving only adds
+  // cache warms, never changes logits.
+  for (const UpdateBatch& batch : stream) {
+    ASSERT_TRUE(oracle.Apply(batch).ok());
+  }
+  EXPECT_TRUE(maintainer.witness() == oracle.witness());
+
+  // Bit-identity: with the stream fully applied, every served view must
+  // read back identical to a fresh engine over the final graph + witness
+  // (a stale cache entry surviving maintenance would surface here).
+  InferenceEngine ref_engine(cfg.model, &graph);
+  WitnessServeViews ref_views(&ref_engine, &maintainer.witness());
+  for (const char* view : kViews) {
+    const InferenceEngine::ViewId ref_id = ref_views.views().at(view);
+    for (NodeId v = 0; v < graph.num_nodes(); v += 7) {
+      auto got = router.Logits(0, view, v);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), ref_engine.Logits(ref_id, v))
+          << "view " << view << " node " << v;
+    }
+  }
+
+  // Every parked request was woken by a completion event (all epochs
+  // completed before teardown), never drained.
+  const SchedulerStats ss = registry.AggregateSchedulerStats();
+  EXPECT_EQ(ss.parked, ss.woken);
+  EXPECT_EQ(shard.value()->wait_buffer()->stats().drained, 0);
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -306,5 +306,99 @@ TEST(Maintain, AsyncBatchingKeepsWitnessesAndActionsIdentical) {
   }
 }
 
+// Regression for the maintained-serving bit-identity caveat: APPNP's PPR
+// push is not receptive-field-local, so per-ball invalidation is unsound
+// for it — a base update can move logits of nodes far outside every
+// touched ball. Apply() must escalate to full-view invalidation so every
+// cached full-view entry re-reads bitwise-fresh afterwards.
+TEST(Maintain, NonReceptiveLocalModelServesFreshLogitsEverywhereAfterApply) {
+  const auto& f = testing::TwoCommunityAppnp();
+  ASSERT_FALSE(f.model->InferenceIsReceptiveLocal());
+  Graph graph = *f.graph;
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {1});
+  WitnessMaintainer m(&graph, cfg, {});
+  ASSERT_TRUE(m.Initialize().ok);
+
+  // Warm the full view for EVERY node — including nodes outside any
+  // maintenance ball of the coming batch — so stale survivors would be
+  // served from cache below.
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) all.push_back(v);
+  m.engine().Warm(InferenceEngine::kFullView, all);
+
+  // Delete a community bridge: APPNP propagation reaches across it, so
+  // logits move at nodes far outside any touched ball.
+  UpdateBatch batch;
+  batch.Delete(4, 10);
+  ASSERT_TRUE(graph.HasEdge(4, 10));
+  ASSERT_TRUE(m.Apply(batch).ok());
+
+  InferenceEngine fresh(cfg.model, &graph);
+  for (NodeId v : all) {
+    EXPECT_EQ(m.engine().Logits(InferenceEngine::kFullView, v),
+              fresh.Logits(InferenceEngine::kFullView, v))
+        << "stale cached logits at node " << v;
+  }
+}
+
+/// Records Apply()'s event stream for the epoch-sequence test.
+struct RecordingListener : MaintenanceListener {
+  std::vector<std::string> events;
+  std::vector<MaintenanceEpoch> opened;
+
+  void EpochOpened(const MaintenanceEpoch& epoch) override {
+    events.push_back("opened");
+    opened.push_back(epoch);
+  }
+  void EpochBaseSecured(uint64_t) override {
+    events.push_back("base_secured");
+  }
+  void EpochRoundSecured(uint64_t, const std::vector<NodeId>&) override {
+    events.push_back("round_secured");
+  }
+  void EpochClosed(uint64_t) override { events.push_back("closed"); }
+};
+
+TEST(Maintain, ApplyEmitsOpenedBaseSecuredClosedInOrder) {
+  const auto& f = testing::TwoCommunityGcn();
+  Graph graph = *f.graph;
+  const WitnessConfig cfg = Config(&graph, f.model.get(), {1, 7});
+  WitnessMaintainer m(&graph, cfg, {});
+  ASSERT_TRUE(m.Initialize().ok);
+
+  RecordingListener listener;
+  m.AddListener(&listener);
+
+  // A batch inside node 1's ball: a full epoch must run Opened →
+  // BaseSecured → (RoundSecured)* → Closed, with the published ball
+  // matching the report's invalidation count.
+  UpdateBatch batch;
+  batch.Delete(1, 2);
+  const auto r = m.Apply(batch);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  ASSERT_GE(listener.events.size(), 3u);
+  EXPECT_EQ(listener.events.front(), "opened");
+  EXPECT_EQ(listener.events[1], "base_secured");
+  EXPECT_EQ(listener.events.back(), "closed");
+  for (size_t i = 2; i + 1 < listener.events.size(); ++i) {
+    EXPECT_EQ(listener.events[i], "round_secured") << "event " << i;
+  }
+  ASSERT_EQ(listener.opened.size(), 1u);
+  EXPECT_GT(listener.opened[0].id, 0u);
+  EXPECT_FALSE(listener.opened[0].whole_graph);  // GCN is receptive-local
+  EXPECT_EQ(static_cast<int>(listener.opened[0].ball.size()),
+            r.value().ball_nodes);
+
+  // An untouched batch far from every ball opens an epoch too (the commit
+  // still mutates the base graph), and closes it in order.
+  listener.events.clear();
+  listener.opened.clear();
+  m.RemoveListener(&listener);
+  const auto r2 = m.Apply(UpdateBatch{});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(listener.events.empty()) << "removed listener still notified";
+}
+
 }  // namespace
 }  // namespace robogexp

@@ -123,7 +123,10 @@ TEST(UpdateApply, InsertThenDeleteCancelsWithinABatch) {
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(g.HasEdge(0, 2));
   EXPECT_TRUE(r.value().Flips().empty()) << "net effect must be empty";
-  EXPECT_GT(g.mutation_version(), v0) << "mutations still stamped";
+  // Since the plan/commit split, a fully-canceled batch commits nothing:
+  // the graph is untouched and the version must NOT advance (no spurious
+  // cache invalidation for a no-op).
+  EXPECT_EQ(g.mutation_version(), v0) << "no-op batch must not mutate";
 }
 
 TEST(UpdateApply, ValidatesBeforeApplying) {

@@ -21,6 +21,12 @@
 //                     [--threads N] [--deadline-us D] [--batch-nodes B]
 //                     [--adaptive] [--interarrival-us I] [--sync]
 //                     [--compare]
+//   robogexp serve    --graph g.rgx --model m.gnn --replay t.rrt
+//                     --stream u.rsu --nodes 1,2,3 --k K [--b B]
+//                     [--witness w.rcw] [--maintain-threads N]
+//                     [--threads N] [--deadline-us D] [--batch-nodes B]
+//                     [--adaptive] [--interarrival-us I] [--sync]
+//                     [--compare]
 //
 // `stream` replays an update stream against the graph, maintaining the
 // witness incrementally (see src/stream/maintain.h) and printing per-batch
@@ -34,6 +40,13 @@
 // splits each graph into N fragments of the Sec. VI inference-preserving
 // partition, each served by its own engine + scheduler. `--compare` also
 // runs the per-caller unsharded baseline and checks bit-identical logits.
+// `serve --stream` replays the request trace CONCURRENTLY with an update
+// stream applied through a WitnessMaintainer on ONE maintained graph (the
+// wait-buffer serving path of src/serve/wait_buffer.h): requests touching
+// an in-flight maintenance epoch park and are woken by its completion
+// events, everything else is served through the maintenance step. Its
+// `--compare` re-reads every request after the stream and checks the
+// logits bitwise against a fresh engine over the final graph and witness.
 //
 // Graphs use the text format of src/graph/io.h; models, witnesses, update
 // streams, and request traces round trip through src/gnn/serialize.h,
@@ -45,6 +58,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/explain/dot.h"
 #include "src/explain/minimize.h"
@@ -449,6 +463,140 @@ void PrintLatencyLine(const char* label, const LatencySummary& s) {
               s.p99_us, s.p999_us, s.max_us);
 }
 
+/// `serve --stream`: replays the request trace concurrently with an update
+/// stream applied through a WitnessMaintainer — the maintained-serving path
+/// (ServeMaintained wires the shard with a WaitBuffer subscribed to
+/// Apply()'s epoch events, so conflicting requests park and everything else
+/// is served THROUGH maintenance).
+int CmdServeStream(const Flags& flags,
+                   const std::vector<TraceRequest>& trace) {
+  const std::vector<std::string> graph_paths = flags.GetAll("graph");
+  if (graph_paths.size() != 1) {
+    return Fail("serve --stream maintains exactly one --graph");
+  }
+  auto g = LoadGraph(graph_paths[0]);
+  if (!g.ok()) return Fail(g.status().ToString());
+  auto m = LoadModel(flags.Get("model"));
+  if (!m.ok()) return Fail(m.status().ToString());
+  auto stream = LoadUpdateStream(flags.Get("stream"));
+  if (!stream.ok()) return Fail(stream.status().ToString());
+  Graph& graph = g.value();
+  const WitnessConfig cfg = MakeConfig(graph, *m.value(), flags);
+  if (cfg.test_nodes.empty()) return Fail("--nodes is required (csv of ids)");
+
+  ReplayOptions ropts;
+  ropts.num_threads = flags.GetInt("threads", 8);
+  ropts.use_scheduler = !flags.Has("sync");
+  ropts.scheduler.deadline_us = flags.GetInt("deadline-us", 200);
+  ropts.scheduler.max_batch_nodes = flags.GetInt("batch-nodes", 64);
+  ropts.scheduler.adaptive = flags.Has("adaptive");
+  ropts.interarrival_us = flags.GetInt("interarrival-us", 0);
+
+  MaintainOptions mopts;
+  mopts.num_threads = flags.GetInt("maintain-threads", 1);
+  mopts.ppr_localizer = flags.Has("ppr-localizer");
+  mopts.async_batching = ropts.use_scheduler;
+  mopts.scheduler = ropts.scheduler;
+  // Lifetimes: the registry's maintained shard detaches its WaitBuffer from
+  // the maintainer on destruction, so the maintainer must outlive the
+  // registry — declare it first.
+  WitnessMaintainer maintainer(&graph, cfg, mopts);
+
+  MaintainReport init;
+  if (flags.Has("witness")) {
+    auto w = LoadWitness(flags.Get("witness"));
+    if (!w.ok()) return Fail(w.status().ToString());
+    init = maintainer.Adopt(w.value());
+  } else {
+    init = maintainer.Initialize();
+  }
+  std::printf("init: witness %zu nodes, %zu edges; %zu unsecured; "
+              "%d inference calls (%.2fs)\n",
+              maintainer.witness().num_nodes(),
+              maintainer.witness().num_edges(), init.unsecured.size(),
+              init.inference_calls, init.seconds);
+
+  ShardRegistry registry;
+  auto shard = ServeMaintained(&registry, 0, &maintainer);
+  if (!shard.ok()) return Fail(shard.status().ToString());
+  ShardRouter router(&registry);
+
+  // Updates and serving race on purpose: the applier thread drives the
+  // maintainer batch by batch while the replay threads fire the trace.
+  std::map<std::string, int> actions;
+  int64_t applied = 0;
+  std::string apply_error;
+  Timer total;
+  std::thread applier([&] {
+    for (size_t b = 0; b < stream.value().size(); ++b) {
+      const auto r = maintainer.Apply(stream.value()[b]);
+      if (!r.ok()) {
+        apply_error =
+            "batch " + std::to_string(b) + ": " + r.status().ToString();
+        return;
+      }
+      ++actions[MaintainActionName(r.value().action)];
+      applied += r.value().applied;
+    }
+  });
+  auto run = ReplayShardedTrace(&router, trace, ropts);
+  applier.join();
+  if (!apply_error.empty()) return Fail(apply_error);
+  if (!run.ok()) return Fail(run.status().ToString());
+  const double seconds = total.Seconds();
+
+  const ShardedReplayResult& rr = run.value();
+  std::printf("served %lld requests (%lld nodes) from %d threads through "
+              "%zu update batches (%lld flips) in %.3fs (%s)\n",
+              static_cast<long long>(rr.requests),
+              static_cast<long long>(rr.nodes), ropts.num_threads,
+              stream.value().size(), static_cast<long long>(applied), seconds,
+              ropts.use_scheduler ? "batched" : "per-caller");
+  std::printf("maintain actions:");
+  for (const auto& [name, count] : actions) {
+    std::printf(" %s=%d", name.c_str(), count);
+  }
+  std::printf("\n");
+  const SchedulerStats ss = registry.AggregateSchedulerStats();
+  std::printf("wait buffer: %lld parked, %lld woken\n",
+              static_cast<long long>(ss.parked),
+              static_cast<long long>(ss.woken));
+  if (ropts.use_scheduler) {
+    std::printf("schedulers: %lld submitted, %lld flushes (%lld coalesced, "
+                "%lld size, %lld deadline, %lld fastpath), occupancy %.1f "
+                "nodes/flush\n",
+                static_cast<long long>(ss.submitted),
+                static_cast<long long>(ss.flushes),
+                static_cast<long long>(ss.coalesced_flushes),
+                static_cast<long long>(ss.size_flushes),
+                static_cast<long long>(ss.deadline_flushes),
+                static_cast<long long>(ss.fastpath_flushes),
+                ss.batch_occupancy());
+    PrintLatencyLine("ticket latency", registry.AggregateTicketLatency());
+    PrintLatencyLine("wait latency", registry.AggregateWaitLatency());
+  }
+  PrintLatencyLine("request latency", rr.latency);
+
+  if (!flags.Has("compare")) return 0;
+  // The invalidate-before-wake soundness check: with the stream fully
+  // applied, a cache read-back of every request must be bitwise-identical
+  // to a fresh engine over the final graph and witness — stale entries
+  // surviving maintenance would surface here.
+  const auto served = CollectShardedLogits(&router, trace);
+  InferenceEngine ref_engine(cfg.model, &graph);
+  WitnessServeViews ref_views(&ref_engine, &maintainer.witness());
+  const auto reference =
+      CollectServedLogits(&ref_engine, ref_views.views(), trace);
+  if (served != reference) {
+    std::printf("FAIL: maintained-serving logits differ from the "
+                "final-graph reference\n");
+    return 1;
+  }
+  std::printf("logits bit-identical across %zu served vectors\n",
+              served.size());
+  return 0;
+}
+
 int CmdServe(const Flags& flags) {
   const std::vector<std::string> graph_paths = flags.GetAll("graph");
   const std::vector<std::string> model_paths = flags.GetAll("model");
@@ -458,6 +606,7 @@ int CmdServe(const Flags& flags) {
   if (!flags.Has("replay")) return Fail("--replay is required (trace file)");
   auto trace = LoadRequestTrace(flags.Get("replay"));
   if (!trace.ok()) return Fail(trace.status().ToString());
+  if (flags.Has("stream")) return CmdServeStream(flags, trace.value());
 
   // Load graph i, its positional model (last model repeats: one shared
   // model can serve many graphs), and its positional witness (if any).
