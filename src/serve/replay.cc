@@ -42,6 +42,12 @@ Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
       return Status::InvalidArgument("SaveRequestTrace: negative graph id " +
                                      std::to_string(r.graph_id));
     }
+    if (r.nodes.empty()) {
+      // An empty node csv would serialize to a line LoadRequestTrace
+      // rejects; fail at write time instead of producing an unloadable file.
+      return Status::InvalidArgument(
+          "SaveRequestTrace: request without nodes (view " + r.view + ")");
+    }
   }
   std::ofstream f(path);
   if (!f) return Status::Internal("SaveRequestTrace: cannot open " + path);
@@ -123,6 +129,11 @@ StatusOr<ReplayResult> ReplayTrace(
     const std::unordered_map<std::string, InferenceEngine::ViewId>& views,
     const std::vector<TraceRequest>& trace, const ReplayOptions& opts) {
   RCW_CHECK(engine != nullptr);
+  if (opts.interarrival_us < 0) {
+    return Status::InvalidArgument(
+        "ReplayTrace: negative interarrival_us " +
+        std::to_string(opts.interarrival_us));
+  }
   // Resolve every view name and range-check every node id before the first
   // request fires: a hand-written trace must fail loudly, not index out of
   // bounds inside a warm.
@@ -139,6 +150,10 @@ StatusOr<ReplayResult> ReplayTrace(
     auto it = views.find(r.view);
     if (it == views.end()) {
       return Status::InvalidArgument("ReplayTrace: unknown view " + r.view);
+    }
+    if (r.nodes.empty()) {
+      return Status::InvalidArgument(
+          "ReplayTrace: request without nodes (view " + r.view + ")");
     }
     for (NodeId v : r.nodes) {
       if (v < 0 || v >= num_nodes) {
@@ -236,11 +251,21 @@ StatusOr<ShardedReplayResult> ReplayShardedTrace(
     ShardRouter* router, const std::vector<TraceRequest>& trace,
     const ReplayOptions& opts) {
   RCW_CHECK(router != nullptr);
+  if (opts.interarrival_us < 0) {
+    return Status::InvalidArgument(
+        "ReplayShardedTrace: negative interarrival_us " +
+        std::to_string(opts.interarrival_us));
+  }
   ShardRegistry* registry = router->registry();
   // Validate the whole trace before the first request fires, mirroring the
-  // single-engine driver: unknown graphs, out-of-range nodes, and view
-  // names an owning shard does not serve all fail up front.
+  // single-engine driver: unknown graphs, out-of-range nodes, view names an
+  // owning shard does not serve, and empty requests (which would otherwise
+  // skip this loop's Route/ResolveView checks entirely) all fail up front.
   for (const TraceRequest& r : trace) {
+    if (r.nodes.empty()) {
+      return Status::InvalidArgument(
+          "ReplayShardedTrace: request without nodes (view " + r.view + ")");
+    }
     for (NodeId v : r.nodes) {
       auto shard = router->Route(r.graph_id, v);
       RCW_RETURN_IF_ERROR(shard.status());

@@ -1,0 +1,416 @@
+#include "src/serve/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "src/graph/view.h"
+
+namespace robogexp {
+namespace {
+
+/// Derives an independent Rng stream from the master seed, so e.g. the
+/// popularity permutation does not shift when the request count changes.
+Rng DerivedRng(uint64_t seed, uint64_t stream) {
+  return Rng(seed ^ ((stream + 1) * 0x9e3779b97f4a7c15ull));
+}
+
+// Stream tags for DerivedRng. kPopularity is per-graph (tag + graph id).
+constexpr uint64_t kPopularityStream = 100;
+constexpr uint64_t kRequestStream = 1;
+constexpr uint64_t kUpdateStream = 2;
+
+/// Popularity permutation: rank r (0 = hottest) -> node id. A seeded
+/// shuffle, so which nodes are hot is itself part of the scenario seed.
+std::vector<NodeId> PopularityPermutation(const std::vector<NodeId>& nodes,
+                                          uint64_t seed, uint64_t stream) {
+  std::vector<NodeId> perm = nodes;
+  Rng rng = DerivedRng(seed, stream);
+  rng.Shuffle(&perm);
+  return perm;
+}
+
+std::vector<NodeId> AllNodes(const Graph& graph) {
+  std::vector<NodeId> nodes(static_cast<size_t>(graph.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  return nodes;
+}
+
+const std::string& PickView(const ScenarioOptions& opts, Rng* rng) {
+  return opts.views[rng->UniformInt(static_cast<uint64_t>(
+      opts.views.size()))];
+}
+
+/// Draws 1..max_nodes_per_request distinct nodes by popularity rank. The
+/// retry budget is bounded so duplicate hot ranks cannot stall synthesis;
+/// a request may end up with fewer nodes than drawn, never with zero.
+std::vector<NodeId> SampleRequestNodes(const ZipfSampler& zipf,
+                                       const std::vector<NodeId>& rank_to_node,
+                                       const ScenarioOptions& opts, Rng* rng) {
+  const int want = 1 + static_cast<int>(rng->UniformInt(static_cast<uint64_t>(
+                           opts.max_nodes_per_request)));
+  std::vector<NodeId> nodes;
+  for (int attempts = 0;
+       static_cast<int>(nodes.size()) < want && attempts < 8 * want;
+       ++attempts) {
+    const NodeId v = rank_to_node[zipf.Sample(rng)];
+    if (std::find(nodes.begin(), nodes.end(), v) == nodes.end()) {
+      nodes.push_back(v);
+    }
+  }
+  return nodes;
+}
+
+TraceRequest MakeRequest(std::string view, std::vector<NodeId> nodes,
+                         int graph_id) {
+  TraceRequest req;
+  req.view = std::move(view);
+  req.nodes = std::move(nodes);
+  req.graph_id = graph_id;
+  return req;
+}
+
+std::vector<TraceRequest> ZipfTrace(const Graph& graph,
+                                    const ScenarioOptions& opts) {
+  const std::vector<NodeId> perm =
+      PopularityPermutation(AllNodes(graph), opts.seed, kPopularityStream);
+  const ZipfSampler zipf(perm.size(), opts.zipf_exponent);
+  Rng rng = DerivedRng(opts.seed, kRequestStream);
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<size_t>(opts.num_requests));
+  for (int i = 0; i < opts.num_requests; ++i) {
+    trace.push_back(MakeRequest(PickView(opts, &rng),
+                                SampleRequestNodes(zipf, perm, opts, &rng),
+                                /*graph_id=*/0));
+  }
+  return trace;
+}
+
+std::vector<TraceRequest> FlashCrowdTrace(
+    const std::vector<const Graph*>& graphs, const ScenarioOptions& opts) {
+  const Graph& hot_graph = *graphs[static_cast<size_t>(opts.crowd_graph)];
+  std::vector<NodeId> hot =
+      PopularityPermutation(AllNodes(hot_graph), opts.seed, kPopularityStream);
+  hot.resize(std::min<size_t>(hot.size(),
+                              static_cast<size_t>(opts.crowd_hot_nodes)));
+  const ZipfSampler crowd_zipf(hot.size(), opts.zipf_exponent);
+
+  // The crowd is a contiguous window starting a third of the way in: the
+  // replay drivers hand out requests in trace order, so contiguity is what
+  // turns the fraction into a genuine load *step* mid-replay.
+  const int crowd_len = std::min(
+      opts.num_requests,
+      static_cast<int>(std::lround(opts.crowd_fraction * opts.num_requests)));
+  const int crowd_start =
+      std::min(opts.num_requests / 3, opts.num_requests - crowd_len);
+
+  Rng rng = DerivedRng(opts.seed, kRequestStream);
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<size_t>(opts.num_requests));
+  for (int i = 0; i < opts.num_requests; ++i) {
+    if (i >= crowd_start && i < crowd_start + crowd_len) {
+      trace.push_back(MakeRequest(PickView(opts, &rng),
+                                  SampleRequestNodes(crowd_zipf, hot, opts,
+                                                     &rng),
+                                  opts.crowd_graph));
+      continue;
+    }
+    // Uniform background over all graphs and nodes.
+    const int gid =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(graphs.size())));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(
+        static_cast<uint64_t>(graphs[static_cast<size_t>(gid)]->num_nodes())));
+    trace.push_back(MakeRequest(PickView(opts, &rng), {v}, gid));
+  }
+  return trace;
+}
+
+Status FlipStormScenario(const Graph& graph, const ScenarioOptions& opts,
+                         Scenario* out) {
+  const FullView full(&graph);
+  const std::vector<NodeId> ball =
+      KHopBall(full, {opts.storm_target}, opts.storm_radius);
+  if (ball.size() < 2) {
+    return Status::InvalidArgument(
+        "scenario: storm_target's ball has fewer than 2 nodes — nothing to "
+        "storm");
+  }
+  const std::vector<NodeId> perm =
+      PopularityPermutation(ball, opts.seed, kPopularityStream);
+  const ZipfSampler zipf(perm.size(), opts.zipf_exponent);
+
+  Rng rng = DerivedRng(opts.seed, kRequestStream);
+  out->trace.reserve(static_cast<size_t>(opts.num_requests));
+  for (int i = 0; i < opts.num_requests; ++i) {
+    if (i % 5 == 4) {
+      // One request in five is uniform background, so the storm races
+      // ordinary traffic too, not only its own ball.
+      const NodeId v = static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(graph.num_nodes())));
+      out->trace.push_back(MakeRequest(PickView(opts, &rng), {v}, 0));
+      continue;
+    }
+    out->trace.push_back(MakeRequest(
+        PickView(opts, &rng), SampleRequestNodes(zipf, perm, opts, &rng), 0));
+  }
+
+  StreamSampleOptions sopts;
+  sopts.num_batches = opts.update_batches;
+  sopts.ops_per_batch = opts.ops_per_batch;
+  sopts.insert_fraction = opts.insert_fraction;
+  sopts.focus_nodes = {opts.storm_target};
+  sopts.hop_radius = opts.storm_radius;
+  Rng update_rng = DerivedRng(opts.seed, kUpdateStream);
+  out->updates = SampleUpdateStream(graph, sopts, &update_rng);
+  return Status::OK();
+}
+
+Status ChurnReadsScenario(const Graph& graph, const ScenarioOptions& opts,
+                          Scenario* out) {
+  // Churn first (whole-graph: no focus restriction), then draw every read
+  // from exactly the churned endpoints so reads race writes on the same
+  // nodes by construction.
+  StreamSampleOptions sopts;
+  sopts.num_batches = opts.update_batches;
+  sopts.ops_per_batch = opts.ops_per_batch;
+  sopts.insert_fraction = opts.insert_fraction;
+  Rng update_rng = DerivedRng(opts.seed, kUpdateStream);
+  out->updates = SampleUpdateStream(graph, sopts, &update_rng);
+
+  std::vector<NodeId> endpoints;
+  for (const UpdateBatch& batch : out->updates) {
+    for (const EdgeUpdate& op : batch.updates) {
+      endpoints.push_back(op.u);
+      endpoints.push_back(op.v);
+    }
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  if (endpoints.empty()) {
+    return Status::Internal(
+        "scenario: sampled churn stream touched no endpoints");
+  }
+  const std::vector<NodeId> perm =
+      PopularityPermutation(endpoints, opts.seed, kPopularityStream);
+  const ZipfSampler zipf(perm.size(), opts.zipf_exponent);
+  Rng rng = DerivedRng(opts.seed, kRequestStream);
+  out->trace.reserve(static_cast<size_t>(opts.num_requests));
+  for (int i = 0; i < opts.num_requests; ++i) {
+    out->trace.push_back(MakeRequest(
+        PickView(opts, &rng), SampleRequestNodes(zipf, perm, opts, &rng), 0));
+  }
+  return Status::OK();
+}
+
+std::vector<TraceRequest> MixedMultiGraphTrace(
+    const std::vector<const Graph*>& graphs, const ScenarioOptions& opts) {
+  std::vector<std::vector<NodeId>> perms;
+  std::vector<ZipfSampler> zipfs;
+  perms.reserve(graphs.size());
+  zipfs.reserve(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    perms.push_back(PopularityPermutation(AllNodes(*graphs[g]), opts.seed,
+                                          kPopularityStream + g));
+    zipfs.emplace_back(perms.back().size(), opts.zipf_exponent);
+  }
+  Rng rng = DerivedRng(opts.seed, kRequestStream);
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<size_t>(opts.num_requests));
+  for (int i = 0; i < opts.num_requests; ++i) {
+    const auto gid = rng.UniformInt(static_cast<uint64_t>(graphs.size()));
+    trace.push_back(MakeRequest(
+        PickView(opts, &rng),
+        SampleRequestNodes(zipfs[gid], perms[gid], opts, &rng),
+        static_cast<int>(gid)));
+  }
+  return trace;
+}
+
+bool ViewNameOk(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kZipf:
+      return "zipf";
+    case ScenarioKind::kFlashCrowd:
+      return "flash_crowd";
+    case ScenarioKind::kFlipStorm:
+      return "flip_storm";
+    case ScenarioKind::kChurnReads:
+      return "churn_reads";
+    case ScenarioKind::kMixedMultiGraph:
+      return "mixed_multigraph";
+  }
+  return "unknown";
+}
+
+StatusOr<ScenarioKind> ParseScenarioKind(const std::string& name) {
+  std::string canon = name;
+  std::replace(canon.begin(), canon.end(), '-', '_');
+  for (ScenarioKind kind : AllScenarioKinds()) {
+    if (canon == ScenarioKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown scenario kind \"" + name +
+      "\" (valid: zipf, flash_crowd, flip_storm, churn_reads, "
+      "mixed_multigraph)");
+}
+
+std::vector<ScenarioKind> AllScenarioKinds() {
+  return {ScenarioKind::kZipf, ScenarioKind::kFlashCrowd,
+          ScenarioKind::kFlipStorm, ScenarioKind::kChurnReads,
+          ScenarioKind::kMixedMultiGraph};
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  RCW_CHECK(n > 0);
+  RCW_CHECK(exponent > 0.0 && exponent <= kMaxZipfExponent);
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    cumulative_[r] = total;
+  }
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->Uniform() * cumulative_.back();
+  const size_t rank = static_cast<size_t>(
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u) -
+      cumulative_.begin());
+  return std::min(rank, cumulative_.size() - 1);
+}
+
+Status ValidateScenarioOptions(const std::vector<const Graph*>& graphs,
+                               const ScenarioOptions& opts) {
+  if (graphs.empty()) {
+    return Status::InvalidArgument("scenario: need at least one graph");
+  }
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    if (graphs[g] == nullptr || graphs[g]->num_nodes() <= 0) {
+      return Status::InvalidArgument("scenario: graph " + std::to_string(g) +
+                                     " is null or empty");
+    }
+  }
+  if (opts.num_requests <= 0) {
+    return Status::InvalidArgument("scenario: num_requests must be > 0, got " +
+                                   std::to_string(opts.num_requests));
+  }
+  if (opts.max_nodes_per_request <= 0) {
+    return Status::InvalidArgument(
+        "scenario: max_nodes_per_request must be > 0, got " +
+        std::to_string(opts.max_nodes_per_request));
+  }
+  if (opts.views.empty()) {
+    return Status::InvalidArgument("scenario: views must be non-empty");
+  }
+  for (const std::string& view : opts.views) {
+    if (!ViewNameOk(view)) {
+      return Status::InvalidArgument(
+          "scenario: view names must be non-empty and whitespace-free, got "
+          "\"" +
+          view + "\"");
+    }
+  }
+  // The negated form also rejects NaN (every comparison with NaN is false).
+  if (!(opts.zipf_exponent > 0.0 && opts.zipf_exponent <= kMaxZipfExponent)) {
+    return Status::InvalidArgument(
+        "scenario: zipf_exponent must be in (0, " +
+        std::to_string(kMaxZipfExponent) + "], got " +
+        std::to_string(opts.zipf_exponent));
+  }
+  switch (opts.kind) {
+    case ScenarioKind::kZipf:
+      break;
+    case ScenarioKind::kFlashCrowd:
+      if (opts.crowd_graph < 0 ||
+          opts.crowd_graph >= static_cast<int>(graphs.size())) {
+        return Status::InvalidArgument(
+            "scenario: crowd_graph " + std::to_string(opts.crowd_graph) +
+            " out of range [0, " + std::to_string(graphs.size()) + ")");
+      }
+      if (!(opts.crowd_fraction >= 0.0 && opts.crowd_fraction <= 1.0)) {
+        return Status::InvalidArgument(
+            "scenario: crowd_fraction must be in [0, 1], got " +
+            std::to_string(opts.crowd_fraction));
+      }
+      if (opts.crowd_hot_nodes < 1) {
+        return Status::InvalidArgument(
+            "scenario: crowd_hot_nodes must be >= 1, got " +
+            std::to_string(opts.crowd_hot_nodes));
+      }
+      break;
+    case ScenarioKind::kFlipStorm:
+    case ScenarioKind::kChurnReads:
+      if (opts.storm_target < 0 ||
+          opts.storm_target >= graphs[0]->num_nodes()) {
+        return Status::InvalidArgument(
+            "scenario: storm_target " + std::to_string(opts.storm_target) +
+            " out of range [0, " + std::to_string(graphs[0]->num_nodes()) +
+            ")");
+      }
+      if (opts.storm_radius < 1) {
+        return Status::InvalidArgument(
+            "scenario: storm_radius must be >= 1, got " +
+            std::to_string(opts.storm_radius));
+      }
+      if (opts.update_batches < 1 || opts.ops_per_batch < 1) {
+        return Status::InvalidArgument(
+            "scenario: update_batches and ops_per_batch must be >= 1, got " +
+            std::to_string(opts.update_batches) + " and " +
+            std::to_string(opts.ops_per_batch));
+      }
+      if (!(opts.insert_fraction >= 0.0 && opts.insert_fraction <= 1.0)) {
+        return Status::InvalidArgument(
+            "scenario: insert_fraction must be in [0, 1], got " +
+            std::to_string(opts.insert_fraction));
+      }
+      break;
+    case ScenarioKind::kMixedMultiGraph:
+      if (graphs.size() < 2) {
+        return Status::InvalidArgument(
+            "scenario: mixed_multigraph needs at least 2 graphs, got " +
+            std::to_string(graphs.size()));
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+StatusOr<Scenario> SynthesizeScenario(const std::vector<const Graph*>& graphs,
+                                      const ScenarioOptions& opts) {
+  RCW_RETURN_IF_ERROR(ValidateScenarioOptions(graphs, opts));
+  Scenario out;
+  out.kind = opts.kind;
+  switch (opts.kind) {
+    case ScenarioKind::kZipf:
+      out.trace = ZipfTrace(*graphs[0], opts);
+      break;
+    case ScenarioKind::kFlashCrowd:
+      out.trace = FlashCrowdTrace(graphs, opts);
+      break;
+    case ScenarioKind::kFlipStorm:
+      RCW_RETURN_IF_ERROR(FlipStormScenario(*graphs[0], opts, &out));
+      break;
+    case ScenarioKind::kChurnReads:
+      RCW_RETURN_IF_ERROR(ChurnReadsScenario(*graphs[0], opts, &out));
+      break;
+    case ScenarioKind::kMixedMultiGraph:
+      out.trace = MixedMultiGraphTrace(graphs, opts);
+      break;
+  }
+  return out;
+}
+
+}  // namespace robogexp

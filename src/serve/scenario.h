@@ -1,0 +1,165 @@
+/// \file
+/// Adversarial traffic synthesis — seeded, deterministic production-shaped
+/// request traces and update streams for the chaos scenario suite.
+///
+/// Every CI gate before this one replayed *uniform* synthetic traffic; real
+/// serving fleets do not see uniform traffic. SynthesizeScenario produces
+/// the adversarial shapes production actually throws at a serving stack —
+///
+///   - `zipf`             Zipf-skewed node popularity on one graph: a few
+///                        hot nodes absorb most of the demand.
+///   - `flash_crowd`      a contiguous burst of requests concentrated on a
+///                        tiny hot set of one graph, embedded in uniform
+///                        multi-graph background traffic — the load step
+///                        the adaptive scheduler's EWMA must ride out.
+///   - `flip_storm`       reads Zipf-concentrated inside one witness ball
+///                        plus an update stream whose every flip lands in
+///                        that same ball — correlated read/write pressure
+///                        on a single MaintenanceRadius neighborhood.
+///   - `churn_reads`      insert/delete churn whose reads are drawn from
+///                        exactly the churned endpoints, so every request
+///                        races a mutation of the nodes it asks about.
+///   - `mixed_multigraph` Zipf traffic fanned across every registered
+///                        graph (`.rrt` v2 lines with explicit graph ids).
+///
+/// The synthesizer emits ordinary in-memory TraceRequest / UpdateBatch
+/// vectors; written through SaveRequestTrace / SaveUpdateStream they become
+/// ordinary `.rrt` / `.rsu` artifacts, so every existing replay driver
+/// (single-engine, sharded, maintained) consumes them unchanged.
+///
+/// Determinism contract: the same (graphs, options) pair always yields the
+/// same Scenario — sampling uses only Rng draws over index-ordered vectors
+/// (never unordered-container iteration), so the serialized artifacts are
+/// byte-identical across runs and platforms. Seed-determinism regression
+/// tests enforce this.
+#ifndef ROBOGEXP_SERVE_SCENARIO_H_
+#define ROBOGEXP_SERVE_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/serve/replay.h"
+#include "src/stream/update.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// The named production traffic shapes the chaos suite can synthesize.
+enum class ScenarioKind {
+  kZipf,
+  kFlashCrowd,
+  kFlipStorm,
+  kChurnReads,
+  kMixedMultiGraph,
+};
+
+/// Canonical snake_case name ("zipf", "flash_crowd", ...) — the spelling
+/// used for bench JSON keys and CLI arguments.
+const char* ScenarioKindName(ScenarioKind kind);
+
+/// Parses a scenario name; accepts '-' as an alias for '_' so CLI users can
+/// write "flash-crowd". Unknown names fail with InvalidArgument listing the
+/// valid spellings.
+StatusOr<ScenarioKind> ParseScenarioKind(const std::string& name);
+
+/// All kinds, in declaration order — the iteration order of the suite.
+std::vector<ScenarioKind> AllScenarioKinds();
+
+/// Upper bound on ScenarioOptions::zipf_exponent. Beyond this the
+/// distribution is degenerate (rank 0 gets essentially everything) and the
+/// per-rank weights underflow to denormals, so it is rejected as a
+/// configuration error rather than silently sampling a constant.
+inline constexpr double kMaxZipfExponent = 8.0;
+
+/// Deterministic Zipf(s) sampler over ranks [0, n): P(rank r) ∝ (r+1)^-s.
+/// Sampling is inverse-CDF via binary search over precomputed cumulative
+/// weights — one Rng draw per sample, no rejection, fully deterministic.
+class ZipfSampler {
+ public:
+  /// Requires n > 0 and exponent in (0, kMaxZipfExponent] (checked);
+  /// SynthesizeScenario validates options before constructing one.
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Knobs for SynthesizeScenario. Only the fields relevant to the selected
+/// kind are validated/used beyond the common ones (seed, num_requests,
+/// max_nodes_per_request, views, zipf_exponent).
+struct ScenarioOptions {
+  ScenarioKind kind = ScenarioKind::kZipf;
+  /// Master seed: every derived sampling stream (popularity permutation,
+  /// request shapes, update stream) is seeded from this.
+  uint64_t seed = 1;
+  /// Trace length; must be > 0.
+  int num_requests = 256;
+  /// Node count per request is uniform in [1, max]; zero-node requests are
+  /// never emitted (the replay drivers reject them).
+  int max_nodes_per_request = 3;
+  /// View names requests draw from, uniformly. Must be non-empty; names
+  /// must be non-empty and whitespace-free (the `.rrt` format is
+  /// space-delimited). The caller maps names to engine slots at replay
+  /// time ("full" alone for unmaintained serving; add "sub"/"removed" when
+  /// replaying against a maintained shard).
+  std::vector<std::string> views = {"full"};
+  /// Popularity skew for every Zipf-shaped draw; must be in
+  /// (0, kMaxZipfExponent]. 1.0 is classic Zipf; higher is hotter.
+  double zipf_exponent = 1.1;
+
+  // --- flash_crowd ---
+  /// Graph the crowd piles onto; must be a valid index into `graphs`.
+  int crowd_graph = 0;
+  /// Fraction of the trace inside the crowd window; must be in [0, 1].
+  double crowd_fraction = 0.6;
+  /// Size of the hot set the crowd hammers; must be >= 1.
+  int crowd_hot_nodes = 4;
+
+  // --- flip_storm / churn_reads ---
+  /// Center of the stressed maintenance ball (a witness test node in the
+  /// intended use); must be a valid node of graphs[0].
+  NodeId storm_target = 0;
+  /// Ball radius in hops — pass MaintenanceRadius(cfg) to target exactly
+  /// the ball the maintainer's epochs will publish. Must be >= 1.
+  int storm_radius = 2;
+  /// Update-stream shape (forwarded to SampleUpdateStream); batches and
+  /// ops must be >= 1, insert_fraction in [0, 1].
+  int update_batches = 12;
+  int ops_per_batch = 3;
+  double insert_fraction = 0.5;
+};
+
+/// A synthesized scenario: the request trace, plus the update stream for
+/// the kinds that mutate the graph (empty for read-only kinds).
+struct Scenario {
+  ScenarioKind kind = ScenarioKind::kZipf;
+  std::vector<TraceRequest> trace;
+  std::vector<UpdateBatch> updates;
+};
+
+/// Validates `opts` against the target graphs: rejects empty/null graph
+/// lists, out-of-range Zipf exponents, non-positive request/node counts,
+/// malformed view names, and kind-specific knob violations (crowd graph out
+/// of range, storm target out of range, mixed_multigraph with fewer than
+/// two graphs, ...) with a descriptive InvalidArgument.
+Status ValidateScenarioOptions(const std::vector<const Graph*>& graphs,
+                               const ScenarioOptions& opts);
+
+/// Synthesizes the scenario described by `opts` against `graphs` (index ==
+/// `.rrt` graph id). Single-graph kinds use graphs[0] and emit graph-0
+/// traffic; flash_crowd and mixed_multigraph spread across all of them.
+/// The graphs are never modified. Fails with the ValidateScenarioOptions
+/// Status on bad options.
+StatusOr<Scenario> SynthesizeScenario(const std::vector<const Graph*>& graphs,
+                                      const ScenarioOptions& opts);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_SERVE_SCENARIO_H_

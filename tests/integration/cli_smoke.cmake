@@ -150,7 +150,41 @@ run_cli(serve-sharded serve --graph "${GRAPH}" --model "${GCN_MODEL}"
         --graph "${GRAPH}" --shards 2 --partition-seed 3
         --replay "${MULTI_TRACE}" --threads 6 --deadline-us 50000 --compare)
 
-foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}" "${STREAM}" "${MAINTAINED}")
+# Adversarial scenarios: synthesized traces are ordinary .rrt/.rsu files,
+# so every serve mode above replays them unchanged. A Zipf-skewed trace
+# through the single-graph comparison path...
+set(ZIPF_TRACE "${WORK_DIR}/zipf.rrt")
+run_cli(scenario-zipf scenario --kind zipf --graph "${GRAPH}"
+        --out "${ZIPF_TRACE}" --requests 12 --max-nodes 2
+        --zipf-exponent 1.5 --seed 5)
+run_cli(serve-zipf serve --graph "${GRAPH}" --model "${MODEL}"
+        --replay "${ZIPF_TRACE}" --threads 4 --deadline-us 50000 --compare)
+
+# ...a churn-vs-reads scenario (trace + update stream on the same nodes)
+# through the maintained wait-buffer path...
+set(CHURN_TRACE "${WORK_DIR}/churn.rrt")
+set(CHURN_STREAM "${WORK_DIR}/churn.rsu")
+run_cli(scenario-churn scenario --kind churn-reads --graph "${GRAPH}"
+        --out "${CHURN_TRACE}" --updates-out "${CHURN_STREAM}"
+        --requests 10 --views full,sub,removed --batches 4 --ops 2
+        --insert-frac 0.5 --seed 9)
+run_cli(serve-churn serve --graph "${GRAPH}" --model "${MODEL}"
+        --witness "${WITNESS}" --replay "${CHURN_TRACE}"
+        --stream "${CHURN_STREAM}" --nodes 1,2,3 --k 2 --b 1 --threads 4
+        --deadline-us 50000 --adaptive --compare)
+
+# ...and a mixed multi-graph scenario (v2 `g` lines) through the sharded
+# router.
+set(MIXED_TRACE "${WORK_DIR}/mixed.rrt")
+run_cli(scenario-mixed scenario --kind mixed-multigraph --graph "${GRAPH}"
+        --graph "${GRAPH}" --out "${MIXED_TRACE}" --requests 10
+        --seed 13)
+run_cli(serve-mixed serve --graph "${GRAPH}" --model "${GCN_MODEL}"
+        --graph "${GRAPH}" --shards 2 --partition-seed 3
+        --replay "${MIXED_TRACE}" --threads 4 --deadline-us 50000 --compare)
+
+foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}" "${STREAM}" "${MAINTAINED}"
+        "${ZIPF_TRACE}" "${CHURN_TRACE}" "${CHURN_STREAM}" "${MIXED_TRACE}")
   if(NOT EXISTS "${_artifact}")
     message(FATAL_ERROR "expected output file missing: ${_artifact}")
   endif()

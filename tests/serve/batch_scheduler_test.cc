@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <latch>
 #include <thread>
 #include <vector>
@@ -390,6 +391,83 @@ TEST(BatchScheduler, AdaptiveQuiescenceFlushesBeforeHardDeadline) {
   EXPECT_EQ(s.deadline_flushes, 1);
   EXPECT_GE(s.coalesced_flushes, 1);
   for (NodeId v : {0, 1, 2, 3}) {
+    EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, v),
+              rig.reference.Logits(InferenceEngine::kFullView, v));
+  }
+}
+
+// Flash-crowd load step: a burst of concurrent traffic collapses the EWMA
+// interarrival estimate (load-proportional size threshold), and once the
+// crowd passes, a single 1-second gap folded into the EWMA (alpha 0.2 =>
+// >= 200ms) must shrink the expected per-patience demand below one request,
+// so the next small submit size-flushes immediately instead of being held
+// open for stragglers that will never arrive. The trigger-partition
+// invariant (flushes == size + deadline + drain + fastpath) must hold
+// across every phase of the transition.
+TEST(BatchScheduler, AdaptiveSizeThresholdRecoversAfterFlashCrowd) {
+  const auto& f = testing::TwoCommunityGcn();
+  Rig rig(f);
+  const NodeId num_nodes = f.graph->num_nodes();
+  BatchSchedulerOptions opts;
+  opts.adaptive = true;
+  opts.max_batch_nodes = 8;        // < graph size: crowd can size-flush
+  opts.deadline_us = 60'000'000;   // recovery must not lean on the deadline
+  opts.adaptive_patience_us = 20'000;
+  opts.fastpath_idle_us = 60'000'000;  // only the very first submit is idle
+  BatchScheduler scheduler(&rig.engine, opts);
+  auto partition_holds = [](const SchedulerStats& s) {
+    return s.flushes == s.size_flushes + s.deadline_flushes +
+                            s.drain_flushes + s.fastpath_flushes;
+  };
+
+  // Phase A — quiet start: the lone submit takes the idle fast path.
+  scheduler.Submit(InferenceEngine::kFullView, {0}).Wait();
+  const SchedulerStats quiet = scheduler.stats();
+  EXPECT_EQ(quiet.fastpath_flushes, 1);
+  EXPECT_TRUE(partition_holds(quiet));
+
+  // Phase B — flash crowd: 8 threads firing back-to-back 2-node requests.
+  // Tiny interarrival gaps dominate the EWMA, so the size threshold grows
+  // toward max_batch_nodes and the crowd coalesces into size flushes.
+  std::vector<std::thread> crowd;
+  for (int t = 0; t < 8; ++t) {
+    crowd.emplace_back([&, t] {
+      // Stride 7 is coprime with the 12-node graph: each wave of eight
+      // concurrent 2-node requests spans >= 8 distinct nodes, so a shared
+      // pending batch crosses the size threshold instead of stalling on
+      // overlapping demand.
+      for (int i = 0; i < 6; ++i) {
+        const NodeId a = static_cast<NodeId>((t * 7 + i * 3) % num_nodes);
+        const NodeId b = static_cast<NodeId>((a + 5) % num_nodes);
+        scheduler.Submit(InferenceEngine::kFullView, {a, b}).Wait();
+      }
+    });
+  }
+  for (auto& th : crowd) th.join();
+  const SchedulerStats after_crowd = scheduler.stats();
+  EXPECT_EQ(after_crowd.submitted, quiet.submitted + 48);
+  EXPECT_EQ(after_crowd.fastpath_flushes, 1)
+      << "anti-cascade: crowd traffic must coalesce, never fast-path";
+  EXPECT_GE(after_crowd.size_flushes, 1);
+  EXPECT_TRUE(partition_holds(after_crowd));
+
+  // Phase C — recovery: after a 1s lull the folded-in gap pushes the EWMA
+  // interarrival above patience, the expected demand per window drops
+  // below one request, and the threshold clamps to 1 node. A small submit
+  // must therefore size-flush on join — no patience wait, no deadline.
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+  Timer t;
+  scheduler.Submit(InferenceEngine::kFullView, {3, 9}).Wait();
+  EXPECT_LT(t.Seconds(), 10.0);  // generous CI slack, far below the minute
+  const SchedulerStats recovered = scheduler.stats();
+  EXPECT_GE(recovered.size_flushes, after_crowd.size_flushes + 1)
+      << "post-crowd submit must trip the recovered (collapsed) threshold";
+  EXPECT_EQ(recovered.deadline_flushes, after_crowd.deadline_flushes);
+  EXPECT_EQ(recovered.fastpath_flushes, 1);
+  EXPECT_TRUE(partition_holds(recovered));
+
+  // Bit-identity across all three phases.
+  for (NodeId v = 0; v < num_nodes; ++v) {
     EXPECT_EQ(rig.engine.Logits(InferenceEngine::kFullView, v),
               rig.reference.Logits(InferenceEngine::kFullView, v));
   }

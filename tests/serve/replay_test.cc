@@ -201,6 +201,63 @@ TEST(ReplayTrace, RejectsUnknownViewNamesUpFront) {
   EXPECT_EQ(engine.stats().node_queries, 0);
 }
 
+TEST(ReplayTrace, RejectsNegativeInterarrivalUpFront) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  const std::vector<TraceRequest> trace = {{"full", {1}}};
+  ReplayOptions opts;
+  opts.interarrival_us = -1;
+  const auto r = ReplayTrace(&engine, views, trace, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.stats().node_queries, 0);
+}
+
+TEST(ReplayTrace, RejectsEmptyNodeRequestsUpFront) {
+  const auto& f = testing::TwoCommunityGcn();
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  const std::vector<TraceRequest> trace = {{"full", {1}}, {"full", {}}};
+  const auto r = ReplayTrace(&engine, views, trace, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.stats().node_queries, 0);
+}
+
+TEST(ReplayShardedTrace, RejectsNegativeInterarrivalAndEmptyRequests) {
+  const auto& f = testing::TwoCommunityGcn();
+  ShardRegistry registry;
+  ASSERT_TRUE(registry.RegisterGraph(0, f.graph.get(), f.model.get()).ok());
+  ShardRouter router(&registry);
+  ReplayOptions bad_pacing;
+  bad_pacing.interarrival_us = -100;
+  const std::vector<TraceRequest> trace = {{"full", {1}, 0}};
+  const auto paced = ReplayShardedTrace(&router, trace, bad_pacing);
+  EXPECT_FALSE(paced.ok());
+  EXPECT_EQ(paced.status().code(), StatusCode::kInvalidArgument);
+  // An empty request would otherwise sail through the per-request loop
+  // without ever hitting a Route/ResolveView check; it must fail up front.
+  const std::vector<TraceRequest> empty_req = {{"full", {1}, 0},
+                                               {"full", {}, 0}};
+  const auto r = ReplayShardedTrace(&router, empty_req, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.AggregateEngineStats().node_queries, 0);
+}
+
+TEST(RequestTraceIo, SaveRejectsEmptyNodeRequests) {
+  // An empty node list would serialize to a line LoadRequestTrace rejects,
+  // so Save must refuse to write it rather than produce an unreadable file.
+  const std::vector<TraceRequest> trace = {{"full", {1}}, {"full", {}}};
+  const std::string path = TempPath("empty_nodes.rrt");
+  const Status s = SaveRequestTrace(trace, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ReplayTrace, BatchedAndPerCallerModesServeIdenticalLogits) {
   const auto& f = testing::TwoCommunityGcn();
   const std::vector<TraceRequest> trace = {

@@ -1,0 +1,353 @@
+// Adversarial traffic synthesizer: seed-determinism (byte-identical .rrt
+// artifacts from the same seed), strict option validation, the shape
+// guarantees of each scenario kind, and replayability of the emitted traces
+// through the ordinary drivers.
+#include "src/serve/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/graph/view.h"
+#include "src/stream/update_io.h"
+#include "tests/testing/fixtures.h"
+
+namespace robogexp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+ScenarioOptions SmallOptions(ScenarioKind kind, uint64_t seed) {
+  ScenarioOptions opts;
+  opts.kind = kind;
+  opts.seed = seed;
+  opts.num_requests = 40;
+  opts.max_nodes_per_request = 3;
+  opts.storm_target = 1;
+  opts.storm_radius = 2;
+  opts.update_batches = 5;
+  opts.ops_per_batch = 2;
+  return opts;
+}
+
+TEST(ScenarioKinds, NamesRoundTripThroughParse) {
+  for (ScenarioKind kind : AllScenarioKinds()) {
+    const auto parsed = ParseScenarioKind(ScenarioKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << ScenarioKindName(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+}
+
+TEST(ScenarioKinds, ParseAcceptsDashesAndRejectsUnknown) {
+  const auto dashed = ParseScenarioKind("flash-crowd");
+  ASSERT_TRUE(dashed.ok());
+  EXPECT_EQ(dashed.value(), ScenarioKind::kFlashCrowd);
+  EXPECT_FALSE(ParseScenarioKind("tsunami").ok());
+  EXPECT_FALSE(ParseScenarioKind("").ok());
+}
+
+TEST(ZipfSampler, RankZeroIsHottest) {
+  ZipfSampler zipf(16, 1.5);
+  Rng rng(7);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const size_t rank = zipf.Sample(&rng);
+    ASSERT_LT(rank, 16u);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], 10 * counts[15]);
+}
+
+// Satellite: same seed -> byte-identical .rrt (and .rsu for mutating
+// kinds); a different seed must actually change the artifact. Guards
+// against unordered-container iteration (or wall-clock state) leaking into
+// the sampling paths.
+TEST(ScenarioDeterminism, SameSeedByteIdenticalArtifacts) {
+  const auto& f0 = testing::SmallSbmGcn();
+  const auto& f1 = testing::TwoCommunityGcn();
+  const std::vector<const Graph*> graphs = {f0.graph.get(), f1.graph.get()};
+  for (ScenarioKind kind : AllScenarioKinds()) {
+    const ScenarioOptions opts = SmallOptions(kind, 21);
+    const auto a = SynthesizeScenario(graphs, opts);
+    const auto b = SynthesizeScenario(graphs, opts);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+    const std::string name = ScenarioKindName(kind);
+    const std::string pa = TempPath(name + "_a.rrt");
+    const std::string pb = TempPath(name + "_b.rrt");
+    ASSERT_TRUE(SaveRequestTrace(a.value().trace, pa).ok());
+    ASSERT_TRUE(SaveRequestTrace(b.value().trace, pb).ok());
+    EXPECT_EQ(ReadFile(pa), ReadFile(pb)) << name;
+
+    if (!a.value().updates.empty()) {
+      const std::string ua = TempPath(name + "_a.rsu");
+      const std::string ub = TempPath(name + "_b.rsu");
+      ASSERT_TRUE(SaveUpdateStream(a.value().updates, ua).ok());
+      ASSERT_TRUE(SaveUpdateStream(b.value().updates, ub).ok());
+      EXPECT_EQ(ReadFile(ua), ReadFile(ub)) << name;
+    }
+
+    ScenarioOptions reseeded = opts;
+    reseeded.seed = 22;
+    const auto c = SynthesizeScenario(graphs, reseeded);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    const std::string pc = TempPath(name + "_c.rrt");
+    ASSERT_TRUE(SaveRequestTrace(c.value().trace, pc).ok());
+    EXPECT_NE(ReadFile(pa), ReadFile(pc)) << name;
+  }
+}
+
+TEST(ScenarioValidation, RejectsBadCommonOptions) {
+  const auto& f = testing::SmallSbmGcn();
+  const std::vector<const Graph*> graphs = {f.graph.get()};
+  const ScenarioOptions good = SmallOptions(ScenarioKind::kZipf, 1);
+  ASSERT_TRUE(ValidateScenarioOptions(graphs, good).ok());
+
+  EXPECT_FALSE(ValidateScenarioOptions({}, good).ok());
+  EXPECT_FALSE(ValidateScenarioOptions({nullptr}, good).ok());
+
+  ScenarioOptions opts = good;
+  opts.num_requests = 0;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, opts).ok());
+  opts = good;
+  opts.max_nodes_per_request = -1;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, opts).ok());
+  opts = good;
+  opts.views = {};
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, opts).ok());
+  opts = good;
+  opts.views = {"two words"};
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, opts).ok());
+  opts = good;
+  opts.views = {""};
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, opts).ok());
+}
+
+// Satellite: out-of-range Zipf exponents fail with a clear Status instead
+// of degenerate sampling downstream.
+TEST(ScenarioValidation, RejectsOutOfRangeZipfExponents) {
+  const auto& f = testing::SmallSbmGcn();
+  const std::vector<const Graph*> graphs = {f.graph.get()};
+  ScenarioOptions opts = SmallOptions(ScenarioKind::kZipf, 1);
+  for (double bad : {0.0, -1.0, kMaxZipfExponent + 1.0,
+                     std::numeric_limits<double>::quiet_NaN()}) {
+    opts.zipf_exponent = bad;
+    const Status s = ValidateScenarioOptions(graphs, opts);
+    EXPECT_FALSE(s.ok()) << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_FALSE(SynthesizeScenario(graphs, opts).ok()) << bad;
+  }
+  opts.zipf_exponent = kMaxZipfExponent;  // boundary is legal
+  EXPECT_TRUE(ValidateScenarioOptions(graphs, opts).ok());
+}
+
+TEST(ScenarioValidation, RejectsBadKindSpecificOptions) {
+  const auto& f = testing::SmallSbmGcn();
+  const std::vector<const Graph*> graphs = {f.graph.get(), f.graph.get()};
+
+  ScenarioOptions crowd = SmallOptions(ScenarioKind::kFlashCrowd, 1);
+  crowd.crowd_graph = 2;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, crowd).ok());
+  crowd.crowd_graph = 0;
+  crowd.crowd_fraction = 1.5;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, crowd).ok());
+  crowd.crowd_fraction = 0.5;
+  crowd.crowd_hot_nodes = 0;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, crowd).ok());
+
+  ScenarioOptions storm = SmallOptions(ScenarioKind::kFlipStorm, 1);
+  storm.storm_target = f.graph->num_nodes();
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, storm).ok());
+  storm.storm_target = 1;
+  storm.storm_radius = 0;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, storm).ok());
+  storm.storm_radius = 2;
+  storm.update_batches = 0;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, storm).ok());
+  storm.update_batches = 5;
+  storm.insert_fraction = -0.1;
+  EXPECT_FALSE(ValidateScenarioOptions(graphs, storm).ok());
+
+  const ScenarioOptions mixed = SmallOptions(ScenarioKind::kMixedMultiGraph, 1);
+  EXPECT_FALSE(ValidateScenarioOptions({f.graph.get()}, mixed).ok());
+  EXPECT_TRUE(ValidateScenarioOptions(graphs, mixed).ok());
+}
+
+TEST(ScenarioShape, ZipfConcentratesDemandOnAFewNodes) {
+  const auto& f = testing::SmallSbmGcn();
+  ScenarioOptions opts = SmallOptions(ScenarioKind::kZipf, 3);
+  opts.num_requests = 300;
+  opts.max_nodes_per_request = 1;
+  opts.zipf_exponent = 2.5;
+  const auto sc = SynthesizeScenario({f.graph.get()}, opts);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  std::map<NodeId, int> freq;
+  int total = 0;
+  for (const TraceRequest& r : sc.value().trace) {
+    ASSERT_FALSE(r.nodes.empty());
+    EXPECT_EQ(r.graph_id, 0);
+    for (NodeId v : r.nodes) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, f.graph->num_nodes());
+      ++freq[v];
+      ++total;
+    }
+  }
+  int hottest = 0;
+  for (const auto& [v, n] : freq) hottest = std::max(hottest, n);
+  // At exponent 2.5 the top rank carries ~3/4 of the mass; uniform traffic
+  // would put ~total/num_nodes on it. Anything above 30% is unambiguously
+  // skewed.
+  EXPECT_GT(hottest, total * 3 / 10);
+}
+
+TEST(ScenarioShape, FlashCrowdWindowPilesOntoTheHotSet) {
+  const auto& f0 = testing::SmallSbmGcn();
+  const auto& f1 = testing::TwoCommunityGcn();
+  ScenarioOptions opts = SmallOptions(ScenarioKind::kFlashCrowd, 5);
+  opts.num_requests = 60;
+  opts.crowd_graph = 1;
+  opts.crowd_fraction = 0.5;
+  opts.crowd_hot_nodes = 3;
+  const auto sc =
+      SynthesizeScenario({f0.graph.get(), f1.graph.get()}, opts);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  // The crowd is the contiguous middle window (same arithmetic as the
+  // synthesizer): every request there sits on the crowd graph and draws
+  // from at most crowd_hot_nodes distinct nodes.
+  const int len = 30, start = 20;
+  std::set<NodeId> crowd_nodes;
+  for (int i = start; i < start + len; ++i) {
+    const TraceRequest& r = sc.value().trace[static_cast<size_t>(i)];
+    EXPECT_EQ(r.graph_id, 1) << i;
+    crowd_nodes.insert(r.nodes.begin(), r.nodes.end());
+  }
+  EXPECT_LE(crowd_nodes.size(), 3u);
+  // The background is genuinely multi-graph.
+  std::set<int> background_graphs;
+  for (int i = 0; i < start; ++i) {
+    background_graphs.insert(sc.value().trace[static_cast<size_t>(i)].graph_id);
+  }
+  EXPECT_EQ(background_graphs.size(), 2u);
+}
+
+TEST(ScenarioShape, FlipStormStaysInsideTheTargetBall) {
+  const auto& f = testing::SmallSbmGcn();
+  ScenarioOptions opts = SmallOptions(ScenarioKind::kFlipStorm, 11);
+  opts.num_requests = 50;
+  const auto sc = SynthesizeScenario({f.graph.get()}, opts);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  ASSERT_FALSE(sc.value().updates.empty());
+
+  const FullView full(f.graph.get());
+  const std::vector<NodeId> ball_vec =
+      KHopBall(full, {opts.storm_target}, opts.storm_radius);
+  const std::set<NodeId> ball(ball_vec.begin(), ball_vec.end());
+  // Every flip is inside the target's ball on the BASE graph — the
+  // correlated-storm contract (SampleUpdateStream restricts itself to the
+  // initial pool, so later inserts cannot widen it).
+  for (const UpdateBatch& batch : sc.value().updates) {
+    for (const EdgeUpdate& op : batch.updates) {
+      EXPECT_TRUE(ball.count(op.u) == 1 && ball.count(op.v) == 1)
+          << op.u << "-" << op.v;
+    }
+  }
+  // Reads concentrate there too (4 in 5 by construction).
+  int in_ball = 0, total = 0;
+  for (const TraceRequest& r : sc.value().trace) {
+    ASSERT_FALSE(r.nodes.empty());
+    for (NodeId v : r.nodes) {
+      if (ball.count(v) == 1) ++in_ball;
+      ++total;
+    }
+  }
+  EXPECT_GT(in_ball * 2, total);
+}
+
+TEST(ScenarioShape, ChurnReadsDrawEveryReadFromChurnedEndpoints) {
+  const auto& f = testing::SmallSbmGcn();
+  const ScenarioOptions opts = SmallOptions(ScenarioKind::kChurnReads, 13);
+  const auto sc = SynthesizeScenario({f.graph.get()}, opts);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  ASSERT_FALSE(sc.value().updates.empty());
+  std::set<NodeId> endpoints;
+  for (const UpdateBatch& batch : sc.value().updates) {
+    for (const EdgeUpdate& op : batch.updates) {
+      endpoints.insert(op.u);
+      endpoints.insert(op.v);
+    }
+  }
+  for (const TraceRequest& r : sc.value().trace) {
+    ASSERT_FALSE(r.nodes.empty());
+    for (NodeId v : r.nodes) {
+      EXPECT_EQ(endpoints.count(v), 1u) << v;
+    }
+  }
+}
+
+TEST(ScenarioShape, MixedMultiGraphSpreadsAcrossAllGraphs) {
+  const auto& f0 = testing::SmallSbmGcn();
+  const auto& f1 = testing::TwoCommunityGcn();
+  const std::vector<const Graph*> graphs = {f0.graph.get(), f1.graph.get()};
+  const ScenarioOptions opts = SmallOptions(ScenarioKind::kMixedMultiGraph, 17);
+  const auto sc = SynthesizeScenario(graphs, opts);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  std::set<int> seen;
+  for (const TraceRequest& r : sc.value().trace) {
+    ASSERT_GE(r.graph_id, 0);
+    ASSERT_LT(r.graph_id, 2);
+    seen.insert(r.graph_id);
+    for (NodeId v : r.nodes) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, graphs[static_cast<size_t>(r.graph_id)]->num_nodes());
+    }
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+// Synthesized traces are ordinary trace files: they replay unchanged
+// through the existing single-engine driver.
+TEST(ScenarioReplay, ZipfTraceReplaysThroughTheOrdinaryDriver) {
+  const auto& f = testing::TwoCommunityGcn();
+  ScenarioOptions opts = SmallOptions(ScenarioKind::kZipf, 19);
+  opts.num_requests = 12;
+  const auto sc = SynthesizeScenario({f.graph.get()}, opts);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+
+  InferenceEngine engine(f.model.get(), f.graph.get());
+  const std::unordered_map<std::string, InferenceEngine::ViewId> views = {
+      {"full", InferenceEngine::kFullView}};
+  ReplayOptions ropts;
+  ropts.num_threads = 4;
+  const auto run = ReplayAndCollect(&engine, views, sc.value().trace, ropts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().result.requests, 12);
+  InferenceEngine ref(f.model.get(), f.graph.get());
+  size_t row = 0;
+  for (const TraceRequest& r : sc.value().trace) {
+    for (NodeId v : r.nodes) {
+      EXPECT_EQ(run.value().logits[row++],
+                ref.Logits(InferenceEngine::kFullView, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace robogexp

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/explain/verify.h"
+#include "src/serve/scenario.h"
 #include "src/stream/maintain.h"
 #include "src/stream/update.h"
 #include "src/util/rng.h"
@@ -284,6 +285,74 @@ TEST(WaitBuffer, RandomizedConcurrentServeMatchesSerializedOracle) {
   const SchedulerStats ss = registry.AggregateSchedulerStats();
   EXPECT_EQ(ss.parked, ss.woken);
   EXPECT_EQ(shard.value()->wait_buffer()->stats().drained, 0);
+}
+
+TEST(WaitBuffer, ZipfSkewedTrafficConservesParkWakeCounters) {
+  FakeExecutor exec;
+  WaitBuffer wb(exec.fn());
+
+  // Deterministic prelude: one hot-node request parked across a full epoch
+  // lifecycle, so parked > 0 holds regardless of thread timing below.
+  constexpr NodeId kHot = 0;
+  wb.EpochOpened(Epoch(1, {kHot}));
+  ServeTicket warm =
+      wb.Submit(InferenceEngine::kFullView, /*witness_view=*/false, {kHot},
+                /*use_scheduler=*/true);
+  EXPECT_TRUE(warm.parked());
+  wb.EpochBaseSecured(1);
+  wb.EpochClosed(1);
+  warm.Wait();
+
+  // Zipf-skewed storm: four requester threads draw nodes from an 8-node
+  // popularity ladder whose rank 0 IS the hot node, while an epoch driver
+  // keeps reopening maintenance epochs on that same node. Most requests
+  // conflict with the one hot ball; every one of them must still complete
+  // (no wake-order starvation) and the counters must balance.
+  std::atomic<bool> stop{false};
+  std::thread epoch_driver([&] {
+    uint64_t id = 2;
+    while (!stop.load()) {
+      wb.EpochOpened(Epoch(id, {kHot}));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      wb.EpochBaseSecured(id);
+      wb.EpochClosed(id);
+      ++id;
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 64;
+  const ZipfSampler zipf(8, 1.5);
+  std::atomic<int> completed{0};
+  std::vector<std::thread> requesters;
+  for (int r = 0; r < kThreads; ++r) {
+    requesters.emplace_back([&, r] {
+      Rng rng(500 + static_cast<uint64_t>(r));
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const NodeId node = static_cast<NodeId>(zipf.Sample(&rng));
+        ServeTicket t = wb.Submit(InferenceEngine::kFullView,
+                                  /*witness_view=*/false, {node},
+                                  /*use_scheduler=*/true);
+        t.Wait();
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : requesters) th.join();
+  stop.store(true);
+  epoch_driver.join();
+
+  EXPECT_EQ(completed.load(), kThreads * kRequestsPerThread);
+  const WaitBufferStats s = wb.stats();
+  EXPECT_EQ(s.submitted, 1 + kThreads * kRequestsPerThread);
+  EXPECT_EQ(s.submitted, s.admitted + s.parked);
+  EXPECT_EQ(s.parked, s.woken) << "every parked request must be woken by a "
+                                  "completion event, never leaked";
+  EXPECT_EQ(s.drained, 0);
+  EXPECT_GE(s.parked, 1);
+  // Every completed request launched exactly once.
+  EXPECT_EQ(exec.num_launched(),
+            static_cast<size_t>(1 + kThreads * kRequestsPerThread));
 }
 
 }  // namespace

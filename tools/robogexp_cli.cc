@@ -15,6 +15,14 @@
 //   robogexp sample-stream --graph g.rgx --out u.rsu [--batches N] [--ops M]
 //                     [--insert-frac F] [--focus 1,2,3] [--hop-radius R]
 //                     [--seed S] [--avoid-witness w.rcw]
+//   robogexp scenario --kind zipf|flash-crowd|flip-storm|churn-reads|
+//                     mixed-multigraph
+//                     --graph g.rgx [--graph g2.rgx ...] --out t.rrt
+//                     [--updates-out u.rsu] [--requests N] [--max-nodes M]
+//                     [--zipf-exponent E] [--views full,sub,removed]
+//                     [--seed S] [--crowd-graph I] [--crowd-fraction F]
+//                     [--crowd-hot H] [--storm-target V] [--storm-radius R]
+//                     [--batches N] [--ops M] [--insert-frac F]
 //   robogexp serve    --graph g.rgx [--graph g2.rgx ...] --model m.gnn
 //                     [--model m2.gnn ...] --replay t.rrt
 //                     [--witness w.rcw ...] [--shards N] [--partition-seed S]
@@ -31,6 +39,10 @@
 // `stream` replays an update stream against the graph, maintaining the
 // witness incrementally (see src/stream/maintain.h) and printing per-batch
 // maintenance stats; `sample-stream` synthesizes a replayable stream file.
+// `scenario` synthesizes an adversarial production-shaped workload (see
+// src/serve/scenario.h) as an ordinary trace file — plus an update-stream
+// file for the mutating kinds — so any `serve --replay` (optionally with
+// `--stream`) invocation can replay it unchanged.
 // `serve --replay` fires the requests of a trace file from many concurrent
 // requester threads through the sharded serving stack (a ShardRegistry +
 // ShardRouter over per-shard async BatchSchedulers). `--graph` may repeat to
@@ -70,6 +82,7 @@
 #include "src/gnn/trainer.h"
 #include "src/graph/io.h"
 #include "src/serve/replay.h"
+#include "src/serve/scenario.h"
 #include "src/stream/maintain.h"
 #include "src/stream/update_io.h"
 #include "src/util/timer.h"
@@ -764,11 +777,74 @@ int CmdSampleStream(const Flags& flags) {
   return 0;
 }
 
+int CmdScenario(const Flags& flags) {
+  const auto kind = ParseScenarioKind(flags.Get("kind", "zipf"));
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  std::vector<Graph> graphs;
+  for (const std::string& path : flags.GetAll("graph")) {
+    auto g = LoadGraph(path);
+    if (!g.ok()) return Fail(g.status().ToString());
+    graphs.push_back(std::move(g.value()));
+  }
+  std::vector<const Graph*> graph_ptrs;
+  graph_ptrs.reserve(graphs.size());
+  for (const Graph& g : graphs) graph_ptrs.push_back(&g);
+
+  ScenarioOptions opts;
+  opts.kind = kind.value();
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  opts.num_requests = flags.GetInt("requests", 64);
+  opts.max_nodes_per_request = flags.GetInt("max-nodes", 3);
+  opts.zipf_exponent = std::atof(flags.Get("zipf-exponent", "1.1").c_str());
+  if (flags.Has("views")) {
+    opts.views.clear();
+    std::istringstream ss(flags.Get("views"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) opts.views.push_back(item);
+    }
+  }
+  opts.crowd_graph = flags.GetInt("crowd-graph", 0);
+  opts.crowd_fraction = std::atof(flags.Get("crowd-fraction", "0.6").c_str());
+  opts.crowd_hot_nodes = flags.GetInt("crowd-hot", 4);
+  opts.storm_target = static_cast<NodeId>(flags.GetInt("storm-target", 0));
+  opts.storm_radius = flags.GetInt("storm-radius", 2);
+  opts.update_batches = flags.GetInt("batches", 12);
+  opts.ops_per_batch = flags.GetInt("ops", 3);
+  opts.insert_fraction = std::atof(flags.Get("insert-frac", "0.5").c_str());
+
+  const auto scenario = SynthesizeScenario(graph_ptrs, opts);
+  if (!scenario.ok()) return Fail(scenario.status().ToString());
+  const Scenario& sc = scenario.value();
+
+  const std::string out = flags.Get("out", "scenario.rrt");
+  const Status ts = SaveRequestTrace(sc.trace, out);
+  if (!ts.ok()) return Fail(ts.ToString());
+  size_t ops_total = 0;
+  for (const UpdateBatch& b : sc.updates) ops_total += b.size();
+  if (!sc.updates.empty()) {
+    if (!flags.Has("updates-out")) {
+      return Fail(std::string(ScenarioKindName(sc.kind)) +
+                  " produces an update stream; pass --updates-out u.rsu");
+    }
+    const std::string uout = flags.Get("updates-out");
+    const Status us = SaveUpdateStream(sc.updates, uout);
+    if (!us.ok()) return Fail(us.ToString());
+    std::printf("%zu update batches (%zu updates) written to %s\n",
+                sc.updates.size(), ops_total, uout.c_str());
+  }
+  std::printf("scenario %s: %zu requests written to %s (seed %llu)\n",
+              ScenarioKindName(sc.kind), sc.trace.size(), out.c_str(),
+              static_cast<unsigned long long>(opts.seed));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: robogexp "
-                 "<info|train|generate|verify|stream|sample-stream|serve> "
+                 "<info|train|generate|verify|stream|sample-stream|scenario|"
+                 "serve> "
                  "[--flags]\n"
                  "see the header of tools/robogexp_cli.cc for details\n");
     return 1;
@@ -781,6 +857,7 @@ int Main(int argc, char** argv) {
   if (cmd == "verify") return CmdVerify(flags);
   if (cmd == "stream") return CmdStream(flags);
   if (cmd == "sample-stream") return CmdSampleStream(flags);
+  if (cmd == "scenario") return CmdScenario(flags);
   if (cmd == "serve") return CmdServe(flags);
   return Fail("unknown command " + cmd);
 }
