@@ -1,0 +1,426 @@
+// Kill/restart chaos gate — the acceptance gate for crash-safe witness
+// portfolio persistence (src/stream/portfolio_io.h). The bench re-execs
+// itself as a victim process that maintains a portfolio across a flip-storm
+// update stream with per-batch `.rwp` checkpoints, then SIGKILLs it at a
+// deterministic batch boundary (ROBOGEXP_CRASH_AFTER_BATCH — a real kill -9:
+// no destructors, no flushes). The parent restarts from whatever checkpoint
+// survived on disk and must prove three things:
+//
+//   - Correctness: after fast-forwarding the graph through the covered
+//     prefix, re-adopting the state, maintaining the gap to the crash point,
+//     and continuing through the rest of the stream WITH concurrent serving,
+//     the final witness and the full logits read-back of every requested
+//     (view, node) are bit-identical to an uninterrupted serialized oracle.
+//   - Economy: adopting a checkpoint is not regeneration. The inference
+//     spent on restart (adopt + gap replay) must be at most half of a fresh
+//     Initialize() on the graph at the crash point.
+//   - Liveness: every request of the concurrent replay completes.
+//
+// Results land in BENCH_chaos_killrestart.json. The fixed-seed two-cycle
+// matrix (early kill + mid-stream kill) is the blocking CI gate; setting
+// ROBOGEXP_KILLRESTART_SOAK=1 runs randomized kill points (seed from
+// std::random_device unless ROBOGEXP_KILLRESTART_SEED pins it) — that mode
+// backs the `soak`-labeled ctest target excluded from PR CI.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/explain/verify.h"
+#include "src/gnn/serialize.h"
+#include "src/graph/io.h"
+#include "src/serve/replay.h"
+#include "src/serve/scenario.h"
+#include "src/serve/shard_registry.h"
+#include "src/stream/localize.h"
+#include "src/stream/maintain.h"
+#include "src/stream/portfolio_io.h"
+#include "src/stream/update_io.h"
+
+namespace robogexp::bench {
+namespace {
+
+constexpr double kStarveBoundUs = 60e6;
+constexpr int kCheckpointEvery = 2;
+
+struct KillEnv {
+  uint64_t seed = 1;
+  bool soak = false;
+  int requests = 32;
+  int batches = 8;
+  int cycles = 2;  // kill points per run; soak randomizes them
+};
+
+KillEnv KillFromEnvironment() {
+  KillEnv env;
+  const char* soak = std::getenv("ROBOGEXP_KILLRESTART_SOAK");
+  env.soak = soak != nullptr && std::string(soak) == "1";
+  if (env.soak) {
+    env.requests = 128;
+    env.batches = 24;
+    env.cycles = 4;
+    env.seed = std::random_device{}();  // randomized soak; seed is printed
+  }
+  if (const char* s = std::getenv("ROBOGEXP_KILLRESTART_SEED")) {
+    env.seed = std::strtoull(s, nullptr, 10);
+  }
+  return env;
+}
+
+WitnessConfig MakeConfig(const Graph& graph, const GnnModel& model,
+                         const std::vector<NodeId>& test_nodes) {
+  WitnessConfig cfg;
+  cfg.graph = &graph;
+  cfg.model = &model;
+  cfg.test_nodes = test_nodes;
+  cfg.k = 4;
+  cfg.local_budget = 1;
+  cfg.hop_radius = 2;
+  cfg.max_contrast_classes = 3;
+  cfg.disturbance = DisturbanceModel::kFlip;
+  return cfg;
+}
+
+std::vector<NodeId> ParseNodes(const std::string& csv) {
+  std::vector<NodeId> nodes;
+  std::istringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    nodes.push_back(static_cast<NodeId>(std::stoll(tok)));
+  }
+  return nodes;
+}
+
+std::string JoinNodes(const std::vector<NodeId>& nodes) {
+  std::string csv;
+  for (NodeId v : nodes) {
+    if (!csv.empty()) csv += ',';
+    csv += std::to_string(v);
+  }
+  return csv;
+}
+
+/// The process that gets killed. Loads graph/model/stream from `dir`,
+/// maintains with per-batch checkpointing to <dir>/state.rwp, and calls the
+/// chaos hook after each batch — ROBOGEXP_CRASH_AFTER_BATCH (inherited from
+/// the parent) raises SIGKILL mid-storm. Reaching the end means the parent
+/// did not arm a crash batch; exit 0 so the parent can detect the miss.
+int RunVictim(const std::string& dir, const std::string& nodes_csv) {
+  auto graph = LoadGraph(dir + "/graph.rgx");
+  RCW_CHECK_MSG(graph.ok(), graph.status().ToString().c_str());
+  Graph g = std::move(graph).value();
+  auto model = LoadModel(dir + "/model.gnn");
+  RCW_CHECK_MSG(model.ok(), model.status().ToString().c_str());
+  auto stream = LoadUpdateStream(dir + "/stream.rsu");
+  RCW_CHECK_MSG(stream.ok(), stream.status().ToString().c_str());
+
+  const WitnessConfig cfg = MakeConfig(g, *model.value(), ParseNodes(nodes_csv));
+  MaintainOptions mopts;
+  mopts.checkpoint_path = dir + "/state.rwp";
+  mopts.checkpoint_every_batches = kCheckpointEvery;
+  WitnessMaintainer m(&g, cfg, mopts);
+  m.Initialize();
+  // Checkpoint once before the first batch so even a kill at batch 0 has a
+  // restartable state on disk.
+  const Status c = m.Checkpoint(mopts.checkpoint_path);
+  RCW_CHECK_MSG(c.ok(), c.ToString().c_str());
+  for (size_t b = 0; b < stream.value().size(); ++b) {
+    const auto r = m.Apply(stream.value()[b]);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    MaybeCrashAfterBatch(b);
+  }
+  return 0;
+}
+
+/// Forks and re-execs this binary in victim mode with the crash batch armed
+/// in the environment; returns true iff the child died by SIGKILL.
+bool SpawnVictimAndAwaitKill(const std::string& dir,
+                             const std::string& nodes_csv, int crash_batch) {
+  const std::string armed = std::to_string(crash_batch);
+  setenv("ROBOGEXP_CRASH_AFTER_BATCH", armed.c_str(), 1);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl("/proc/self/exe", "/proc/self/exe", "--victim", dir.c_str(),
+          nodes_csv.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  unsetenv("ROBOGEXP_CRASH_AFTER_BATCH");
+  if (pid < 0) return false;
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+/// One full kill/restart cycle against the shared on-disk workload.
+/// `prefix` namespaces the JSON fields (cycle0., cycle1., ...).
+int RunCycle(const std::string& prefix, const std::string& dir,
+             const GnnModel& model, const Scenario& sc,
+             const std::vector<NodeId>& test_nodes, int crash_batch,
+             BenchJson* json) {
+  int failures = 0;
+  const std::string nodes_csv = JoinNodes(test_nodes);
+  std::printf("--- %s: kill -9 after batch %d of %zu\n", prefix.c_str(),
+              crash_batch, sc.updates.size());
+  json->Add(prefix + ".crash_batch", static_cast<int64_t>(crash_batch));
+
+  std::remove((dir + "/state.rwp").c_str());
+  if (!SpawnVictimAndAwaitKill(dir, nodes_csv, crash_batch)) {
+    std::printf("FAIL[%s]: victim did not die by SIGKILL\n", prefix.c_str());
+    return failures + 1;
+  }
+  auto state = LoadPortfolio(dir + "/state.rwp");
+  if (!state.ok()) {
+    std::printf("FAIL[%s]: no loadable checkpoint survived the kill: %s\n",
+                prefix.c_str(), state.status().ToString().c_str());
+    return failures + 1;
+  }
+
+  // --- Restart: fast-forward a fresh graph to the checkpoint, adopt the
+  // state with zero inference, and maintain only the gap to the crash point.
+  auto graph_l = LoadGraph(dir + "/graph.rgx");
+  RCW_CHECK_MSG(graph_l.ok(), graph_l.status().ToString().c_str());
+  Graph graph = std::move(graph_l).value();
+  const auto ff =
+      FastForwardGraph(&graph, sc.updates, state.value().mutation_version);
+  RCW_CHECK_MSG(ff.ok(), ff.status().ToString().c_str());
+
+  const WitnessConfig cfg = MakeConfig(graph, model, test_nodes);
+  MaintainOptions mopts;
+  mopts.async_batching = true;
+  mopts.scheduler.adaptive = true;
+  WitnessMaintainer m(&graph, cfg, mopts);
+  const int64_t before = m.engine().stats().model_invocations;
+  Timer restart_timer;
+  const auto adopted = m.AdoptState(state.value());
+  RCW_CHECK_MSG(adopted.ok(), adopted.status().ToString().c_str());
+  if (adopted.value().inference_calls != 0) {
+    std::printf("FAIL[%s]: adopting a fresh checkpoint cost %d inference "
+                "calls — adoption must be free\n",
+                prefix.c_str(), adopted.value().inference_calls);
+    ++failures;
+  }
+  const size_t resume_at = ff.value();
+  for (size_t b = resume_at; b <= static_cast<size_t>(crash_batch); ++b) {
+    const auto r = m.Apply(sc.updates[b]);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  }
+  const double restart_seconds = restart_timer.Seconds();
+  const int64_t restart_inference =
+      m.engine().stats().model_invocations - before;
+
+  // --- Regenerate-from-scratch baseline at the same crash point: what a
+  // deployment without persistence would pay before serving again.
+  auto regen_l = LoadGraph(dir + "/graph.rgx");
+  RCW_CHECK_MSG(regen_l.ok(), regen_l.status().ToString().c_str());
+  Graph regen_graph = std::move(regen_l).value();
+  for (size_t b = 0; b <= static_cast<size_t>(crash_batch); ++b) {
+    const auto r = ApplyUpdateBatch(&regen_graph, sc.updates[b]);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  }
+  const WitnessConfig regen_cfg = MakeConfig(regen_graph, model, test_nodes);
+  WitnessMaintainer regen(&regen_graph, regen_cfg, {});
+  const int64_t regen_before = regen.engine().stats().model_invocations;
+  Timer regen_timer;
+  regen.Initialize();
+  const double regen_seconds = regen_timer.Seconds();
+  const int64_t regen_inference =
+      regen.engine().stats().model_invocations - regen_before;
+
+  json->Add(prefix + ".gap_batches",
+            static_cast<int64_t>(crash_batch + 1 - resume_at));
+  json->Add(prefix + ".restart_inference", restart_inference);
+  json->Add(prefix + ".regen_inference", regen_inference);
+  json->Add(prefix + ".restart_seconds", restart_seconds);
+  json->Add(prefix + ".regen_seconds", regen_seconds);
+  if (restart_inference * 2 > regen_inference) {
+    std::printf("FAIL[%s]: restart spent %lld inference calls, more than "
+                "half the %lld of regenerating from scratch\n",
+                prefix.c_str(), static_cast<long long>(restart_inference),
+                static_cast<long long>(regen_inference));
+    ++failures;
+  }
+
+  // --- Continue through the rest of the storm with concurrent serving.
+  ShardRegistry registry;
+  auto shard = ServeMaintained(&registry, 0, &m);
+  RCW_CHECK_MSG(shard.ok(), shard.status().ToString().c_str());
+  ShardRouter router(&registry);
+
+  std::atomic<bool> apply_ok{true};
+  std::thread applier([&] {
+    for (size_t b = static_cast<size_t>(crash_batch) + 1;
+         b < sc.updates.size(); ++b) {
+      if (!m.Apply(sc.updates[b]).ok()) {
+        apply_ok.store(false);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  ReplayOptions ropts;
+  ropts.num_threads = 8;
+  ropts.use_scheduler = true;
+  ropts.interarrival_us = 200;
+  const auto run = ReplayShardedTrace(&router, sc.trace, ropts);
+  applier.join();
+  RCW_CHECK_MSG(run.ok(), run.status().ToString().c_str());
+  RCW_CHECK_MSG(apply_ok.load(), "maintainer Apply failed post-restart");
+
+  json->Add(prefix + ".requests", run.value().requests);
+  json->Add(prefix + ".latency", run.value().latency);
+  if (run.value().latency.count != run.value().requests) {
+    std::printf("FAIL[%s]: %lld of %lld requests completed\n", prefix.c_str(),
+                static_cast<long long>(run.value().latency.count),
+                static_cast<long long>(run.value().requests));
+    ++failures;
+  }
+  if (run.value().latency.max_us > kStarveBoundUs) {
+    std::printf("FAIL[%s]: worst request took %.0fus, past the %.0fus "
+                "starvation bound\n",
+                prefix.c_str(), run.value().latency.max_us, kStarveBoundUs);
+    ++failures;
+  }
+
+  // --- The uninterrupted serialized oracle: same loaded graph and model,
+  // whole stream applied in order, no kill, no traffic.
+  auto oracle_l = LoadGraph(dir + "/graph.rgx");
+  RCW_CHECK_MSG(oracle_l.ok(), oracle_l.status().ToString().c_str());
+  Graph oracle_graph = std::move(oracle_l).value();
+  const WitnessConfig oracle_cfg = MakeConfig(oracle_graph, model, test_nodes);
+  WitnessMaintainer oracle(&oracle_graph, oracle_cfg, {});
+  oracle.Initialize();
+  for (const UpdateBatch& batch : sc.updates) {
+    const auto r = oracle.Apply(batch);
+    RCW_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  }
+
+  if (!(m.witness() == oracle.witness()) ||
+      m.witness().ProtectedKeys() != oracle.witness().ProtectedKeys()) {
+    std::printf("FAIL[%s]: witness after kill/restart differs from the "
+                "uninterrupted oracle\n",
+                prefix.c_str());
+    ++failures;
+  }
+  if (m.unsecured() != oracle.unsecured()) {
+    std::printf("FAIL[%s]: unsecured set after kill/restart differs from "
+                "the uninterrupted oracle\n",
+                prefix.c_str());
+    ++failures;
+  }
+  InferenceEngine ref_engine(oracle_cfg.model, &oracle_graph);
+  WitnessServeViews ref_views(&ref_engine, &oracle.witness());
+  const auto served = CollectShardedLogits(&router, sc.trace);
+  const auto expected =
+      CollectServedLogits(&ref_engine, ref_views.views(), sc.trace);
+  if (served != expected) {
+    std::printf("FAIL[%s]: served logits differ from the serialized "
+                "oracle\n",
+                prefix.c_str());
+    ++failures;
+  }
+  return failures;
+}
+
+int Run(const BenchEnv& env, const KillEnv& kill) {
+  Workload w = PrepareWorkload("BAHouse", env.scale, env.faithful);
+  const std::vector<NodeId> test_nodes = TestNodes(w, 4);
+
+  // Everything downstream — victim, restart, regen baseline, oracle — works
+  // from the files on disk, so the whole experiment agrees on one workload
+  // (SaveGraph truncates feature text; reload once, use everywhere).
+  const std::string dir = "killrestart_work." + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0777);
+  {
+    const Status sg = SaveGraph(*w.graph, dir + "/graph.rgx");
+    RCW_CHECK_MSG(sg.ok(), sg.ToString().c_str());
+    const Status sm = SaveModel(*w.model, dir + "/model.gnn");
+    RCW_CHECK_MSG(sm.ok(), sm.ToString().c_str());
+  }
+  auto graph_l = LoadGraph(dir + "/graph.rgx");
+  RCW_CHECK_MSG(graph_l.ok(), graph_l.status().ToString().c_str());
+  const Graph graph = std::move(graph_l).value();
+  auto model_l = LoadModel(dir + "/model.gnn");
+  RCW_CHECK_MSG(model_l.ok(), model_l.status().ToString().c_str());
+  const GnnModel& model = *model_l.value();
+
+  const WitnessConfig cfg = MakeConfig(graph, model, test_nodes);
+  ScenarioOptions opts;
+  opts.kind = ScenarioKind::kFlipStorm;
+  opts.seed = kill.seed;
+  opts.num_requests = kill.requests;
+  opts.max_nodes_per_request = 3;
+  opts.update_batches = kill.batches;
+  opts.ops_per_batch = 2;
+  opts.insert_fraction = 0.4;
+  opts.storm_target = test_nodes[0];
+  opts.storm_radius = MaintenanceRadius(cfg);
+  opts.views = {"full", "sub", "removed"};
+  const auto sc = SynthesizeScenario({&graph}, opts);
+  RCW_CHECK_MSG(sc.ok(), sc.status().ToString().c_str());
+  const Status ss = SaveUpdateStream(sc.value().updates, dir + "/stream.rsu");
+  RCW_CHECK_MSG(ss.ok(), ss.ToString().c_str());
+
+  BenchJson json("chaos_killrestart");
+  json.Add("seed", static_cast<int64_t>(kill.seed));
+  json.Add("soak", static_cast<int64_t>(kill.soak ? 1 : 0));
+  json.Add("batches", static_cast<int64_t>(sc.value().updates.size()));
+  json.Add("checkpoint_every", static_cast<int64_t>(kCheckpointEvery));
+
+  // Kill points: a deterministic early kill and a mid-stream kill in the
+  // blocking gate; uniformly random batches in the soak.
+  std::vector<int> crash_batches;
+  if (kill.soak) {
+    std::mt19937_64 rng(kill.seed);
+    std::uniform_int_distribution<int> pick(
+        0, static_cast<int>(sc.value().updates.size()) - 1);
+    for (int i = 0; i < kill.cycles; ++i) crash_batches.push_back(pick(rng));
+  } else {
+    crash_batches = {1, static_cast<int>(sc.value().updates.size()) / 2};
+  }
+
+  int failures = 0;
+  for (size_t i = 0; i < crash_batches.size(); ++i) {
+    failures += RunCycle("cycle" + std::to_string(i), dir, model, sc.value(),
+                         test_nodes, crash_batches[i], &json);
+  }
+
+  json.Write();
+  for (const char* f : {"/graph.rgx", "/model.gnn", "/stream.rsu",
+                        "/state.rwp"}) {
+    std::remove((dir + f).c_str());
+  }
+  ::rmdir(dir.c_str());
+  if (failures == 0) {
+    std::printf("OK: every kill/restart cycle re-adopted from disk, matched "
+                "the uninterrupted oracle bit-for-bit, and restarted for "
+                "under half the cost of regeneration\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace robogexp::bench
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::string(argv[1]) == "--victim") {
+    return robogexp::bench::RunVictim(argv[2], argv[3]);
+  }
+  const auto env = robogexp::bench::BenchEnv::FromEnvironment();
+  const auto kill = robogexp::bench::KillFromEnvironment();
+  std::printf("Kill/restart chaos gate (scale=%.2f, seed=%llu%s)\n", env.scale,
+              static_cast<unsigned long long>(kill.seed),
+              kill.soak ? ", soak" : "");
+  return robogexp::bench::Run(env, kill);
+}

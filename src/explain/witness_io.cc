@@ -3,18 +3,20 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/atomic_file.h"
+
 namespace robogexp {
 
 Status SaveWitness(const Witness& witness, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::Internal("SaveWitness: cannot open " + path);
+  AtomicFileWriter writer(path);
+  std::ostream& f = writer.stream();
+  if (!writer.ok()) return Status::Internal("SaveWitness: cannot open " + path);
   f << "witness " << witness.num_nodes() << " " << witness.num_edges() << "\n";
   for (NodeId u : witness.Nodes()) f << "node " << u << "\n";
   for (const Edge& e : witness.Edges()) {
     f << "edge " << e.u << " " << e.v << "\n";
   }
-  if (!f) return Status::Internal("SaveWitness: write failed");
-  return Status::OK();
+  return writer.Commit("SaveWitness");
 }
 
 StatusOr<Witness> LoadWitness(const std::string& path) {

@@ -9,6 +9,7 @@
 #include "src/gnn/gcn.h"
 #include "src/gnn/gin.h"
 #include "src/gnn/sage.h"
+#include "src/util/atomic_file.h"
 
 namespace robogexp {
 
@@ -45,9 +46,13 @@ Status ReadMatrix(std::istream& is, Matrix* out) {
 }  // namespace
 
 Status SaveModel(const GnnModel& model, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::Internal("SaveModel: cannot open " + path);
+  AtomicFileWriter writer(path);
+  if (!writer.ok()) return Status::Internal("SaveModel: cannot open " + path);
+  RCW_RETURN_IF_ERROR(SaveModel(model, writer.stream()));
+  return writer.Commit("SaveModel");
+}
 
+Status SaveModel(const GnnModel& model, std::ostream& f) {
   if (const auto* gcn = dynamic_cast<const GcnModel*>(&model)) {
     f << "gnnmodel GCN " << gcn->num_layers() << "\n";
     for (int i = 0; i < gcn->num_layers(); ++i) {
@@ -84,6 +89,7 @@ Status SaveModel(const GnnModel& model, const std::string& path) {
     return Status::InvalidArgument("SaveModel: unsupported model type " +
                                    model.name());
   }
+  f.flush();
   if (!f) return Status::Internal("SaveModel: write failed");
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #ifndef ROBOGEXP_GNN_SERIALIZE_H_
 #define ROBOGEXP_GNN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -12,9 +13,15 @@
 
 namespace robogexp {
 
-/// Writes the model's weights to `path` (text format, full precision).
-/// Supports GCN, APPNP, GraphSAGE, GIN and GAT.
+/// Writes the model's weights to `path` (text format, full precision),
+/// atomically (temp + fsync + rename). Supports GCN, APPNP, GraphSAGE, GIN
+/// and GAT.
 Status SaveModel(const GnnModel& model, const std::string& path);
+
+/// Same serialization into an arbitrary stream — the single source of the
+/// on-disk format, also used to fingerprint a model's weights exactly as a
+/// save/load round trip would preserve them.
+Status SaveModel(const GnnModel& model, std::ostream& os);
 
 /// Reloads a model written by SaveModel; the concrete type is recovered
 /// from the file header.

@@ -3,11 +3,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/atomic_file.h"
+
 namespace robogexp {
 
 Status SaveGraph(const Graph& graph, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::Internal("SaveGraph: cannot open " + path);
+  AtomicFileWriter writer(path);
+  std::ostream& f = writer.stream();
+  if (!writer.ok()) return Status::Internal("SaveGraph: cannot open " + path);
   f << "graph " << graph.num_nodes() << " " << graph.num_edges() << " "
     << graph.num_features() << " " << graph.num_classes() << "\n";
   for (const Edge& e : graph.Edges()) {
@@ -41,8 +44,7 @@ Status SaveGraph(const Graph& graph, const std::string& path) {
       f << "n " << u << " " << graph.NodeName(u) << "\n";
     }
   }
-  if (!f) return Status::Internal("SaveGraph: write failed for " + path);
-  return Status::OK();
+  return writer.Commit("SaveGraph");
 }
 
 StatusOr<Graph> LoadGraph(const std::string& path) {

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/util/atomic_file.h"
 #include "src/util/timer.h"
 
 namespace robogexp {
@@ -49,8 +50,11 @@ Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
           "SaveRequestTrace: request without nodes (view " + r.view + ")");
     }
   }
-  std::ofstream f(path);
-  if (!f) return Status::Internal("SaveRequestTrace: cannot open " + path);
+  AtomicFileWriter writer(path);
+  std::ostream& f = writer.stream();
+  if (!writer.ok()) {
+    return Status::Internal("SaveRequestTrace: cannot open " + path);
+  }
   f << "trace " << trace.size() << "\n";
   for (const TraceRequest& r : trace) {
     // Graph-0 requests keep the v1 `r` form so single-graph traces stay
@@ -66,8 +70,7 @@ Status SaveRequestTrace(const std::vector<TraceRequest>& trace,
     }
     f << "\n";
   }
-  if (!f) return Status::Internal("SaveRequestTrace: write failed for " + path);
-  return Status::OK();
+  return writer.Commit("SaveRequestTrace");
 }
 
 StatusOr<std::vector<TraceRequest>> LoadRequestTrace(const std::string& path) {

@@ -113,6 +113,105 @@ MaintainReport WitnessMaintainer::Adopt(const Witness& witness) {
   return report;
 }
 
+PortfolioState WitnessMaintainer::ExportState() const {
+  RCW_CHECK_MSG(initialized_,
+                "ExportState: Initialize()/Adopt() must run first");
+  RCW_CHECK_MSG(graph_->mutation_version() == known_graph_version_,
+                "ExportState: graph mutated outside the maintainer");
+  PortfolioState state;
+  state.witness = witness_;
+  state.unsecured.assign(unsecured_.begin(), unsecured_.end());
+  std::sort(state.unsecured.begin(), state.unsecured.end());
+  for (const auto& [v, flips] : outstanding_) {
+    std::vector<Edge>& out = state.outstanding[v];
+    out.reserve(flips.size());
+    for (const auto& [key, e] : flips) out.push_back(e);
+    std::sort(out.begin(), out.end());
+  }
+  state.mutation_version = known_graph_version_;
+  state.graph_fingerprint = GraphFingerprint(*graph_);
+  state.model_fingerprint = ModelFingerprint(*cfg_.model);
+  return state;
+}
+
+StatusOr<MaintainReport> WitnessMaintainer::AdoptState(
+    const PortfolioState& state) {
+  if (state.model_fingerprint != ModelFingerprint(*cfg_.model)) {
+    return Status::InvalidArgument(
+        "AdoptState: model fingerprint mismatch — the portfolio was "
+        "certified against different weights than the serving model");
+  }
+  if (state.mutation_version > graph_->mutation_version()) {
+    return Status::InvalidArgument(
+        "AdoptState: portfolio mutation_version " +
+        std::to_string(state.mutation_version) +
+        " is ahead of the live graph (" +
+        std::to_string(graph_->mutation_version()) +
+        ") — fast-forward the graph through the update stream first");
+  }
+  const std::unordered_set<NodeId> tests(cfg_.test_nodes.begin(),
+                                         cfg_.test_nodes.end());
+  for (NodeId v : state.unsecured) {
+    if (tests.count(v) == 0) {
+      return Status::InvalidArgument(
+          "AdoptState: unsecured node " + std::to_string(v) +
+          " is not a test node of this configuration");
+    }
+  }
+  for (const auto& [v, flips] : state.outstanding) {
+    if (tests.count(v) == 0) {
+      return Status::InvalidArgument(
+          "AdoptState: outstanding budget for node " + std::to_string(v) +
+          ", which is not a test node of this configuration");
+    }
+  }
+  if (state.mutation_version < graph_->mutation_version()) {
+    // The stream moved on past this checkpoint (e.g. the process was down
+    // while a peer kept applying): the certificate budgets are not
+    // transferable, but the witness is still the best warm start available.
+    // Degrade to the full-budget revalidation Adopt() path — sound, never
+    // a silently stale verdict, just not free.
+    return Adopt(state.witness);
+  }
+  if (state.graph_fingerprint != GraphFingerprint(*graph_)) {
+    return Status::InvalidArgument(
+        "AdoptState: graph fingerprint mismatch at equal mutation_version — "
+        "the portfolio was certified against a different graph");
+  }
+
+  // Exact match: restore verbatim. The portfolio was exported at this very
+  // graph state under this very model, so every certificate (and every
+  // outstanding budget charge) is still exactly valid — zero inference.
+  Timer timer;
+  witness_ = state.witness;
+  unsecured_.clear();
+  unsecured_.insert(state.unsecured.begin(), state.unsecured.end());
+  outstanding_.clear();
+  for (const auto& [v, flips] : state.outstanding) {
+    auto& out = outstanding_[v];
+    for (const Edge& e : flips) out.emplace(e.Key(), e);
+  }
+  base_logits_fresh_ = false;
+  known_graph_version_ = graph_->mutation_version();
+  initialized_ = true;
+  views_.Sync(witness_);
+
+  MaintainReport report;
+  report.action = MaintainAction::kInitialized;
+  report.unsecured = state.unsecured;
+  report.ok = unsecured_.empty();
+  report.seconds = timer.Seconds();
+  return report;
+}
+
+Status WitnessMaintainer::Checkpoint(const std::string& path) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition(
+        "Checkpoint: Initialize()/Adopt() must run before Checkpoint()");
+  }
+  return SavePortfolio(ExportState(), path);
+}
+
 std::vector<NodeId> WitnessMaintainer::unsecured() const {
   std::vector<NodeId> out(unsecured_.begin(), unsecured_.end());
   std::sort(out.begin(), out.end());
@@ -371,7 +470,7 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
   report.rejected = plan.value().rejected;
 
   const std::vector<Edge> flips = plan.value().Flips();
-  auto finish = [&](MaintainAction action) {
+  auto finish = [&](MaintainAction action) -> StatusOr<MaintainReport> {
     report.action = action;
     // Leave the witness-view slots pointing at the *final* witness of this
     // batch: re-securing can mutate the witness after the last mid-batch
@@ -387,6 +486,14 @@ StatusOr<MaintainReport> WitnessMaintainer::Apply(const UpdateBatch& batch) {
     const EngineStats d = engine_.stats() - before;
     report.inference_calls += static_cast<int>(d.model_invocations);
     report.cache_hits += d.cache_hits;
+    // Checkpoint at the batch boundary, after the views are final: the file
+    // that lands on disk describes exactly the state a restart will serve.
+    if (!opts_.checkpoint_path.empty() &&
+        ++batches_since_checkpoint_ >=
+            std::max(1, opts_.checkpoint_every_batches)) {
+      RCW_RETURN_IF_ERROR(Checkpoint(opts_.checkpoint_path));
+      batches_since_checkpoint_ = 0;
+    }
     report.seconds = timer.Seconds();
     return report;
   };
@@ -589,6 +696,17 @@ StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
   });
   shard.value()->AttachWaitBuffer(std::move(buffer));
   return shard.value();
+}
+
+StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
+                                      WitnessMaintainer* maintainer,
+                                      const PortfolioState& state) {
+  if (registry == nullptr || maintainer == nullptr) {
+    return Status::InvalidArgument("ServeMaintained: null registry/maintainer");
+  }
+  const auto adopted = maintainer->AdoptState(state);
+  RCW_RETURN_IF_ERROR(adopted.status());
+  return ServeMaintained(registry, graph_id, maintainer);
 }
 
 }  // namespace robogexp

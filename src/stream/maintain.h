@@ -53,6 +53,7 @@
 #include "src/serve/shard_registry.h"
 #include "src/serve/wait_buffer.h"
 #include "src/stream/localize.h"
+#include "src/stream/portfolio_io.h"
 #include "src/stream/update.h"
 
 namespace robogexp {
@@ -86,6 +87,13 @@ struct MaintainOptions {
   /// bit-identical with and without.
   bool async_batching = false;
   BatchSchedulerOptions scheduler;
+  /// When non-empty, Apply() checkpoints the full portfolio state to this
+  /// path (atomically, via SavePortfolio) at the end of every
+  /// `checkpoint_every_batches`-th successful batch — the crash-recovery
+  /// anchor: a killed process restarts from the last published checkpoint
+  /// and replays only the gap.
+  std::string checkpoint_path;
+  int checkpoint_every_batches = 1;
 };
 
 /// Per-batch maintenance outcome.
@@ -124,6 +132,29 @@ class WitnessMaintainer {
   /// Adopts an externally generated witness (e.g. loaded from disk) and
   /// revalidates it at full budget; nodes that fail are re-secured.
   MaintainReport Adopt(const Witness& witness);
+
+  /// Snapshot of the full tiered state at the current batch boundary
+  /// (witness with protected pairs, unsecured set, per-node outstanding
+  /// flips, graph mutation_version + fingerprints) — everything AdoptState
+  /// needs to resume in another process.
+  PortfolioState ExportState() const;
+
+  /// Restores a checkpointed state against the live graph/model:
+  ///   - model fingerprint mismatch, a state whose mutation_version is AHEAD
+  ///     of the live graph, a same-version state whose graph fingerprint
+  ///     differs, or state entries naming non-test nodes → InvalidArgument
+  ///     (the checkpoint does not belong to this serving setup; adopting it
+  ///     could produce silently wrong verdicts).
+  ///   - exact match (same mutation_version + graph fingerprint) → verbatim
+  ///     zero-inference restore: the certificate budgets survive the restart.
+  ///   - state BEHIND the live graph (the stream moved on past the
+  ///     checkpoint) → graceful degradation to the Adopt() path: the witness
+  ///     is revalidated at full budget and failing nodes re-secured, so the
+  ///     result is sound, just not free.
+  StatusOr<MaintainReport> AdoptState(const PortfolioState& state);
+
+  /// Writes ExportState() to `path` atomically (SavePortfolio).
+  Status Checkpoint(const std::string& path) const;
 
   /// Applies `batch` to the graph and maintains the witness. Fails (without
   /// touching the graph) when the batch itself is malformed, or when the
@@ -226,6 +257,8 @@ class WitnessMaintainer {
   bool base_logits_fresh_ = false;
   uint64_t known_graph_version_ = 0;
   bool initialized_ = false;
+  /// Batches applied since the last MaintainOptions::checkpoint_path write.
+  int batches_since_checkpoint_ = 0;
   /// Epoch plumbing: monotonic ids, the id of the epoch the current
   /// Apply() opened (0 outside an epoch), and the subscribed listeners.
   uint64_t next_epoch_id_ = 0;
@@ -257,6 +290,15 @@ class WitnessMaintainer {
 /// detaches its buffer from the maintainer on destruction.
 StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
                                       WitnessMaintainer* maintainer);
+
+/// Restart form: first restores `state` into the (uninitialized) maintainer
+/// via AdoptState — fingerprint/version validation included — then registers
+/// it for serving exactly as above. The shard starts serving the recovered
+/// portfolio without a single regeneration inference when the checkpoint
+/// matches the live graph exactly.
+StatusOr<GraphShard*> ServeMaintained(ShardRegistry* registry, int graph_id,
+                                      WitnessMaintainer* maintainer,
+                                      const PortfolioState& state);
 
 }  // namespace robogexp
 

@@ -1,0 +1,290 @@
+#include "src/stream/portfolio_io.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/gnn/serialize.h"
+#include "src/util/atomic_file.h"
+
+namespace robogexp {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvMixDouble(uint64_t h, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(h, bits);
+}
+
+}  // namespace
+
+uint64_t GraphFingerprint(const Graph& graph) {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<uint64_t>(graph.num_nodes()));
+  h = FnvMix(h, static_cast<uint64_t>(graph.num_edges()));
+  for (const Edge& e : graph.Edges()) h = FnvMix(h, e.Key());
+  const Matrix& f = graph.features();
+  h = FnvMix(h, static_cast<uint64_t>(f.rows()));
+  h = FnvMix(h, static_cast<uint64_t>(f.cols()));
+  const int64_t cells = f.rows() * f.cols();
+  for (int64_t i = 0; i < cells; ++i) h = FnvMixDouble(h, f.data()[i]);
+  h = FnvMix(h, static_cast<uint64_t>(graph.num_classes()));
+  for (Label l : graph.labels()) h = FnvMix(h, static_cast<uint64_t>(l));
+  return h;
+}
+
+uint64_t ModelFingerprint(const GnnModel& model) {
+  // Hash the serialized form (full-precision text): a SaveModel/LoadModel
+  // round trip reproduces the fingerprint exactly, so a restarted process
+  // serving reloaded weights matches the portfolio it wrote.
+  std::ostringstream os;
+  const Status s = SaveModel(model, os);
+  RCW_CHECK_MSG(s.ok(), s.ToString().c_str());
+  uint64_t h = kFnvOffset;
+  for (char c : os.str()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Status SavePortfolio(const PortfolioState& state, const std::string& path) {
+  AtomicFileWriter writer(path);
+  std::ostream& f = writer.stream();
+  if (!writer.ok()) {
+    return Status::Internal("SavePortfolio: cannot open " + path);
+  }
+  f << "rwp 1\n";
+  f << "graph " << state.graph_fingerprint << " " << state.mutation_version
+    << "\n";
+  f << "model " << state.model_fingerprint << "\n";
+  f << "witness " << state.witness.num_nodes() << " "
+    << state.witness.num_edges() << " "
+    << state.witness.protected_pair_keys().size() << "\n";
+  for (NodeId u : state.witness.Nodes()) f << "n " << u << "\n";
+  for (const Edge& e : state.witness.Edges()) {
+    f << "e " << e.u << " " << e.v << "\n";
+  }
+  std::vector<uint64_t> prot(state.witness.protected_pair_keys().begin(),
+                             state.witness.protected_pair_keys().end());
+  std::sort(prot.begin(), prot.end());
+  for (uint64_t key : prot) {
+    f << "p " << PairKeyFirst(key) << " " << PairKeySecond(key) << "\n";
+  }
+  f << "unsecured " << state.unsecured.size() << "\n";
+  for (NodeId v : state.unsecured) f << "u " << v << "\n";
+  size_t total_flips = 0;
+  for (const auto& [v, flips] : state.outstanding) total_flips += flips.size();
+  f << "outstanding " << state.outstanding.size() << " " << total_flips
+    << "\n";
+  for (const auto& [v, flips] : state.outstanding) {
+    f << "o " << v << " " << flips.size();
+    for (const Edge& e : flips) f << " " << e.u << " " << e.v;
+    f << "\n";
+  }
+  f << "end\n";
+  return writer.Commit("SavePortfolio");
+}
+
+StatusOr<PortfolioState> LoadPortfolio(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("LoadPortfolio: cannot open " + path);
+
+  auto bad = [](const std::string& what) {
+    return Status::InvalidArgument("LoadPortfolio: " + what);
+  };
+
+  PortfolioState state;
+  // Section parser state: counts declared by each section header, counts
+  // seen so far, and which sections have been opened (strict order:
+  // header -> graph -> model -> witness -> unsecured -> outstanding -> end).
+  bool header = false, saw_graph = false, saw_model = false;
+  bool in_witness = false, in_unsecured = false, in_outstanding = false;
+  bool ended = false;
+  size_t want_nodes = 0, want_edges = 0, want_prot = 0;
+  size_t got_nodes = 0, got_edges = 0, got_prot = 0;
+  size_t want_unsecured = 0, want_out_nodes = 0, want_out_flips = 0;
+  size_t got_out_flips = 0;
+
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (ended) return bad("data after end trailer");
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "rwp") {
+      if (header) return bad("duplicate header");
+      int version = 0;
+      if (!(ss >> version) || version != 1) {
+        return bad("unsupported version");
+      }
+      header = true;
+    } else if (!header) {
+      return bad("data before header");
+    } else if (tag == "graph") {
+      if (saw_graph) return bad("duplicate graph line");
+      if (!(ss >> state.graph_fingerprint >> state.mutation_version)) {
+        return bad("bad graph line");
+      }
+      saw_graph = true;
+    } else if (tag == "model") {
+      if (!saw_graph || saw_model) return bad("misplaced model line");
+      if (!(ss >> state.model_fingerprint)) return bad("bad model line");
+      saw_model = true;
+    } else if (tag == "witness") {
+      if (!saw_model || in_witness) return bad("misplaced witness section");
+      if (!(ss >> want_nodes >> want_edges >> want_prot)) {
+        return bad("bad witness header");
+      }
+      in_witness = true;
+    } else if (tag == "n" || tag == "e" || tag == "p") {
+      if (!in_witness || in_unsecured) return bad("witness data out of place");
+      NodeId u, v = 0;
+      if (tag == "n") {
+        if (!(ss >> u) || u < 0) return bad("bad witness node");
+        if (++got_nodes > want_nodes) return bad("more nodes than declared");
+        state.witness.AddNode(u);
+      } else {
+        if (!(ss >> u >> v) || u < 0 || v < 0 || u == v) {
+          return bad("bad witness pair");
+        }
+        if (tag == "e") {
+          if (++got_edges > want_edges) return bad("more edges than declared");
+          state.witness.AddEdge(u, v);
+        } else {
+          if (++got_prot > want_prot) {
+            return bad("more protected pairs than declared");
+          }
+          state.witness.AddProtectedPair(u, v);
+        }
+      }
+    } else if (tag == "unsecured") {
+      if (!in_witness || in_unsecured) return bad("misplaced unsecured");
+      if (got_nodes != want_nodes || got_edges != want_edges ||
+          got_prot != want_prot) {
+        return bad("witness shorter than declared");
+      }
+      if (!(ss >> want_unsecured)) return bad("bad unsecured header");
+      in_unsecured = true;
+    } else if (tag == "u") {
+      if (!in_unsecured || in_outstanding) {
+        return bad("unsecured entry out of place");
+      }
+      NodeId v;
+      if (!(ss >> v) || v < 0) return bad("bad unsecured node");
+      if (state.unsecured.size() >= want_unsecured) {
+        return bad("more unsecured nodes than declared");
+      }
+      state.unsecured.push_back(v);
+    } else if (tag == "outstanding") {
+      if (!in_unsecured || in_outstanding) return bad("misplaced outstanding");
+      if (state.unsecured.size() != want_unsecured) {
+        return bad("unsecured shorter than declared");
+      }
+      if (!(ss >> want_out_nodes >> want_out_flips)) {
+        return bad("bad outstanding header");
+      }
+      in_outstanding = true;
+    } else if (tag == "o") {
+      if (!in_outstanding) return bad("outstanding entry out of place");
+      NodeId v;
+      size_t count;
+      if (!(ss >> v >> count) || v < 0) return bad("bad outstanding line");
+      if (state.outstanding.size() >= want_out_nodes) {
+        return bad("more outstanding nodes than declared");
+      }
+      if (state.outstanding.count(v) > 0) {
+        return bad("duplicate outstanding node");
+      }
+      std::vector<Edge>& flips = state.outstanding[v];
+      for (size_t i = 0; i < count; ++i) {
+        NodeId a, b;
+        if (!(ss >> a >> b) || a < 0 || b < 0 || a == b) {
+          return bad("bad outstanding flip");
+        }
+        flips.emplace_back(a, b);
+      }
+      got_out_flips += count;
+      if (got_out_flips > want_out_flips) {
+        return bad("more outstanding flips than declared");
+      }
+    } else if (tag == "end") {
+      if (!in_outstanding) return bad("end before outstanding section");
+      if (state.outstanding.size() != want_out_nodes ||
+          got_out_flips != want_out_flips) {
+        return bad("outstanding shorter than declared");
+      }
+      ended = true;
+    } else {
+      return bad("unknown tag " + tag);
+    }
+  }
+  if (!header) return bad("empty file");
+  if (!ended) return bad("missing end trailer (truncated file)");
+  std::sort(state.unsecured.begin(), state.unsecured.end());
+  return state;
+}
+
+StatusOr<size_t> FastForwardGraph(Graph* graph,
+                                  const std::vector<UpdateBatch>& stream,
+                                  uint64_t target_version) {
+  RCW_CHECK(graph != nullptr);
+  if (graph->mutation_version() > target_version) {
+    return Status::InvalidArgument(
+        "FastForwardGraph: graph is already past the checkpoint version (" +
+        std::to_string(graph->mutation_version()) + " > " +
+        std::to_string(target_version) + ")");
+  }
+  size_t consumed = 0;
+  while (graph->mutation_version() < target_version) {
+    if (consumed >= stream.size()) {
+      return Status::InvalidArgument(
+          "FastForwardGraph: stream exhausted before reaching checkpoint "
+          "version " +
+          std::to_string(target_version) +
+          " — the stream and portfolio do not belong to the same session");
+    }
+    const auto r = ApplyUpdateBatch(graph, stream[consumed]);
+    RCW_RETURN_IF_ERROR(r.status());
+    ++consumed;
+  }
+  if (graph->mutation_version() != target_version) {
+    return Status::InvalidArgument(
+        "FastForwardGraph: checkpoint version " +
+        std::to_string(target_version) +
+        " does not land on a batch boundary of this stream");
+  }
+  return consumed;
+}
+
+void MaybeCrashAfterBatch(size_t batch_index) {
+  const char* env = std::getenv("ROBOGEXP_CRASH_AFTER_BATCH");
+  if (env == nullptr || *env == '\0') return;
+  char* tail = nullptr;
+  const unsigned long long crash_at = std::strtoull(env, &tail, 10);
+  if (tail == env) return;  // not a number: ignore the knob
+  if (static_cast<unsigned long long>(batch_index) != crash_at) return;
+  std::fprintf(stderr,
+               "[chaos] ROBOGEXP_CRASH_AFTER_BATCH=%llu: raising SIGKILL\n",
+               crash_at);
+  std::raise(SIGKILL);
+}
+
+}  // namespace robogexp

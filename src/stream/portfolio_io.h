@@ -1,0 +1,98 @@
+// Witness-portfolio persistence (.rwp): the WitnessMaintainer's full tiered
+// state — witness edges (with protected pairs), per-node outstanding flip
+// maps, the unsecured set, the graph's mutation_version, and graph/model
+// fingerprints — serialized so a restarted process can re-adopt its
+// portfolio from disk instead of regenerating it (the k-RCW certificate is
+// an update budget; a crash must not forfeit it).
+//
+// Format (line-oriented plain text, '#' comments allowed):
+//
+//   rwp 1
+//   graph <fingerprint> <mutation_version>
+//   model <fingerprint>
+//   witness <num_nodes> <num_edges> <num_protected>
+//   n <u>                        (witness node)
+//   e <u> <v>                    (witness edge)
+//   p <u> <v>                    (protected pair)
+//   unsecured <count>
+//   u <v>                        (test node without coverage)
+//   outstanding <num_nodes> <num_flips>
+//   o <v> <count> <u1> <v1> ...  (flips outstanding against v's certificate)
+//   end
+//
+// Every section declares its element count and the file ends with an `end`
+// trailer, so a truncated or torn file fails loudly instead of loading as a
+// silently smaller portfolio (the same guard discipline as `.rsu`/`.rrt`).
+// Saves go through AtomicFileWriter, so a crash mid-save never exposes a
+// partial file in the first place.
+#ifndef ROBOGEXP_STREAM_PORTFOLIO_IO_H_
+#define ROBOGEXP_STREAM_PORTFOLIO_IO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/explain/witness.h"
+#include "src/gnn/model.h"
+#include "src/graph/graph.h"
+#include "src/stream/update.h"
+#include "src/util/status.h"
+
+namespace robogexp {
+
+/// The maintainer's serializable state, exported at a batch boundary. The
+/// graph fingerprint + mutation_version pin the exact graph state the
+/// portfolio was certified against; the model fingerprint pins the weights.
+struct PortfolioState {
+  Witness witness;
+  /// Test nodes without coverage at export time (sorted).
+  std::vector<NodeId> unsecured;
+  /// Per test node: the flips outstanding against the graph state the node
+  /// was last secured on (sorted per node; the budget ledger of the
+  /// certified tier).
+  std::map<NodeId, std::vector<Edge>> outstanding;
+  uint64_t mutation_version = 0;
+  uint64_t graph_fingerprint = 0;
+  uint64_t model_fingerprint = 0;
+};
+
+/// Structure+attribute fingerprint of a graph: nodes, sorted edges,
+/// features, labels. Two graphs with equal fingerprints are (with
+/// overwhelming probability) the same serving state; streaming updates
+/// change it, feature-identical reloads do not.
+uint64_t GraphFingerprint(const Graph& graph);
+
+/// Fingerprint of a model's architecture + weights (the serialized form, so
+/// a save/load round trip preserves it).
+uint64_t ModelFingerprint(const GnnModel& model);
+
+/// Writes `state` to `path` atomically (temp + fsync + rename).
+Status SavePortfolio(const PortfolioState& state, const std::string& path);
+
+/// Reads a portfolio previously written by SavePortfolio. Malformed,
+/// truncated, or inconsistent files fail with InvalidArgument; adoption
+/// validation against a live graph/model happens in
+/// WitnessMaintainer::AdoptState, not here.
+StatusOr<PortfolioState> LoadPortfolio(const std::string& path);
+
+/// Replays `stream` against `graph` (graph-only, no maintenance, no
+/// inference) batch by batch until the graph's mutation_version reaches
+/// `target_version` — the restart fast-forward that brings a freshly loaded
+/// graph to a checkpoint's state before AdoptState. Returns the number of
+/// batches consumed. Fails with InvalidArgument when the target lies behind
+/// the graph, between batch boundaries, or past the end of the stream (the
+/// stream and checkpoint then do not belong to the same session).
+StatusOr<size_t> FastForwardGraph(Graph* graph,
+                                  const std::vector<UpdateBatch>& stream,
+                                  uint64_t target_version);
+
+/// Chaos crash point shared by the CLI and the kill/restart bench: when the
+/// environment variable ROBOGEXP_CRASH_AFTER_BATCH equals `batch_index`,
+/// raises SIGKILL — the process dies as if `kill -9`ed, with no destructors,
+/// no flushes, no checkpoint. Recovery must work from whatever the atomic
+/// writers already published.
+void MaybeCrashAfterBatch(size_t batch_index);
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_STREAM_PORTFOLIO_IO_H_

@@ -3,12 +3,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/atomic_file.h"
+
 namespace robogexp {
 
 Status SaveUpdateStream(const std::vector<UpdateBatch>& stream,
                         const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::Internal("SaveUpdateStream: cannot open " + path);
+  AtomicFileWriter writer(path);
+  std::ostream& f = writer.stream();
+  if (!writer.ok()) {
+    return Status::Internal("SaveUpdateStream: cannot open " + path);
+  }
   f << "stream " << stream.size() << "\n";
   for (const UpdateBatch& batch : stream) {
     f << "batch " << batch.updates.size() << "\n";
@@ -17,8 +22,7 @@ Status SaveUpdateStream(const std::vector<UpdateBatch>& stream,
         << up.v << "\n";
     }
   }
-  if (!f) return Status::Internal("SaveUpdateStream: write failed for " + path);
-  return Status::OK();
+  return writer.Commit("SaveUpdateStream");
 }
 
 StatusOr<std::vector<UpdateBatch>> LoadUpdateStream(const std::string& path) {

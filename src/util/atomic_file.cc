@@ -1,0 +1,79 @@
+#include "src/util/atomic_file.h"
+
+#include <cstdio>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace robogexp {
+
+namespace {
+
+/// fsync the file at `path` (by descriptor). Returns false on any failure.
+/// No-op true on platforms without POSIX fds — the rename below still gives
+/// atomic replacement, just without the durability barrier.
+bool SyncPath(const std::string& path, bool directory) {
+#ifndef _WIN32
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  (void)directory;
+  return true;
+#endif
+}
+
+std::string DirectoryOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp." +
+#ifndef _WIN32
+                std::to_string(::getpid())
+#else
+                "w"
+#endif
+      ),
+      out_(tmp_path_, std::ios::trunc) {
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  out_.close();
+  std::remove(tmp_path_.c_str());
+}
+
+Status AtomicFileWriter::Commit(const std::string& context) {
+  if (committed_) return Status::Internal(context + ": double Commit()");
+  out_.flush();
+  if (!out_) {
+    return Status::Internal(context + ": write failed for " + path_);
+  }
+  out_.close();
+  if (!SyncPath(tmp_path_, /*directory=*/false)) {
+    return Status::Internal(context + ": fsync failed for " + tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::Internal(context + ": rename to " + path_ + " failed");
+  }
+  committed_ = true;  // the temp file no longer exists under its old name
+  // Directory fsync makes the rename durable; best-effort (some filesystems
+  // refuse O_DIRECTORY opens) — atomicity already holds without it.
+  SyncPath(DirectoryOf(path_), /*directory=*/true);
+  return Status::OK();
+}
+
+}  // namespace robogexp

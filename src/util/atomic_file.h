@@ -1,0 +1,56 @@
+// Crash-safe file replacement: stream into a sibling temp file, then
+// Commit() = flush + fsync + rename over the target (+ directory fsync), so
+// readers only ever observe either the old complete file or the new complete
+// file — never a torn intermediate. A writer destroyed without Commit()
+// unlinks its temp file and leaves the target untouched.
+//
+// Every robogexp text saver (.rgx/.gnn/.rcw/.rsu/.rrt/.rwp) routes through
+// this helper: the on-disk artifacts double as recovery state (witness
+// portfolios especially), and a kill -9 racing a save must not leave a file
+// the loaders half-accept. The declared-count truncation guards in the
+// loaders remain the second line of defense for files produced elsewhere.
+#ifndef ROBOGEXP_UTIL_ATOMIC_FILE_H_
+#define ROBOGEXP_UTIL_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace robogexp {
+
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.tmp.<pid>` for writing. Check ok() (or just write and let
+  /// Commit() report) — construction itself never fails.
+  explicit AtomicFileWriter(std::string path);
+
+  /// Unlinks the temp file when Commit() was not reached (crash-equivalent
+  /// abandon: the target keeps its previous content).
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The stream to write the file body into.
+  std::ostream& stream() { return out_; }
+
+  /// True while the temp file opened and every write so far succeeded.
+  bool ok() const { return out_.good(); }
+
+  /// Flush + fsync the temp file, rename it over the target, and fsync the
+  /// containing directory so the rename itself is durable. `context` prefixes
+  /// error messages (e.g. "SaveWitness"). After a successful Commit() the
+  /// writer is inert; a failed Commit() leaves the target untouched.
+  Status Commit(const std::string& context);
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace robogexp
+
+#endif  // ROBOGEXP_UTIL_ATOMIC_FILE_H_

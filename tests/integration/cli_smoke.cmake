@@ -96,6 +96,40 @@ run_cli(stream stream --graph "${GRAPH}" --model "${MODEL}" --nodes 1,2,3
         --k 2 --b 1 --stream "${STREAM}" --witness "${WITNESS}"
         --witness-out "${MAINTAINED}" --async-batching)
 
+# Crash-safe portfolio persistence: replay the same stream with per-batch
+# .rwp checkpoints and kill -9 the process after batch 2 (the chaos hook
+# raises SIGKILL — no destructors, no flushes), then restart from the
+# surviving checkpoint. The restarted run fast-forwards the graph through
+# the already-covered prefix, re-adopts the state verbatim, maintains only
+# the gap, and must land on exactly the witness of the uninterrupted replay.
+set(STATE "${WORK_DIR}/toy.rwp")
+set(RESUMED "${WORK_DIR}/resumed.rcw")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env ROBOGEXP_CRASH_AFTER_BATCH=2
+          "${CLI}" stream --graph "${GRAPH}" --model "${MODEL}"
+          --nodes 1,2,3 --k 2 --b 1 --stream "${STREAM}"
+          --witness "${WITNESS}" --state-out "${STATE}"
+  RESULT_VARIABLE _rc
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err)
+message(STATUS "[stream-killed rc=${_rc}] ${_out}${_err}")
+if(_rc EQUAL 0)
+  message(FATAL_ERROR "ROBOGEXP_CRASH_AFTER_BATCH did not kill the process")
+endif()
+if(NOT EXISTS "${STATE}")
+  message(FATAL_ERROR "no checkpoint survived the kill")
+endif()
+run_cli(stream-resume stream --graph "${GRAPH}" --model "${MODEL}"
+        --nodes 1,2,3 --k 2 --b 1 --stream "${STREAM}"
+        --state-in "${STATE}" --state-out "${STATE}"
+        --witness-out "${RESUMED}")
+file(READ "${MAINTAINED}" _w_full)
+file(READ "${RESUMED}" _w_resumed)
+if(NOT _w_full STREQUAL _w_resumed)
+  message(FATAL_ERROR
+          "resumed witness differs from the uninterrupted replay")
+endif()
+
 # Concurrent serving: replay a request trace through the async batching
 # front and check the per-caller comparison (exit 1 on any logit mismatch).
 set(TRACE "${WORK_DIR}/toy.rrt")
@@ -184,7 +218,8 @@ run_cli(serve-mixed serve --graph "${GRAPH}" --model "${GCN_MODEL}"
         --replay "${MIXED_TRACE}" --threads 4 --deadline-us 50000 --compare)
 
 foreach(_artifact "${MODEL}" "${WITNESS}" "${DOT}" "${STREAM}" "${MAINTAINED}"
-        "${ZIPF_TRACE}" "${CHURN_TRACE}" "${CHURN_STREAM}" "${MIXED_TRACE}")
+        "${STATE}" "${RESUMED}" "${ZIPF_TRACE}" "${CHURN_TRACE}"
+        "${CHURN_STREAM}" "${MIXED_TRACE}")
   if(NOT EXISTS "${_artifact}")
     message(FATAL_ERROR "expected output file missing: ${_artifact}")
   endif()

@@ -1,0 +1,99 @@
+#include "src/util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace robogexp {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+bool Exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(AtomicFile, CommitPublishesContent) {
+  const std::string path = ::testing::TempDir() + "atomic_commit.txt";
+  std::remove(path.c_str());
+  {
+    AtomicFileWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.stream() << "hello\nworld\n";
+    ASSERT_TRUE(w.Commit("test").ok());
+  }
+  EXPECT_EQ(ReadAll(path), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, AbandonedWriterLeavesTargetUntouched) {
+  const std::string path = ::testing::TempDir() + "atomic_abandon.txt";
+  {
+    std::ofstream f(path);
+    f << "original\n";
+  }
+  {
+    AtomicFileWriter w(path);
+    w.stream() << "half-written garbage";
+    // No Commit(): destruction must unlink the temp and keep the target.
+  }
+  EXPECT_EQ(ReadAll(path), "original\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, CommitReplacesExistingFile) {
+  const std::string path = ::testing::TempDir() + "atomic_replace.txt";
+  {
+    std::ofstream f(path);
+    f << "old state that must fully disappear\n";
+  }
+  AtomicFileWriter w(path);
+  w.stream() << "new\n";
+  ASSERT_TRUE(w.Commit("test").ok());
+  EXPECT_EQ(ReadAll(path), "new\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, DoubleCommitFails) {
+  const std::string path = ::testing::TempDir() + "atomic_double.txt";
+  AtomicFileWriter w(path);
+  w.stream() << "x\n";
+  ASSERT_TRUE(w.Commit("test").ok());
+  const Status second = w.Commit("test");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, NoTempFileSurvivesCommit) {
+  const std::string path = ::testing::TempDir() + "atomic_tmp.txt";
+  {
+    AtomicFileWriter w(path);
+    w.stream() << "x\n";
+    ASSERT_TRUE(w.Commit("test").ok());
+  }
+  // The temp sibling is <path>.tmp.<pid>; after Commit it was renamed away.
+  EXPECT_TRUE(Exists(path));
+  EXPECT_FALSE(Exists(path + ".tmp." + std::to_string(::getpid())));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, UnwritableDirectoryReportsError) {
+  AtomicFileWriter w("/nonexistent-dir-robogexp/file.txt");
+  EXPECT_FALSE(w.ok());
+  w.stream() << "x";
+  EXPECT_FALSE(w.Commit("test").ok());
+}
+
+}  // namespace
+}  // namespace robogexp

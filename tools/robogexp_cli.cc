@@ -12,6 +12,8 @@
 //   robogexp stream   --graph g.rgx --model m.gnn --nodes 1,2,3 --k K
 //                     --stream u.rsu [--b B] [--threads N] [--witness w.rcw]
 //                     [--witness-out w.rcw] [--ppr-localizer]
+//                     [--state-in s.rwp] [--state-out s.rwp]
+//                     [--checkpoint-every N]
 //   robogexp sample-stream --graph g.rgx --out u.rsu [--batches N] [--ops M]
 //                     [--insert-frac F] [--focus 1,2,3] [--hop-radius R]
 //                     [--seed S] [--avoid-witness w.rcw]
@@ -34,11 +36,20 @@
 //                     [--witness w.rcw] [--maintain-threads N]
 //                     [--threads N] [--deadline-us D] [--batch-nodes B]
 //                     [--adaptive] [--interarrival-us I] [--sync]
-//                     [--compare]
+//                     [--compare] [--state-in s.rwp] [--state-out s.rwp]
+//                     [--checkpoint-every N]
 //
 // `stream` replays an update stream against the graph, maintaining the
 // witness incrementally (see src/stream/maintain.h) and printing per-batch
 // maintenance stats; `sample-stream` synthesizes a replayable stream file.
+// `--state-out` checkpoints the full portfolio (witness + certificate
+// budgets + unsecured set) to an `.rwp` file every `--checkpoint-every`
+// batches (and once more at the end), and `--state-in` resumes from such a
+// checkpoint: the graph is fast-forwarded through the stream prefix the
+// checkpoint already covers and only the remaining batches are maintained
+// (src/stream/portfolio_io.h). Both flags work identically under
+// `serve --stream`, which is how a killed maintained-serving process
+// restarts without regenerating its portfolio.
 // `scenario` synthesizes an adversarial production-shaped workload (see
 // src/serve/scenario.h) as an ordinary trace file — plus an update-stream
 // file for the mutating kinds — so any `serve --replay` (optionally with
@@ -320,11 +331,40 @@ int CmdStream(const Flags& flags) {
   mopts.num_threads = flags.GetInt("threads", 1);
   mopts.ppr_localizer = flags.Has("ppr-localizer");
   mopts.async_batching = flags.Has("async-batching");
+  if (flags.Has("state-out")) {
+    mopts.checkpoint_path = flags.Get("state-out");
+    mopts.checkpoint_every_batches = flags.GetInt("checkpoint-every", 1);
+  }
+
+  // A checkpoint resumes mid-stream: fast-forward the freshly loaded graph
+  // through the prefix the checkpoint already covers BEFORE the maintainer
+  // (and its engine) bind to the graph, then adopt the state verbatim.
+  size_t first_batch = 0;
+  PortfolioState state;
+  bool have_state = false;
+  if (flags.Has("state-in")) {
+    auto st = LoadPortfolio(flags.Get("state-in"));
+    if (!st.ok()) return Fail(st.status().ToString());
+    const auto ff =
+        FastForwardGraph(&graph, stream.value(), st.value().mutation_version);
+    if (!ff.ok()) return Fail(ff.status().ToString());
+    first_batch = ff.value();
+    state = std::move(st).value();
+    have_state = true;
+  }
+
   WitnessMaintainer maintainer(&graph, cfg, mopts);
 
   Timer total;
   MaintainReport init;
-  if (flags.Has("witness")) {
+  if (have_state) {
+    const auto adopted = maintainer.AdoptState(state);
+    if (!adopted.ok()) return Fail(adopted.status().ToString());
+    init = adopted.value();
+    std::printf("restored state from %s: fast-forwarded %zu batches, "
+                "resuming at batch %zu\n",
+                flags.Get("state-in").c_str(), first_batch, first_batch);
+  } else if (flags.Has("witness")) {
     auto w = LoadWitness(flags.Get("witness"));
     if (!w.ok()) return Fail(w.status().ToString());
     init = maintainer.Adopt(w.value());
@@ -340,7 +380,7 @@ int CmdStream(const Flags& flags) {
 
   int64_t maintain_calls = 0;
   std::map<std::string, int> actions;
-  for (size_t b = 0; b < stream.value().size(); ++b) {
+  for (size_t b = first_batch; b < stream.value().size(); ++b) {
     const auto r = maintainer.Apply(stream.value()[b]);
     if (!r.ok()) {
       return Fail("batch " + std::to_string(b) + ": " + r.status().ToString());
@@ -356,11 +396,14 @@ int CmdStream(const Flags& flags) {
                 static_cast<int>(rep.resecured.size()), rep.unsecured.size(),
                 rep.inference_calls, static_cast<long long>(rep.cache_hits),
                 rep.seconds);
+    // Chaos hook: die here — AFTER the batch's checkpoint landed on disk —
+    // with kill -9 semantics when ROBOGEXP_CRASH_AFTER_BATCH says so.
+    MaybeCrashAfterBatch(b);
   }
 
   std::printf("replayed %zu batches in %.2fs: %lld maintenance inference "
               "calls (+%d init)\n",
-              stream.value().size(), total.Seconds(),
+              stream.value().size() - first_batch, total.Seconds(),
               static_cast<long long>(maintain_calls), init.inference_calls);
   std::printf("actions:");
   for (const auto& [name, count] : actions) {
@@ -397,6 +440,13 @@ int CmdStream(const Flags& flags) {
     std::printf("final verify: no covered nodes\n");
   }
 
+  if (flags.Has("state-out")) {
+    // One final checkpoint regardless of --checkpoint-every phase, so the
+    // file always describes the end-of-stream state on clean exit.
+    const Status s = maintainer.Checkpoint(flags.Get("state-out"));
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("state written to %s\n", flags.Get("state-out").c_str());
+  }
   if (flags.Has("witness-out")) {
     const Status s =
         SaveWitness(maintainer.witness(), flags.Get("witness-out"));
@@ -510,13 +560,41 @@ int CmdServeStream(const Flags& flags,
   mopts.ppr_localizer = flags.Has("ppr-localizer");
   mopts.async_batching = ropts.use_scheduler;
   mopts.scheduler = ropts.scheduler;
+  if (flags.Has("state-out")) {
+    mopts.checkpoint_path = flags.Get("state-out");
+    mopts.checkpoint_every_batches = flags.GetInt("checkpoint-every", 1);
+  }
+
+  // Restart path: fast-forward the graph through the checkpoint's stream
+  // prefix before the maintainer binds to it (as in CmdStream).
+  size_t first_batch = 0;
+  PortfolioState state;
+  bool have_state = false;
+  if (flags.Has("state-in")) {
+    auto st = LoadPortfolio(flags.Get("state-in"));
+    if (!st.ok()) return Fail(st.status().ToString());
+    const auto ff =
+        FastForwardGraph(&graph, stream.value(), st.value().mutation_version);
+    if (!ff.ok()) return Fail(ff.status().ToString());
+    first_batch = ff.value();
+    state = std::move(st).value();
+    have_state = true;
+  }
+
   // Lifetimes: the registry's maintained shard detaches its WaitBuffer from
   // the maintainer on destruction, so the maintainer must outlive the
   // registry — declare it first.
   WitnessMaintainer maintainer(&graph, cfg, mopts);
 
   MaintainReport init;
-  if (flags.Has("witness")) {
+  if (have_state) {
+    const auto adopted = maintainer.AdoptState(state);
+    if (!adopted.ok()) return Fail(adopted.status().ToString());
+    init = adopted.value();
+    std::printf("restored state from %s: fast-forwarded %zu batches, "
+                "resuming at batch %zu\n",
+                flags.Get("state-in").c_str(), first_batch, first_batch);
+  } else if (flags.Has("witness")) {
     auto w = LoadWitness(flags.Get("witness"));
     if (!w.ok()) return Fail(w.status().ToString());
     init = maintainer.Adopt(w.value());
@@ -541,7 +619,7 @@ int CmdServeStream(const Flags& flags,
   std::string apply_error;
   Timer total;
   std::thread applier([&] {
-    for (size_t b = 0; b < stream.value().size(); ++b) {
+    for (size_t b = first_batch; b < stream.value().size(); ++b) {
       const auto r = maintainer.Apply(stream.value()[b]);
       if (!r.ok()) {
         apply_error =
@@ -550,6 +628,9 @@ int CmdServeStream(const Flags& flags,
       }
       ++actions[MaintainActionName(r.value().action)];
       applied += r.value().applied;
+      // Chaos hook: kill -9 the whole serving process after this batch's
+      // checkpoint landed, when ROBOGEXP_CRASH_AFTER_BATCH says so.
+      MaybeCrashAfterBatch(b);
     }
   });
   auto run = ReplayShardedTrace(&router, trace, ropts);
@@ -589,6 +670,12 @@ int CmdServeStream(const Flags& flags,
     PrintLatencyLine("wait latency", registry.AggregateWaitLatency());
   }
   PrintLatencyLine("request latency", rr.latency);
+
+  if (flags.Has("state-out")) {
+    const Status s = maintainer.Checkpoint(flags.Get("state-out"));
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("state written to %s\n", flags.Get("state-out").c_str());
+  }
 
   if (!flags.Has("compare")) return 0;
   // The invalidate-before-wake soundness check: with the stream fully
